@@ -1,0 +1,435 @@
+(* Command-line driver: one subcommand per experiment family, so every
+   result in EXPERIMENTS.md can be regenerated (and varied) from the
+   shell. *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
+
+(* ---------- randtree ---------- *)
+
+let randtree_setup =
+  let parse = function
+    | "baseline" -> Ok Experiments.Randtree_exp.Baseline
+    | "random" -> Ok Experiments.Randtree_exp.Choice_random
+    | "crystalball" -> Ok Experiments.Randtree_exp.Choice_crystalball
+    | "greedy" -> Ok Experiments.Randtree_exp.Choice_greedy
+    | "bandit" -> Ok Experiments.Randtree_exp.Choice_bandit
+    | s -> Error (`Msg ("unknown setup: " ^ s))
+  in
+  let print ppf s = Format.fprintf ppf "%s" (Experiments.Randtree_exp.setup_name s) in
+  Arg.conv (parse, print)
+
+let randtree_cmd =
+  let run seed nodes setups with_failure =
+    let setups =
+      match setups with [] -> Experiments.Randtree_exp.paper_setups | s -> s
+    in
+    let rows =
+      List.map
+        (fun setup ->
+          let o = Experiments.Randtree_exp.run ~nodes ~seed ~with_failure setup in
+          [
+            Experiments.Randtree_exp.setup_name setup;
+            Metrics.Report.fint o.Experiments.Randtree_exp.depth_after_join;
+            Metrics.Report.fopt_int o.Experiments.Randtree_exp.depth_after_rejoin;
+            Metrics.Report.fint o.Experiments.Randtree_exp.joined;
+            Metrics.Report.fint o.Experiments.Randtree_exp.messages;
+          ])
+        setups
+    in
+    Metrics.Report.print
+      ~title:(Printf.sprintf "RandTree: %d nodes, seed %d" nodes seed)
+      ~header:[ "setup"; "join depth"; "rejoin depth"; "joined"; "msgs" ]
+      rows
+  in
+  let nodes =
+    Arg.(value & opt int 31 & info [ "nodes" ] ~docv:"N" ~doc:"Number of participants.")
+  in
+  let setups =
+    Arg.(
+      value
+      & opt_all randtree_setup []
+      & info [ "setup" ] ~docv:"SETUP"
+          ~doc:"Setup to run (baseline|random|crystalball|greedy|bandit); repeatable.")
+  in
+  let with_failure =
+    Arg.(value & flag & info [ "with-failure" ] ~doc:"Also fail and rejoin a subtree (E3).")
+  in
+  Cmd.v
+    (Cmd.info "randtree" ~doc:"The paper's case study: overlay-tree join/rejoin depth (E2/E3).")
+    Term.(const run $ seed_arg $ nodes $ setups $ with_failure)
+
+(* ---------- gossip ---------- *)
+
+let gossip_cmd =
+  let run seed waves slow =
+    let scenario =
+      if slow then Experiments.Gossip_exp.Slow_stub else Experiments.Gossip_exp.Uniform
+    in
+    let rows =
+      List.map
+        (fun policy ->
+          let o = Experiments.Gossip_exp.run ~seed ~waves ~scenario policy in
+          [
+            Experiments.Gossip_exp.policy_name policy;
+            Metrics.Report.ffloat o.Experiments.Gossip_exp.mean_coverage_s;
+            Metrics.Report.ffloat o.Experiments.Gossip_exp.max_coverage_s;
+            Metrics.Report.fint o.Experiments.Gossip_exp.messages;
+          ])
+        Experiments.Gossip_exp.all_policies
+    in
+    Metrics.Report.print
+      ~title:
+        (Printf.sprintf "Gossip coverage, scenario %s, %d waves"
+           (Experiments.Gossip_exp.scenario_name scenario)
+           waves)
+      ~header:[ "policy"; "mean (s)"; "max (s)"; "msgs" ]
+      rows
+  in
+  let waves = Arg.(value & opt int 5 & info [ "waves" ] ~docv:"W" ~doc:"Rumor waves.") in
+  let slow = Arg.(value & flag & info [ "slow-stub" ] ~doc:"Put one stub behind a slow link.") in
+  Cmd.v
+    (Cmd.info "gossip" ~doc:"Gossip peer-selection policies (E4).")
+    Term.(const run $ seed_arg $ waves $ slow)
+
+(* ---------- dissem ---------- *)
+
+let dissem_scenario =
+  let parse = function
+    | "fast" -> Ok Experiments.Dissem_exp.Fast_seed
+    | "slow" -> Ok Experiments.Dissem_exp.Slow_seed
+    | "choked" -> Ok Experiments.Dissem_exp.Choked_seed
+    | s -> Error (`Msg ("unknown scenario: " ^ s))
+  in
+  let print ppf s = Format.fprintf ppf "%s" (Experiments.Dissem_exp.scenario_name s) in
+  Arg.conv (parse, print)
+
+let dissem_cmd =
+  let run seed scenario =
+    let rows =
+      List.map
+        (fun policy ->
+          let o = Experiments.Dissem_exp.run ~seed ~scenario policy in
+          [
+            Experiments.Dissem_exp.policy_name policy;
+            Printf.sprintf "%d/15" o.Experiments.Dissem_exp.completed;
+            Metrics.Report.ffloat o.Experiments.Dissem_exp.mean_completion_s;
+            Metrics.Report.ffloat o.Experiments.Dissem_exp.max_completion_s;
+            Metrics.Report.fint o.Experiments.Dissem_exp.duplicate_pieces;
+          ])
+        Experiments.Dissem_exp.all_policies
+    in
+    Metrics.Report.print
+      ~title:
+        (Printf.sprintf "Content distribution, scenario %s"
+           (Experiments.Dissem_exp.scenario_name scenario))
+      ~header:[ "policy"; "done"; "mean (s)"; "max (s)"; "dup pieces" ]
+      rows
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt dissem_scenario Experiments.Dissem_exp.Choked_seed
+      & info [ "scenario" ] ~docv:"S" ~doc:"Seed bandwidth: fast|slow|choked.")
+  in
+  Cmd.v
+    (Cmd.info "dissem" ~doc:"Content-distribution block-selection policies (E5).")
+    Term.(const run $ seed_arg $ scenario)
+
+(* ---------- paxos ---------- *)
+
+let paxos_cmd =
+  let run seed duration loaded =
+    let scenario =
+      if loaded then Experiments.Paxos_exp.Loaded_leader else Experiments.Paxos_exp.Balanced_wan
+    in
+    let rows =
+      List.map
+        (fun policy ->
+          let o = Experiments.Paxos_exp.run ~seed ~duration ~scenario policy in
+          [
+            Experiments.Paxos_exp.policy_name policy;
+            Printf.sprintf "%d/%d" o.Experiments.Paxos_exp.committed o.Experiments.Paxos_exp.born;
+            Metrics.Report.ffloat ~decimals:0 o.Experiments.Paxos_exp.mean_latency_ms;
+            Metrics.Report.ffloat ~decimals:0 o.Experiments.Paxos_exp.p99_latency_ms;
+            Metrics.Report.fint o.Experiments.Paxos_exp.agreement_violations;
+          ])
+        Experiments.Paxos_exp.all_policies
+    in
+    Metrics.Report.print
+      ~title:
+        (Printf.sprintf "Paxos, scenario %s, %.0fs"
+           (Experiments.Paxos_exp.scenario_name scenario)
+           duration)
+      ~header:[ "policy"; "committed"; "mean (ms)"; "p99 (ms)"; "agreement viol." ]
+      rows
+  in
+  let duration =
+    Arg.(value & opt float 60. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Virtual run time.")
+  in
+  let loaded =
+    Arg.(value & flag & info [ "loaded-leader" ] ~doc:"Congest the fixed leader's access link.")
+  in
+  Cmd.v
+    (Cmd.info "paxos" ~doc:"Consensus proposer-assignment policies (E6).")
+    Term.(const run $ seed_arg $ duration $ loaded)
+
+(* ---------- dht ---------- *)
+
+let dht_cmd =
+  let run seed duration =
+    let rows =
+      List.map
+        (fun policy ->
+          let o = Experiments.Dht_exp.run ~seed ~duration policy in
+          [
+            Experiments.Dht_exp.policy_name policy;
+            Printf.sprintf "%d/%d" o.Experiments.Dht_exp.completed o.Experiments.Dht_exp.issued;
+            Metrics.Report.ffloat ~decimals:0 o.Experiments.Dht_exp.mean_latency_ms;
+            Metrics.Report.ffloat ~decimals:0 o.Experiments.Dht_exp.p99_latency_ms;
+            Metrics.Report.ffloat o.Experiments.Dht_exp.mean_hops;
+          ])
+        Experiments.Dht_exp.all_policies
+    in
+    Metrics.Report.print
+      ~title:(Printf.sprintf "DHT routing, %.0fs of random lookups" duration)
+      ~header:[ "policy"; "completed"; "mean (ms)"; "p99 (ms)"; "mean hops" ]
+      rows
+  in
+  let duration =
+    Arg.(value & opt float 40. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Virtual run time.")
+  in
+  Cmd.v
+    (Cmd.info "dht" ~doc:"Chord-style DHT next-hop routing policies (E7).")
+    Term.(const run $ seed_arg $ duration)
+
+(* ---------- kvstore ---------- *)
+
+let kvstore_cmd =
+  let run seed duration =
+    let rows =
+      List.map
+        (fun policy ->
+          let o = Experiments.Kvstore_exp.run ~seed ~duration policy in
+          [
+            Experiments.Kvstore_exp.policy_name policy;
+            Metrics.Report.fint o.Experiments.Kvstore_exp.reads;
+            Metrics.Report.ffloat ~decimals:1 o.Experiments.Kvstore_exp.mean_read_ms;
+            Metrics.Report.ffloat ~decimals:1 o.Experiments.Kvstore_exp.p99_read_ms;
+            Metrics.Report.ffloat o.Experiments.Kvstore_exp.mean_staleness;
+            Metrics.Report.fint o.Experiments.Kvstore_exp.monotonic_violations;
+          ])
+        Experiments.Kvstore_exp.all_policies
+    in
+    Metrics.Report.print
+      ~title:(Printf.sprintf "Replicated KV store, %.0fs of session traffic" duration)
+      ~header:[ "policy"; "reads"; "mean (ms)"; "p99 (ms)"; "staleness"; "mono viol." ]
+      rows
+  in
+  let duration =
+    Arg.(value & opt float 60. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Virtual run time.")
+  in
+  Cmd.v
+    (Cmd.info "kvstore" ~doc:"Replicated KV store read-replica policies (E8).")
+    Term.(const run $ seed_arg $ duration)
+
+(* ---------- steering ---------- *)
+
+let steering_cmd =
+  let run seed duration delay =
+    let base = Experiments.Steering_exp.run ~seed ~duration ~with_runtime:false () in
+    let steered =
+      Experiments.Steering_exp.run ~seed ~duration ~checkpoint_delay:delay ~with_runtime:true ()
+    in
+    Metrics.Report.print
+      ~title:(Printf.sprintf "Lease race over %.0fs, checkpoint staleness %.2fs" duration delay)
+      ~header:[ "setup"; "violations"; "grants"; "filtered"; "vetoes" ]
+      [
+        [
+          "no runtime";
+          Metrics.Report.fint base.Experiments.Steering_exp.violations;
+          Metrics.Report.fint base.Experiments.Steering_exp.grants;
+          "0";
+          "0";
+        ];
+        [
+          "CrystalBall runtime";
+          Metrics.Report.fint steered.Experiments.Steering_exp.violations;
+          Metrics.Report.fint steered.Experiments.Steering_exp.grants;
+          Metrics.Report.fint steered.Experiments.Steering_exp.filtered;
+          Metrics.Report.fint steered.Experiments.Steering_exp.vetoes;
+        ];
+      ]
+  in
+  let duration =
+    Arg.(value & opt float 120. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Virtual run time.")
+  in
+  let delay =
+    Arg.(
+      value & opt float 0.05
+      & info [ "staleness" ] ~docv:"SECONDS" ~doc:"Checkpoint collection delay.")
+  in
+  Cmd.v
+    (Cmd.info "steering" ~doc:"Execution steering on the buggy lease service (S1).")
+    Term.(const run $ seed_arg $ duration $ delay)
+
+(* ---------- metrics ---------- *)
+
+let metrics_cmd =
+  let run () =
+    match Experiments.Metrics_exp.run () with
+    | None -> prerr_endline "sources not found; run from the repository"
+    | Some c ->
+        Metrics.Report.print ~title:"Code metrics (E1)"
+          ~header:[ "variant"; "LoC"; "handlers"; "if-else/handler" ]
+          [
+            [
+              "baseline";
+              Metrics.Report.fint c.baseline.Metrics.Code_metrics.loc;
+              Metrics.Report.fint c.baseline.Metrics.Code_metrics.handlers;
+              Metrics.Report.ffloat c.baseline.Metrics.Code_metrics.per_handler;
+            ];
+            [
+              "choice-exposed";
+              Metrics.Report.fint c.choice.Metrics.Code_metrics.loc;
+              Metrics.Report.fint c.choice.Metrics.Code_metrics.handlers;
+              Metrics.Report.ffloat c.choice.Metrics.Code_metrics.per_handler;
+            ];
+          ];
+        Printf.printf "LoC reduction: %.0f%%\n" c.loc_reduction_percent
+  in
+  Cmd.v (Cmd.info "metrics" ~doc:"Code metrics of the two RandTree variants (E1).")
+    Term.(const run $ const ())
+
+(* ---------- overhead ---------- *)
+
+let overhead_cmd =
+  let run seed periods =
+    let periods = if periods = [] then [ 5.0; 1.0; 0.2 ] else periods in
+    let base = Experiments.Overhead_exp.run ~seed ~checkpoint_period:None () in
+    let rows =
+      [
+        "no runtime";
+        Metrics.Report.ffloat ~decimals:1 base.Experiments.Overhead_exp.mean_completion_s;
+        "0";
+        "0";
+      ]
+      :: List.map
+           (fun period ->
+             let o = Experiments.Overhead_exp.run ~seed ~checkpoint_period:(Some period) () in
+             [
+               Printf.sprintf "period %.2fs" period;
+               Metrics.Report.ffloat ~decimals:1 o.Experiments.Overhead_exp.mean_completion_s;
+               Metrics.Report.fint o.Experiments.Overhead_exp.checkpoints;
+               Printf.sprintf "%d KB" (o.Experiments.Overhead_exp.checkpoint_bytes / 1024);
+             ])
+           periods
+    in
+    Metrics.Report.print ~title:"Checkpoint traffic vs swarm completion (A4)"
+      ~header:[ "collection"; "mean done (s)"; "checkpoints"; "bytes" ]
+      rows
+  in
+  let periods =
+    Arg.(
+      value & opt_all float []
+      & info [ "period" ] ~docv:"SECONDS" ~doc:"Checkpoint period to test; repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"Checkpoint communication overhead vs freshness (A4).")
+    Term.(const run $ seed_arg $ periods)
+
+(* ---------- explore ---------- *)
+
+let explore_cmd =
+  let run seed depth drops generic =
+    let module App = Apps.Lease.Default in
+    let module E = Engine.Sim.Make (App) in
+    let module Ex = Mc.Explorer.Make (App) in
+    let module St = Mc.Steering.Make (App) in
+    (* Drive the buggy lease service until a lease is in flight while
+       someone already holds one — the paper's "imminent inconsistency"
+       snapshot — then run consequence prediction on it. *)
+    let eng = E.create ~seed ~jitter:0. ~topology:Experiments.Steering_exp.topology () in
+    E.set_resolver eng Core.Resolver.random;
+    for i = 0 to 3 do
+      E.spawn eng (Proto.Node_id.of_int i)
+    done;
+    let interesting view =
+      List.exists
+        (fun (_, _, m) -> String.equal (App.msg_kind m) "lease")
+        view.Proto.View.inflight
+      && Proto.View.fold (fun n _ st -> if App.holding st then n + 1 else n) 0 view >= 1
+    in
+    let rec seek budget =
+      if budget = 0 then None
+      else begin
+        E.run_for eng 0.05;
+        let view = E.global_view eng in
+        if interesting view then Some view else seek (budget - 1)
+      end
+    in
+    match seek 4000 with
+    | None -> prerr_endline "no interesting snapshot reached; try another seed"
+    | Some view ->
+        Printf.printf "snapshot at %s: %d nodes, %d messages in flight\n"
+          (Format.asprintf "%a" Dsim.Vtime.pp view.Proto.View.time)
+          (Proto.View.node_count view)
+          (Proto.View.inflight_count view);
+        let world = Ex.world_of_view view in
+        let result =
+          Ex.explore ~include_drops:drops ~generic_node:generic ~depth world
+        in
+        Printf.printf "explored %d worlds (%d deduped%s)\n" result.Ex.worlds_explored
+          result.Ex.worlds_deduped
+          (if result.Ex.truncated then ", truncated" else "");
+        (match result.Ex.violations with
+        | [] -> print_endline "no violation reachable within the horizon"
+        | vs ->
+            Printf.printf "%d violating path(s); first:\n" (List.length vs);
+            let v = List.hd vs in
+            Printf.printf "  property %s after:\n" v.Ex.property;
+            List.iter
+              (fun s -> Printf.printf "    %s\n" (Format.asprintf "%a" Ex.pp_step s))
+              v.Ex.path);
+        (match St.decide ~include_drops:drops ~generic_node:generic ~depth world with
+        | St.No_violation -> print_endline "steering: nothing to do"
+        | St.Steer vetoes ->
+            print_endline "steering: safe to veto —";
+            List.iter
+              (fun veto -> Printf.printf "  %s\n" (Format.asprintf "%a" St.pp_veto veto))
+              vetoes
+        | St.Cannot_steer props ->
+            Printf.printf "steering: cannot steer away from %s\n" (String.concat ", " props))
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc:"Exploration depth.")
+  in
+  let drops = Arg.(value & flag & info [ "drops" ] ~doc:"Also branch on message loss.") in
+  let generic =
+    Arg.(value & flag & info [ "generic-node" ] ~doc:"Inject the generic-node alphabet.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Consequence prediction on a live snapshot of the buggy lease service.")
+    Term.(const run $ seed_arg $ depth $ drops $ generic)
+
+let () =
+  let doc = "Reproduction of 'Simplifying Distributed System Development' (HotOS 2009)." in
+  let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            randtree_cmd;
+            gossip_cmd;
+            dissem_cmd;
+            paxos_cmd;
+            dht_cmd;
+            kvstore_cmd;
+            steering_cmd;
+            metrics_cmd;
+            overhead_cmd;
+            explore_cmd;
+          ]))

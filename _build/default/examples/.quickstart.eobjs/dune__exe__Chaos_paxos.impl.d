@@ -1,0 +1,1 @@
+examples/chaos_paxos.ml: Apps Dsim Engine Format List Net Printf Proto String

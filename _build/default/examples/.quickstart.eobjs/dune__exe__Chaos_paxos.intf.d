@@ -1,0 +1,1 @@
+examples/chaos_paxos.mli:

@@ -1,0 +1,1 @@
+examples/nfa_handlers.ml: Core Dsim Engine Format List Net Option Printf Proto

@@ -1,0 +1,1 @@
+examples/nfa_handlers.mli:

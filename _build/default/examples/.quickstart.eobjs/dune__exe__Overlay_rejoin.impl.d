@@ -1,0 +1,1 @@
+examples/overlay_rejoin.ml: Apps Experiments List Metrics Option Printf Proto

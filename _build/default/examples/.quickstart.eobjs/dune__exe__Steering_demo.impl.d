@@ -1,0 +1,1 @@
+examples/steering_demo.ml: Apps Core Dsim Experiments Format List Printf Proto Runtime

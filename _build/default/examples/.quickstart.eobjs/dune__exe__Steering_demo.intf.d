@@ -1,0 +1,1 @@
+examples/steering_demo.mli:

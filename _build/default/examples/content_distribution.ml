@@ -1,0 +1,27 @@
+(* Content distribution (§3.1): a 16-peer swarm downloads a 64-block
+   file from a seed whose uplink we progressively choke, comparing the
+   hard-coded strategies (random, rarest-random) with runtime-resolved
+   ones. The paper's observation — neither hard-coded strategy is
+   decidedly superior, so expose the choice — shows up as the gap that
+   opens as the seed link tightens.
+
+   Run with: dune exec examples/content_distribution.exe *)
+
+let () =
+  print_endline "Swarm download of a 64-block file; per-policy completion times.\n";
+  List.iter
+    (fun scenario ->
+      Printf.printf "scenario: %s\n" (Experiments.Dissem_exp.scenario_name scenario);
+      List.iter
+        (fun policy ->
+          let o = Experiments.Dissem_exp.run ~seed:7 ~scenario policy in
+          Printf.printf "  %-14s %2d/15 done, mean %5.1fs, slowest %5.1fs, %d duplicate pieces\n"
+            (Experiments.Dissem_exp.policy_name policy)
+            o.Experiments.Dissem_exp.completed o.Experiments.Dissem_exp.mean_completion_s
+            o.Experiments.Dissem_exp.max_completion_s o.Experiments.Dissem_exp.duplicate_pieces)
+        Experiments.Dissem_exp.all_policies;
+      print_endline "")
+    Experiments.Dissem_exp.all_scenarios;
+  print_endline "With a fast seed the strategies tie; as the seed chokes,";
+  print_endline "diversity-aware selection pulls ahead - the deployment decides";
+  print_endline "which policy wins, which is why the choice belongs to the runtime."

@@ -1,0 +1,60 @@
+(* The paper's case study (§4), narrated: 31 nodes build a random
+   overlay tree, half of them fail and rejoin, and we compare the tree
+   depth under the three setups (plus the learned resolver).
+
+   Run with: dune exec examples/overlay_rejoin.exe *)
+
+module RT = Experiments.Randtree_exp
+
+(* Render the final tree of one run so the depth numbers have a face. *)
+let render_final_tree () =
+  let module CE = RT.Choice_engine in
+  let eng = CE.create ~seed:43 ~topology:(RT.topology ~seed:43 ~nodes:RT.default_nodes) () in
+  CE.set_lookahead eng { CE.default_lookahead with horizon = 3.0; max_events = 600 };
+  let d : RT.driver =
+    {
+      spawn = (fun ?after i -> CE.spawn eng ?after (Proto.Node_id.of_int i));
+      kill = (fun i -> CE.kill eng (Proto.Node_id.of_int i));
+      restart = (fun ?after i -> CE.restart eng ?after (Proto.Node_id.of_int i));
+      run_for = (fun dt -> CE.run_for eng dt);
+      max_depth = (fun () -> RT.Choice_shape.max_depth (CE.global_view eng));
+      joined_count = (fun () -> RT.Choice_shape.joined (CE.global_view eng));
+      subtree_of_root_child =
+        (fun () ->
+          RT.Choice_shape.largest_root_subtree (CE.global_view eng) ~root:(Proto.Node_id.of_int 0));
+      messages = (fun () -> (CE.stats eng).messages_delivered);
+      forks = (fun () -> (CE.stats eng).lookahead_forks);
+    }
+  in
+  RT.join_phase d ~nodes:RT.default_nodes ~seed:43;
+  let _ = RT.rejoin_phase d ~seed:43 in
+  let parents =
+    List.map
+      (fun (id, st) ->
+        ( Proto.Node_id.to_int id,
+          Option.map Proto.Node_id.to_int (Apps.Randtree_choice.Default.parent_of st) ))
+      (CE.global_view eng).Proto.View.nodes
+  in
+  print_endline "Choice-CrystalBall's tree after the rejoin storm:";
+  print_string (Metrics.Treeview.render (Metrics.Treeview.of_parents parents))
+
+let () =
+  let nodes = Experiments.Randtree_exp.default_nodes in
+  Printf.printf "RandTree case study: %d nodes, optimal depth %d.\n\n" nodes
+    (Experiments.Randtree_exp.optimal_depth ~nodes ~max_children:2);
+  List.iter
+    (fun setup ->
+      let o = Experiments.Randtree_exp.run ~seed:43 setup in
+      Printf.printf "%-20s joined %d/%d, depth %d after join, %s after subtree fail+rejoin\n"
+        (Experiments.Randtree_exp.setup_name setup)
+        o.Experiments.Randtree_exp.joined nodes o.Experiments.Randtree_exp.depth_after_join
+        (match o.Experiments.Randtree_exp.depth_after_rejoin with
+        | Some d -> string_of_int d
+        | None -> "-"))
+    (Experiments.Randtree_exp.paper_setups @ [ Experiments.Randtree_exp.Choice_greedy ]);
+  print_endline "";
+  render_final_tree ();
+  print_endline "";
+  print_endline "Baseline and Choice-Random produce the same trees (same policy,";
+  print_endline "one hard-coded, one exposed); predictive resolution keeps the";
+  print_endline "rebuilt tree shallower - the paper's 10 vs 9 relationship."

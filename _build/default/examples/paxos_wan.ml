@@ -1,0 +1,30 @@
+(* Consensus across a WAN (§3.1): five Paxos replicas in three areas
+   commit a stream of locally-born commands. The proposer assignment is
+   the exposed choice; we compare the classic fixed leader, the
+   Mencius-style local proposer, and runtime-resolved policies — first
+   on a balanced WAN, then with the fixed leader's access link
+   congested.
+
+   Run with: dune exec examples/paxos_wan.exe *)
+
+let () =
+  print_endline "Multi-instance Paxos, 5 replicas, 3 WAN areas, 60 virtual seconds.\n";
+  List.iter
+    (fun scenario ->
+      Printf.printf "scenario: %s\n" (Experiments.Paxos_exp.scenario_name scenario);
+      List.iter
+        (fun policy ->
+          let o = Experiments.Paxos_exp.run ~seed:9 ~scenario policy in
+          Printf.printf
+            "  %-15s %3d/%3d committed, mean %4.0fms, p99 %4.0fms, agreement violations: %d\n"
+            (Experiments.Paxos_exp.policy_name policy)
+            o.Experiments.Paxos_exp.committed o.Experiments.Paxos_exp.born
+            o.Experiments.Paxos_exp.mean_latency_ms o.Experiments.Paxos_exp.p99_latency_ms
+            o.Experiments.Paxos_exp.agreement_violations)
+        Experiments.Paxos_exp.all_policies;
+      print_endline "")
+    Experiments.Paxos_exp.all_scenarios;
+  print_endline "Safety never budges (agreement holds under every policy);";
+  print_endline "performance is policy. The predictive resolver matches Mencius on";
+  print_endline "a balanced WAN and beats both hard-coded policies when the";
+  print_endline "environment shifts under them."

@@ -1,0 +1,1 @@
+lib/apps/dht.ml: Core Dsim Format Fun Int List Map Option Proto

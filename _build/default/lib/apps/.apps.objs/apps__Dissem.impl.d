@@ -1,0 +1,1 @@
+lib/apps/dissem.ml: Array Core Dsim Format Fun Int List Option Proto Set Wire

@@ -1,0 +1,1 @@
+lib/apps/gossip.ml: Core Dsim Format Fun Int List Proto Set

@@ -1,0 +1,1 @@
+lib/apps/gossip_baseline.ml: Array Core Dsim Float Format Fun Gossip Int List Proto Set

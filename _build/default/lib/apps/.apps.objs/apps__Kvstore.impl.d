@@ -1,0 +1,1 @@
+lib/apps/kvstore.ml: Core Dsim Format Int List Map Option Proto

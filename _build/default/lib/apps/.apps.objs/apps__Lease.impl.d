@@ -1,0 +1,1 @@
+lib/apps/lease.ml: Core Dsim Format Proto

@@ -1,0 +1,1 @@
+lib/apps/paxos.ml: Core Dsim Format Hashtbl Int List Map Option Proto

@@ -1,0 +1,1 @@
+lib/apps/randtree_baseline.ml: Array Dsim Format List Proto Randtree_common

@@ -1,0 +1,1 @@
+lib/apps/randtree_choice.ml: Core Dsim Format List Proto Randtree_baseline Randtree_common

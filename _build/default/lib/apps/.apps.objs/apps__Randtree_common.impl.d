@@ -1,0 +1,1 @@
+lib/apps/randtree_common.ml: Core Format List Proto

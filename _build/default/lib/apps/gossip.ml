@@ -1,0 +1,230 @@
+(** Epidemic dissemination with an exposed peer choice (paper §3.1,
+    "Gossip Protocols").
+
+    Every round a node picks one peer and push-pulls its rumor set with
+    it. {e Which} peer is the choice the paper discusses: BAR Gossip
+    restricts it to a deterministic schedule (good against Byzantine
+    partners, bad when the scheduled target sits behind a slow link);
+    plain epidemics pick uniformly; FlightPath relaxes the restriction
+    for performance. Here the protocol exposes the choice (label
+    {!peer_label}) and the policy is whichever resolver the runtime
+    installs — {!restricted_resolver} reproduces the BAR-style
+    schedule. *)
+
+module Int_set = Set.Make (Int)
+
+type msg =
+  | Push of { rumors : int list; round : int }
+  | Push_back of { rumors : int list }
+
+let msg_kind = function Push _ -> "push" | Push_back _ -> "push_back"
+
+(* A rumor is ~1 KB of payload in flight; headers cost 64 bytes. *)
+let msg_bytes = function
+  | Push { rumors; _ } -> 64 + (1024 * List.length rumors)
+  | Push_back { rumors } -> 64 + (1024 * List.length rumors)
+
+let pp_msg ppf = function
+  | Push { rumors; round } -> Format.fprintf ppf "push(%d rumors, r%d)" (List.length rumors) round
+  | Push_back { rumors } -> Format.fprintf ppf "push_back(%d rumors)" (List.length rumors)
+
+let peer_label = "gossip.peer"
+
+module type PARAMS = sig
+  val population : int
+  (** node ids are [0 .. population-1] *)
+
+  val round_period : float
+  val candidate_cap : int
+  (** at most this many peers offered to the resolver per round *)
+end
+
+module Default_params = struct
+  let population = 32
+  let round_period = 0.5
+  let candidate_cap = 8
+end
+
+module Make (P : PARAMS) : sig
+  include Proto.App_intf.APP with type msg = msg
+
+  val known : state -> Int_set.t
+  val round_of : state -> int
+  val seed_rumors : Proto.Node_id.t -> int list -> msg
+  (** Build an injectable [Push] carrying fresh rumors (use with
+      [Sim.inject] to originate content at a node). *)
+end = struct
+  type nonrec msg = msg
+
+  type state = {
+    self : Proto.Node_id.t;
+    known : Int_set.t;
+    round : int;
+    last_exchange : (Proto.Node_id.t * float) list;  (* peer, vtime seconds *)
+  }
+
+  let name = "gossip"
+  let equal_state (a : state) b = a = b
+  let msg_kind = msg_kind
+  let msg_bytes = msg_bytes
+  let pp_msg = pp_msg
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{r%d known=%d}" st.round (Int_set.cardinal st.known)
+
+  let known st = st.known
+  let round_of st = st.round
+  let seed_rumors _origin rumors = Push { rumors; round = 0 }
+
+  let peers st =
+    let self = Proto.Node_id.to_int st.self in
+    List.filter_map
+      (fun i -> if i = self then None else Some (Proto.Node_id.of_int i))
+      (List.init P.population Fun.id)
+
+  let init (ctx : Proto.Ctx.t) =
+    ( { self = ctx.self; known = Int_set.empty; round = 0; last_exchange = [] },
+      [ Proto.Action.set_timer ~id:"round" ~after:P.round_period ] )
+
+  let touch st peer now =
+    {
+      st with
+      last_exchange =
+        (peer, now) :: List.filter (fun (p, _) -> not (Proto.Node_id.equal p peer)) st.last_exchange;
+    }
+
+  let last_seen st peer =
+    List.assoc_opt peer st.last_exchange
+
+  let merge st rumors =
+    { st with known = Int_set.union st.known (Int_set.of_list rumors) }
+
+  let h_push =
+    Proto.Handler.v ~name:"push"
+      ~guard:(fun _ ~src:_ m -> match m with Push _ -> true | Push_back _ -> false)
+      (fun ctx st ~src m ->
+        match m with
+        | Push { rumors; _ } ->
+            let st = merge st rumors in
+            let st = touch st src (Dsim.Vtime.to_seconds ctx.now) in
+            (* Push-pull: return what the sender appears to be missing. *)
+            let missing =
+              Int_set.elements (Int_set.diff st.known (Int_set.of_list rumors))
+            in
+            let reply =
+              if missing = [] then []
+              else [ Proto.Action.send ~dst:src (Push_back { rumors = missing }) ]
+            in
+            (st, reply)
+        | Push_back _ -> (st, []))
+
+  let h_push_back =
+    Proto.Handler.v ~name:"push_back"
+      ~guard:(fun _ ~src:_ m -> match m with Push_back _ -> true | Push _ -> false)
+      (fun ctx st ~src m ->
+        match m with
+        | Push_back { rumors } ->
+            (merge st rumors |> fun st -> touch st src (Dsim.Vtime.to_seconds ctx.now)), []
+        | Push _ -> (st, []))
+
+  let receive = [ h_push; h_push_back ]
+
+  (* The gossip round: expose the peer choice with features the
+     resolver families need — identity (for the restricted schedule),
+     predicted rtt (for network-aware policies), staleness of the last
+     exchange (for coverage-aware policies). *)
+  let on_timer (ctx : Proto.Ctx.t) st id =
+    match id with
+    | "round" ->
+        let st = { st with round = st.round + 1 } in
+        let rearm = Proto.Action.set_timer ~id:"round" ~after:P.round_period in
+        if Int_set.is_empty st.known then (st, [ rearm ])
+        else begin
+          let now = Dsim.Vtime.to_seconds ctx.now in
+          let candidates =
+            Dsim.Rng.sample_without_replacement ctx.rng P.candidate_cap (peers st)
+          in
+          let alternative peer =
+            Core.Choice.alt
+              ~features:
+                [
+                  ("peer_id", float_of_int (Proto.Node_id.to_int peer));
+                  ("round", float_of_int st.round);
+                  ("rtt_ms", Proto.Ctx.predicted_ms ctx peer);
+                  ( "age_s",
+                    match last_seen st peer with Some t -> now -. t | None -> 1e6 );
+                ]
+              ~describe:(Format.asprintf "%a" Proto.Node_id.pp peer)
+              peer
+          in
+          let target =
+            ctx.choose (Core.Choice.make ~label:peer_label (List.map alternative candidates))
+          in
+          ( st,
+            [
+              Proto.Action.send ~dst:target
+                (Push { rumors = Int_set.elements st.known; round = st.round });
+              rearm;
+            ] )
+        end
+    | _ -> (st, [])
+
+  (* Coverage objective: total knowledge across the system; higher is
+     better. Normalised per node so the value is comparable across
+     population sizes. *)
+  let objectives =
+    [
+      Core.Objective.v ~name:"coverage" (fun view ->
+          Proto.View.fold (fun acc _ st -> acc +. float_of_int (Int_set.cardinal st.known)) 0. view);
+    ]
+
+  let properties =
+    [
+      (* Rumor sets only grow, so any rumor known anywhere should
+         eventually be known everywhere. *)
+      Core.Property.liveness ~name:"uniform-knowledge" (fun view ->
+          let union, inter =
+            Proto.View.fold
+              (fun (u, i) _ st ->
+                (Int_set.union u st.known, match i with None -> Some st.known | Some i -> Some (Int_set.inter i st.known)))
+              (Int_set.empty, None) view
+          in
+          match inter with None -> true | Some i -> Int_set.equal union i);
+    ]
+
+  let generic_msgs st =
+    if Int_set.is_empty st.known then []
+    else
+      let ghost = Proto.Node_id.of_int 96 in
+      [ (ghost, Push { rumors = [ 1_000_000 ]; round = st.round }) ]
+end
+
+module Default = Make (Default_params)
+
+(** BAR-style restricted peer selection: each round has exactly one
+    legal partner, derived deterministically from the node's identity
+    and the round number. Implemented as a resolver over the exposed
+    choice — restriction is a policy, not a protocol change. *)
+let restricted_resolver ~population =
+  Core.Resolver.make ~name:"restricted" (fun _rng site ->
+      let feature i name = Core.Choice.feature site ~alt:i name in
+      let round =
+        match feature 0 "round" with Some r -> int_of_float r | None -> 0
+      in
+      let node = site.Core.Choice.site_node in
+      (* The pseudo-random schedule both partners could verify. *)
+      let target = (((node * 7919) + (round * 104729)) mod population + population) mod population in
+      let distance i =
+        match feature i "peer_id" with
+        | Some id -> abs (int_of_float id - target)
+        | None -> max_int
+      in
+      let best = ref 0 and best_d = ref (distance 0) in
+      for i = 1 to site.Core.Choice.site_arity - 1 do
+        let d = distance i in
+        if d < !best_d then begin
+          best := i;
+          best_d := d
+        end
+      done;
+      !best)

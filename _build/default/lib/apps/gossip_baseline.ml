@@ -1,0 +1,237 @@
+(** Gossip, baseline variant: the same push-pull wire protocol as
+    {!Gossip}, with the peer-selection policy hard-coded in the round
+    handler — a second data point for the paper's E1 code-metrics
+    claim, on a second protocol.
+
+    Like every tuned epidemic implementation, it accretes: a hand-rolled
+    RTT estimator fed by push/push-back timing, freshness aging, a
+    weighted sampler mixing the two, forced exploration every few
+    rounds, and avoid-the-last-partner bookkeeping. The choice-exposed
+    variant carries none of this; its resolver does. *)
+
+module C = Gossip
+module Int_set = Set.Make (Int)
+
+(* Hard-coded tuning constants of the inline policy. *)
+let rtt_alpha = 0.3
+let default_rtt = 0.05
+let explore_every = 8 (* every Nth round ignores the heuristic *)
+let freshness_weight = 0.5
+let proximity_weight = 1.0
+
+module type PARAMS = Gossip.PARAMS
+
+module Default_params = Gossip.Default_params
+
+module Make (P : PARAMS) : sig
+  include Proto.App_intf.APP with type msg = C.msg
+
+  val known : state -> Int_set.t
+  val round_of : state -> int
+  val rtt_estimate : state -> Proto.Node_id.t -> float option
+end = struct
+  type msg = C.msg
+
+  type state = {
+    self : Proto.Node_id.t;
+    known : Int_set.t;
+    round : int;
+    last_exchange : (Proto.Node_id.t * float) list;
+    rtt_est : (Proto.Node_id.t * float) list;  (* hand-rolled EWMA *)
+    push_sent : (Proto.Node_id.t * float) list;  (* outstanding probes *)
+    last_target : Proto.Node_id.t option;
+  }
+
+  let name = "gossip-baseline"
+  let equal_state (a : state) b =
+    Proto.Node_id.equal a.self b.self
+    && Int_set.equal a.known b.known
+    && a.round = b.round
+    && a.last_exchange = b.last_exchange
+    && a.rtt_est = b.rtt_est
+    && a.push_sent = b.push_sent
+    && a.last_target = b.last_target
+
+  let msg_kind = C.msg_kind
+  let msg_bytes = C.msg_bytes
+  let pp_msg = C.pp_msg
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{r%d known=%d}" st.round (Int_set.cardinal st.known)
+
+  let known st = st.known
+  let round_of st = st.round
+  let rtt_estimate st peer = List.assoc_opt peer st.rtt_est
+
+  let peers st =
+    let self = Proto.Node_id.to_int st.self in
+    List.filter_map
+      (fun i -> if i = self then None else Some (Proto.Node_id.of_int i))
+      (List.init P.population Fun.id)
+
+  let init (ctx : Proto.Ctx.t) =
+    ( {
+        self = ctx.self;
+        known = Int_set.empty;
+        round = 0;
+        last_exchange = [];
+        rtt_est = [];
+        push_sent = [];
+        last_target = None;
+      },
+      [ Proto.Action.set_timer ~id:"round" ~after:P.round_period ] )
+
+  let touch st peer now =
+    {
+      st with
+      last_exchange =
+        (peer, now)
+        :: List.filter (fun (p, _) -> not (Proto.Node_id.equal p peer)) st.last_exchange;
+    }
+
+  let merge st rumors = { st with known = Int_set.union st.known (Int_set.of_list rumors) }
+
+  (* Push-backs double as RTT probes for the inline estimator. *)
+  let note_rtt st peer now =
+    match List.assoc_opt peer st.push_sent with
+    | None -> st
+    | Some sent ->
+        let sample = now -. sent in
+        let est =
+          match List.assoc_opt peer st.rtt_est with
+          | None -> sample
+          | Some old -> ((1. -. rtt_alpha) *. old) +. (rtt_alpha *. sample)
+        in
+        {
+          st with
+          rtt_est =
+            (peer, est)
+            :: List.filter (fun (p, _) -> not (Proto.Node_id.equal p peer)) st.rtt_est;
+          push_sent =
+            List.filter (fun (p, _) -> not (Proto.Node_id.equal p peer)) st.push_sent;
+        }
+
+  let h_push =
+    Proto.Handler.v ~name:"push"
+      ~guard:(fun _ ~src:_ m -> match m with C.Push _ -> true | C.Push_back _ -> false)
+      (fun ctx st ~src m ->
+        match m with
+        | C.Push { rumors; _ } ->
+            let now = Dsim.Vtime.to_seconds ctx.now in
+            let st = touch (merge st rumors) src now in
+            let missing = Int_set.elements (Int_set.diff st.known (Int_set.of_list rumors)) in
+            let reply =
+              if missing = [] then []
+              else [ Proto.Action.send ~dst:src (C.Push_back { rumors = missing }) ]
+            in
+            (st, reply)
+        | C.Push_back _ -> (st, []))
+
+  let h_push_back =
+    Proto.Handler.v ~name:"push_back"
+      ~guard:(fun _ ~src:_ m -> match m with C.Push_back _ -> true | C.Push _ -> false)
+      (fun ctx st ~src m ->
+        match m with
+        | C.Push_back { rumors } ->
+            let now = Dsim.Vtime.to_seconds ctx.now in
+            (note_rtt (touch (merge st rumors) src now) src now, [])
+        | C.Push _ -> (st, []))
+
+  let receive = [ h_push; h_push_back ]
+
+  (* The monolithic round handler: estimator lookups, freshness aging,
+     weighted sampling, exploration escapes and last-partner avoidance
+     all interleaved — the code shape §3.1 wants gone. *)
+  let on_timer (ctx : Proto.Ctx.t) st id =
+    match id with
+    | "round" ->
+        let st = { st with round = st.round + 1 } in
+        let rearm = Proto.Action.set_timer ~id:"round" ~after:P.round_period in
+        if Int_set.is_empty st.known then (st, [ rearm ])
+        else begin
+          let now = Dsim.Vtime.to_seconds ctx.now in
+          let candidates = peers st in
+          let target =
+            if st.round mod explore_every = 0 then begin
+              (* Forced exploration so the estimator keeps learning. *)
+              let arr = Array.of_list candidates in
+              arr.(Dsim.Rng.int ctx.rng (Array.length arr))
+            end
+            else begin
+              let score peer =
+                let rtt =
+                  match List.assoc_opt peer st.rtt_est with
+                  | Some r -> Float.max 0.001 r
+                  | None -> default_rtt
+                in
+                let age =
+                  match List.assoc_opt peer st.last_exchange with
+                  | Some t -> Float.min 30. (now -. t)
+                  | None -> 30.
+                in
+                let base = (proximity_weight /. rtt) +. (freshness_weight *. age) in
+                if st.last_target = Some peer then base *. 0.25 else base
+              in
+              let weighted = List.map (fun p -> (p, score p)) candidates in
+              let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
+              if total <= 0. then
+                let arr = Array.of_list candidates in
+                arr.(Dsim.Rng.int ctx.rng (Array.length arr))
+              else begin
+                let roll = Dsim.Rng.float ctx.rng total in
+                let rec pick acc = function
+                  | [] -> List.hd candidates
+                  | (p, w) :: rest -> if acc +. w >= roll then p else pick (acc +. w) rest
+                in
+                pick 0. weighted
+              end
+            end
+          in
+          let st =
+            {
+              st with
+              last_target = Some target;
+              push_sent =
+                (target, now)
+                :: List.filter
+                     (fun (p, _) -> not (Proto.Node_id.equal p target))
+                     st.push_sent;
+            }
+          in
+          ( st,
+            [
+              Proto.Action.send ~dst:target
+                (C.Push { rumors = Int_set.elements st.known; round = st.round });
+              rearm;
+            ] )
+        end
+    | _ -> (st, [])
+
+  let objectives : (state, msg) Proto.View.t Core.Objective.t list =
+    [
+      Core.Objective.v ~name:"coverage" (fun view ->
+          Proto.View.fold
+            (fun acc _ st -> acc +. float_of_int (Int_set.cardinal st.known))
+            0. view);
+    ]
+
+  let properties : (state, msg) Proto.View.t Core.Property.t list =
+    [
+      Core.Property.liveness ~name:"uniform-knowledge" (fun view ->
+          let union, inter =
+            Proto.View.fold
+              (fun (u, i) _ st ->
+                ( Int_set.union u st.known,
+                  match i with None -> Some st.known | Some i -> Some (Int_set.inter i st.known)
+                ))
+              (Int_set.empty, None) view
+          in
+          match inter with None -> true | Some i -> Int_set.equal union i);
+    ]
+
+  let generic_msgs st : (Proto.Node_id.t * msg) list =
+    if Int_set.is_empty st.known then []
+    else [ (Proto.Node_id.of_int 96, C.Push { rumors = [ 1_000_000 ]; round = st.round }) ]
+end
+
+module Default = Make (Default_params)

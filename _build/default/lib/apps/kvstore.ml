@@ -1,0 +1,409 @@
+(** A primary-backup replicated key-value store whose {e read-replica
+    selection} is the exposed choice (paper §3.2: "weaker consistency
+    guarantees ... are often best expressed in terms of performance").
+
+    Writes flow through the primary (node 0), which sequences them and
+    broadcasts applies; replicas apply in order. Reads may be served by
+    {e any} replica — the primary is always fresh but possibly far; a
+    nearby replica is fast but possibly behind. The exposed choice
+    {!read_label} carries exactly the features that tension needs
+    (proximity, the freshest sequence number each replica was last seen
+    at, the reader's own session floor), and the safety property
+    [monotonic-reads] says what must never happen: a session observing
+    the log run backwards. Hard-coded policies (always-primary,
+    always-nearest) sit at the two ends of the tradeoff; resolvers can
+    live anywhere on it. *)
+
+module Int_map = Map.Make (Int)
+
+type msg =
+  | Write of { key : int; origin : Proto.Node_id.t }
+  | Write_done of { seq : int; born : float }
+  | Apply of { seq : int; key : int; value : int }
+  | Read_req of { key : int; origin : Proto.Node_id.t; born : float }
+  | Read_reply of { key : int; value : int; applied_seq : int; born : float }
+
+let msg_kind = function
+  | Write _ -> "write"
+  | Write_done _ -> "write_done"
+  | Apply _ -> "apply"
+  | Read_req _ -> "read_req"
+  | Read_reply _ -> "read_reply"
+
+let msg_bytes = function
+  | Write _ -> 96
+  | Write_done _ -> 48
+  | Apply _ -> 128
+  | Read_req _ -> 64
+  | Read_reply _ -> 128
+
+let pp_msg ppf = function
+  | Write { key; _ } -> Format.fprintf ppf "write(k%d)" key
+  | Write_done { seq; _ } -> Format.fprintf ppf "write_done(s%d)" seq
+  | Apply { seq; key; _ } -> Format.fprintf ppf "apply(s%d k%d)" seq key
+  | Read_req { key; _ } -> Format.fprintf ppf "read(k%d)" key
+  | Read_reply { key; applied_seq; _ } -> Format.fprintf ppf "reply(k%d s%d)" key applied_seq
+
+let read_label = "read.replica"
+
+module type PARAMS = sig
+  val population : int
+  val keys : int
+
+  val write_period : float
+  (** per-client write interval; 0. disables *)
+
+  val read_period : float
+  (** per-client read interval; 0. disables *)
+end
+
+module Default_params = struct
+  let population = 5
+  let keys = 16
+  let write_period = 0.4
+  let read_period = 0.3
+end
+
+module Make (P : PARAMS) : sig
+  include Proto.App_intf.APP with type msg = msg
+
+  val applied_seq : state -> int
+  val read_latencies : state -> float list
+  val write_latencies : state -> float list
+  val monotonic_violations : state -> int
+  val reads_done : state -> int
+  val staleness_sum : state -> int
+end = struct
+  type nonrec msg = msg
+
+  type state = {
+    self : Proto.Node_id.t;
+    store : int Int_map.t;  (* key -> last writer sequence *)
+    applied_seq : int;
+    buffer : (int * int) Int_map.t;  (* out-of-order applies: seq -> (key, value) *)
+    head_seq : int;  (* primary only *)
+    write_origins : (int * (Proto.Node_id.t * float)) list;  (* seq -> origin, born *)
+    read_floor : int;  (* freshest applied_seq any read reply showed us *)
+    write_floor : int;  (* freshest of our own acked writes *)
+    staleness_sum : int;  (* total seqs-behind-freshest across reads *)
+    known_seq : (Proto.Node_id.t * int) list;  (* last applied_seq seen per replica *)
+    read_lat : float list;
+    write_lat : float list;
+    mono_violations : int;
+    reads : int;
+  }
+
+  let name = "kvstore"
+
+  let equal_state (a : state) b =
+    Proto.Node_id.equal a.self b.self
+    && Int_map.equal Int.equal a.store b.store
+    && a.applied_seq = b.applied_seq
+    && Int_map.equal ( = ) a.buffer b.buffer
+    && a.head_seq = b.head_seq
+    && a.write_origins = b.write_origins
+    && a.read_floor = b.read_floor
+    && a.write_floor = b.write_floor
+    && a.staleness_sum = b.staleness_sum
+    && a.known_seq = b.known_seq
+    && a.read_lat = b.read_lat
+    && a.write_lat = b.write_lat
+    && a.mono_violations = b.mono_violations
+    && a.reads = b.reads
+
+  let msg_kind = msg_kind
+  let msg_bytes = msg_bytes
+  let pp_msg = pp_msg
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{applied=%d reads=%d viol=%d}" st.applied_seq st.reads st.mono_violations
+
+  let applied_seq st = st.applied_seq
+  let read_latencies st = st.read_lat
+  let write_latencies st = st.write_lat
+  let monotonic_violations st = st.mono_violations
+  let reads_done st = st.reads
+  let staleness_sum st = st.staleness_sum
+
+  let primary_id = Proto.Node_id.of_int 0
+  let is_primary st = Proto.Node_id.equal st.self primary_id
+
+  let replicas =
+    List.init P.population Proto.Node_id.of_int
+
+  let init (ctx : Proto.Ctx.t) =
+    let timers =
+      (if P.write_period > 0. then
+         [ Proto.Action.set_timer ~id:"write" ~after:(P.write_period *. (0.5 +. Dsim.Rng.uniform ctx.rng)) ]
+       else [])
+      @
+      if P.read_period > 0. then
+        [ Proto.Action.set_timer ~id:"read" ~after:(P.read_period *. (0.5 +. Dsim.Rng.uniform ctx.rng)) ]
+      else []
+    in
+    ( {
+        self = ctx.self;
+        store = Int_map.empty;
+        applied_seq = 0;
+        buffer = Int_map.empty;
+        head_seq = 0;
+        write_origins = [];
+        read_floor = 0;
+        write_floor = 0;
+        staleness_sum = 0;
+        known_seq = [];
+        read_lat = [];
+        write_lat = [];
+        mono_violations = 0;
+        reads = 0;
+      },
+      timers )
+
+  (* Apply everything contiguous from the buffer. *)
+  let rec drain st =
+    match Int_map.find_opt (st.applied_seq + 1) st.buffer with
+    | None -> st
+    | Some (key, value) ->
+        drain
+          {
+            st with
+            applied_seq = st.applied_seq + 1;
+            buffer = Int_map.remove (st.applied_seq + 1) st.buffer;
+            store = Int_map.add key value st.store;
+          }
+
+  let h_write =
+    Proto.Handler.v ~name:"write"
+      ~guard:(fun st ~src:_ m -> (match m with Write _ -> true | _ -> false) && is_primary st)
+      (fun ctx st ~src:_ m ->
+        match m with
+        | Write { key; origin } ->
+            let seq = st.head_seq + 1 in
+            let born = Dsim.Vtime.to_seconds ctx.now in
+            let st = { st with head_seq = seq; write_origins = (seq, (origin, born)) :: st.write_origins } in
+            ( st,
+              List.map
+                (fun r -> Proto.Action.send ~dst:r (Apply { seq; key; value = seq }))
+                replicas )
+        | _ -> (st, []))
+
+  let h_apply =
+    Proto.Handler.v ~name:"apply"
+      ~guard:(fun _ ~src:_ m -> match m with Apply _ -> true | _ -> false)
+      (fun _ctx st ~src:_ m ->
+        match m with
+        | Apply { seq; key; value } ->
+            if seq <= st.applied_seq then (st, [])
+            else begin
+              let st = drain { st with buffer = Int_map.add seq (key, value) st.buffer } in
+              (* The primary acknowledges a write once it has applied
+                 it itself. *)
+              if is_primary st then begin
+                let done_, waiting =
+                  List.partition (fun (s, _) -> s <= st.applied_seq) st.write_origins
+                in
+                let acks =
+                  List.map
+                    (fun (s, (origin, born)) ->
+                      Proto.Action.send ~dst:origin (Write_done { seq = s; born }))
+                    done_
+                in
+                ({ st with write_origins = waiting }, acks)
+              end
+              else (st, [])
+            end
+        | _ -> (st, []))
+
+  let h_write_done =
+    Proto.Handler.v ~name:"write_done"
+      ~guard:(fun _ ~src:_ m -> match m with Write_done _ -> true | _ -> false)
+      (fun ctx st ~src:_ m ->
+        match m with
+        | Write_done { seq; born } ->
+            let lat = Dsim.Vtime.to_seconds ctx.now -. born in
+            ( {
+                st with
+                write_lat = lat :: st.write_lat;
+                write_floor = max st.write_floor seq;
+              },
+              [] )
+        | _ -> (st, []))
+
+  let h_read_req =
+    Proto.Handler.v ~name:"read_req"
+      ~guard:(fun _ ~src:_ m -> match m with Read_req _ -> true | _ -> false)
+      (fun _ctx st ~src:_ m ->
+        match m with
+        | Read_req { key; origin; born } ->
+            let value = Option.value ~default:0 (Int_map.find_opt key st.store) in
+            ( st,
+              [
+                Proto.Action.send ~dst:origin
+                  (Read_reply { key; value; applied_seq = st.applied_seq; born });
+              ] )
+        | _ -> (st, []))
+
+  let h_read_reply =
+    Proto.Handler.v ~name:"read_reply"
+      ~guard:(fun _ ~src:_ m -> match m with Read_reply _ -> true | _ -> false)
+      (fun ctx st ~src m ->
+        match m with
+        | Read_reply { applied_seq; born; _ } ->
+            let lat = Dsim.Vtime.to_seconds ctx.now -. born in
+            (* Monotonic reads: within one session the log must never
+               appear to run backwards across successive reads. *)
+            let violation = applied_seq < st.read_floor in
+            (* Staleness: how far behind the freshest state this
+               session has evidence of (its own acked writes included)
+               the reply was. *)
+            let staleness = max 0 (max st.read_floor st.write_floor - applied_seq) in
+            ( {
+                st with
+                reads = st.reads + 1;
+                read_lat = lat :: st.read_lat;
+                mono_violations = (st.mono_violations + if violation then 1 else 0);
+                staleness_sum = st.staleness_sum + staleness;
+                read_floor = max st.read_floor applied_seq;
+                known_seq =
+                  (src, applied_seq)
+                  :: List.filter (fun (p, _) -> not (Proto.Node_id.equal p src)) st.known_seq;
+              },
+              [] )
+        | _ -> (st, []))
+
+  let receive = [ h_write; h_apply; h_write_done; h_read_req; h_read_reply ]
+
+  (* The exposed choice: which *other* replica serves this read? (The
+     local store is a cache, not a quorum member; sessions consult the
+     replica group.) *)
+  let choose_replica (ctx : Proto.Ctx.t) st =
+    let candidates =
+      List.filter (fun r -> not (Proto.Node_id.equal r st.self)) replicas
+    in
+    let alternative r =
+      let rid = Proto.Node_id.to_int r in
+      Core.Choice.alt
+        ~features:
+          [
+            ("replica_id", float_of_int rid);
+            ("is_primary", if rid = 0 then 1. else 0.);
+            ("rtt_ms", Proto.Ctx.predicted_ms ctx r);
+            ( "known_seq",
+              float_of_int (Option.value ~default:0 (List.assoc_opt r st.known_seq)) );
+            ("floor", float_of_int (max st.read_floor st.write_floor));
+          ]
+        ~describe:(Format.asprintf "%a" Proto.Node_id.pp r)
+        r
+    in
+    ctx.choose (Core.Choice.make ~label:read_label (List.map alternative candidates))
+
+  let on_timer (ctx : Proto.Ctx.t) st id =
+    match id with
+    | "write" ->
+        let key = Dsim.Rng.int ctx.rng P.keys in
+        ( st,
+          [
+            Proto.Action.send ~dst:primary_id (Write { key; origin = st.self });
+            Proto.Action.set_timer ~id:"write" ~after:P.write_period;
+          ] )
+    | "read" ->
+        let key = Dsim.Rng.int ctx.rng P.keys in
+        let born = Dsim.Vtime.to_seconds ctx.now in
+        let target = choose_replica ctx st in
+        let read_actions =
+          [ Proto.Action.send ~dst:target (Read_req { key; origin = st.self; born }) ]
+        in
+        (st, read_actions @ [ Proto.Action.set_timer ~id:"read" ~after:P.read_period ])
+    | _ -> (st, [])
+
+  let properties : (state, msg) Proto.View.t Core.Property.t list =
+    [
+      Core.Property.safety ~name:"monotonic-reads" (fun view ->
+          Proto.View.fold (fun ok _ st -> ok && st.mono_violations = 0) true view);
+      Core.Property.liveness ~name:"replicas-converge" (fun view ->
+          let head =
+            Proto.View.fold (fun h _ st -> max h st.head_seq) 0 view
+          in
+          Proto.View.fold (fun ok _ st -> ok && st.applied_seq = head) true view);
+    ]
+
+  (* Reads completed fast, no staleness regressions: the §3.2 "weaker
+     consistency expressed as performance" objective. *)
+  let objectives : (state, msg) Proto.View.t Core.Objective.t list =
+    [
+      Core.Objective.v ~name:"read-throughput" (fun view ->
+          Proto.View.fold (fun acc _ st -> acc +. float_of_int st.reads) 0. view);
+      Core.Objective.v ~name:"read-latency" ~weight:2.0 (fun view ->
+          Proto.View.fold
+            (fun acc _ st -> acc -. List.fold_left ( +. ) 0. st.read_lat)
+            0. view);
+      Core.Objective.v ~name:"session-integrity" ~weight:50.0 (fun view ->
+          Proto.View.fold
+            (fun acc _ st -> acc -. float_of_int st.mono_violations)
+            0. view);
+      Core.Objective.v ~name:"freshness" ~weight:0.5 (fun view ->
+          Proto.View.fold
+            (fun acc _ st -> acc -. float_of_int st.staleness_sum)
+            0. view);
+    ]
+
+  let generic_msgs st : (Proto.Node_id.t * msg) list =
+    if st.applied_seq = 0 then []
+    else
+      [
+        ( Proto.Node_id.of_int 92,
+          Read_reply { key = 0; value = 0; applied_seq = 0; born = 0. } );
+      ]
+end
+
+module Default = Make (Default_params)
+
+(** Always read from the primary: linearizable and slow. *)
+let primary_resolver =
+  Core.Resolver.make ~name:"primary" (fun _rng site ->
+      let best = ref 0 in
+      for i = 0 to site.Core.Choice.site_arity - 1 do
+        match Core.Choice.feature site ~alt:i "is_primary" with
+        | Some x when x > 0.5 -> best := i
+        | Some _ | None -> ()
+      done;
+      !best)
+
+(** Always read locally: instant and as stale as it gets. *)
+let nearest_resolver =
+  Core.Resolver.make ~name:"nearest" (fun _rng site ->
+      let rtt i =
+        Option.value ~default:infinity (Core.Choice.feature site ~alt:i "rtt_ms")
+      in
+      let best = ref 0 in
+      for i = 1 to site.Core.Choice.site_arity - 1 do
+        if rtt i < rtt !best then best := i
+      done;
+      !best)
+
+(** The session-aware compromise: cheapest replica not known to be
+    behind this session's floor; the primary as the safe fallback. *)
+let session_resolver =
+  Core.Resolver.make ~name:"session" (fun _rng site ->
+      let feature name i =
+        Option.value ~default:0. (Core.Choice.feature site ~alt:i name)
+      in
+      let floor = feature "floor" 0 in
+      let fresh_enough i =
+        feature "known_seq" i >= floor || feature "is_primary" i > 0.5
+      in
+      let best = ref None in
+      for i = 0 to site.Core.Choice.site_arity - 1 do
+        if fresh_enough i then
+          match !best with
+          | Some j when feature "rtt_ms" j <= feature "rtt_ms" i -> ()
+          | Some _ | None -> best := Some i
+      done;
+      match !best with
+      | Some i -> i
+      | None ->
+          let p = ref 0 in
+          for i = 0 to site.Core.Choice.site_arity - 1 do
+            if feature "is_primary" i > 0.5 then p := i
+          done;
+          !p)

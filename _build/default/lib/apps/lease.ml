@@ -1,0 +1,177 @@
+(** A small lease service with a realistic race — the steering
+    demonstrator (paper §2).
+
+    Node 0 grants an exclusive lease; clients request, hold, and
+    release it. The granter also expires leases on a timer so a crashed
+    client cannot wedge the service. The bug is the classic one: the
+    expiry timer is too eager relative to client hold times, so the
+    granter can hand the lease to a second client while the first still
+    holds it — but only under particular message timings. Consequence
+    prediction spots the imminent double-grant from a snapshot (a
+    pending [Lease] plus a current holder) and execution steering drops
+    the offending message; the client simply retries later, by which
+    time the lease is genuinely free. *)
+
+type msg =
+  | Request  (** client -> granter *)
+  | Lease  (** granter -> client: you hold it now *)
+  | Release  (** client -> granter *)
+  | Denied  (** granter -> client: busy, retry later *)
+
+let msg_kind = function
+  | Request -> "request"
+  | Lease -> "lease"
+  | Release -> "release"
+  | Denied -> "denied"
+
+let msg_bytes _ = 32
+
+let pp_msg ppf m = Format.fprintf ppf "%s" (msg_kind m)
+
+module type PARAMS = sig
+  val population : int
+  (** node 0 is the granter, 1..population-1 are clients *)
+
+  val want_period : float
+  (** how often an idle client asks *)
+
+  val hold_time : float
+  (** how long a client keeps the lease *)
+
+  val expiry : float
+  (** granter-side expiry; the bug is [expiry < hold_time + rtt] *)
+end
+
+module Default_params = struct
+  let population = 4
+  let want_period = 2.0
+  let hold_time = 1.5
+  let expiry = 1.0
+end
+
+module Make (P : PARAMS) : sig
+  include Proto.App_intf.APP with type msg = msg
+
+  val holding : state -> bool
+  val grants_made : state -> int
+end = struct
+  type nonrec msg = msg
+
+  type role =
+    | Granter of { holder : Proto.Node_id.t option; grants : int }
+    | Client of { holding : bool }
+
+  type state = { self : Proto.Node_id.t; role : role }
+
+  let name = "lease"
+  let equal_state (a : state) b = a = b
+  let msg_kind = msg_kind
+  let msg_bytes = msg_bytes
+  let pp_msg = pp_msg
+
+  let pp_state ppf st =
+    match st.role with
+    | Granter { holder; grants } ->
+        Format.fprintf ppf "{granter h=%a g=%d}"
+          (Format.pp_print_option Proto.Node_id.pp ~none:(fun ppf () -> Format.fprintf ppf "-"))
+          holder grants
+    | Client { holding } -> Format.fprintf ppf "{client h=%b}" holding
+
+  let holding st = match st.role with Client { holding } -> holding | Granter _ -> false
+  let grants_made st = match st.role with Granter { grants; _ } -> grants | Client _ -> 0
+
+  let granter_id = Proto.Node_id.of_int 0
+  let is_granter st = Proto.Node_id.equal st.self granter_id
+
+  let init (ctx : Proto.Ctx.t) =
+    if Proto.Node_id.equal ctx.self granter_id then
+      ({ self = ctx.self; role = Granter { holder = None; grants = 0 } }, [])
+    else
+      ( { self = ctx.self; role = Client { holding = false } },
+        [ Proto.Action.set_timer ~id:"want" ~after:P.want_period ] )
+
+  let h_request =
+    Proto.Handler.v ~name:"request"
+      ~guard:(fun st ~src:_ m -> m = Request && is_granter st)
+      (fun _ st ~src m ->
+        match (m, st.role) with
+        | Request, Granter { holder = None; grants } ->
+            ( { st with role = Granter { holder = Some src; grants = grants + 1 } },
+              [
+                Proto.Action.send ~dst:src Lease;
+                (* The buggy eagerness: the lease is reclaimed after
+                   P.expiry regardless of the client's hold time. *)
+                Proto.Action.set_timer ~id:"expire" ~after:P.expiry;
+              ] )
+        | Request, Granter { holder = Some _; _ } ->
+            (st, [ Proto.Action.send ~dst:src Denied ])
+        | _ -> (st, []))
+
+  let h_release =
+    Proto.Handler.v ~name:"release"
+      ~guard:(fun st ~src:_ m -> m = Release && is_granter st)
+      (fun _ st ~src m ->
+        match (m, st.role) with
+        | Release, Granter { holder = Some h; grants } when Proto.Node_id.equal h src ->
+            ( { st with role = Granter { holder = None; grants } },
+              [ Proto.Action.cancel_timer "expire" ] )
+        | _ -> (st, []))
+
+  let h_lease =
+    Proto.Handler.v ~name:"lease"
+      ~guard:(fun st ~src:_ m -> m = Lease && not (is_granter st))
+      (fun _ st ~src:_ m ->
+        match (m, st.role) with
+        | Lease, Client _ ->
+            ( { st with role = Client { holding = true } },
+              [ Proto.Action.set_timer ~id:"done" ~after:P.hold_time ] )
+        | _ -> (st, []))
+
+  let h_denied =
+    Proto.Handler.v ~name:"denied"
+      ~guard:(fun st ~src:_ m -> m = Denied && not (is_granter st))
+      (fun _ st ~src:_ _ -> (st, []))
+
+  let receive = [ h_request; h_release; h_lease; h_denied ]
+
+  let on_timer (ctx : Proto.Ctx.t) st id =
+    match (id, st.role) with
+    | "want", Client { holding = false } ->
+        (* Jitter requests a little so clients do not synchronise. *)
+        let delay = P.want_period *. (0.8 +. (0.4 *. Dsim.Rng.uniform ctx.rng)) in
+        (st, [ Proto.Action.send ~dst:granter_id Request; Proto.Action.set_timer ~id:"want" ~after:delay ])
+    | "want", Client { holding = true } ->
+        (st, [ Proto.Action.set_timer ~id:"want" ~after:P.want_period ])
+    | "done", Client { holding = true } ->
+        ( { st with role = Client { holding = false } },
+          [
+            Proto.Action.send ~dst:granter_id Release;
+            Proto.Action.set_timer ~id:"want" ~after:P.want_period;
+          ] )
+    | "expire", Granter { holder = Some _; grants } ->
+        (* The premature reclaim at the heart of the bug. *)
+        ({ st with role = Granter { holder = None; grants } }, [])
+    | ("want" | "done" | "expire"), _ -> (st, [])
+    | _, _ -> (st, [])
+
+  let properties : (state, msg) Proto.View.t Core.Property.t list =
+    [
+      Core.Property.safety ~name:"exclusive-lease" (fun view ->
+          Proto.View.fold (fun n _ st -> if holding st then n + 1 else n) 0 view <= 1);
+      Core.Property.liveness ~name:"lease-circulates" (fun view ->
+          Proto.View.fold (fun g _ st -> g + grants_made st) 0 view > 0);
+    ]
+
+  let objectives : (state, msg) Proto.View.t Core.Objective.t list =
+    [
+      Core.Objective.v ~name:"grants" (fun view ->
+          Proto.View.fold (fun acc _ st -> acc +. float_of_int (grants_made st)) 0. view);
+    ]
+
+  let generic_msgs st : (Proto.Node_id.t * msg) list =
+    match st.role with
+    | Client { holding = false } -> [ (granter_id, Lease) ]
+    | Client _ | Granter _ -> []
+end
+
+module Default = Make (Default_params)

@@ -1,0 +1,476 @@
+(** Multi-instance Paxos with an exposed proposer choice (paper §3.1,
+    "Consensus").
+
+    Every replica is acceptor, learner, and potential proposer. Each
+    command born at a replica must be assigned to a proposer — {e that}
+    assignment is the choice the paper discusses: classic deployments
+    hard-code a fixed leader; Mencius [OSDI'08] hard-codes round-robin;
+    here the protocol exposes it (label {!proposer_label}) and the
+    policy is a resolver: {!fixed_leader_resolver},
+    {!round_robin_resolver}, random, greedy-RTT, lookahead or bandit.
+
+    Instances are partitioned by proposer ([k * n + self]), so the
+    optimistic fast path (skip phase 1 on owned instances, as in
+    Multi-Paxos/Mencius) never conflicts; the full
+    prepare/promise/accept protocol still runs on retry after loss. *)
+
+type cmd = { origin : int; seq : int; born : float }
+
+let pp_cmd ppf c = Format.fprintf ppf "%d.%d" c.origin c.seq
+
+type msg =
+  | Submit of { cmd : cmd }  (** forward a client command to its proposer *)
+  | Prepare of { inst : int; bal : int }
+  | Promise of { inst : int; bal : int; accepted : (int * cmd) option }
+  | Accept_req of { inst : int; bal : int; cmd : cmd }
+  | Accepted of { inst : int; bal : int; cmd : cmd }
+  | Decided of { inst : int; cmd : cmd }
+
+let msg_kind = function
+  | Submit _ -> "submit"
+  | Prepare _ -> "prepare"
+  | Promise _ -> "promise"
+  | Accept_req _ -> "accept"
+  | Accepted _ -> "accepted"
+  | Decided _ -> "decided"
+
+let msg_bytes = function
+  | Submit _ -> 128
+  | Prepare _ -> 48
+  | Promise _ -> 96
+  | Accept_req _ -> 160
+  | Accepted _ -> 160
+  | Decided _ -> 144
+
+let pp_msg ppf = function
+  | Submit { cmd } -> Format.fprintf ppf "submit(%a)" pp_cmd cmd
+  | Prepare { inst; bal } -> Format.fprintf ppf "prepare(i%d b%d)" inst bal
+  | Promise { inst; bal; accepted } ->
+      Format.fprintf ppf "promise(i%d b%d%s)" inst bal
+        (match accepted with None -> "" | Some _ -> " acc")
+  | Accept_req { inst; bal; cmd } -> Format.fprintf ppf "accept(i%d b%d %a)" inst bal pp_cmd cmd
+  | Accepted { inst; bal; cmd } -> Format.fprintf ppf "accepted(i%d b%d %a)" inst bal pp_cmd cmd
+  | Decided { inst; cmd } -> Format.fprintf ppf "decided(i%d %a)" inst pp_cmd cmd
+
+let proposer_label = "paxos.proposer"
+
+module type PARAMS = sig
+  val population : int
+  val client_period : float
+  (** seconds between locally-born commands; 0. disables the local
+      client *)
+
+  val retry_timeout : float
+end
+
+module Default_params = struct
+  let population = 5
+  let client_period = 1.0
+  let retry_timeout = 2.0
+end
+
+module Int_map = Map.Make (Int)
+
+module Make (P : PARAMS) : sig
+  include Proto.App_intf.APP with type msg = msg
+
+  val decided : state -> cmd Int_map.t
+  val latencies : state -> float list
+  (** Commit latencies (seconds) of commands born at this replica,
+      newest first. *)
+
+  val born_count : state -> int
+end = struct
+  type nonrec msg = msg
+
+  type acceptor_slot = { promised : int; accepted : (int * cmd) option }
+
+  type proposal = {
+    p_cmd : cmd;
+    p_bal : int;
+    p_promises : (int * (int * cmd) option) list;  (* acceptor, their accepted *)
+    p_accepts : int list;
+    p_phase2 : bool;  (* true once accept_req is out *)
+    p_started : float;
+  }
+
+  type state = {
+    self : Proto.Node_id.t;
+    next_seq : int;  (* client sequence numbers *)
+    next_slot : int;  (* own instance counter: inst = slot * n + self *)
+    queue : cmd list;  (* commands awaiting an instance *)
+    acceptor : acceptor_slot Int_map.t;
+    proposals : proposal Int_map.t;
+    decided : cmd Int_map.t;
+    latencies : float list;
+    born : int;
+  }
+
+  let name = "paxos"
+  let equal_state (a : state) b = a = b
+  let msg_kind = msg_kind
+  let msg_bytes = msg_bytes
+  let pp_msg = pp_msg
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{q=%d props=%d dec=%d}" (List.length st.queue)
+      (Int_map.cardinal st.proposals) (Int_map.cardinal st.decided)
+
+  let decided st = st.decided
+  let latencies st = st.latencies
+  let born_count st = st.born
+
+  let n = P.population
+  let majority = (n / 2) + 1
+  let replicas = List.init n Proto.Node_id.of_int
+  let others st = List.filter (fun r -> not (Proto.Node_id.equal r st.self)) replicas
+  let bal_of ~round ~id = (round * n) + id + 1
+  let self_int st = Proto.Node_id.to_int st.self
+
+  let init (ctx : Proto.Ctx.t) =
+    (* Crash-recovery epoch: a reborn proposer must never reuse an
+       instance from its previous life, and without stable storage it
+       cannot remember which it used — so the starting slot is derived
+       from boot time, which only moves forward. *)
+    let epoch = 1 + int_of_float (Dsim.Vtime.to_seconds ctx.now *. 4.) in
+    let st =
+      {
+        self = ctx.self;
+        next_seq = 0;
+        next_slot = epoch;
+        queue = [];
+        acceptor = Int_map.empty;
+        proposals = Int_map.empty;
+        decided = Int_map.empty;
+        latencies = [];
+        born = 0;
+      }
+    in
+    let timers =
+      [ Proto.Action.set_timer ~id:"retry" ~after:P.retry_timeout ]
+      @
+      if P.client_period > 0. then
+        [ Proto.Action.set_timer ~id:"client" ~after:P.client_period ]
+      else []
+    in
+    (st, timers)
+
+  let slot st inst =
+    Option.value ~default:{ promised = 0; accepted = None } (Int_map.find_opt inst st.acceptor)
+
+  let broadcast st msg = List.map (fun r -> Proto.Action.send ~dst:r msg) (others st)
+
+  (* Start phase 2 for [cmd] on a fresh owned instance with the
+     optimistic round-0 ballot; owned instances never conflict, so this
+     normally decides in one round trip. *)
+  let propose_owned (ctx : Proto.Ctx.t) st cmd =
+    let inst = (st.next_slot * n) + self_int st in
+    let bal = bal_of ~round:0 ~id:(self_int st) in
+    let now = Dsim.Vtime.to_seconds ctx.now in
+    let prop =
+      { p_cmd = cmd; p_bal = bal; p_promises = []; p_accepts = [ self_int st ]; p_phase2 = true; p_started = now }
+    in
+    (* Accept our own proposal locally. *)
+    let acceptor = Int_map.add inst { promised = bal; accepted = Some (bal, cmd) } st.acceptor in
+    let st =
+      {
+        st with
+        next_slot = st.next_slot + 1;
+        proposals = Int_map.add inst prop st.proposals;
+        acceptor;
+      }
+    in
+    (st, broadcast st (Accept_req { inst; bal; cmd }))
+
+  let record_decision (ctx : Proto.Ctx.t) st inst cmd =
+    if Int_map.mem inst st.decided then st
+    else begin
+      let st = { st with decided = Int_map.add inst cmd st.decided } in
+      if cmd.origin = self_int st then
+        { st with latencies = (Dsim.Vtime.to_seconds ctx.now -. cmd.born) :: st.latencies }
+      else st
+    end
+
+  let h_submit =
+    Proto.Handler.v ~name:"submit"
+      ~guard:(fun _ ~src:_ m -> match m with Submit _ -> true | _ -> false)
+      (fun ctx st ~src:_ m ->
+        match m with
+        | Submit { cmd } -> propose_owned ctx st cmd
+        | _ -> (st, []))
+
+  let h_prepare =
+    Proto.Handler.v ~name:"prepare"
+      ~guard:(fun _ ~src:_ m -> match m with Prepare _ -> true | _ -> false)
+      (fun _ctx st ~src m ->
+        match m with
+        | Prepare { inst; bal } ->
+            let s = slot st inst in
+            if bal > s.promised then
+              ( { st with acceptor = Int_map.add inst { s with promised = bal } st.acceptor },
+                [ Proto.Action.send ~dst:src (Promise { inst; bal; accepted = s.accepted }) ] )
+            else (st, [])
+        | _ -> (st, []))
+
+  let h_promise =
+    Proto.Handler.v ~name:"promise"
+      ~guard:(fun _ ~src:_ m -> match m with Promise _ -> true | _ -> false)
+      (fun _ctx st ~src m ->
+        match m with
+        | Promise { inst; bal; accepted } -> (
+            match Int_map.find_opt inst st.proposals with
+            | Some prop when prop.p_bal = bal && not prop.p_phase2 ->
+                let sender = Proto.Node_id.to_int src in
+                if List.mem_assoc sender prop.p_promises then (st, [])
+                else begin
+                  let prop =
+                    { prop with p_promises = (sender, accepted) :: prop.p_promises }
+                  in
+                  (* Count our own implicit promise. *)
+                  if List.length prop.p_promises + 1 >= majority then begin
+                    (* Phase 1 done: adopt the highest accepted value if
+                       any acceptor reported one, else our command. *)
+                    let adopted =
+                      List.fold_left
+                        (fun best (_, acc) ->
+                          match (best, acc) with
+                          | None, x -> x
+                          | Some (b, _), Some (b', v') when b' > b -> Some (b', v')
+                          | Some _, _ -> best)
+                        None prop.p_promises
+                    in
+                    let value = match adopted with Some (_, v) -> v | None -> prop.p_cmd in
+                    let prop = { prop with p_phase2 = true; p_accepts = [ self_int st ] } in
+                    let acceptor =
+                      Int_map.add inst
+                        { promised = bal; accepted = Some (bal, value) }
+                        st.acceptor
+                    in
+                    ( { st with proposals = Int_map.add inst prop st.proposals; acceptor },
+                      broadcast st (Accept_req { inst; bal; cmd = value }) )
+                  end
+                  else ({ st with proposals = Int_map.add inst prop st.proposals }, [])
+                end
+            | Some _ | None -> (st, []))
+        | _ -> (st, []))
+
+  let h_accept_req =
+    Proto.Handler.v ~name:"accept_req"
+      ~guard:(fun _ ~src:_ m -> match m with Accept_req _ -> true | _ -> false)
+      (fun _ctx st ~src m ->
+        match m with
+        | Accept_req { inst; bal; cmd } ->
+            let s = slot st inst in
+            (* One ballot carries one value: re-accepting the same
+               ballot is idempotent, but a *different* value at an
+               already-accepted ballot (an amnesiac proposer reusing
+               its ballot) must be refused or agreement dies. *)
+            let value_consistent =
+              match s.accepted with
+              | Some (b, c) when b = bal -> c = cmd
+              | Some _ | None -> true
+            in
+            if bal >= s.promised && value_consistent then
+              ( {
+                  st with
+                  acceptor = Int_map.add inst { promised = bal; accepted = Some (bal, cmd) } st.acceptor;
+                },
+                [ Proto.Action.send ~dst:src (Accepted { inst; bal; cmd }) ] )
+            else (st, [])
+        | _ -> (st, []))
+
+  let h_accepted =
+    Proto.Handler.v ~name:"accepted"
+      ~guard:(fun _ ~src:_ m -> match m with Accepted _ -> true | _ -> false)
+      (fun ctx st ~src m ->
+        match m with
+        | Accepted { inst; bal; cmd } -> (
+            match Int_map.find_opt inst st.proposals with
+            | Some prop when prop.p_bal = bal && prop.p_phase2 ->
+                let sender = Proto.Node_id.to_int src in
+                if List.mem sender prop.p_accepts then (st, [])
+                else begin
+                  let prop = { prop with p_accepts = sender :: prop.p_accepts } in
+                  if List.length prop.p_accepts >= majority then begin
+                    let st = record_decision ctx st inst cmd in
+                    let st = { st with proposals = Int_map.remove inst st.proposals } in
+                    (st, broadcast st (Decided { inst; cmd }))
+                  end
+                  else ({ st with proposals = Int_map.add inst prop st.proposals }, [])
+                end
+            | Some _ | None -> (st, []))
+        | _ -> (st, []))
+
+  let h_decided =
+    Proto.Handler.v ~name:"decided"
+      ~guard:(fun _ ~src:_ m -> match m with Decided _ -> true | _ -> false)
+      (fun ctx st ~src:_ m ->
+        match m with
+        | Decided { inst; cmd } ->
+            ({ (record_decision ctx st inst cmd) with proposals = Int_map.remove inst st.proposals }, [])
+        | _ -> (st, []))
+
+  let receive = [ h_submit; h_prepare; h_promise; h_accept_req; h_accepted; h_decided ]
+
+  (* The exposed choice: which replica proposes this freshly-born
+     command? Self-delivery is free; remote proposers cost one
+     forwarding hop but may sit closer to the quorum or be less
+     loaded. *)
+  let assign_proposer (ctx : Proto.Ctx.t) st cmd =
+    let alternative replica =
+      let rid = Proto.Node_id.to_int replica in
+      Core.Choice.alt
+        ~features:
+          [
+            ("replica_id", float_of_int rid);
+            ("seq", float_of_int cmd.seq);
+            ("is_self", if rid = self_int st then 1. else 0.);
+            ( "rtt_ms",
+              if rid = self_int st then 0. else Proto.Ctx.predicted_ms ctx replica );
+          ]
+        ~describe:(Format.asprintf "%a" Proto.Node_id.pp replica)
+        replica
+    in
+    ctx.choose (Core.Choice.make ~label:proposer_label (List.map alternative replicas))
+
+  let on_timer (ctx : Proto.Ctx.t) st id =
+    match id with
+    | "client" ->
+        let now = Dsim.Vtime.to_seconds ctx.now in
+        let cmd = { origin = self_int st; seq = st.next_seq; born = now } in
+        let st = { st with next_seq = st.next_seq + 1; born = st.born + 1 } in
+        let proposer = assign_proposer ctx st cmd in
+        let rearm = Proto.Action.set_timer ~id:"client" ~after:P.client_period in
+        if Proto.Node_id.equal proposer st.self then
+          let st, actions = propose_owned ctx st cmd in
+          (st, actions @ [ rearm ])
+        else (st, [ Proto.Action.send ~dst:proposer (Submit { cmd }); rearm ])
+    | "retry" ->
+        (* Re-run full Paxos (phase 1, higher ballot) for stuck
+           proposals — lost messages or contention. *)
+        let now = Dsim.Vtime.to_seconds ctx.now in
+        let st, actions =
+          Int_map.fold
+            (fun inst prop (st, actions) ->
+              if now -. prop.p_started <= P.retry_timeout then (st, actions)
+              else begin
+                let round = (prop.p_bal / n) + 1 in
+                let bal = bal_of ~round ~id:(self_int st) in
+                let prop =
+                  { prop with p_bal = bal; p_promises = []; p_accepts = []; p_phase2 = false; p_started = now }
+                in
+                let s = slot st inst in
+                let acceptor =
+                  if bal > s.promised then
+                    Int_map.add inst { s with promised = bal } st.acceptor
+                  else st.acceptor
+                in
+                ( { st with proposals = Int_map.add inst prop st.proposals; acceptor },
+                  actions @ broadcast st (Prepare { inst; bal }) )
+              end)
+            st.proposals (st, [])
+        in
+        (st, actions @ [ Proto.Action.set_timer ~id:"retry" ~after:P.retry_timeout ])
+    | _ -> (st, [])
+
+  (* Agreement: no two replicas decide different commands for one
+     instance — the safety property Paxos exists to provide. *)
+  let agreement view =
+    let decisions = Hashtbl.create 64 in
+    Proto.View.fold
+      (fun ok _ st ->
+        Int_map.fold
+          (fun inst cmd ok ->
+            match Hashtbl.find_opt decisions inst with
+            | None ->
+                Hashtbl.replace decisions inst cmd;
+                ok
+            | Some cmd' -> ok && cmd = cmd')
+          st.decided ok)
+      true view
+
+  let properties =
+    [
+      Core.Property.safety ~name:"agreement" agreement;
+      Core.Property.liveness ~name:"all-committed" (fun view ->
+          Proto.View.fold
+            (fun ok _ st -> ok && List.length st.latencies = st.born)
+            true view);
+    ]
+
+  (* Objectives: commit as much as possible, as fast as possible. The
+     cumulative-latency term is what lets a lookahead (or a bandit
+     comparing reward deltas) tell two futures apart when both commit
+     the command within the horizon but one takes an extra WAN hop. *)
+  let objectives =
+    [
+      Core.Objective.v ~name:"commit-progress" (fun view ->
+          Proto.View.fold
+            (fun acc _ st ->
+              acc
+              +. float_of_int (Int_map.cardinal st.decided)
+              -. (0.25 *. float_of_int (List.length st.queue + Int_map.cardinal st.proposals)))
+            0. view);
+      Core.Objective.v ~name:"commit-latency" ~weight:2.0 (fun view ->
+          Proto.View.fold
+            (fun acc _ st -> acc -. List.fold_left ( +. ) 0. st.latencies)
+            0. view);
+    ]
+
+  let generic_msgs st =
+    if Int_map.is_empty st.decided then []
+    else
+      let ghost = 94 in
+      [
+        ( Proto.Node_id.of_int ghost,
+          Accept_req
+            {
+              inst = 0;
+              bal = bal_of ~round:9 ~id:(ghost mod n);
+              cmd = { origin = ghost; seq = 0; born = 0. };
+            } );
+      ]
+end
+
+module Default = Make (Default_params)
+
+(** Classic deployment: node 0 proposes everything. *)
+let fixed_leader_resolver ~leader =
+  Core.Resolver.make ~name:"fixed-leader" (fun _rng site ->
+      let best = ref 0 in
+      for i = 0 to site.Core.Choice.site_arity - 1 do
+        match Core.Choice.feature site ~alt:i "replica_id" with
+        | Some id when int_of_float id = leader -> best := i
+        | Some _ | None -> ()
+      done;
+      !best)
+
+(** Mencius-style rotation: command [seq] born at replica [r] goes to
+    replica [(r + seq) mod n] — every replica proposes in turn. *)
+let round_robin_resolver ~population =
+  Core.Resolver.make ~name:"round-robin" (fun _rng site ->
+      let seq =
+        match Core.Choice.feature site ~alt:0 "seq" with
+        | Some s -> int_of_float s
+        | None -> 0
+      in
+      let target = ((site.Core.Choice.site_node + seq) mod population + population) mod population in
+      let best = ref 0 in
+      for i = 0 to site.Core.Choice.site_arity - 1 do
+        match Core.Choice.feature site ~alt:i "replica_id" with
+        | Some id when int_of_float id = target -> best := i
+        | Some _ | None -> ()
+      done;
+      !best)
+
+(** Always propose locally — zero forwarding cost, the latency-greedy
+    policy an RTT-aware resolver converges to. *)
+let self_resolver =
+  Core.Resolver.make ~name:"self" (fun _rng site ->
+      let best = ref 0 in
+      for i = 0 to site.Core.Choice.site_arity - 1 do
+        match Core.Choice.feature site ~alt:i "is_self" with
+        | Some x when x > 0.5 -> best := i
+        | Some _ | None -> ()
+      done;
+      !best)

@@ -1,0 +1,375 @@
+(** RandTree, baseline variant: the random overlay tree as released.
+
+    All policy is hard-coded inside the handlers, entangled with the
+    machinery every deployed implementation grows: a hand-rolled RTT
+    estimator over its own heartbeats (the per-application "network
+    model" the paper's §3.3 wants hoisted into the runtime), join-retry
+    backoff, join-thrash protection, staleness strike-counters and
+    slow-parent self-healing. The choice-exposed rewrite
+    ({!Randtree_choice}) needs none of it — the runtime's shared model
+    and resolver replace it — which is exactly the LoC/complexity
+    contrast the paper's §4 measures (487 -> 280 LoC, 1.94 -> 0.28
+    if-else per handler in their Mace sources). *)
+
+module C = Randtree_common
+
+module type PARAMS = sig
+  val root : Proto.Node_id.t
+  val max_children : int
+end
+
+module Default_params = struct
+  let root = Proto.Node_id.of_int 0
+  let max_children = 2
+end
+
+(* Hard-coded tuning constants of the inline policy machinery. *)
+let rtt_alpha = 0.3
+let slow_parent_rtt = 1.5 (* seconds; above this, strike the parent *)
+let parent_strike_limit = 3
+let thrash_window = 10.0 (* seconds of join-forward memory *)
+let thrash_limit = 6 (* forwards of one origin before emergency adopt *)
+let backoff_cap = 3 (* retry delay doubles at most this many times *)
+
+module Make (P : PARAMS) : sig
+  include Proto.App_intf.APP with type msg = C.msg
+
+  val parent_of : state -> Proto.Node_id.t option
+  val depth_field : state -> int
+  val is_joined : state -> bool
+  val children_of : state -> Proto.Node_id.t list
+  val rtt_to_parent : state -> float option
+end = struct
+  type msg = C.msg
+
+  type state = {
+    self : Proto.Node_id.t;
+    parent : Proto.Node_id.t option;
+    parent_seen : float;
+    parent_rtt : float option;  (* hand-rolled EWMA over ping/ack pairs *)
+    parent_strikes : int;
+    ping_sent : float option;  (* when the outstanding parent ping left *)
+    depth : int;  (* 1 at the root, 0 while unjoined *)
+    children : (Proto.Node_id.t * float) list;  (* child, last heartbeat *)
+    joined : bool;
+    join_attempts : int;
+    last_forwarded : Proto.Node_id.t option;
+    stale_strikes : int;
+    recent_joins : (Proto.Node_id.t * int * float) list;  (* origin, forwards, last *)
+  }
+
+  let name = "randtree-baseline"
+  let equal_state (a : state) b = a = b
+  let msg_kind = C.msg_kind
+  let msg_bytes = C.msg_bytes
+  let pp_msg = C.pp_msg
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{p=%a d=%d c=[%a] j=%b}"
+      (Format.pp_print_option Proto.Node_id.pp ~none:(fun ppf () -> Format.fprintf ppf "-"))
+      st.parent st.depth
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Proto.Node_id.pp)
+      (List.map fst st.children)
+      st.joined
+
+  let parent_of st = st.parent
+  let depth_field st = st.depth
+  let is_joined st = st.joined
+  let children_of st = List.map fst st.children
+  let rtt_to_parent st = st.parent_rtt
+
+  let is_root st = Proto.Node_id.equal st.self P.root
+  let now_s (ctx : Proto.Ctx.t) = Dsim.Vtime.to_seconds ctx.now
+  let child_mem st id = List.mem_assoc id st.children
+
+  let base_timers =
+    [
+      Proto.Action.set_timer ~id:"ping" ~after:C.Timing.ping_period;
+      Proto.Action.set_timer ~id:"sweep" ~after:C.Timing.sweep_period;
+    ]
+
+  let fresh_state self now =
+    {
+      self;
+      parent = None;
+      parent_seen = now;
+      parent_rtt = None;
+      parent_strikes = 0;
+      ping_sent = None;
+      depth = (if Proto.Node_id.equal self P.root then 1 else 0);
+      children = [];
+      joined = Proto.Node_id.equal self P.root;
+      join_attempts = 0;
+      last_forwarded = None;
+      stale_strikes = 0;
+      recent_joins = [];
+    }
+
+  let init (ctx : Proto.Ctx.t) =
+    let st = fresh_state ctx.self (now_s ctx) in
+    if is_root st then (st, base_timers)
+    else
+      ( { st with join_attempts = 1 },
+        Proto.Action.send ~dst:P.root (C.Join { origin = ctx.self })
+        :: Proto.Action.set_timer ~id:"retry" ~after:C.Timing.join_retry
+        :: base_timers )
+
+  (* Inline bookkeeping of which origins we keep forwarding — thrash
+     detection needs it, and it must be pruned by hand. *)
+  let note_forward st origin now =
+    let kept =
+      List.filter (fun (_, _, at) -> now -. at <= thrash_window) st.recent_joins
+    in
+    match List.find_opt (fun (o, _, _) -> Proto.Node_id.equal o origin) kept with
+    | Some (_, n, _) ->
+        ( (origin, n + 1, now)
+          :: List.filter (fun (o, _, _) -> not (Proto.Node_id.equal o origin)) kept,
+          n + 1 )
+    | None -> ((origin, 1, now) :: kept, 1)
+
+  (* The monolithic join handler: membership dedup, capacity check,
+     thrash protection, staleness heuristics and random descent are all
+     interleaved — exactly the style §3.1 argues against. *)
+  let handle_join (ctx : Proto.Ctx.t) st ~src:_ origin =
+    if Proto.Node_id.equal origin st.self then (st, [])
+    else if not st.joined then
+      if is_root st then (st, [])
+      else
+        (* Not serving yet: bounce the request back to the root. *)
+        (st, [ Proto.Action.send ~dst:P.root (C.Join { origin }) ])
+    else if child_mem st origin then begin
+      (* Duplicate join (retransmit): refresh and re-accept. *)
+      let children =
+        List.map
+          (fun (c, seen) -> if Proto.Node_id.equal c origin then (c, now_s ctx) else (c, seen))
+          st.children
+      in
+      ( { st with children },
+        [ Proto.Action.send ~dst:origin (C.Join_reply { depth = st.depth + 1 }) ] )
+    end
+    else if List.length st.children < P.max_children then
+      (* Capacity available: accept immediately. *)
+      ( { st with children = (origin, now_s ctx) :: st.children },
+        [
+          Proto.Action.send ~dst:origin (C.Join_reply { depth = st.depth + 1 });
+          Proto.Action.note "accepted %d" (Proto.Node_id.to_int origin);
+        ] )
+    else begin
+      let now = now_s ctx in
+      let recent_joins, forwards = note_forward st origin now in
+      let st = { st with recent_joins } in
+      if forwards > thrash_limit then begin
+        (* Emergency adoption: this origin keeps coming back, so the
+           subtree below is probably not serving it. Evict the stalest
+           child and take the origin in its place. *)
+        let stalest, _ =
+          List.fold_left
+            (fun (best, seen) (c, s) -> if s < seen then (c, s) else (best, seen))
+            (List.hd st.children) (List.tl st.children)
+        in
+        let children =
+          (origin, now)
+          :: List.filter (fun (c, _) -> not (Proto.Node_id.equal c stalest)) st.children
+        in
+        ( { st with children },
+          [
+            Proto.Action.send ~dst:origin (C.Join_reply { depth = st.depth + 1 });
+            Proto.Action.note "thrash-adopted %d, evicted %d" (Proto.Node_id.to_int origin)
+              (Proto.Node_id.to_int stalest);
+          ] )
+      end
+      else begin
+        (* Full: forward down. Prefer children heard from recently; if
+           every child looks stale, fall back to all of them rather
+           than dropping the join on the floor. *)
+        let fresh, stale =
+          List.partition (fun (_, seen) -> now -. seen <= C.Timing.peer_timeout) st.children
+        in
+        let pool = if fresh <> [] then fresh else stale in
+        let pool = if pool = [] then st.children else pool in
+        let pick =
+          if List.length pool = 1 then fst (List.hd pool)
+          else begin
+            (* Uniform random descent — RandTree's namesake policy. *)
+            let arr = Array.of_list pool in
+            fst arr.(Dsim.Rng.int ctx.rng (Array.length arr))
+          end
+        in
+        let strikes = if fresh = [] then st.stale_strikes + 1 else 0 in
+        ( { st with last_forwarded = Some pick; stale_strikes = strikes },
+          [ Proto.Action.send ~dst:pick (C.Join { origin }) ] )
+      end
+    end
+
+  let handle_join_reply (ctx : Proto.Ctx.t) st ~src depth =
+    if st.joined && st.parent <> None then
+      (* Already attached elsewhere; ignore the late acceptance. *)
+      (st, [])
+    else
+      ( {
+          st with
+          parent = Some src;
+          parent_seen = now_s ctx;
+          parent_rtt = None;
+          parent_strikes = 0;
+          depth;
+          joined = true;
+          join_attempts = 0;
+        },
+        [ Proto.Action.cancel_timer "retry"; Proto.Action.note "joined at depth %d" depth ] )
+
+  let handle_ping (ctx : Proto.Ctx.t) st ~src =
+    if child_mem st src then begin
+      let children =
+        List.map
+          (fun (c, seen) -> if Proto.Node_id.equal c src then (c, now_s ctx) else (c, seen))
+          st.children
+      in
+      ({ st with children }, [ Proto.Action.send ~dst:src (C.Ping_ack { depth = st.depth }) ])
+    end
+    else if st.joined && List.length st.children < P.max_children then
+      (* Orphan heartbeat: the pinger believes we are its parent
+         (we probably restarted); quietly re-adopt it. *)
+      ( { st with children = (src, now_s ctx) :: st.children },
+        [ Proto.Action.send ~dst:src (C.Ping_ack { depth = st.depth }) ] )
+    else (st, [])
+
+  (* Ping acks double as RTT probes for the hand-rolled estimator; a
+     persistently slow parent is struck and eventually abandoned — the
+     kind of inline adaptation logic the runtime subsumes. *)
+  let handle_ping_ack (ctx : Proto.Ctx.t) st ~src depth =
+    match st.parent with
+    | Some p when Proto.Node_id.equal p src ->
+        let now = now_s ctx in
+        let st =
+          match st.ping_sent with
+          | None -> st
+          | Some sent ->
+              let sample = now -. sent in
+              let rtt =
+                match st.parent_rtt with
+                | None -> sample
+                | Some old -> ((1. -. rtt_alpha) *. old) +. (rtt_alpha *. sample)
+              in
+              let strikes =
+                if rtt > slow_parent_rtt then st.parent_strikes + 1 else 0
+              in
+              { st with parent_rtt = Some rtt; parent_strikes = strikes; ping_sent = None }
+        in
+        if st.parent_strikes > parent_strike_limit && not (is_root st) then
+          (* The parent answers but too slowly: detach and rejoin. *)
+          ( {
+              st with
+              parent = None;
+              parent_rtt = None;
+              parent_strikes = 0;
+              joined = false;
+              depth = 0;
+              join_attempts = 1;
+            },
+            [
+              Proto.Action.send ~dst:P.root (C.Join { origin = st.self });
+              Proto.Action.set_timer ~id:"retry" ~after:C.Timing.join_retry;
+              Proto.Action.note "abandoned slow parent %d" (Proto.Node_id.to_int src);
+            ] )
+        else ({ st with parent_seen = now; depth = depth + 1 }, [])
+    | Some _ | None -> (st, [])
+
+  let receive =
+    [
+      Proto.Handler.v ~name:"join"
+        ~guard:(fun _ ~src:_ msg -> match msg with C.Join _ -> true | _ -> false)
+        (fun ctx st ~src msg ->
+          match msg with
+          | C.Join { origin } -> handle_join ctx st ~src origin
+          | C.Join_reply _ | C.Ping | C.Ping_ack _ -> (st, []));
+      Proto.Handler.v ~name:"join_reply"
+        ~guard:(fun _ ~src:_ msg -> match msg with C.Join_reply _ -> true | _ -> false)
+        (fun ctx st ~src msg ->
+          match msg with
+          | C.Join_reply { depth } -> handle_join_reply ctx st ~src depth
+          | C.Join _ | C.Ping | C.Ping_ack _ -> (st, []));
+      Proto.Handler.v ~name:"ping"
+        ~guard:(fun _ ~src:_ msg -> match msg with C.Ping -> true | _ -> false)
+        (fun ctx st ~src msg ->
+          match msg with
+          | C.Ping -> handle_ping ctx st ~src
+          | C.Join _ | C.Join_reply _ | C.Ping_ack _ -> (st, []));
+      Proto.Handler.v ~name:"ping_ack"
+        ~guard:(fun _ ~src:_ msg -> match msg with C.Ping_ack _ -> true | _ -> false)
+        (fun ctx st ~src msg ->
+          match msg with
+          | C.Ping_ack { depth } -> handle_ping_ack ctx st ~src depth
+          | C.Join _ | C.Join_reply _ | C.Ping -> (st, []));
+    ]
+
+  let on_timer (ctx : Proto.Ctx.t) st id =
+    match id with
+    | "retry" ->
+        if st.joined then (st, [])
+        else begin
+          (* Exponential backoff, capped — yet more inline policy. *)
+          let attempts = st.join_attempts + 1 in
+          let exponent = min (max (attempts - 2) 0) backoff_cap in
+          let delay = C.Timing.join_retry *. float_of_int (1 lsl exponent) in
+          ( { st with join_attempts = attempts },
+            [
+              Proto.Action.send ~dst:P.root (C.Join { origin = st.self });
+              Proto.Action.set_timer ~id:"retry" ~after:delay;
+            ] )
+        end
+    | "ping" ->
+        let st, pings =
+          match st.parent with
+          | Some p ->
+              if st.ping_sent = None then
+                ({ st with ping_sent = Some (now_s ctx) }, [ Proto.Action.send ~dst:p C.Ping ])
+              else
+                (* Previous probe still outstanding; keep its timestamp
+                   so the RTT sample reflects the real wait. *)
+                (st, [ Proto.Action.send ~dst:p C.Ping ])
+          | None -> (st, [])
+        in
+        (st, pings @ [ Proto.Action.set_timer ~id:"ping" ~after:C.Timing.ping_period ])
+    | "sweep" ->
+        let now = now_s ctx in
+        let children, evicted =
+          List.partition (fun (_, seen) -> now -. seen <= C.Timing.peer_timeout) st.children
+        in
+        let st = { st with children } in
+        let st, actions =
+          match st.parent with
+          | Some _ when (not (is_root st)) && now -. st.parent_seen > C.Timing.peer_timeout ->
+              (* Parent is gone: detach and rejoin through the root. *)
+              ( {
+                  st with
+                  parent = None;
+                  parent_rtt = None;
+                  parent_strikes = 0;
+                  joined = false;
+                  depth = 0;
+                  join_attempts = 1;
+                },
+                [
+                  Proto.Action.send ~dst:P.root (C.Join { origin = st.self });
+                  Proto.Action.set_timer ~id:"retry" ~after:C.Timing.join_retry;
+                ] )
+          | Some _ | None -> (st, [])
+        in
+        let notes =
+          List.map (fun (c, _) -> Proto.Action.note "evicted %d" (Proto.Node_id.to_int c)) evicted
+        in
+        (st, notes @ actions @ [ Proto.Action.set_timer ~id:"sweep" ~after:C.Timing.sweep_period ])
+    | _ -> (st, [])
+
+  let objectives = C.objectives ~parent:parent_of ~joined:is_joined
+  let properties = C.properties ~parent:parent_of ~joined:is_joined
+
+  let generic_msgs st =
+    if st.joined then
+      let ghost = Proto.Node_id.of_int 97 in
+      [ (ghost, C.Join { origin = ghost }) ]
+    else []
+end
+
+module Default = Make (Default_params)

@@ -1,0 +1,1 @@
+lib/core/bandit.ml: Array Buffer Choice Dsim Float Hashtbl List Resolver String

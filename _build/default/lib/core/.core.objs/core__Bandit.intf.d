@@ -1,0 +1,1 @@
+lib/core/bandit.mli: Choice Dsim Resolver

@@ -1,0 +1,1 @@
+lib/core/choice.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/core/choice.mli: Format

@@ -1,0 +1,1 @@
+lib/core/resolver.ml: Choice Dsim Hashtbl List Option Printf String

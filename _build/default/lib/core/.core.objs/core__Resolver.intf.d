@@ -1,0 +1,1 @@
+lib/core/resolver.mli: Choice Dsim

@@ -1,0 +1,26 @@
+(** Safety and liveness properties (paper §3.2).
+
+    Safety properties must hold in every reachable view; the engine
+    checks them after each event and the explorer checks them in every
+    explored future. Liveness properties are approximated, as in
+    CrystalBall, by bounded-horizon reachability: the explorer reports
+    a liveness concern if no explored future reaches a view satisfying
+    the predicate. *)
+
+type kind = Safety | Liveness
+
+type 'view t = { name : string; kind : kind; holds : 'view -> bool }
+
+val safety : name:string -> ('view -> bool) -> 'view t
+val liveness : name:string -> ('view -> bool) -> 'view t
+
+val check : 'view t list -> 'view -> 'view t list
+(** Safety properties violated by the view (liveness ones are never
+    reported here — they need a horizon, see [Mc.Explorer]). *)
+
+val safety_holds : 'view t list -> 'view -> bool
+(** [true] iff every safety property holds. *)
+
+val map_view : ('b -> 'a) -> 'a t -> 'b t
+
+val kind_to_string : kind -> string

@@ -1,0 +1,1 @@
+lib/dsim/vtime.mli: Format

@@ -1,0 +1,101 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let entry_cmp t a b =
+  let c = t.cmp a.value b.value in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    (* Placeholder slots reuse an existing entry; they are never read
+       beyond [size]. *)
+    let dummy = t.data.(0) in
+    let ndata = Array.make ncap dummy in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp t t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_cmp t t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && entry_cmp t t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t value =
+  let e = { value; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.data = 0 then t.data <- Array.make 16 e;
+  grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0).value in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]
+
+let copy t = { t with data = Array.copy t.data }
+
+let drain t =
+  let rec loop acc =
+    match pop t with None -> List.rev acc | Some v -> loop (v :: acc)
+  in
+  loop []
+
+let to_list t =
+  let rec loop i acc =
+    if i < 0 then acc else loop (i - 1) (t.data.(i).value :: acc)
+  in
+  loop (t.size - 1) []
+
+let filter_in_place t keep =
+  let survivors =
+    List.filter (fun e -> keep e.value) (Array.to_list (Array.sub t.data 0 t.size))
+  in
+  let survivors = List.sort (fun a b -> Int.compare a.seq b.seq) survivors in
+  t.size <- 0;
+  t.data <- [||];
+  List.iter (fun e -> push t e.value) survivors

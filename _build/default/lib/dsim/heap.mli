@@ -1,0 +1,35 @@
+(** Imperative binary min-heap, used as the simulator's event queue.
+
+    Elements are ordered by a comparison supplied at creation time.
+    Ties are broken by insertion order (FIFO), which the simulator
+    relies on for deterministic processing of simultaneous events. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element, [None] if empty. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val copy : 'a t -> 'a t
+(** Independent copy; preserves ordering and FIFO tie-breaks. *)
+
+val drain : 'a t -> 'a list
+(** Pops everything, returning elements in ascending order. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order; the heap is unchanged. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keeps only the elements satisfying the predicate, preserving the
+    FIFO tie-break among survivors. *)

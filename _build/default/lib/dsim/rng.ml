@@ -1,0 +1,73 @@
+(* SplitMix64 (Steele, Lea, Flood; JDK SplittableRandom). Chosen for its
+   tiny state, good statistical quality, and a well-defined split
+   operation, which lets us hand independent streams to every node. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the low 62 bits to avoid modulo bias. *)
+  let mask = max_int in
+  let rec loop () =
+    let v = Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL) in
+    let r = v mod n in
+    if v - r > mask - n + 1 then loop () else r
+  in
+  loop ()
+
+let uniform t =
+  (* 53 random bits into [0,1). *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  v *. 0x1p-53
+
+let float t x = uniform t *. x
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1. -. uniform t in
+  -.mean *. log u
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_array: empty";
+  a.(int t (Array.length a))
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty"
+  | xs -> pick_array t (Array.of_list xs)
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample_without_replacement t k xs =
+  let shuffled = shuffle t xs in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take k shuffled

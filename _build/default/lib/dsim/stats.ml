@@ -1,0 +1,83 @@
+type t = {
+  mutable samples : float list; (* reversed insertion order *)
+  mutable n : int;
+  mutable total : float;
+  mutable total_sq : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () =
+  { samples = []; n = 0; total = 0.; total_sq = 0.; lo = infinity; hi = neg_infinity }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  t.total_sq <- t.total_sq +. (x *. x);
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+
+let variance t =
+  if t.n < 2 then 0.
+  else
+    let m = mean t in
+    Float.max 0. ((t.total_sq /. float_of_int t.n) -. (m *. m))
+
+let stddev t = sqrt (variance t)
+
+let min t = if t.n = 0 then invalid_arg "Stats.min: empty" else t.lo
+let max t = if t.n = 0 then invalid_arg "Stats.max: empty" else t.hi
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: out of range";
+  let sorted = List.sort Float.compare t.samples in
+  let a = Array.of_list sorted in
+  let rank = p /. 100. *. float_of_int (t.n - 1) in
+  let lo_idx = int_of_float (Float.floor rank) in
+  let hi_idx = Stdlib.min (t.n - 1) (lo_idx + 1) in
+  let frac = rank -. float_of_int lo_idx in
+  a.(lo_idx) +. (frac *. (a.(hi_idx) -. a.(lo_idx)))
+
+let median t = percentile t 50.
+let to_list t = List.rev t.samples
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) (to_list a);
+  List.iter (add t) (to_list b);
+  t
+
+let pp_summary ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" t.n (mean t)
+      (median t) (percentile t 99.) (max t)
+
+module Histogram = struct
+  type h = { lo : float; hi : float; width : float; counts : int array }
+
+  let create ~lo ~hi ~buckets =
+    if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+    { lo; hi; width = (hi -. lo) /. float_of_int buckets; counts = Array.make buckets 0 }
+
+  let add h x =
+    let n = Array.length h.counts in
+    let i = int_of_float ((x -. h.lo) /. h.width) in
+    let i = Stdlib.max 0 (Stdlib.min (n - 1) i) in
+    h.counts.(i) <- h.counts.(i) + 1
+
+  let counts h = Array.copy h.counts
+
+  let bucket_bounds h i =
+    let lo = h.lo +. (float_of_int i *. h.width) in
+    (lo, lo +. h.width)
+
+  let total h = Array.fold_left ( + ) 0 h.counts
+end

@@ -1,0 +1,62 @@
+(** Streaming summary statistics and simple histograms.
+
+    Used by the benchmark harness and the network model to summarise
+    latency samples, dissemination times, and so on. *)
+
+type t
+(** Mutable accumulator of float samples. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0 if no samples. *)
+
+val variance : t -> float
+(** Population variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** @raise Invalid_argument if empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument if empty. *)
+
+val sum : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]], linear interpolation.
+    @raise Invalid_argument if empty or [p] out of range. *)
+
+val median : t -> float
+
+val to_list : t -> float list
+(** Samples in insertion order. *)
+
+val merge : t -> t -> t
+(** Fresh accumulator containing both sample sets. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [n/mean/p50/p99/max] summary. *)
+
+(** Fixed-bucket histogram over a closed range. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  (** @raise Invalid_argument unless [lo < hi] and [buckets > 0]. *)
+
+  val add : h -> float -> unit
+  (** Out-of-range samples clamp to the first or last bucket. *)
+
+  val counts : h -> int array
+
+  val bucket_bounds : h -> int -> float * float
+  (** Closed-open bounds of bucket [i]. *)
+
+  val total : h -> int
+end

@@ -1,0 +1,42 @@
+type level = Debug | Info | Warn | Error
+
+type record = { time : Vtime.t; level : level; component : string; message : string }
+
+type t = { capacity : int; q : record Queue.t; mutable total : int }
+
+let create ?(capacity = 100_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; q = Queue.create (); total = 0 }
+
+let log t time level ~component message =
+  Queue.push { time; level; component; message } t.q;
+  t.total <- t.total + 1;
+  if Queue.length t.q > t.capacity then ignore (Queue.pop t.q)
+
+let logf t time level ~component fmt =
+  Format.kasprintf (fun message -> log t time level ~component message) fmt
+
+let records t = List.of_seq (Queue.to_seq t.q)
+let count t = t.total
+
+let contains_substring haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  if ln = 0 then true
+  else
+    let rec at i = if i + ln > lh then false else String.sub haystack i ln = needle || at (i + 1) in
+    at 0
+
+let find t ~component ~substring =
+  List.filter
+    (fun r -> String.equal r.component component && contains_substring r.message substring)
+    (records t)
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%a] %-5s %s: %s" Vtime.pp r.time (level_to_string r.level) r.component
+    r.message

@@ -1,0 +1,35 @@
+(** Bounded in-memory trace of simulation events.
+
+    Each record carries the virtual time at which it was produced, a
+    severity, a component tag (e.g. ["engine"], ["steering"]) and a
+    message. Traces are consulted by tests and printed by the CLI's
+    [--verbose] mode; the simulator itself never reads them back. *)
+
+type level = Debug | Info | Warn | Error
+
+type record = { time : Vtime.t; level : level; component : string; message : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of retained records (default 100_000);
+    the oldest records are discarded first. *)
+
+val log : t -> Vtime.t -> level -> component:string -> string -> unit
+
+val logf :
+  t -> Vtime.t -> level -> component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val records : t -> record list
+(** Retained records, oldest first. *)
+
+val count : t -> int
+(** Total records ever logged, including discarded ones. *)
+
+val find : t -> component:string -> substring:string -> record list
+(** Retained records from [component] whose message contains
+    [substring]. *)
+
+val level_to_string : level -> string
+
+val pp_record : Format.formatter -> record -> unit

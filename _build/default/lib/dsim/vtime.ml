@@ -1,0 +1,29 @@
+type t = float
+
+let zero = 0.
+
+let check_finite what x =
+  if not (Float.is_finite x) then invalid_arg (what ^ ": not finite")
+
+let of_seconds s =
+  check_finite "Vtime.of_seconds" s;
+  if s < 0. then invalid_arg "Vtime.of_seconds: negative";
+  s
+
+let of_ms ms = of_seconds (ms /. 1000.)
+let to_seconds t = t
+let to_ms t = t *. 1000.
+
+let add t dt =
+  check_finite "Vtime.add" dt;
+  if dt < 0. then invalid_arg "Vtime.add: negative delta";
+  t +. dt
+
+let diff later earlier = later -. earlier
+let compare = Float.compare
+let equal = Float.equal
+let ( <= ) a b = compare a b <= 0
+let ( < ) a b = compare a b < 0
+let min a b = if a <= b then a else b
+let max a b = if a <= b then b else a
+let pp ppf t = Format.fprintf ppf "%.3fs" t

@@ -1,0 +1,43 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is a non-negative number of simulated seconds, represented as a
+    float. All simulator components use this module rather than raw
+    floats so that units and comparisons stay consistent. *)
+
+type t
+
+val zero : t
+
+val of_seconds : float -> t
+(** [of_seconds s] is the instant [s] seconds after the origin.
+    @raise Invalid_argument if [s] is negative or not finite. *)
+
+val of_ms : float -> t
+(** [of_ms ms] is [of_seconds (ms /. 1000.)]. *)
+
+val to_seconds : t -> float
+
+val to_ms : t -> float
+
+val add : t -> float -> t
+(** [add t dt] is the instant [dt] seconds after [t]. [dt] must be
+    non-negative and finite. *)
+
+val diff : t -> t -> float
+(** [diff later earlier] is the elapsed seconds between the two
+    instants; negative if [later] precedes [earlier]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+
+val ( < ) : t -> t -> bool
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as seconds with millisecond precision, e.g. ["12.345s"]. *)

@@ -1,0 +1,1 @@
+lib/engine/faultplan.ml: Dsim Float Format List Net Proto

@@ -1,0 +1,1 @@
+lib/engine/faultplan.mli: Dsim Format Net Proto

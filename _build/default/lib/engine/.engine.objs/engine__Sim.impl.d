@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Array Core Dsim Float Hashtbl List Map Net Option Printf Proto String

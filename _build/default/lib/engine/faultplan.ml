@@ -1,0 +1,98 @@
+type event =
+  | Kill of int
+  | Restart of int
+  | Partition of int list * int list
+  | Heal_partition of int list * int list
+  | Degrade of { endpoint : int; latency_factor : float; bandwidth_factor : float }
+  | Restore of int
+
+type t = { schedule : (float * event) list }
+
+let plan events =
+  List.iter (fun (at, _) -> if at < 0. then invalid_arg "Faultplan.plan: negative time") events;
+  { schedule = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events }
+
+let events t = t.schedule
+let duration t = List.fold_left (fun acc (at, _) -> Float.max acc at) 0. t.schedule
+
+let pp_group ppf g =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    g
+
+let pp_event ppf = function
+  | Kill n -> Format.fprintf ppf "kill(%d)" n
+  | Restart n -> Format.fprintf ppf "restart(%d)" n
+  | Partition (a, b) -> Format.fprintf ppf "partition(%a | %a)" pp_group a pp_group b
+  | Heal_partition (a, b) -> Format.fprintf ppf "heal(%a | %a)" pp_group a pp_group b
+  | Degrade { endpoint; latency_factor; bandwidth_factor } ->
+      Format.fprintf ppf "degrade(%d, lat x%.1f, bw /%.1f)" endpoint latency_factor
+        (1. /. bandwidth_factor)
+  | Restore n -> Format.fprintf ppf "restore(%d)" n
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+    (fun ppf (at, e) -> Format.fprintf ppf "@[%.2fs: %a@]" at pp_event e)
+    ppf t.schedule
+
+module Run (E : sig
+  type t
+
+  val now : t -> Dsim.Vtime.t
+  val run_for : t -> float -> unit
+  val kill : t -> Proto.Node_id.t -> unit
+  val restart : t -> ?after:float -> Proto.Node_id.t -> unit
+  val netem : t -> Net.Netem.t
+end) =
+struct
+  let cross f a b =
+    List.iter (fun x -> List.iter (fun y -> if x <> y then f x y) b) a
+
+  let apply eng = function
+    | Kill n -> E.kill eng (Proto.Node_id.of_int n)
+    | Restart n -> E.restart eng (Proto.Node_id.of_int n)
+    | Partition (a, b) -> cross (fun x y -> Net.Netem.cut_bidirectional (E.netem eng) x y) a b
+    | Heal_partition (a, b) ->
+        cross
+          (fun x y ->
+            Net.Netem.heal (E.netem eng) ~src:x ~dst:y;
+            Net.Netem.heal (E.netem eng) ~src:y ~dst:x)
+          a b
+    | Degrade { endpoint; latency_factor; bandwidth_factor } ->
+        let nem = E.netem eng in
+        let n = Net.Topology.size (Net.Netem.topology nem) in
+        for other = 0 to n - 1 do
+          if other <> endpoint then begin
+            let slow (p : Net.Linkprop.t) =
+              Net.Linkprop.v
+                ~latency:(p.Net.Linkprop.latency *. latency_factor)
+                ~bandwidth:(Float.max 1. (p.Net.Linkprop.bandwidth *. bandwidth_factor))
+                ~loss:p.Net.Linkprop.loss
+            in
+            Net.Netem.set_override nem ~src:endpoint ~dst:other
+              (slow (Net.Netem.path nem ~src:endpoint ~dst:other));
+            Net.Netem.set_override nem ~src:other ~dst:endpoint
+              (slow (Net.Netem.path nem ~src:other ~dst:endpoint))
+          end
+        done
+    | Restore endpoint ->
+        let nem = E.netem eng in
+        let n = Net.Topology.size (Net.Netem.topology nem) in
+        for other = 0 to n - 1 do
+          if other <> endpoint then begin
+            Net.Netem.clear_override nem ~src:endpoint ~dst:other;
+            Net.Netem.clear_override nem ~src:other ~dst:endpoint
+          end
+        done
+
+  let execute ?(and_then = 0.) eng t =
+    let start = E.now eng in
+    List.iter
+      (fun (at, event) ->
+        let elapsed = Dsim.Vtime.diff (E.now eng) start in
+        if at > elapsed then E.run_for eng (at -. elapsed);
+        apply eng event)
+      t.schedule;
+    if and_then > 0. then E.run_for eng and_then
+end

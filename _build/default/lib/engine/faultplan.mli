@@ -1,0 +1,53 @@
+(** Declarative fault schedules.
+
+    Experiments and tests describe {e what} goes wrong and {e when} —
+    crashes, reboots, partitions, link degradations — as data; the plan
+    is then executed against any engine while it runs. This keeps
+    failure scenarios reproducible, printable, and reusable across
+    protocols ("robustness to various deployment settings" needs the
+    settings to be first-class). *)
+
+type event =
+  | Kill of int  (** crash the node with this id *)
+  | Restart of int
+  | Partition of int list * int list
+      (** cut every link between the two groups, both directions *)
+  | Heal_partition of int list * int list
+  | Degrade of { endpoint : int; latency_factor : float; bandwidth_factor : float }
+      (** multiply every path touching [endpoint] *)
+  | Restore of int  (** undo {!Degrade} on the endpoint *)
+
+type t
+(** A finite schedule of timed fault events. *)
+
+val plan : (float * event) list -> t
+(** [plan events] with times in virtual seconds relative to execution
+    start; events fire in time order regardless of list order.
+    @raise Invalid_argument on a negative time. *)
+
+val events : t -> (float * event) list
+(** The schedule, sorted by time. *)
+
+val duration : t -> float
+(** Time of the last event; 0 for an empty plan. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Executors are engine-specific because engines are app-specific;
+    [Run] builds one from the five primitives every engine offers. *)
+module Run (E : sig
+  type t
+
+  val now : t -> Dsim.Vtime.t
+  val run_for : t -> float -> unit
+  val kill : t -> Proto.Node_id.t -> unit
+  val restart : t -> ?after:float -> Proto.Node_id.t -> unit
+  val netem : t -> Net.Netem.t
+end) : sig
+  val execute : ?and_then:float -> E.t -> t -> unit
+  (** Runs the engine through the whole plan, firing each event at its
+      offset, then keeps running for [and_then] extra seconds (default
+      0). Degradations are applied as link overrides relative to the
+      topology's current effective paths. *)
+end

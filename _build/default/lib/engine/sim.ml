@@ -1,0 +1,572 @@
+module Make (App : Proto.App_intf.APP) = struct
+  module Smap = Map.Make (String)
+
+  type node = { state : App.state; alive : bool; timer_gens : int Smap.t }
+
+  type ev =
+    | Boot of Proto.Node_id.t
+    | Deliver of { src : Proto.Node_id.t; dst : Proto.Node_id.t; msg : App.msg; sent_at : Dsim.Vtime.t }
+    | Timer_fire of { node : Proto.Node_id.t; id : string; gen : int }
+
+  type scheduled = { at : Dsim.Vtime.t; ev : ev }
+
+  type stats = {
+    events_processed : int;
+    messages_delivered : int;
+    messages_dropped : int;
+    messages_filtered : int;
+    decisions : int;
+    lookahead_forks : int;
+  }
+
+  type lookahead = {
+    horizon : float;
+    max_events : int;
+    violation_penalty : float;
+    max_candidates : int;
+    scope :
+      (Proto.Node_id.t -> (App.state, App.msg) Proto.View.t -> (App.state, App.msg) Proto.View.t)
+      option;
+        (* restricts what a speculative branch's objective evaluation
+           may see, keyed by the deciding node — [None] = global
+           knowledge; a neighbourhood restriction reproduces the
+           paper's partial-information regime *)
+  }
+
+  let default_lookahead =
+    { horizon = 2.0; max_events = 400; violation_penalty = 1000.; max_candidates = 8; scope = None }
+
+  (* Hybrid fast path (paper §3.4): a bandit cache answers sites whose
+     context has absorbed enough training; cache misses run the full
+     lookahead, whose per-alternative scores train the cache. *)
+  type cache = { bandit : Core.Bandit.t; min_pulls : int; mutable hits : int; mutable misses : int }
+
+  type mode =
+    | Plain of Core.Resolver.t
+    | Predictive of lookahead * Core.Resolver.t * cache option  (* config, fallback *)
+    | Replay of (int * int) list * Core.Resolver.t  (* (occurrence, index) forcings *)
+
+  type filter = { f_name : string; drop : kind:string -> src:Proto.Node_id.t -> dst:Proto.Node_id.t -> bool }
+
+  type pending_reward = {
+    pr_site : Core.Choice.site;
+    pr_chosen : int;
+    pr_at : Dsim.Vtime.t;
+    pr_score : float;
+    pr_resolver : Core.Resolver.t;
+  }
+
+  type t = {
+    mutable now : Dsim.Vtime.t;
+    queue : scheduled Dsim.Heap.t;
+    mutable nodes : node Proto.Node_id.Map.t;
+    rng : Dsim.Rng.t;
+    netem : Net.Netem.t;
+    netmodel : Net.Netmodel.t;
+    trace : Dsim.Trace.t;
+    check_properties : bool;
+    mutable mode : mode;
+    mutable speculative : bool;
+    mutable violations : (Dsim.Vtime.t * string) list;
+    mutable violated_now : string list;  (* properties currently violated *)
+    mutable filters : filter list;
+    mutable decision_log : (Dsim.Vtime.t * Core.Choice.site * int) list;
+    mutable event_decisions : (int * int) list;  (* within the event being processed *)
+    mutable event_occurrence : int;
+    mutable processing : scheduled option;
+    mutable spawned : Proto.Node_id.Set.t;
+    mutable reward_window : float option;
+    mutable pending_rewards : pending_reward list;
+    kind_counts : (string, int) Hashtbl.t;
+    mutable message_log : (Dsim.Vtime.t * Proto.Node_id.t * Proto.Node_id.t * string) list option;
+        (* newest first when enabled; [None] = disabled (the default) *)
+    mutable n_events : int;
+    mutable n_delivered : int;
+    mutable n_dropped : int;
+    mutable n_filtered : int;
+    mutable n_decisions : int;
+    mutable n_forks : int;
+  }
+
+  let create ?(seed = 1) ?(jitter = 0.05) ?(check_properties = true) ?(trace_capacity = 100_000)
+      ~topology () =
+    let rng = Dsim.Rng.create seed in
+    let netem_rng = Dsim.Rng.split rng in
+    {
+      now = Dsim.Vtime.zero;
+      queue = Dsim.Heap.create ~cmp:(fun a b -> Dsim.Vtime.compare a.at b.at);
+      nodes = Proto.Node_id.Map.empty;
+      rng;
+      netem = Net.Netem.create ~jitter ~rng:netem_rng topology;
+      netmodel = Net.Netmodel.create ();
+      trace = Dsim.Trace.create ~capacity:trace_capacity ();
+      check_properties;
+      mode = Plain Core.Resolver.first;
+      speculative = false;
+      violations = [];
+      violated_now = [];
+      filters = [];
+      decision_log = [];
+      event_decisions = [];
+      event_occurrence = 0;
+      processing = None;
+      spawned = Proto.Node_id.Set.empty;
+      reward_window = None;
+      pending_rewards = [];
+      kind_counts = Hashtbl.create 16;
+      message_log = None;
+      n_events = 0;
+      n_delivered = 0;
+      n_dropped = 0;
+      n_filtered = 0;
+      n_decisions = 0;
+      n_forks = 0;
+    }
+
+  let now t = t.now
+  let trace t = t.trace
+  let netem t = t.netem
+  let netmodel t = t.netmodel
+  let violations t = List.rev t.violations
+  let decision_sites t = t.decision_log
+
+  let stats t =
+    {
+      events_processed = t.n_events;
+      messages_delivered = t.n_delivered;
+      messages_dropped = t.n_dropped;
+      messages_filtered = t.n_filtered;
+      decisions = t.n_decisions;
+      lookahead_forks = t.n_forks;
+    }
+
+  let set_resolver t r = t.mode <- Plain r
+
+  let set_lookahead t ?(fallback = Core.Resolver.random) ?cache (cfg : lookahead) =
+    if cfg.horizon <= 0. then invalid_arg "Sim.set_lookahead: horizon must be positive";
+    if cfg.max_events <= 0 then invalid_arg "Sim.set_lookahead: max_events must be positive";
+    if cfg.max_candidates <= 0 then invalid_arg "Sim.set_lookahead: max_candidates must be positive";
+    let cache =
+      Option.map
+        (fun (bandit, min_pulls) ->
+          if min_pulls <= 0 then invalid_arg "Sim.set_lookahead: min_pulls must be positive";
+          { bandit; min_pulls; hits = 0; misses = 0 })
+        cache
+    in
+    t.mode <- Predictive (cfg, fallback, cache)
+
+  let resolver_name t =
+    match t.mode with
+    | Plain r -> r.Core.Resolver.name
+    | Predictive (_, fb, None) -> "lookahead/" ^ fb.Core.Resolver.name
+    | Predictive (_, fb, Some _) -> "lookahead+cache/" ^ fb.Core.Resolver.name
+    | Replay (_, fb) -> "replay/" ^ fb.Core.Resolver.name
+
+  let cache_stats t =
+    match t.mode with
+    | Predictive (_, _, Some c) -> Some (c.hits, c.misses)
+    | Predictive (_, _, None) | Plain _ | Replay _ -> None
+
+  let enable_reward_feedback t ~window =
+    if window <= 0. then invalid_arg "Sim.enable_reward_feedback: window must be positive";
+    t.reward_window <- Some window
+
+  let alive t id =
+    match Proto.Node_id.Map.find_opt id t.nodes with Some n -> n.alive | None -> false
+
+  let state_of t id =
+    match Proto.Node_id.Map.find_opt id t.nodes with
+    | Some n when n.alive -> Some n.state
+    | Some _ | None -> None
+
+  let live_nodes t =
+    Proto.Node_id.Map.fold (fun id n acc -> if n.alive then (id, n.state) :: acc else acc) t.nodes []
+    |> List.rev
+
+  let inflight t =
+    List.filter_map
+      (fun s -> match s.ev with Deliver { src; dst; msg; _ } -> Some (src, dst, msg) | Boot _ | Timer_fire _ -> None)
+      (Dsim.Heap.to_list t.queue)
+
+  let global_view t : (App.state, App.msg) Proto.View.t =
+    { time = t.now; nodes = live_nodes t; inflight = inflight t }
+
+  let objective_score t = Core.Objective.total App.objectives (global_view t)
+
+  let delivered_of_kind t kind = Option.value ~default:0 (Hashtbl.find_opt t.kind_counts kind)
+
+  let enable_message_log t = if t.message_log = None then t.message_log <- Some []
+
+  let message_log t = List.rev (Option.value ~default:[] t.message_log)
+
+  let fork_with t fallback =
+    {
+      t with
+      queue = Dsim.Heap.copy t.queue;
+      kind_counts = Hashtbl.copy t.kind_counts;
+      rng = Dsim.Rng.copy t.rng;
+      netem = Net.Netem.copy t.netem;
+      netmodel = Net.Netmodel.copy t.netmodel;
+      trace = Dsim.Trace.create ~capacity:16 ();
+      message_log = None;
+      mode = Plain fallback;
+      speculative = true;
+      reward_window = None;
+      pending_rewards = [];
+    }
+
+  let fork t =
+    let fallback = match t.mode with Predictive (_, fb, _) | Replay (_, fb) -> fb | Plain _ -> Core.Resolver.random in
+    fork_with t fallback
+
+  (* ---------- scheduling ---------- *)
+
+  let schedule t ~after ev =
+    if after < 0. then invalid_arg "Sim.schedule: negative delay";
+    Dsim.Heap.push t.queue { at = Dsim.Vtime.add t.now after; ev }
+
+  let check_endpoint t id =
+    let e = Proto.Node_id.to_int id in
+    if e >= Net.Topology.size (Net.Netem.topology t.netem) then
+      invalid_arg "Sim: node id exceeds topology size"
+
+  let spawn t ?(after = 0.) id =
+    check_endpoint t id;
+    if Proto.Node_id.Set.mem id t.spawned || Proto.Node_id.Map.mem id t.nodes then
+      invalid_arg "Sim.spawn: node already exists";
+    t.spawned <- Proto.Node_id.Set.add id t.spawned;
+    schedule t ~after (Boot id)
+
+  let kill t id =
+    match Proto.Node_id.Map.find_opt id t.nodes with
+    | None -> ()
+    | Some n ->
+        t.nodes <- Proto.Node_id.Map.add id { n with alive = false } t.nodes;
+        Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a killed"
+          Proto.Node_id.pp id
+
+  let restart t ?(after = 0.) id =
+    (match Proto.Node_id.Map.find_opt id t.nodes with
+    | Some n when n.alive -> invalid_arg "Sim.restart: node is alive"
+    | Some _ | None -> ());
+    check_endpoint t id;
+    schedule t ~after (Boot id)
+
+  let route t ~src ~dst msg =
+    let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+    match
+      Net.Netem.judge t.netem ~now:(Dsim.Vtime.to_seconds t.now) ~src:se ~dst:de
+        ~bytes:(App.msg_bytes msg)
+    with
+    | Net.Netem.Drop cause ->
+        t.n_dropped <- t.n_dropped + 1;
+        Net.Netmodel.observe_loss t.netmodel ~src:se ~dst:de t.now ~delivered:false;
+        Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"net" "drop(%s) %a->%a %a"
+          cause Proto.Node_id.pp src Proto.Node_id.pp dst App.pp_msg msg
+    | Net.Netem.Deliver delay ->
+        Dsim.Heap.push t.queue
+          { at = Dsim.Vtime.add t.now delay; ev = Deliver { src; dst; msg; sent_at = t.now } }
+
+  let inject t ?(after = 0.) ~src ~dst msg =
+    check_endpoint t src;
+    check_endpoint t dst;
+    if after = 0. then route t ~src ~dst msg
+    else schedule t ~after (Deliver { src; dst; msg; sent_at = t.now })
+
+  let add_filter t ~name drop = t.filters <- { f_name = name; drop } :: t.filters
+  let clear_filters t = t.filters <- []
+
+  (* ---------- choice resolution ---------- *)
+
+  (* Lookahead: for each candidate, fork the simulation, replay the
+     in-flight event with that branch forced (and all earlier choices of
+     the same event pinned to what was actually decided), run the fork
+     [horizon] seconds, and score the resulting view. *)
+  let rec predict_branch t (cfg : lookahead) fallback ~node sched ~forced =
+    let f = fork_with t fallback in
+    f.mode <- Replay (forced, fallback);
+    t.n_forks <- t.n_forks + 1;
+    let before_violations = List.length f.violations in
+    process_scheduled f sched;
+    f.mode <- Plain fallback;
+    run_budgeted f ~until:(Dsim.Vtime.add t.now cfg.horizon) ~budget:cfg.max_events;
+    let fresh_violations = List.length f.violations - before_violations in
+    let view =
+      match cfg.scope with None -> global_view f | Some scope -> scope node (global_view f)
+    in
+    Core.Objective.total App.objectives view
+    -. (cfg.violation_penalty *. float_of_int fresh_violations)
+
+  and resolve_index : type a. t -> Proto.Node_id.t -> a Core.Choice.t -> int =
+   fun t node choice ->
+    let occurrence = t.event_occurrence in
+    t.event_occurrence <- occurrence + 1;
+    let site = Core.Choice.site ~node:(Proto.Node_id.to_int node) ~occurrence choice in
+    let arity = site.Core.Choice.site_arity in
+    let index =
+      match t.mode with
+      | Plain r -> r.Core.Resolver.choose t.rng site
+      | Replay (forced, fb) -> (
+          match List.assoc_opt occurrence forced with
+          | Some i -> min i (arity - 1)
+          | None -> fb.Core.Resolver.choose t.rng site)
+      | Predictive (cfg, fb, cache) -> (
+          match t.processing with
+          | None -> fb.Core.Resolver.choose t.rng site
+          | Some sched ->
+              if arity = 1 then 0
+              else begin
+                let cached =
+                  match cache with
+                  | Some c
+                    when Core.Bandit.context_pulls c.bandit site >= c.min_pulls * arity ->
+                      c.hits <- c.hits + 1;
+                      Some (Core.Bandit.select c.bandit t.rng site)
+                  | Some c ->
+                      c.misses <- c.misses + 1;
+                      None
+                  | None -> None
+                in
+                match cached with
+                | Some i -> i
+                | None ->
+                    let n = min arity cfg.max_candidates in
+                    let prior = t.event_decisions in
+                    let scores =
+                      Array.init n (fun i ->
+                          predict_branch t cfg fb ~node sched
+                            ~forced:(prior @ [ (occurrence, i) ]))
+                    in
+                    let best_score = Array.fold_left Float.max neg_infinity scores in
+                    (* Train the cache with normalised predicted scores so
+                       a later hit reproduces the lookahead's ranking. *)
+                    (match cache with
+                    | Some c ->
+                        let worst = Array.fold_left Float.min infinity scores in
+                        let span = Float.max 1e-9 (best_score -. worst) in
+                        Array.iteri
+                          (fun i s ->
+                            Core.Bandit.update c.bandit site ~arm:i
+                              ~reward:((s -. worst) /. span))
+                          scores
+                    | None -> ());
+                    (* Ties are broken randomly: deterministic index-0 bias
+                       would make every node steer the same way and
+                       unbalance the system. *)
+                    let eps = 1e-9 *. (1. +. Float.abs best_score) in
+                    let tied = ref [] in
+                    for i = n - 1 downto 0 do
+                      if scores.(i) >= best_score -. eps then tied := i :: !tied
+                    done;
+                    Dsim.Rng.pick t.rng !tied
+              end)
+    in
+    let index =
+      if index < 0 || index >= arity then
+        invalid_arg
+          (Printf.sprintf "Sim: resolver answered %d for arity %d at %s" index arity
+             site.Core.Choice.site_label)
+      else index
+    in
+    t.event_decisions <- t.event_decisions @ [ (occurrence, index) ];
+    t.n_decisions <- t.n_decisions + 1;
+    if not t.speculative then begin
+      t.decision_log <- (t.now, site, index) :: t.decision_log;
+      match (t.reward_window, t.mode) with
+      | Some _, Plain r ->
+          t.pending_rewards <-
+            { pr_site = site; pr_chosen = index; pr_at = t.now; pr_score = objective_score t; pr_resolver = r }
+            :: t.pending_rewards
+      | _ -> ()
+    end;
+    index
+
+  and make_ctx t node : Proto.Ctx.t =
+    {
+      self = node;
+      now = t.now;
+      rng = t.rng;
+      net = t.netmodel;
+      choose =
+        (fun choice ->
+          let i = resolve_index t node choice in
+          Core.Choice.nth choice i);
+    }
+
+  (* ---------- actions ---------- *)
+
+  and perform_action t node actions =
+    List.iter
+      (fun action ->
+        match action with
+        | Proto.Action.Send { dst; msg } -> route t ~src:node ~dst msg
+        | Proto.Action.Set_timer { id; after } ->
+            let n = Proto.Node_id.Map.find node t.nodes in
+            let gen = 1 + Option.value ~default:0 (Smap.find_opt id n.timer_gens) in
+            t.nodes <-
+              Proto.Node_id.Map.add node { n with timer_gens = Smap.add id gen n.timer_gens } t.nodes;
+            schedule t ~after (Timer_fire { node; id; gen })
+        | Proto.Action.Cancel_timer id ->
+            let n = Proto.Node_id.Map.find node t.nodes in
+            let gen = 1 + Option.value ~default:0 (Smap.find_opt id n.timer_gens) in
+            t.nodes <-
+              Proto.Node_id.Map.add node { n with timer_gens = Smap.add id gen n.timer_gens } t.nodes
+        | Proto.Action.Note s ->
+            Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:App.name "%a: %s"
+              Proto.Node_id.pp node s)
+      actions
+
+  and apply_handler_result t node (state, actions) =
+    (match Proto.Node_id.Map.find_opt node t.nodes with
+    | Some n -> t.nodes <- Proto.Node_id.Map.add node { n with state } t.nodes
+    | None -> ());
+    perform_action t node actions
+
+  (* ---------- event processing ---------- *)
+
+  and process_scheduled t sched =
+    t.now <- Dsim.Vtime.max t.now sched.at;
+    t.n_events <- t.n_events + 1;
+    t.event_occurrence <- 0;
+    let saved_decisions = t.event_decisions in
+    t.event_decisions <- [];
+    let saved_processing = t.processing in
+    t.processing <- Some sched;
+    (match sched.ev with
+    | Boot id ->
+        let ctx = make_ctx t id in
+        let state, actions = App.init ctx in
+        (* Bump every inherited timer generation so timers armed by a
+           previous incarnation of this node can no longer fire, while
+           generations the new incarnation hands out stay distinct from
+           the old ones. *)
+        let timer_gens =
+          match Proto.Node_id.Map.find_opt id t.nodes with
+          | Some prev -> Smap.map (fun g -> g + 1) prev.timer_gens
+          | None -> Smap.empty
+        in
+        t.nodes <- Proto.Node_id.Map.add id { state; alive = true; timer_gens } t.nodes;
+        perform_action t id actions;
+        Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a booted"
+          Proto.Node_id.pp id
+    | Deliver { src; dst; msg; sent_at } -> (
+        match Proto.Node_id.Map.find_opt dst t.nodes with
+        | Some n when n.alive ->
+            let kind = App.msg_kind msg in
+            if List.exists (fun f -> f.drop ~kind ~src ~dst) t.filters then begin
+              t.n_filtered <- t.n_filtered + 1;
+              Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"steering"
+                "filtered %s %a->%a" kind Proto.Node_id.pp src Proto.Node_id.pp dst
+            end
+            else begin
+              let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+              let latency = Dsim.Vtime.diff t.now sent_at in
+              Net.Netmodel.observe_latency t.netmodel ~src:se ~dst:de t.now latency;
+              Net.Netmodel.observe_loss t.netmodel ~src:se ~dst:de t.now ~delivered:true;
+              if latency > 0. then
+                Net.Netmodel.observe_bandwidth t.netmodel ~src:se ~dst:de t.now
+                  (float_of_int (App.msg_bytes msg) /. latency);
+              t.n_delivered <- t.n_delivered + 1;
+              Hashtbl.replace t.kind_counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt t.kind_counts kind));
+              (match t.message_log with
+              | Some log -> t.message_log <- Some ((t.now, src, dst, kind) :: log)
+              | None -> ());
+              let applicable = Proto.Handler.applicable App.receive n.state ~src msg in
+              match applicable with
+              | [] ->
+                  Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:App.name
+                    "%a: no handler for %a" Proto.Node_id.pp dst App.pp_msg msg
+              | [ h ] ->
+                  let ctx = make_ctx t dst in
+                  apply_handler_result t dst (h.handle ctx n.state ~src msg)
+              | several ->
+                  (* NFA ambiguity: which handler runs is itself a choice. *)
+                  let ctx = make_ctx t dst in
+                  let choice =
+                    Core.Choice.make ~label:("handler:" ^ kind)
+                      (List.map
+                         (fun (h : _ Proto.Handler.t) -> Core.Choice.alt ~describe:h.name h)
+                         several)
+                  in
+                  let h = ctx.choose choice in
+                  apply_handler_result t dst (h.handle ctx n.state ~src msg)
+            end
+        | Some _ | None ->
+            t.n_dropped <- t.n_dropped + 1;
+            Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"engine"
+              "%a dead, dropping %a" Proto.Node_id.pp dst App.pp_msg msg)
+    | Timer_fire { node; id; gen } -> (
+        match Proto.Node_id.Map.find_opt node t.nodes with
+        | Some n when n.alive && Smap.find_opt id n.timer_gens = Some gen ->
+            let ctx = make_ctx t node in
+            apply_handler_result t node (App.on_timer ctx n.state id)
+        | Some _ | None -> ()));
+    t.processing <- saved_processing;
+    t.event_decisions <- saved_decisions;
+    if t.check_properties then begin
+      let view = global_view t in
+      let now_violated =
+        List.map (fun (p : _ Core.Property.t) -> p.name) (Core.Property.check App.properties view)
+      in
+      (* Edge-detect: one recorded violation per incident, not one per
+         event while the bad state persists. *)
+      List.iter
+        (fun name ->
+          if not (List.mem name t.violated_now) then begin
+            t.violations <- (t.now, name) :: t.violations;
+            Dsim.Trace.logf t.trace t.now Dsim.Trace.Error ~component:"property" "violated: %s"
+              name
+          end)
+        now_violated;
+      t.violated_now <- now_violated
+    end;
+    if not t.speculative then settle_rewards t
+
+  and settle_rewards t =
+    match t.reward_window with
+    | None -> ()
+    | Some window ->
+        let due, waiting =
+          List.partition (fun pr -> Dsim.Vtime.diff t.now pr.pr_at >= window) t.pending_rewards
+        in
+        t.pending_rewards <- waiting;
+        (match due with
+        | [] -> ()
+        | _ :: _ ->
+            let score_now = objective_score t in
+            List.iter
+              (fun pr ->
+                pr.pr_resolver.Core.Resolver.feedback ~site:pr.pr_site ~chosen:pr.pr_chosen
+                  ~reward:(score_now -. pr.pr_score))
+              due)
+
+  and run_budgeted t ~until ~budget =
+    let remaining = ref budget in
+    let continue = ref true in
+    while !continue && !remaining > 0 do
+      match Dsim.Heap.peek t.queue with
+      | Some sched when Dsim.Vtime.(sched.at <= until) ->
+          ignore (Dsim.Heap.pop t.queue);
+          process_scheduled t sched;
+          decr remaining
+      | Some _ | None -> continue := false
+    done;
+    if Dsim.Vtime.(t.now < until) then t.now <- until
+
+  let step t =
+    match Dsim.Heap.pop t.queue with
+    | None -> false
+    | Some sched ->
+        process_scheduled t sched;
+        true
+
+  let run_until t until = run_budgeted t ~until ~budget:max_int
+  let run_for t dt = run_until t (Dsim.Vtime.add t.now dt)
+
+  let run_until_quiescent ?(max_events = 1_000_000) t =
+    let remaining = ref max_events in
+    let continue = ref true in
+    while !continue && !remaining > 0 do
+      if not (step t) then continue := false else decr remaining
+    done
+end

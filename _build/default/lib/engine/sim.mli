@@ -1,0 +1,159 @@
+(** The simulation engine: runs an {!Proto.App_intf.APP} over the
+    discrete-event substrate and the network emulator.
+
+    One engine instance is one deployment. Nodes are spawned, killed
+    and restarted explicitly; virtual time advances only through
+    {!run_until} / {!run_for} / {!step}. All randomness derives from
+    the creation seed, so runs are bit-reproducible.
+
+    The engine owns choice resolution: handlers call
+    [ctx.choose] and the installed policy answers. Three families are
+    built in — plain resolvers ({!set_resolver}), the fork-based
+    predictive lookahead of the paper ({!set_lookahead}), and scripted
+    replay used internally by the lookahead itself. *)
+
+module Make (App : Proto.App_intf.APP) : sig
+  type t
+
+  (** Aggregate counters since creation. *)
+  type stats = {
+    events_processed : int;
+    messages_delivered : int;
+    messages_dropped : int;
+    messages_filtered : int;  (** dropped by steering event filters *)
+    decisions : int;  (** choice points resolved *)
+    lookahead_forks : int;  (** speculative branches simulated *)
+  }
+
+  (** Configuration of the predictive lookahead (paper §3.4): for each
+      alternative the engine forks the simulation, forces that branch,
+      runs the fork [horizon] virtual seconds (at most [max_events]
+      events), and scores the resulting view with the application's
+      objectives; safety violations subtract [violation_penalty].
+      [scope] (default [None] = global knowledge) restricts the view the
+      objectives see, keyed by the deciding node — supplying a
+      neighbourhood restriction reproduces the partial-information
+      regime the paper's runtime actually operates in. *)
+  type lookahead = {
+    horizon : float;
+    max_events : int;
+    violation_penalty : float;
+    max_candidates : int;  (** alternatives beyond this many are not explored *)
+    scope :
+      (Proto.Node_id.t -> (App.state, App.msg) Proto.View.t -> (App.state, App.msg) Proto.View.t)
+      option;
+  }
+
+  val default_lookahead : lookahead
+  (** [{horizon = 2.0; max_events = 400; violation_penalty = 1000.;
+      max_candidates = 8; scope = None}] *)
+
+  val create :
+    ?seed:int ->
+    ?jitter:float ->
+    ?check_properties:bool ->
+    ?trace_capacity:int ->
+    topology:Net.Topology.t ->
+    unit ->
+    t
+  (** [jitter] is forwarded to {!Net.Netem.create}; [check_properties]
+      (default true) evaluates the app's safety properties after every
+      event. *)
+
+  (** {1 Choice policy} *)
+
+  val set_resolver : t -> Core.Resolver.t -> unit
+  (** Installs a plain resolver (e.g. {!Core.Resolver.random}). *)
+
+  val set_lookahead :
+    t -> ?fallback:Core.Resolver.t -> ?cache:Core.Bandit.t * int -> lookahead -> unit
+  (** Installs predictive resolution; [fallback] (default
+      {!Core.Resolver.random}) answers nested choices inside
+      speculative branches and is also used when a branch cannot be
+      explored. [cache = (bandit, min_pulls)] enables the hybrid fast
+      path of paper §3.4: once a site's context has absorbed
+      [min_pulls * arity] training updates, the bandit answers
+      directly (microseconds) instead of forking; cache misses run the
+      full lookahead and train the bandit with its normalised
+      per-alternative scores. *)
+
+  val resolver_name : t -> string
+
+  val cache_stats : t -> (int * int) option
+  (** [(hits, misses)] of the hybrid cache, when one is installed. *)
+
+  val enable_reward_feedback : t -> window:float -> unit
+  (** After [window] virtual seconds, each decision is scored by the
+      change in total objective since it was taken and reported to the
+      resolver's [feedback] — this trains bandit resolvers online. *)
+
+  (** {1 Deployment control} *)
+
+  val spawn : t -> ?after:float -> Proto.Node_id.t -> unit
+  (** Schedules the node's boot ([after] seconds from now, default 0).
+      @raise Invalid_argument if the id exceeds the topology size or
+      the node already exists. *)
+
+  val kill : t -> Proto.Node_id.t -> unit
+  (** Immediate crash: pending timers die, queued messages to the node
+      will be dropped on arrival. Unknown ids are ignored. *)
+
+  val restart : t -> ?after:float -> Proto.Node_id.t -> unit
+  (** Reboots a dead node with a fresh [App.init] state. *)
+
+  val inject : t -> ?after:float -> src:Proto.Node_id.t -> dst:Proto.Node_id.t -> App.msg -> unit
+  (** Feeds an external message into the system through the emulator —
+      used by workload generators. *)
+
+  (** {1 Execution} *)
+
+  val now : t -> Dsim.Vtime.t
+  val step : t -> bool
+  (** Processes one event; [false] if the queue was empty. *)
+
+  val run_until : t -> Dsim.Vtime.t -> unit
+  val run_for : t -> float -> unit
+  val run_until_quiescent : ?max_events:int -> t -> unit
+
+  (** {1 Observation} *)
+
+  val alive : t -> Proto.Node_id.t -> bool
+  val state_of : t -> Proto.Node_id.t -> App.state option
+  val live_nodes : t -> (Proto.Node_id.t * App.state) list
+  val global_view : t -> (App.state, App.msg) Proto.View.t
+  val objective_score : t -> float
+  val violations : t -> (Dsim.Vtime.t * string) list
+  val stats : t -> stats
+
+  (** [delivered_of_kind t kind] is how many messages of one
+      [App.msg_kind] have been delivered so far. *)
+  val delivered_of_kind : t -> string -> int
+
+  val enable_message_log : t -> unit
+  (** Starts recording every delivery as (time, src, dst, kind) — feed
+      the result to {!Metrics.Seqdiag.render} for a sequence diagram.
+      Off by default (it retains one entry per delivery); forks never
+      log. *)
+
+  (** Recorded deliveries, oldest first; empty when logging is off. *)
+  val message_log : t -> (Dsim.Vtime.t * Proto.Node_id.t * Proto.Node_id.t * string) list
+  val trace : t -> Dsim.Trace.t
+  val netem : t -> Net.Netem.t
+  val netmodel : t -> Net.Netmodel.t
+  val decision_sites : t -> (Dsim.Vtime.t * Core.Choice.site * int) list
+  (** Every resolved choice: when, where, which index — newest first. *)
+
+  (** {1 Steering and speculation} *)
+
+  val add_filter : t -> name:string -> (kind:string -> src:Proto.Node_id.t -> dst:Proto.Node_id.t -> bool) -> unit
+  (** Installs an execution-steering event filter; a message is dropped
+      when any filter returns [true] for it. *)
+
+  val clear_filters : t -> unit
+
+  val fork : t -> t
+  (** Deep copy with an independent RNG position, a silent trace, and
+      the fallback resolver installed; the original is untouched. The
+      model checker and the runtime build consequence prediction on
+      this. *)
+end

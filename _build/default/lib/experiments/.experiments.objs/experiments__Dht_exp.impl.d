@@ -1,0 +1,1 @@
+lib/experiments/dht_exp.ml: Apps Core Dsim Engine List Net Proto

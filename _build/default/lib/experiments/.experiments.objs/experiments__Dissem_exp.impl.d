@@ -1,0 +1,1 @@
+lib/experiments/dissem_exp.ml: Apps Core Dsim Engine Float Hashtbl List Net Proto

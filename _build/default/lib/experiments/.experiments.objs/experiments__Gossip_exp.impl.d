@@ -1,0 +1,1 @@
+lib/experiments/gossip_exp.ml: Apps Core Dsim Engine List Net Proto Runtime

@@ -1,0 +1,1 @@
+lib/experiments/metrics_exp.ml: Filename Metrics String Sys

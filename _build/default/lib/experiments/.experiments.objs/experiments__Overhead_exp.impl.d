@@ -1,0 +1,1 @@
+lib/experiments/overhead_exp.ml: Apps Core Dsim Float Fun Hashtbl List Net Option Proto Runtime

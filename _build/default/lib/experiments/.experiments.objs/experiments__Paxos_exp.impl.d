@@ -1,0 +1,1 @@
+lib/experiments/paxos_exp.ml: Apps Core Dsim Engine List Net Proto String

@@ -1,0 +1,1 @@
+lib/experiments/randtree_exp.ml: Apps Core Dsim Engine Hashtbl Int List Net Option Proto

@@ -1,0 +1,1 @@
+lib/experiments/steering_exp.ml: Apps Core List Net Proto Runtime

@@ -1,0 +1,92 @@
+(** E7 — DHT routing choice (paper §3.1: "choosing the node to forward
+    a message to"). 32 Chord-style nodes issue lookups over a WAN; we
+    compare next-hop policies. Classic greedy-by-progress minimises
+    hops; proximity routing (greedy-by-RTT) takes more hops over
+    cheaper links; predictive and learned resolvers balance the two
+    using the exposed objective. *)
+
+module App = Apps.Dht.Default
+module E = Engine.Sim.Make (App)
+
+type policy = Progress | Proximity | Pns | Random_hop | Crystalball | Bandit
+
+let policy_name = function
+  | Progress -> "Greedy-progress"
+  | Proximity -> "Proximity(RTT)"
+  | Pns -> "PNS(combined)"
+  | Random_hop -> "Random"
+  | Crystalball -> "CrystalBall"
+  | Bandit -> "Bandit"
+
+let all_policies = [ Progress; Proximity; Pns; Random_hop; Crystalball; Bandit ]
+
+type outcome = {
+  policy : policy;
+  completed : int;
+  issued : int;
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  mean_hops : float;
+  hop_violations : int;
+}
+
+let population = Apps.Dht.Default_params.population
+
+let topology ~seed =
+  let rng = Dsim.Rng.create (seed + 401) in
+  let p =
+    {
+      Net.Topology.default_transit_stub with
+      Net.Topology.transits = 4;
+      stubs_per_transit = 2;
+      clients_per_stub = population / 8;
+    }
+  in
+  Net.Topology.transit_stub ~jitter_rng:rng p
+
+let make_engine ~seed policy =
+  let eng = E.create ~seed ~topology:(topology ~seed) () in
+  (match policy with
+  | Progress -> E.set_resolver eng (Core.Resolver.greedy ~feature:"remaining" ())
+  | Proximity -> E.set_resolver eng (Core.Resolver.greedy ~feature:"rtt_ms" ())
+  | Pns -> E.set_resolver eng Apps.Dht.pns_resolver
+  | Random_hop -> E.set_resolver eng Core.Resolver.random
+  | Crystalball ->
+      (* Nested hops in speculative branches follow classic Chord. *)
+      E.set_lookahead eng
+        ~fallback:(Core.Resolver.greedy ~feature:"remaining" ())
+        { E.default_lookahead with horizon = 1.0; max_events = 200; max_candidates = 4 }
+  | Bandit ->
+      let bandit = Core.Bandit.create () in
+      E.set_resolver eng (Core.Bandit.to_resolver bandit);
+      E.enable_reward_feedback eng ~window:1.0);
+  eng
+
+let run ?(seed = 42) ?(duration = 40.) policy =
+  let eng = make_engine ~seed policy in
+  let rng = Dsim.Rng.create (seed + 17) in
+  for i = 0 to population - 1 do
+    E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
+  done;
+  E.run_for eng duration;
+  let lat = Dsim.Stats.create () and hops = Dsim.Stats.create () in
+  let issued = ref 0 and violations = ref 0 in
+  List.iter
+    (fun (_, st) ->
+      issued := !issued + App.issued st;
+      violations := !violations + App.hop_violations st;
+      List.iter
+        (fun (l, h) ->
+          Dsim.Stats.add lat (l *. 1000.);
+          Dsim.Stats.add hops (float_of_int h))
+        (App.lookups st))
+    (E.live_nodes eng);
+  {
+    policy;
+    completed = Dsim.Stats.count lat;
+    issued = !issued;
+    mean_latency_ms = Dsim.Stats.mean lat;
+    p99_latency_ms = (if Dsim.Stats.count lat = 0 then 0. else Dsim.Stats.percentile lat 99.);
+    mean_hops = Dsim.Stats.mean hops;
+    hop_violations = !violations;
+  }

@@ -1,0 +1,173 @@
+(** E4 — gossip peer choice (paper §3.1). A rumor wave is injected at a
+    source node; we measure how long each policy takes to reach full
+    coverage, in a uniform WAN and in one where a whole stub sits
+    behind a slow access link (the situation the paper says hurts the
+    BAR-style restricted schedule). *)
+
+module App = Apps.Gossip.Default
+module E = Engine.Sim.Make (App)
+
+type policy =
+  | Restricted
+  | Random_peer
+  | Greedy_rtt
+  | Crystalball
+  | Bandit
+  | Hybrid
+  | Playbook  (** offline-trained, frozen; see {!run_playbook} *)
+
+let policy_name = function
+  | Restricted -> "Restricted(BAR)"
+  | Random_peer -> "Random"
+  | Greedy_rtt -> "Greedy-RTT"
+  | Crystalball -> "CrystalBall"
+  | Bandit -> "Bandit"
+  | Hybrid -> "Hybrid(cache)"
+  | Playbook -> "Playbook(offline)"
+
+let all_policies = [ Restricted; Random_peer; Greedy_rtt; Crystalball; Bandit; Hybrid ]
+
+type scenario = Uniform | Slow_stub
+
+let scenario_name = function Uniform -> "uniform" | Slow_stub -> "slow-stub"
+
+type outcome = {
+  policy : policy;
+  scenario : scenario;
+  waves : int;
+  mean_coverage_s : float;
+  max_coverage_s : float;
+  messages : int;
+  cache : (int * int) option;  (** (hits, misses) when the hybrid cache ran *)
+}
+
+let population = Apps.Gossip.Default_params.population
+
+let topology ~seed ~scenario =
+  let rng = Dsim.Rng.create (seed + 101) in
+  let p =
+    {
+      Net.Topology.default_transit_stub with
+      Net.Topology.transits = 2;
+      stubs_per_transit = 2;
+      clients_per_stub = population / 4;
+    }
+  in
+  let base = Net.Topology.transit_stub ~jitter_rng:rng p in
+  match scenario with
+  | Uniform -> base
+  | Slow_stub ->
+      (* Every path touching the last stub pays 10x latency and 1/10
+         bandwidth — a congested access network. *)
+      let slow e = e >= population - (population / 4) in
+      Net.Topology.degrade base (fun a b prop ->
+          if slow a || slow b then
+            Net.Linkprop.v
+              ~latency:(prop.Net.Linkprop.latency *. 10.)
+              ~bandwidth:(prop.Net.Linkprop.bandwidth /. 10.)
+              ~loss:prop.Net.Linkprop.loss
+          else prop)
+
+let make_engine ~seed ~scenario policy =
+  let eng = E.create ~seed ~topology:(topology ~seed ~scenario) () in
+  (match policy with
+  | Restricted -> E.set_resolver eng (Apps.Gossip.restricted_resolver ~population)
+  | Random_peer -> E.set_resolver eng Core.Resolver.random
+  | Greedy_rtt -> E.set_resolver eng (Core.Resolver.greedy ~feature:"rtt_ms" ())
+  | Crystalball ->
+      E.set_lookahead eng
+        { E.default_lookahead with horizon = 1.5; max_events = 300; max_candidates = 4 }
+  | Bandit ->
+      let bandit = Core.Bandit.create () in
+      E.set_resolver eng (Core.Bandit.to_resolver bandit);
+      E.enable_reward_feedback eng ~window:1.5
+  | Hybrid ->
+      (* The §3.4 architecture: lookahead off the critical path, cached
+         decisions on it. *)
+      E.set_lookahead eng
+        ~cache:(Core.Bandit.create (), 2)
+        { E.default_lookahead with horizon = 1.5; max_events = 300; max_candidates = 4 }
+  | Playbook -> invalid_arg "Gossip_exp.make_engine: use run_playbook for the offline policy");
+  eng
+
+let source = Proto.Node_id.of_int 1
+
+let coverage eng rumor =
+  List.for_all
+    (fun (_, st) -> Apps.Gossip.Int_set.mem rumor (App.known st))
+    (E.live_nodes eng)
+
+(* Waits (in 100ms slices) until every node knows [rumor]; returns the
+   elapsed virtual seconds since [from], or [deadline] on timeout. *)
+let wait_coverage eng rumor ~from ~deadline =
+  let rec poll () =
+    if coverage eng rumor then Dsim.Vtime.diff (E.now eng) from
+    else if Dsim.Vtime.diff (E.now eng) from >= deadline then deadline
+    else begin
+      E.run_for eng 0.1;
+      poll ()
+    end
+  in
+  poll ()
+
+(* ---------- offline playbook (paper §3.4 precomputation) ---------- *)
+
+module PB = Runtime.Playbook.Make (App)
+
+(* Trains on different seeds than any evaluation run uses, driving the
+   same workload shape: warm-up, then rumor waves from the source. *)
+let train_playbook ?(episodes = 2) ?(train_seed = 990) ~scenario ~waves () =
+  PB.train
+    ~lookahead:{ E.default_lookahead with horizon = 1.5; max_events = 300; max_candidates = 4 }
+    ~episodes ~seed:train_seed
+    ~topology:(topology ~seed:train_seed ~scenario)
+    ~scenario:(fun eng ->
+      let rng = Dsim.Rng.create train_seed in
+      for i = 0 to population - 1 do
+        E.spawn eng ~after:(Dsim.Rng.float rng 0.2) (Proto.Node_id.of_int i)
+      done;
+      E.run_for eng 3.0;
+      for wave = 0 to waves - 1 do
+        E.inject eng ~src:source ~dst:source (Apps.Gossip.Push { rumors = [ wave ]; round = 0 });
+        E.run_for eng 5.0
+      done)
+    ()
+
+let measure eng ~policy ~scenario ~seed ~waves =
+  let rng = Dsim.Rng.create (seed + 3) in
+  for i = 0 to population - 1 do
+    E.spawn eng ~after:(Dsim.Rng.float rng 0.2) (Proto.Node_id.of_int i)
+  done;
+  (* Warm-up: let the first rounds populate the network model. *)
+  E.run_for eng 3.0;
+  let times = ref [] in
+  for wave = 0 to waves - 1 do
+    let from = E.now eng in
+    E.inject eng ~src:source ~dst:source (Apps.Gossip.Push { rumors = [ wave ]; round = 0 });
+    let t = wait_coverage eng wave ~from ~deadline:30.0 in
+    times := t :: !times
+  done;
+  let stats = Dsim.Stats.create () in
+  List.iter (Dsim.Stats.add stats) !times;
+  {
+    policy;
+    scenario;
+    waves;
+    mean_coverage_s = Dsim.Stats.mean stats;
+    max_coverage_s = Dsim.Stats.max stats;
+    messages = (E.stats eng).messages_delivered;
+    cache = E.cache_stats eng;
+  }
+
+let run ?(seed = 42) ?(waves = 5) ~scenario policy =
+  let eng = make_engine ~seed ~scenario policy in
+  measure eng ~policy ~scenario ~seed ~waves
+
+(* Train offline (distinct seeds), freeze, evaluate: the precomputation
+   architecture of §3.4. Returns the outcome plus training cost. *)
+let run_playbook ?(seed = 42) ?(waves = 5) ?(episodes = 2) ~scenario () =
+  let pb = train_playbook ~episodes ~scenario ~waves () in
+  let eng = E.create ~seed ~topology:(topology ~seed ~scenario) () in
+  E.set_resolver eng (PB.resolver pb);
+  let outcome = measure eng ~policy:Playbook ~scenario ~seed ~waves in
+  (outcome, PB.contexts_learned pb, PB.training_forks pb)

@@ -1,0 +1,89 @@
+(** E8 — read-replica choice on a replicated KV store (paper §3.2:
+    weaker consistency expressed as performance). Five replicas across
+    a WAN; every client session reads and writes. Policies trade read
+    latency against session guarantees; the monotonic-reads property
+    counts the price of over-eager staleness. *)
+
+module App = Apps.Kvstore.Default
+module E = Engine.Sim.Make (App)
+
+type policy = Primary_only | Nearest | Random_replica | Session | Crystalball | Bandit
+
+let policy_name = function
+  | Primary_only -> "Primary-only"
+  | Nearest -> "Nearest"
+  | Random_replica -> "Random"
+  | Session -> "Session-aware"
+  | Crystalball -> "CrystalBall"
+  | Bandit -> "Bandit"
+
+let all_policies = [ Primary_only; Nearest; Random_replica; Session; Crystalball; Bandit ]
+
+type outcome = {
+  policy : policy;
+  reads : int;
+  mean_read_ms : float;
+  p99_read_ms : float;
+  mean_write_ms : float;
+  monotonic_violations : int;
+  mean_staleness : float;  (** sequence numbers behind the session's freshest evidence *)
+}
+
+let population = Apps.Kvstore.Default_params.population
+
+(* Same WAN shape as the Paxos experiment: replicas in distinct stubs
+   across three areas, so primary reads cost real round trips. *)
+let topology ~seed =
+  let rng = Dsim.Rng.create (seed + 509) in
+  Net.Topology.transit_stub ~jitter_rng:rng
+    {
+      Net.Topology.default_transit_stub with
+      Net.Topology.transits = 3;
+      stubs_per_transit = 2;
+      clients_per_stub = 1;
+    }
+
+let make_engine ~seed policy =
+  let eng = E.create ~seed ~topology:(topology ~seed) () in
+  (match policy with
+  | Primary_only -> E.set_resolver eng Apps.Kvstore.primary_resolver
+  | Nearest -> E.set_resolver eng Apps.Kvstore.nearest_resolver
+  | Random_replica -> E.set_resolver eng Core.Resolver.random
+  | Session -> E.set_resolver eng Apps.Kvstore.session_resolver
+  | Crystalball ->
+      E.set_lookahead eng ~fallback:Apps.Kvstore.session_resolver
+        { E.default_lookahead with horizon = 1.0; max_events = 200; max_candidates = 5 }
+  | Bandit ->
+      let bandit = Core.Bandit.create () in
+      E.set_resolver eng (Core.Bandit.to_resolver bandit);
+      E.enable_reward_feedback eng ~window:1.0);
+  eng
+
+let run ?(seed = 42) ?(duration = 60.) policy =
+  let eng = make_engine ~seed policy in
+  let rng = Dsim.Rng.create (seed + 23) in
+  for i = 0 to population - 1 do
+    E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
+  done;
+  E.run_for eng duration;
+  let reads = Dsim.Stats.create () and writes = Dsim.Stats.create () in
+  let violations = ref 0 in
+  let staleness = ref 0 in
+  List.iter
+    (fun (_, st) ->
+      violations := !violations + App.monotonic_violations st;
+      staleness := !staleness + App.staleness_sum st;
+      List.iter (fun l -> Dsim.Stats.add reads (l *. 1000.)) (App.read_latencies st);
+      List.iter (fun l -> Dsim.Stats.add writes (l *. 1000.)) (App.write_latencies st))
+    (E.live_nodes eng);
+  {
+    policy;
+    reads = Dsim.Stats.count reads;
+    mean_read_ms = Dsim.Stats.mean reads;
+    p99_read_ms = (if Dsim.Stats.count reads = 0 then 0. else Dsim.Stats.percentile reads 99.);
+    mean_write_ms = Dsim.Stats.mean writes;
+    monotonic_violations = !violations;
+    mean_staleness =
+      (if Dsim.Stats.count reads = 0 then 0.
+       else float_of_int !staleness /. float_of_int (Dsim.Stats.count reads));
+  }

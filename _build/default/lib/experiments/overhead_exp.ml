@@ -1,0 +1,111 @@
+(** A4 — checkpoint overhead vs freshness (paper §3.3.2: "the
+    acceptable amount of communication overhead limits the rate at
+    which information can be exchanged").
+
+    The CrystalBall runtime is attached to the bandwidth-bound swarm
+    (E5) with the app's real state codec, so every checkpoint
+    collection serializes each peer's state — its bitmap and neighbour
+    file maps — and charges the bytes to the peer's access link, where
+    they contend with block transfers. Sweeping the checkpoint period
+    shows the tradeoff: fresher models cost real application
+    throughput. *)
+
+module App = Apps.Dissem.Default
+module R = Runtime.Crystal.Make (App)
+module E = R.E
+
+type outcome = {
+  checkpoint_period : float option;  (** [None] = no runtime attached *)
+  mean_completion_s : float;
+  max_completion_s : float;
+  checkpoint_bytes : int;
+  checkpoints : int;
+}
+
+let population = Apps.Dissem.Default_params.population
+
+(* Collection fan-out. The paper notes CrystalBall "also works with
+   systems with full global knowledge"; that is the expensive regime
+   where the overhead limit bites, so it is what we sweep. *)
+let neighbors (st : App.state) =
+  let self = Proto.Node_id.to_int (App.self_of st) in
+  List.filter_map
+    (fun i -> if i = self then None else Some (Proto.Node_id.of_int i))
+    (List.init population Fun.id)
+
+let run ?(seed = 42) ?(deadline = 120.) ~checkpoint_period () =
+  (* Same workload and topology as E5's choked seed: bandwidth is the
+     scarce resource the checkpoints will eat. *)
+  let topo =
+    let rng = Dsim.Rng.create (seed + 211) in
+    let p =
+      {
+        Net.Topology.default_transit_stub with
+        Net.Topology.transits = 2;
+        stubs_per_transit = 2;
+        clients_per_stub = population / 4;
+      }
+    in
+    let base = Net.Topology.transit_stub ~jitter_rng:rng p in
+    Net.Topology.degrade base (fun a b prop ->
+        if a = 0 || b = 0 then
+          Net.Linkprop.v ~latency:prop.Net.Linkprop.latency
+            ~bandwidth:(Float.min 62_500. prop.Net.Linkprop.bandwidth)
+            ~loss:prop.Net.Linkprop.loss
+        else prop)
+  in
+  let eng = E.create ~seed ~check_properties:false ~topology:topo () in
+  E.set_resolver eng Core.Resolver.random;
+  let cry =
+    Option.map
+      (fun period ->
+        R.attach
+          ~config:
+            {
+              Runtime.Config.default with
+              Runtime.Config.checkpoint_period = period;
+              checkpoint_delay = 0.05;
+              (* Pure overhead measurement: steering itself is off the
+                 table (huge period), only collection traffic counts. *)
+              steer_period = 1e9;
+              steer_depth = 0;
+            }
+          ~codec:App.state_codec
+          ~neighbors:(fun st -> neighbors st)
+          eng)
+      checkpoint_period
+  in
+  let rng = Dsim.Rng.create (seed + 5) in
+  for i = 0 to population - 1 do
+    E.spawn eng ~after:(Dsim.Rng.float rng 0.2) (Proto.Node_id.of_int i)
+  done;
+  let completion = Hashtbl.create population in
+  let start = E.now eng in
+  let advance dt = match cry with Some c -> R.run_for c dt | None -> E.run_for eng dt in
+  let rec poll () =
+    List.iter
+      (fun (id, st) ->
+        (* The seed is born complete; only real downloads count. *)
+        if
+          Proto.Node_id.to_int id <> 0
+          && App.complete st
+          && not (Hashtbl.mem completion id)
+        then Hashtbl.replace completion id (Dsim.Vtime.diff (E.now eng) start))
+      (E.live_nodes eng);
+    if Hashtbl.length completion < population - 1 && Dsim.Vtime.diff (E.now eng) start < deadline
+    then begin
+      advance 0.5;
+      poll ()
+    end
+  in
+  poll ();
+  let stats = Dsim.Stats.create () in
+  Hashtbl.iter (fun _ t -> Dsim.Stats.add stats t) completion;
+  let report = Option.map R.report cry in
+  {
+    checkpoint_period;
+    mean_completion_s = (if Dsim.Stats.count stats = 0 then deadline else Dsim.Stats.mean stats);
+    max_completion_s = (if Dsim.Stats.count stats = 0 then deadline else Dsim.Stats.max stats);
+    checkpoint_bytes = (match report with Some r -> r.R.checkpoint_bytes | None -> 0);
+    checkpoints = (match report with Some r -> r.R.checkpoints_taken | None -> 0);
+  }

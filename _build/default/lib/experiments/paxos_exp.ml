@@ -1,0 +1,131 @@
+(** E6 — consensus proposer choice (paper §3.1). Five replicas spread
+    over three WAN areas commit a stream of locally-born commands; we
+    compare proposer-assignment policies on commit latency. The paper's
+    point: a fixed leader pays forwarding and congestion costs that a
+    runtime free to pick the proposer avoids (Mencius hard-codes one
+    good answer; the exposed choice subsumes it). *)
+
+module App = Apps.Paxos.Default
+module E = Engine.Sim.Make (App)
+
+type policy = Fixed_leader | Rotating | Local | Crystalball | Bandit
+
+let policy_name = function
+  | Fixed_leader -> "Fixed-leader"
+  | Rotating -> "Rotating"
+  | Local -> "Local(Mencius)"
+  | Crystalball -> "CrystalBall"
+  | Bandit -> "Bandit"
+
+let all_policies = [ Fixed_leader; Rotating; Local; Crystalball; Bandit ]
+
+type scenario = Balanced_wan | Loaded_leader | Partitioned
+
+let scenario_name = function
+  | Balanced_wan -> "balanced-wan"
+  | Loaded_leader -> "loaded-leader"
+  | Partitioned -> "partitioned"
+
+let all_scenarios = [ Balanced_wan; Loaded_leader; Partitioned ]
+
+type outcome = {
+  policy : policy;
+  scenario : scenario;
+  committed : int;
+  born : int;
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  messages : int;
+  agreement_violations : int;
+}
+
+let population = Apps.Paxos.Default_params.population
+
+(* Replicas 0..4 land in distinct stubs across 3 transit areas. *)
+let topology ~seed ~scenario =
+  let rng = Dsim.Rng.create (seed + 307) in
+  let p =
+    {
+      Net.Topology.default_transit_stub with
+      Net.Topology.transits = 3;
+      stubs_per_transit = 2;
+      clients_per_stub = 1;
+    }
+  in
+  let base = Net.Topology.transit_stub ~jitter_rng:rng p in
+  match scenario with
+  | Balanced_wan | Partitioned -> base
+  | Loaded_leader ->
+      (* The fixed leader's access link is congested: 1/20 bandwidth
+         and 5x latency — the "CPU overload or network congestion" the
+         paper attributes reduced fixed-leader performance to. *)
+      Net.Topology.degrade base (fun a b prop ->
+          if a = 0 || b = 0 then
+            Net.Linkprop.v
+              ~latency:(prop.Net.Linkprop.latency *. 5.)
+              ~bandwidth:(prop.Net.Linkprop.bandwidth /. 20.)
+              ~loss:prop.Net.Linkprop.loss
+          else prop)
+
+let make_engine ~seed ~scenario policy =
+  let eng = E.create ~seed ~topology:(topology ~seed ~scenario) () in
+  (match policy with
+  | Fixed_leader -> E.set_resolver eng (Apps.Paxos.fixed_leader_resolver ~leader:0)
+  | Rotating -> E.set_resolver eng (Apps.Paxos.round_robin_resolver ~population)
+  | Local -> E.set_resolver eng Apps.Paxos.self_resolver
+  | Crystalball ->
+      E.set_lookahead eng
+        ~fallback:Apps.Paxos.self_resolver
+        { E.default_lookahead with horizon = 1.0; max_events = 200; max_candidates = 5 }
+  | Bandit ->
+      let bandit = Core.Bandit.create () in
+      E.set_resolver eng (Core.Bandit.to_resolver bandit);
+      E.enable_reward_feedback eng ~window:1.5);
+  eng
+
+let run ?(seed = 42) ?(duration = 60.) ~scenario policy =
+  let eng = make_engine ~seed ~scenario policy in
+  let rng = Dsim.Rng.create (seed + 11) in
+  for i = 0 to population - 1 do
+    E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
+  done;
+  (match scenario with
+  | Balanced_wan | Loaded_leader -> E.run_for eng duration
+  | Partitioned ->
+      (* Replicas 3 and 4 lose contact with the majority for a quarter
+         of the run; their proposals stall (no quorum) and must recover
+         through retries after the network heals. *)
+      let minority = [ 3; 4 ] and majority = [ 0; 1; 2 ] in
+      E.run_for eng (duration /. 3.);
+      List.iter
+        (fun a -> List.iter (fun b -> Net.Netem.cut_bidirectional (E.netem eng) a b) majority)
+        minority;
+      E.run_for eng (duration /. 4.);
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              Net.Netem.heal (E.netem eng) ~src:a ~dst:b;
+              Net.Netem.heal (E.netem eng) ~src:b ~dst:a)
+            majority)
+        minority;
+      E.run_for eng (duration -. (duration /. 3.) -. (duration /. 4.)));
+  let stats = Dsim.Stats.create () in
+  let born = ref 0 in
+  List.iter
+    (fun (_, st) ->
+      born := !born + App.born_count st;
+      List.iter (fun l -> Dsim.Stats.add stats (l *. 1000.)) (App.latencies st))
+    (E.live_nodes eng);
+  {
+    policy;
+    scenario;
+    committed = Dsim.Stats.count stats;
+    born = !born;
+    mean_latency_ms = Dsim.Stats.mean stats;
+    p99_latency_ms = (if Dsim.Stats.count stats = 0 then 0. else Dsim.Stats.percentile stats 99.);
+    messages = (E.stats eng).messages_delivered;
+    agreement_violations =
+      List.length
+        (List.filter (fun (_, name) -> String.equal name "agreement") (E.violations eng));
+  }

@@ -1,0 +1,367 @@
+(** The paper's case-study experiments (§4): 31 nodes join a random
+    overlay tree on an Internet-like topology; then an entire subtree
+    fails and rejoins. Reported metric: maximum tree depth.
+
+    Three setups, as in the paper:
+    - [Baseline]: hard-coded policy ({!Apps.Randtree_baseline});
+    - [Choice_random]: exposed choices resolved uniformly at random;
+    - [Choice_crystalball]: exposed choices resolved by predictive
+      lookahead.
+    Plus two extensions: a greedy network-aware resolver and a learned
+    (bandit) resolver. *)
+
+module Baseline_app = Apps.Randtree_baseline.Default
+module Choice_app = Apps.Randtree_choice.Default
+module Baseline_engine = Engine.Sim.Make (Baseline_app)
+module Choice_engine = Engine.Sim.Make (Choice_app)
+
+type setup =
+  | Baseline
+  | Choice_random
+  | Choice_crystalball
+  | Choice_greedy
+  | Choice_bandit
+
+let setup_name = function
+  | Baseline -> "Baseline"
+  | Choice_random -> "Choice-Random"
+  | Choice_crystalball -> "Choice-CrystalBall"
+  | Choice_greedy -> "Choice-Greedy"
+  | Choice_bandit -> "Choice-Bandit"
+
+let all_setups = [ Baseline; Choice_random; Choice_crystalball; Choice_greedy; Choice_bandit ]
+let paper_setups = [ Baseline; Choice_random; Choice_crystalball ]
+
+type outcome = {
+  setup : setup;
+  nodes : int;
+  joined : int;
+  depth_after_join : int;
+  depth_after_rejoin : int option;  (** [None] when the failure phase was not run *)
+  messages : int;
+  forks : int;
+}
+
+let default_nodes = 31
+let join_settle = 30.0
+
+(* The failed subtree rejoins promptly and almost simultaneously — a
+   join storm arriving while the survivors' failure detectors have not
+   yet evicted the dead children, which is what degrades the tree in
+   the paper's live run. *)
+let failure_gap = 0.5
+let rejoin_settle = 40.0
+
+let topology ~seed ~nodes =
+  let rng = Dsim.Rng.create (seed + 7919) in
+  let p =
+    {
+      Net.Topology.default_transit_stub with
+      Net.Topology.transits = 4;
+      stubs_per_transit = 2;
+      clients_per_stub = ((nodes + 7) / 8) + 1;
+    }
+  in
+  Net.Topology.transit_stub ~jitter_rng:rng p
+
+(* The engine interface the experiment needs, abstracted so one driver
+   covers both app variants. *)
+type driver = {
+  spawn : ?after:float -> int -> unit;
+  kill : int -> unit;
+  restart : ?after:float -> int -> unit;
+  run_for : float -> unit;
+  max_depth : unit -> int;
+  joined_count : unit -> int;
+  subtree_of_root_child : unit -> int list;
+      (* members of the larger root-child subtree, by id *)
+  messages : unit -> int;
+  forks : unit -> int;
+}
+
+module Tree_shape (App : sig
+  type state
+
+  val parent_of : state -> Proto.Node_id.t option
+  val is_joined : state -> bool
+end) =
+struct
+  let max_depth view = Apps.Randtree_common.Measure.max_depth ~parent:App.parent_of view
+  let joined view = Apps.Randtree_common.Measure.joined_count ~joined:App.is_joined view
+
+  (* Partition live nodes by which child-of-root their parent chain
+     passes through; return the largest group. *)
+  let largest_root_subtree view ~root =
+    let top_of id =
+      let rec climb id prev hops =
+        if hops > Proto.View.node_count view then None
+        else
+          match Proto.View.find view id with
+          | None -> None
+          | Some st -> (
+              match App.parent_of st with
+              | None -> if Proto.Node_id.equal id root then prev else None
+              | Some p -> climb p (Some id) (hops + 1))
+      in
+      climb id None 0
+    in
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (id, _) ->
+        if not (Proto.Node_id.equal id root) then
+          match top_of id with
+          | Some top ->
+              let key = Proto.Node_id.to_int top in
+              Hashtbl.replace groups key (id :: Option.value ~default:[] (Hashtbl.find_opt groups key))
+          | None -> ())
+      view.Proto.View.nodes;
+    Hashtbl.fold
+      (fun _ members best ->
+        if List.length members > List.length best then members else best)
+      groups []
+    |> List.map Proto.Node_id.to_int
+end
+
+module Baseline_shape = Tree_shape (struct
+  type state = Baseline_app.state
+
+  let parent_of = Baseline_app.parent_of
+  let is_joined = Baseline_app.is_joined
+end)
+
+module Choice_shape = Tree_shape (struct
+  type state = Choice_app.state
+
+  let parent_of = Choice_app.parent_of
+  let is_joined = Choice_app.is_joined
+end)
+
+let root = Proto.Node_id.of_int 0
+
+let baseline_driver ~seed ~nodes =
+  let eng = Baseline_engine.create ~seed ~topology:(topology ~seed ~nodes) () in
+  Baseline_engine.set_resolver eng Core.Resolver.random;
+  {
+    spawn = (fun ?after i -> Baseline_engine.spawn eng ?after (Proto.Node_id.of_int i));
+    kill = (fun i -> Baseline_engine.kill eng (Proto.Node_id.of_int i));
+    restart = (fun ?after i -> Baseline_engine.restart eng ?after (Proto.Node_id.of_int i));
+    run_for = (fun dt -> Baseline_engine.run_for eng dt);
+    max_depth = (fun () -> Baseline_shape.max_depth (Baseline_engine.global_view eng));
+    joined_count = (fun () -> Baseline_shape.joined (Baseline_engine.global_view eng));
+    subtree_of_root_child =
+      (fun () -> Baseline_shape.largest_root_subtree (Baseline_engine.global_view eng) ~root);
+    messages = (fun () -> (Baseline_engine.stats eng).messages_delivered);
+    forks = (fun () -> (Baseline_engine.stats eng).lookahead_forks);
+  }
+
+let choice_driver ~seed ~nodes setup =
+  let eng = Choice_engine.create ~seed ~topology:(topology ~seed ~nodes) () in
+  (match setup with
+  | Choice_random -> Choice_engine.set_resolver eng Core.Resolver.random
+  | Choice_crystalball ->
+      Choice_engine.set_lookahead eng
+        { Choice_engine.default_lookahead with horizon = 3.0; max_events = 600 }
+  | Choice_greedy -> Choice_engine.set_resolver eng (Core.Resolver.greedy ~feature:"rtt_ms" ())
+  | Choice_bandit ->
+      let bandit = Core.Bandit.create () in
+      Choice_engine.set_resolver eng (Core.Bandit.to_resolver bandit);
+      Choice_engine.enable_reward_feedback eng ~window:3.0
+  | Baseline -> invalid_arg "choice_driver: Baseline uses baseline_driver");
+  {
+    spawn = (fun ?after i -> Choice_engine.spawn eng ?after (Proto.Node_id.of_int i));
+    kill = (fun i -> Choice_engine.kill eng (Proto.Node_id.of_int i));
+    restart = (fun ?after i -> Choice_engine.restart eng ?after (Proto.Node_id.of_int i));
+    run_for = (fun dt -> Choice_engine.run_for eng dt);
+    max_depth = (fun () -> Choice_shape.max_depth (Choice_engine.global_view eng));
+    joined_count = (fun () -> Choice_shape.joined (Choice_engine.global_view eng));
+    subtree_of_root_child =
+      (fun () -> Choice_shape.largest_root_subtree (Choice_engine.global_view eng) ~root);
+    messages = (fun () -> (Choice_engine.stats eng).messages_delivered);
+    forks = (fun () -> (Choice_engine.stats eng).lookahead_forks);
+  }
+
+let driver ~seed ~nodes = function
+  | Baseline -> baseline_driver ~seed ~nodes
+  | (Choice_random | Choice_crystalball | Choice_greedy | Choice_bandit) as s ->
+      choice_driver ~seed ~nodes s
+
+(* Phase 1 of the case study: all nodes join, staggered. *)
+let join_phase d ~nodes ~seed =
+  let rng = Dsim.Rng.create (seed + 13) in
+  d.spawn 0;
+  for i = 1 to nodes - 1 do
+    d.spawn ~after:(0.5 +. (float_of_int i *. 0.25) +. Dsim.Rng.float rng 0.2) i
+  done;
+  d.run_for (join_settle +. (0.25 *. float_of_int nodes))
+
+(* Phase 2: fail the larger root-child subtree, let failure detectors
+   react, then let the failed nodes rejoin. *)
+let rejoin_phase d ~seed =
+  let rng = Dsim.Rng.create (seed + 29) in
+  let victims = d.subtree_of_root_child () in
+  List.iter d.kill victims;
+  d.run_for failure_gap;
+  List.iteri
+    (fun i v -> d.restart ~after:(float_of_int i *. 0.02 +. Dsim.Rng.float rng 0.05) v)
+    victims;
+  d.run_for rejoin_settle;
+  List.length victims
+
+let run ?(nodes = default_nodes) ?(seed = 42) ?(with_failure = true) setup =
+  let d = driver ~seed ~nodes setup in
+  join_phase d ~nodes ~seed;
+  let depth_after_join = d.max_depth () in
+  let depth_after_rejoin =
+    if with_failure then begin
+      let _victims = rejoin_phase d ~seed in
+      Some (d.max_depth ())
+    end
+    else None
+  in
+  {
+    setup;
+    nodes;
+    joined = d.joined_count ();
+    depth_after_join;
+    depth_after_rejoin;
+    messages = d.messages ();
+    forks = d.forks ();
+  }
+
+(* Median-of-seeds variant: the paper reports a single deployment; we
+   expose repetition to show the shape is not a seed artefact. *)
+let run_median ?(nodes = default_nodes) ?(seeds = [ 42; 43; 44 ]) ?(with_failure = true) setup =
+  let outcomes = List.map (fun seed -> run ~nodes ~seed ~with_failure setup) seeds in
+  let median_int xs =
+    let sorted = List.sort Int.compare xs in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let first = List.hd outcomes in
+  {
+    first with
+    depth_after_join = median_int (List.map (fun (o : outcome) -> o.depth_after_join) outcomes);
+    depth_after_rejoin =
+      (if with_failure then
+         Some (median_int (List.filter_map (fun (o : outcome) -> o.depth_after_rejoin) outcomes))
+       else None);
+    joined = median_int (List.map (fun (o : outcome) -> o.joined) outcomes);
+    messages = median_int (List.map (fun (o : outcome) -> o.messages) outcomes);
+  }
+
+(* A5: lookahead with partial knowledge. The paper's runtime predicts
+   from a checkpoint {e neighbourhood}, not from global state; scoping
+   the lookahead's objective evaluation to the deciding node's h-hop
+   tree neighbourhood reproduces that regime and measures what wider
+   knowledge is worth. *)
+let neighborhood_scope ~hops node view =
+  let neighbors_of id =
+    match Proto.View.find view id with
+    | None -> []
+    | Some st ->
+        (match Choice_app.parent_of st with Some p -> [ p ] | None -> [])
+        @ Choice_app.children_of st
+  in
+  let rec grow frontier seen k =
+    if k = 0 || frontier = [] then seen
+    else begin
+      let next = List.concat_map neighbors_of frontier in
+      let fresh = List.filter (fun id -> not (Proto.Node_id.Set.mem id seen)) next in
+      grow fresh
+        (List.fold_left (fun s id -> Proto.Node_id.Set.add id s) seen fresh)
+        (k - 1)
+    end
+  in
+  Proto.View.restrict view (grow [ node ] (Proto.Node_id.Set.singleton node) hops)
+
+(* Join + rejoin under lookahead whose knowledge is limited to [hops]
+   tree hops ([None] = global). Returns (join depth, rejoin depth). *)
+let run_scoped ?(nodes = default_nodes) ?(seed = 42) ~hops () =
+  let eng = Choice_engine.create ~seed ~topology:(topology ~seed ~nodes) () in
+  Choice_engine.set_lookahead eng
+    {
+      Choice_engine.default_lookahead with
+      horizon = 3.0;
+      max_events = 600;
+      scope = Option.map (fun h -> fun node view -> neighborhood_scope ~hops:h node view) hops;
+    };
+  let d =
+    {
+      spawn = (fun ?after i -> Choice_engine.spawn eng ?after (Proto.Node_id.of_int i));
+      kill = (fun i -> Choice_engine.kill eng (Proto.Node_id.of_int i));
+      restart = (fun ?after i -> Choice_engine.restart eng ?after (Proto.Node_id.of_int i));
+      run_for = (fun dt -> Choice_engine.run_for eng dt);
+      max_depth = (fun () -> Choice_shape.max_depth (Choice_engine.global_view eng));
+      joined_count = (fun () -> Choice_shape.joined (Choice_engine.global_view eng));
+      subtree_of_root_child =
+        (fun () -> Choice_shape.largest_root_subtree (Choice_engine.global_view eng) ~root);
+      messages = (fun () -> (Choice_engine.stats eng).messages_delivered);
+      forks = (fun () -> (Choice_engine.stats eng).lookahead_forks);
+    }
+  in
+  join_phase d ~nodes ~seed;
+  let join_depth = d.max_depth () in
+  let _ = rejoin_phase d ~seed in
+  (join_depth, d.max_depth ())
+
+(* Continuous churn: random non-root nodes keep failing and rejoining
+   for [duration] seconds while we sample the tree. Reports the mean
+   and worst sampled depth and how much of the population was joined on
+   average — the "robustness to various deployment settings" axis. *)
+type churn_outcome = {
+  churn_setup : setup;
+  samples : int;
+  mean_depth : float;
+  worst_depth : int;
+  mean_joined : float;
+}
+
+let run_churn ?(nodes = default_nodes) ?(seed = 42) ?(duration = 120.) ?(churn_period = 4.)
+    setup =
+  let d = driver ~seed ~nodes setup in
+  join_phase d ~nodes ~seed;
+  let rng = Dsim.Rng.create (seed + 71) in
+  let depth_stats = Dsim.Stats.create () in
+  let joined_stats = Dsim.Stats.create () in
+  let worst = ref 0 in
+  let dead = ref [] in
+  let elapsed = ref 0. in
+  while !elapsed < duration do
+    (* Revive one casualty, then fell a fresh victim — never the node
+       whose reboot is still in flight. *)
+    let revived =
+      match !dead with
+      | v :: rest ->
+          d.restart v;
+          dead := rest;
+          Some v
+      | [] -> None
+    in
+    let victim = 1 + Dsim.Rng.int rng (nodes - 1) in
+    if (not (List.mem victim !dead)) && revived <> Some victim then begin
+      d.kill victim;
+      dead := !dead @ [ victim ]
+    end;
+    d.run_for churn_period;
+    elapsed := !elapsed +. churn_period;
+    Dsim.Stats.add depth_stats (float_of_int (d.max_depth ()));
+    Dsim.Stats.add joined_stats (float_of_int (d.joined_count ()));
+    worst := max !worst (d.max_depth ())
+  done;
+  {
+    churn_setup = setup;
+    samples = Dsim.Stats.count depth_stats;
+    mean_depth = Dsim.Stats.mean depth_stats;
+    worst_depth = !worst;
+    mean_joined = Dsim.Stats.mean joined_stats;
+  }
+
+let optimal_depth ~nodes ~max_children =
+  (* Smallest d such that a complete max_children-ary tree of depth d
+     holds >= nodes (root at depth 1). *)
+  let rec grow depth capacity level =
+    if capacity >= nodes then depth
+    else
+      let level = level * max_children in
+      grow (depth + 1) (capacity + level) level
+  in
+  grow 1 1 1

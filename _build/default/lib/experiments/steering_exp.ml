@@ -1,0 +1,65 @@
+(** S1/A2 — execution steering (paper §2) on the buggy lease service.
+
+    S1: with the CrystalBall runtime attached, predicted double-grants
+    are filtered before they happen; without it, the premature-expiry
+    race violates exclusivity. A2 sweeps the checkpoint staleness to
+    show prediction quality degrading as the model ages — the paper's
+    "how to keep the model up to date" concern, quantified. *)
+
+module App = Apps.Lease.Default
+module R = Runtime.Crystal.Make (App)
+module E = R.E
+
+type outcome = {
+  with_runtime : bool;
+  checkpoint_delay : float;
+  violations : int;
+  grants : int;
+  filtered : int;
+  vetoes : int;
+}
+
+let population = Apps.Lease.Default_params.population
+
+(* A slow WAN: messages spend long enough in flight that the controller
+   has a real window to predict and veto an offending lease. *)
+let topology =
+  Net.Topology.uniform ~n:population
+    (Net.Linkprop.v ~latency:0.3 ~bandwidth:1_000_000. ~loss:0.)
+
+let neighbors (_ : App.state) = List.init population Proto.Node_id.of_int
+
+let run ?(seed = 42) ?(duration = 120.) ?(checkpoint_delay = 0.05) ~with_runtime () =
+  let eng = E.create ~seed ~jitter:0. ~topology () in
+  E.set_resolver eng Core.Resolver.random;
+  for i = 0 to population - 1 do
+    E.spawn eng (Proto.Node_id.of_int i)
+  done;
+  let cry =
+    if with_runtime then
+      Some
+        (R.attach
+           ~config:
+             {
+               Runtime.Config.default with
+               Runtime.Config.checkpoint_period = 0.1;
+               checkpoint_delay;
+               steer_period = 0.1;
+               steer_depth = 2;
+               filter_ttl = 0.5;
+             }
+           ~neighbors eng)
+    else None
+  in
+  (match cry with Some cry -> R.run_for cry duration | None -> E.run_for eng duration);
+  let grants =
+    List.fold_left (fun acc (_, st) -> acc + App.grants_made st) 0 (E.live_nodes eng)
+  in
+  {
+    with_runtime;
+    checkpoint_delay;
+    violations = List.length (E.violations eng);
+    grants;
+    filtered = (E.stats eng).messages_filtered;
+    vetoes = (match cry with Some cry -> (R.report cry).R.vetoes_installed | None -> 0);
+  }

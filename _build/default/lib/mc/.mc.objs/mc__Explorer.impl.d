@@ -1,0 +1,1 @@
+lib/mc/explorer.ml: Buffer Core Digest Dsim Format Hashtbl List Net Proto

@@ -1,0 +1,1 @@
+lib/mc/steering.ml: Explorer Format List Proto String

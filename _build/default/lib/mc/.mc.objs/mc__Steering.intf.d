@@ -1,0 +1,1 @@
+lib/mc/steering.mli: Explorer Format Proto

@@ -1,0 +1,78 @@
+(** Consequence prediction (paper §2, CrystalBall): depth-bounded
+    exploration of the executions reachable from a snapshot.
+
+    A {!Make.world} is a set of node states plus in-flight messages and
+    armed timers. From a world, every enabled action branches: deliver
+    any pending message, drop it (modelling loss/TCP reset, when
+    enabled), fire any armed timer, or inject a message from the
+    under-specified {e generic node}. Choice points encountered inside
+    handlers branch too — every alternative is explored, which is
+    exactly how the original nondeterministic algorithm (not one
+    resolved policy) gets checked.
+
+    Exploration is untimed: it follows causally related chains of
+    events, as consequence prediction does, rather than timestamps.
+    Worlds are deduplicated by a structural digest. *)
+
+module Make (App : Proto.App_intf.APP) : sig
+  type world = {
+    states : App.state Proto.Node_id.Map.t;
+    pending : (Proto.Node_id.t * Proto.Node_id.t * App.msg) list;
+    timers : (Proto.Node_id.t * string) list;
+  }
+
+  (** One step along an explored path, in application terms — concrete
+      enough for the steering module to build an event filter from. *)
+  type step =
+    | Deliver_step of { src : Proto.Node_id.t; dst : Proto.Node_id.t; kind : string }
+    | Drop_step of { src : Proto.Node_id.t; dst : Proto.Node_id.t; kind : string }
+    | Timer_step of { node : Proto.Node_id.t; id : string }
+    | Generic_step of { dst : Proto.Node_id.t; kind : string }
+
+  type violation = { property : string; path : step list; at_depth : int }
+
+  type result = {
+    violations : violation list;
+    worlds_explored : int;
+    worlds_deduped : int;
+    liveness_unmet : string list;
+        (** liveness properties satisfied by no explored world *)
+    truncated : bool;  (** hit [max_worlds] before exhausting depth *)
+  }
+
+  val world_of_view :
+    ?timers:(Proto.Node_id.t * string) list -> (App.state, App.msg) Proto.View.t -> world
+
+  val explore :
+    ?max_worlds:int ->
+    ?include_drops:bool ->
+    ?generic_node:bool ->
+    ?seed:int ->
+    depth:int ->
+    world ->
+    result
+  (** [max_worlds] (default 20_000) bounds total work. [include_drops]
+      (default false) also branches on losing each pending message.
+      [generic_node] (default false) injects [App.generic_msgs].
+      [seed] feeds the context RNG handlers see (default 7) — handler
+      randomness is explored as-is, not branched. *)
+
+  val iterative :
+    ?max_worlds:int ->
+    ?include_drops:bool ->
+    ?generic_node:bool ->
+    ?seed:int ->
+    max_depth:int ->
+    world ->
+    int * result
+  (** Iterative deepening: explores at depth 1, 2, … and stops at the
+      first depth that surfaces a violation (so the reported paths are
+      minimal causes — the best input for steering), or at [max_depth].
+      Returns the stopping depth with its result. *)
+
+  val first_steps_to_violation : result -> step list
+  (** Deduplicated first steps of all violating paths — the actions
+      execution steering would veto. *)
+
+  val pp_step : Format.formatter -> step -> unit
+end

@@ -1,0 +1,57 @@
+module Make (App : Proto.App_intf.APP) = struct
+  module Ex = Explorer.Make (App)
+
+  type veto = { src : Proto.Node_id.t; dst : Proto.Node_id.t; kind : string }
+
+  type verdict = No_violation | Steer of veto list | Cannot_steer of string list
+
+  let pp_veto ppf v =
+    Format.fprintf ppf "veto(%s %a->%a)" v.kind Proto.Node_id.pp v.src Proto.Node_id.pp v.dst
+
+  let property_set result =
+    List.sort_uniq String.compare
+      (List.map (fun (v : Ex.violation) -> v.property) result.Ex.violations)
+
+  let without_delivery (w : Ex.world) veto =
+    let dropped = ref false in
+    let pending =
+      List.filter
+        (fun (src, dst, msg) ->
+          let matches =
+            (not !dropped)
+            && Proto.Node_id.equal src veto.src
+            && Proto.Node_id.equal dst veto.dst
+            && String.equal (App.msg_kind msg) veto.kind
+          in
+          if matches then dropped := true;
+          not matches)
+        w.Ex.pending
+    in
+    { w with Ex.pending }
+
+  let decide ?max_worlds ?include_drops ?generic_node ~depth world =
+    let explore w = Ex.explore ?max_worlds ?include_drops ?generic_node ~depth w in
+    let base = explore world in
+    match base.Ex.violations with
+    | [] -> No_violation
+    | _ :: _ ->
+        let doomed = property_set base in
+        let candidates =
+          List.filter_map
+            (fun step ->
+              match step with
+              | Ex.Deliver_step { src; dst; kind } -> Some { src; dst; kind }
+              | Ex.Drop_step _ | Ex.Timer_step _ | Ex.Generic_step _ -> None)
+            (Ex.first_steps_to_violation base)
+        in
+        let safe =
+          List.filter
+            (fun veto ->
+              let steered = explore (without_delivery world veto) in
+              (* Safe iff steering surfaces no property beyond those the
+                 un-steered future already violates. *)
+              List.for_all (fun p -> List.mem p doomed) (property_set steered))
+            candidates
+        in
+        (match safe with [] -> Cannot_steer doomed | _ :: _ -> Steer safe)
+end

@@ -1,0 +1,34 @@
+(** Execution steering (paper §2): decide, from a snapshot, whether an
+    imminent action leads to a safety violation and whether vetoing it
+    is itself safe.
+
+    The verdict is computed purely on explorer worlds; installing the
+    resulting event filters into a live engine is the runtime's job.
+    An action is only vetoed if re-exploring the world {e without} it
+    surfaces no violation of a property that was not already doomed —
+    the paper's "if consequence prediction does not find any new
+    inconsistencies due to execution steering". *)
+
+module Make (App : Proto.App_intf.APP) : sig
+  module Ex : module type of Explorer.Make (App)
+
+  (** A filter to install: drop deliveries matching this triple. *)
+  type veto = { src : Proto.Node_id.t; dst : Proto.Node_id.t; kind : string }
+
+  type verdict =
+    | No_violation
+    | Steer of veto list  (** safe filters covering offending first steps *)
+    | Cannot_steer of string list
+        (** violations predicted, but every candidate filter introduced
+            new ones; the property names are reported *)
+
+  val decide :
+    ?max_worlds:int ->
+    ?include_drops:bool ->
+    ?generic_node:bool ->
+    depth:int ->
+    Ex.world ->
+    verdict
+
+  val pp_veto : Format.formatter -> veto -> unit
+end

@@ -1,0 +1,1 @@
+lib/metrics/code_metrics.ml: Buffer Format List String

@@ -1,0 +1,1 @@
+lib/metrics/seqdiag.ml: Buffer Bytes Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/metrics/treeview.ml: Buffer Int List Set String

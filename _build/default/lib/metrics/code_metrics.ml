@@ -1,0 +1,153 @@
+type t = {
+  file : string;
+  loc : int;
+  handlers : int;
+  if_else : int;
+  per_handler : float;
+}
+
+(* Blank out comments (with nesting) and string literals, preserving
+   newlines so line structure survives. *)
+let strip src =
+  let n = String.length src in
+  let buf = Buffer.create n in
+  let rec go i depth in_string =
+    if i >= n then ()
+    else if in_string then begin
+      match src.[i] with
+      | '\\' when i + 1 < n ->
+          Buffer.add_string buf "  ";
+          go (i + 2) depth true
+      | '"' ->
+          Buffer.add_char buf ' ';
+          go (i + 1) depth false
+      | '\n' ->
+          Buffer.add_char buf '\n';
+          go (i + 1) depth true
+      | _ ->
+          Buffer.add_char buf ' ';
+          go (i + 1) depth true
+    end
+    else if depth > 0 then begin
+      if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+        Buffer.add_string buf "  ";
+        go (i + 2) (depth + 1) false
+      end
+      else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
+        Buffer.add_string buf "  ";
+        go (i + 2) (depth - 1) false
+      end
+      else begin
+        Buffer.add_char buf (if src.[i] = '\n' then '\n' else ' ');
+        go (i + 1) depth false
+      end
+    end
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      Buffer.add_string buf "  ";
+      go (i + 2) 1 false
+    end
+    else if src.[i] = '"' then begin
+      Buffer.add_char buf ' ';
+      go (i + 1) 0 true
+    end
+    else begin
+      Buffer.add_char buf src.[i];
+      go (i + 1) 0 false
+    end
+  in
+  go 0 0 false;
+  Buffer.contents buf
+
+let lines s = String.split_on_char '\n' s
+
+let is_blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
+
+(* Words of a line, splitting on anything that cannot be part of an
+   identifier or keyword. *)
+let words line =
+  let out = ref [] in
+  let cur = Buffer.create 16 in
+  let flush () =
+    if Buffer.length cur > 0 then begin
+      out := Buffer.contents cur :: !out;
+      Buffer.clear cur
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> Buffer.add_char cur c
+      | _ -> flush ())
+    line;
+  flush ();
+  List.rev !out
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+(* A top-level binding begins at column 0..2 with "let"; a handler
+   binding's name starts with handle_/h_ or is init/on_timer. *)
+let binding_name line =
+  let trimmed = String.trim line in
+  let col =
+    let rec first_non_space i =
+      if i >= String.length line then i
+      else match line.[i] with ' ' | '\t' -> first_non_space (i + 1) | _ -> i
+    in
+    first_non_space 0
+  in
+  if col > 2 then None
+  else
+    match words trimmed with
+    | "let" :: "rec" :: name :: _ | "let" :: name :: _ -> Some name
+    | _ -> None
+
+let is_handler_name name =
+  starts_with "handle_" name || starts_with "h_" name || name = "init" || name = "on_timer"
+
+let count_ifs line =
+  List.length (List.filter (fun w -> w = "if") (words line))
+
+let analyze_source ~file src =
+  let stripped = strip src in
+  let all_lines = lines stripped in
+  let loc = List.length (List.filter (fun l -> not (is_blank l)) all_lines) in
+  (* Walk lines tracking whether we are inside a handler region. *)
+  let handlers = ref 0 in
+  let if_else = ref 0 in
+  let in_handler = ref false in
+  List.iter
+    (fun line ->
+      (match binding_name line with
+      | Some name ->
+          if is_handler_name name then begin
+            incr handlers;
+            in_handler := true
+          end
+          else in_handler := false
+      | None -> ());
+      if !in_handler then if_else := !if_else + count_ifs line)
+    all_lines;
+  let handlers = !handlers and if_else = !if_else in
+  {
+    file;
+    loc;
+    handlers;
+    if_else;
+    per_handler = (if handlers = 0 then 0. else float_of_int if_else /. float_of_int handlers);
+  }
+
+let analyze_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  analyze_source ~file:path src
+
+let reduction_percent ~baseline ~improved =
+  if baseline.loc = 0 then 0.
+  else 100. *. (1. -. (float_of_int improved.loc /. float_of_int baseline.loc))
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d LoC, %d handlers, %d if-else (%.2f/handler)" t.file t.loc
+    t.handlers t.if_else t.per_handler

@@ -1,0 +1,34 @@
+(** Source-code metrics for the paper's E1 comparison: lines of code
+    and if-else statements per handler, computed over this repository's
+    own OCaml sources (the paper measured its Mace sources the same
+    way).
+
+    A {e handler region} is a top-level binding whose name starts with
+    [handle_] or [h_], or is [init] or [on_timer] — the message/timer
+    handler bodies of an app module. Complexity is the count of [if]
+    keywords (each carrying its implicit else-arm) per handler
+    region. *)
+
+type t = {
+  file : string;
+  loc : int;  (** non-blank, non-comment lines *)
+  handlers : int;  (** handler regions found *)
+  if_else : int;  (** [if] keywords inside handler regions *)
+  per_handler : float;  (** [if_else / handlers]; 0 when no handlers *)
+}
+
+val strip : string -> string
+(** Source text with comments and string literals blanked out
+    (structure preserved); exposed for tests. *)
+
+val analyze_source : file:string -> string -> t
+(** Analyses source text given verbatim. *)
+
+val analyze_file : string -> t
+(** Reads and analyses an [.ml] file.
+    @raise Sys_error if the file cannot be read. *)
+
+val reduction_percent : baseline:t -> improved:t -> float
+(** Percentage LoC decrease from [baseline] to [improved]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type align = Left | Right
+
+let pad align width s =
+  let missing = width - String.length s in
+  if missing <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+
+let table ?align ~title ~header rows =
+  let cols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= cols then row else row @ List.init (cols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    match align with
+    | Some a when List.length a = cols -> a
+    | Some _ | None -> List.init cols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h)
+          rows)
+      header
+  in
+  let render_row row =
+    let cells =
+      List.mapi (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell) row
+    in
+    "  " ^ String.concat "  " cells
+  in
+  let rule = String.make (String.length title) '-' in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n" ^ rule ^ "\n");
+  Buffer.add_string buf (render_row header ^ "\n");
+  Buffer.add_string buf
+    (render_row (List.map (fun w -> String.make w '-') widths) ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print ?align ~title ~header rows = print_string (table ?align ~title ~header rows)
+let fint = string_of_int
+let ffloat ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let fopt_int = function Some i -> string_of_int i | None -> "-"

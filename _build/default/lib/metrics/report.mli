@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the benchmark harness — one table
+    per reproduced experiment, in the shape the paper reports it. *)
+
+type align = Left | Right
+
+val table :
+  ?align:align list ->
+  title:string ->
+  header:string list ->
+  string list list ->
+  string
+(** Renders an aligned table with a title rule. Rows shorter than the
+    header are padded with empty cells. [align] defaults to [Left] for
+    the first column and [Right] for the rest. *)
+
+val print : ?align:align list -> title:string -> header:string list -> string list list -> unit
+(** [table] followed by [print_string]. *)
+
+val fint : int -> string
+val ffloat : ?decimals:int -> float -> string
+val fopt_int : int option -> string

@@ -1,0 +1,80 @@
+type message = { at_ms : float; src : int; dst : int; kind : string }
+
+let lane_width = 12
+
+let render ?(max_messages = 100) messages =
+  let participants =
+    List.sort_uniq Int.compare (List.concat_map (fun m -> [ m.src; m.dst ]) messages)
+  in
+  match participants with
+  | [] -> "(no messages)\n"
+  | _ ->
+      let lane_of =
+        let table = Hashtbl.create 16 in
+        List.iteri (fun i p -> Hashtbl.replace table p i) participants;
+        fun p -> Hashtbl.find table p
+      in
+      let n = List.length participants in
+      let time_col = 10 in
+      let width = time_col + (n * lane_width) in
+      let buf = Buffer.create 1024 in
+      (* Header: participant labels centred on their lanes. *)
+      let header = Bytes.make width ' ' in
+      List.iteri
+        (fun i p ->
+          let label = Printf.sprintf "n%d" p in
+          let centre = time_col + (i * lane_width) + (lane_width / 2) in
+          let start = max 0 (centre - (String.length label / 2)) in
+          String.iteri
+            (fun j c -> if start + j < width then Bytes.set header (start + j) c)
+            label)
+        participants;
+      Buffer.add_string buf (Bytes.to_string header);
+      Buffer.add_char buf '\n';
+      let shown = ref 0 in
+      List.iter
+        (fun m ->
+          if !shown < max_messages then begin
+            incr shown;
+            let row = Bytes.make width ' ' in
+            (* Time gutter. *)
+            let time = Printf.sprintf "%8.1fms" m.at_ms in
+            String.iteri (fun j c -> if j < time_col then Bytes.set row j c) time;
+            (* Idle lanes. *)
+            List.iteri
+              (fun i _ ->
+                Bytes.set row (time_col + (i * lane_width) + (lane_width / 2)) '|')
+              participants;
+            let col p = time_col + (lane_of p * lane_width) + (lane_width / 2) in
+            if m.src = m.dst then begin
+              (* Self-delivery. *)
+              let c = col m.src in
+              Bytes.set row c 'o';
+              let label = " " ^ m.kind ^ " (self)" in
+              String.iteri
+                (fun j ch -> if c + 1 + j < width then Bytes.set row (c + 1 + j) ch)
+                label
+            end
+            else begin
+              let a = col m.src and b = col m.dst in
+              let lo = min a b and hi = max a b in
+              for j = lo + 1 to hi - 1 do
+                Bytes.set row j '-'
+              done;
+              Bytes.set row a 'o';
+              Bytes.set row b (if b > a then '>' else '<');
+              (* Kind label centred on the arrow. *)
+              let centre = (lo + hi) / 2 in
+              let start = max (lo + 1) (centre - (String.length m.kind / 2)) in
+              String.iteri
+                (fun j ch -> if start + j < hi then Bytes.set row (start + j) ch)
+                m.kind
+            end;
+            Buffer.add_string buf (Bytes.to_string row);
+            Buffer.add_char buf '\n'
+          end)
+        messages;
+      let total = List.length messages in
+      if total > max_messages then
+        Buffer.add_string buf (Printf.sprintf "... (%d more messages)\n" (total - max_messages));
+      Buffer.contents buf

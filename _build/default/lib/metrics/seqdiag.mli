@@ -1,0 +1,16 @@
+(** ASCII message sequence diagrams from an engine's message log. *)
+
+type message = { at_ms : float; src : int; dst : int; kind : string }
+
+val render : ?max_messages:int -> message list -> string
+(** One lane per participant (sorted by id), one row per message:
+
+    {v
+            n0        n1        n2
+     12.3ms  o---join--->         |
+     15.1ms  |          o--ack---->
+    v}
+
+    Self-sends render as a [loop] marker on the lane. At most
+    [max_messages] rows (default 100) are rendered, oldest first; a
+    truncation note follows if more were supplied. *)

@@ -1,0 +1,61 @@
+type node = { id : int; children : node list }
+
+let of_parents pairs =
+  let ids = List.map fst pairs in
+  let children_of parent =
+    List.sort Int.compare
+      (List.filter_map
+         (fun (n, p) -> match p with Some q when q = parent -> Some n | _ -> None)
+         pairs)
+  in
+  let module Iset = Set.Make (Int) in
+  let rec build visited id =
+    if Iset.mem id visited then { id; children = [] }
+    else
+      let visited = Iset.add id visited in
+      { id; children = List.map (build visited) (children_of id) }
+  in
+  let is_root (_, p) =
+    match p with None -> true | Some q -> not (List.mem q ids)
+  in
+  List.map (fun (n, _) -> build Iset.empty n) (List.filter is_root pairs)
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let render ?(max_width = 100) roots =
+  let buf = Buffer.create 256 in
+  let add line =
+    let line =
+      if String.length line > max_width then String.sub line 0 max_width else line
+    in
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  let rec walk prefix is_last node =
+    let connector = if is_last then "└── " else "├── " in
+    add (prefix ^ connector ^ string_of_int node.id);
+    let child_prefix = prefix ^ if is_last then "    " else "│   " in
+    let rec children = function
+      | [] -> ()
+      | [ last ] -> walk child_prefix true last
+      | c :: rest ->
+          walk child_prefix false c;
+          children rest
+    in
+    children node.children
+  in
+  List.iter
+    (fun root ->
+      add (string_of_int root.id);
+      let rec top = function
+        | [] -> ()
+        | [ last ] -> walk "" true last
+        | c :: rest ->
+            walk "" false c;
+            top rest
+      in
+      top root.children)
+    roots;
+  Buffer.contents buf
+
+let rec depth node =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 node.children

@@ -1,0 +1,23 @@
+(** ASCII rendering of parent-pointer trees — the overlay examples and
+    debugging sessions want to {e see} the tree, not infer it from a
+    depth number. *)
+
+type node = { id : int; children : node list }
+
+val of_parents : (int * int option) list -> node list
+(** Builds the forest from (node, parent) pairs; roots are nodes with
+    no parent (or whose parent is absent). Children are ordered by id.
+    Cycles are broken by treating the smallest-id member reached twice
+    as already placed. *)
+
+val render : ?max_width:int -> node list -> string
+(** Classic box-drawing tree, one root per block:
+    {v
+    0
+    ├── 1
+    │   └── 3
+    └── 2
+    v} *)
+
+val depth : node -> int
+(** Depth of the deepest leaf; a single node has depth 1. *)

@@ -1,0 +1,1 @@
+lib/net/linkprop.ml: Float Format

@@ -1,0 +1,1 @@
+lib/net/netem.ml: Dsim Float Hashtbl Linkprop Option Topology

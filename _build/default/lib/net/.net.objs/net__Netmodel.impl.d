@@ -1,0 +1,1 @@
+lib/net/netmodel.ml: Dsim Float Hashtbl Linkprop List

@@ -1,0 +1,1 @@
+lib/net/netmodel.mli: Dsim Linkprop

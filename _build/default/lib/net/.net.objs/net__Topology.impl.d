@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Dsim Int64 Linkprop List

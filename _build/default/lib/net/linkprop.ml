@@ -1,0 +1,36 @@
+(** End-to-end path properties between two endpoints.
+
+    [latency] is one-way propagation delay in seconds, [bandwidth] is
+    the bottleneck capacity in bytes per second, [loss] is the
+    end-to-end drop probability in [0,1]. *)
+
+type t = { latency : float; bandwidth : float; loss : float }
+
+let v ~latency ~bandwidth ~loss =
+  if latency < 0. then invalid_arg "Linkprop.v: negative latency";
+  if bandwidth <= 0. then invalid_arg "Linkprop.v: bandwidth must be positive";
+  if loss < 0. || loss > 1. then invalid_arg "Linkprop.v: loss out of [0,1]";
+  { latency; bandwidth; loss }
+
+(** Series composition of two path segments: latencies add, the
+    narrower link bounds bandwidth, losses compose independently. *)
+let compose a b =
+  {
+    latency = a.latency +. b.latency;
+    bandwidth = Float.min a.bandwidth b.bandwidth;
+    loss = 1. -. ((1. -. a.loss) *. (1. -. b.loss));
+  }
+
+let ideal = { latency = 0.; bandwidth = Float.max_float; loss = 0. }
+
+(** Time for [bytes] to cross the path: propagation plus transmission. *)
+let transfer_time t ~bytes = t.latency +. (float_of_int bytes /. t.bandwidth)
+
+let equal a b =
+  Float.equal a.latency b.latency
+  && Float.equal a.bandwidth b.bandwidth
+  && Float.equal a.loss b.loss
+
+let pp ppf t =
+  Format.fprintf ppf "{lat=%.1fms bw=%.0fKB/s loss=%.3f}" (t.latency *. 1000.)
+    (t.bandwidth /. 1024.) t.loss

@@ -1,0 +1,107 @@
+type verdict = Deliver of float | Drop of string
+
+type t = {
+  topo : Topology.t;
+  jitter : float;
+  serialize_access : bool;
+  rng : Dsim.Rng.t;
+  overrides : (int * int, Linkprop.t) Hashtbl.t;
+  isolated : (int, unit) Hashtbl.t;
+  uplink_free : (int, float) Hashtbl.t;  (* endpoint -> time its uplink frees up *)
+  downlink_free : (int, float) Hashtbl.t;
+}
+
+let create ?(jitter = 0.05) ?(serialize_access = true) ~rng topo =
+  if jitter < 0. then invalid_arg "Netem.create: negative jitter";
+  {
+    topo;
+    jitter;
+    serialize_access;
+    rng;
+    overrides = Hashtbl.create 64;
+    isolated = Hashtbl.create 16;
+    uplink_free = Hashtbl.create 64;
+    downlink_free = Hashtbl.create 64;
+  }
+
+let topology t = t.topo
+
+let copy t =
+  {
+    t with
+    rng = Dsim.Rng.copy t.rng;
+    overrides = Hashtbl.copy t.overrides;
+    isolated = Hashtbl.copy t.isolated;
+    uplink_free = Hashtbl.copy t.uplink_free;
+    downlink_free = Hashtbl.copy t.downlink_free;
+  }
+
+let blackhole = Linkprop.v ~latency:0.001 ~bandwidth:1. ~loss:1.
+
+let path t ~src ~dst =
+  if Hashtbl.mem t.isolated src || Hashtbl.mem t.isolated dst then blackhole
+  else
+    match Hashtbl.find_opt t.overrides (src, dst) with
+    | Some p -> p
+    | None -> Topology.path t.topo src dst
+
+(* Occupies [endpoint]'s link (up or down) for [tx] seconds starting no
+   earlier than [now]; returns the extra queueing delay incurred. *)
+let enqueue table endpoint ~now ~tx =
+  let free_at = Option.value ~default:now (Hashtbl.find_opt table endpoint) in
+  let start = Float.max now free_at in
+  Hashtbl.replace table endpoint (start +. tx);
+  start -. now
+
+let judge t ~now ~src ~dst ~bytes =
+  let p = path t ~src ~dst in
+  if Dsim.Rng.uniform t.rng < p.Linkprop.loss then Drop "loss"
+  else begin
+    let tx = float_of_int bytes /. p.Linkprop.bandwidth in
+    let queueing =
+      if not t.serialize_access then 0.
+      else
+        let up = enqueue t.uplink_free src ~now ~tx in
+        let down = enqueue t.downlink_free dst ~now:(now +. up) ~tx in
+        up +. down
+    in
+    let base = p.Linkprop.latency +. tx +. queueing in
+    let noise =
+      if t.jitter = 0. then 1.
+      else
+        (* Clamp multiplicative noise so delays never go negative. *)
+        Float.max 0.1 (1. +. (t.jitter *. ((2. *. Dsim.Rng.uniform t.rng) -. 1.)))
+    in
+    Deliver (base *. noise)
+  end
+
+let occupy_access t ~endpoint ~now ~bytes =
+  if t.serialize_access then begin
+    (* Access bandwidth approximated by the endpoint's cheapest outgoing
+       path (its own access link bounds every path). *)
+    let n = Topology.size t.topo in
+    let bw = ref infinity in
+    for other = 0 to n - 1 do
+      if other <> endpoint then begin
+        let p = path t ~src:endpoint ~dst:other in
+        if p.Linkprop.bandwidth < !bw then bw := p.Linkprop.bandwidth
+      end
+    done;
+    let bw = if Float.is_finite !bw then !bw else 1_000_000. in
+    let tx = float_of_int bytes /. bw in
+    ignore (enqueue t.uplink_free endpoint ~now ~tx);
+    ignore (enqueue t.downlink_free endpoint ~now ~tx)
+  end
+
+let set_override t ~src ~dst p = Hashtbl.replace t.overrides (src, dst) p
+let clear_override t ~src ~dst = Hashtbl.remove t.overrides (src, dst)
+let cut t ~src ~dst = set_override t ~src ~dst blackhole
+
+let cut_bidirectional t a b =
+  cut t ~src:a ~dst:b;
+  cut t ~src:b ~dst:a
+
+let heal t ~src ~dst = clear_override t ~src ~dst
+let isolate t e = Hashtbl.replace t.isolated e ()
+let rejoin t e = Hashtbl.remove t.isolated e
+let is_isolated t e = Hashtbl.mem t.isolated e

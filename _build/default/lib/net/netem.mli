@@ -1,0 +1,62 @@
+(** Network emulator: turns a static {!Topology} into per-message
+    delivery decisions, with dynamic overrides for experiments
+    (degraded links, partitions, crashed endpoints).
+
+    This is the ModelNet substitute: the engine asks it, for each
+    outbound message, whether the message arrives and after how long. *)
+
+type t
+
+type verdict =
+  | Deliver of float  (** arrives after this many seconds *)
+  | Drop of string  (** lost; the string names the cause *)
+
+val create : ?jitter:float -> ?serialize_access:bool -> rng:Dsim.Rng.t -> Topology.t -> t
+(** [jitter] is the standard deviation of multiplicative delay noise
+    (default 0.05, i.e. ±5%); set 0. for fully deterministic delays.
+    [serialize_access] (default true) models each endpoint's access
+    link as a FIFO queue: concurrent transmissions share the uplink
+    (and the receiver's downlink) instead of enjoying it in parallel —
+    this is what makes a choked seed a real bottleneck. *)
+
+val topology : t -> Topology.t
+
+val copy : t -> t
+(** Independent copy (own RNG and override tables) used when forking a
+    simulation for lookahead. *)
+
+val judge : t -> now:float -> src:int -> dst:int -> bytes:int -> verdict
+(** Delivery decision for one message sent at time [now] (seconds).
+    Consults overrides, then the topology path, then queues the
+    transmission on both access links, then samples loss and jitter. *)
+
+val path : t -> src:int -> dst:int -> Linkprop.t
+(** Effective path after overrides — what a measurement would see. *)
+
+val occupy_access : t -> endpoint:int -> now:float -> bytes:int -> unit
+(** Charges background control traffic (e.g. runtime checkpoints) to
+    the endpoint's access links: both its uplink and downlink are busy
+    for the transmission time of [bytes] at the endpoint's access
+    bandwidth, delaying subsequent application messages. No-op when
+    access serialization is disabled. *)
+
+val set_override : t -> src:int -> dst:int -> Linkprop.t -> unit
+(** Pins the directed pair to an explicit property. *)
+
+val clear_override : t -> src:int -> dst:int -> unit
+
+val cut : t -> src:int -> dst:int -> unit
+(** Makes the directed pair lossy with probability 1 (a partition). *)
+
+val cut_bidirectional : t -> int -> int -> unit
+
+val heal : t -> src:int -> dst:int -> unit
+(** Removes any override, restoring the topology path. *)
+
+val isolate : t -> int -> unit
+(** Cuts every pair touching the endpoint, both directions. *)
+
+val rejoin : t -> int -> unit
+(** Heals every pair touching the endpoint. *)
+
+val is_isolated : t -> int -> bool

@@ -1,0 +1,126 @@
+type estimate = {
+  value : float;
+  confidence : float;
+  samples : int;
+  last_update : Dsim.Vtime.t option;
+}
+
+type cell = { mutable ewma : float; mutable n : int; mutable at : Dsim.Vtime.t }
+
+type t = {
+  alpha : float;
+  half_life : float;
+  latencies : (int * int, cell) Hashtbl.t;
+  bandwidths : (int * int, cell) Hashtbl.t;
+  losses : (int * int, cell) Hashtbl.t;
+}
+
+let create ?(alpha = 0.3) ?(half_life = 30.) () =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Netmodel.create: alpha out of (0,1]";
+  if half_life <= 0. then invalid_arg "Netmodel.create: half_life must be positive";
+  {
+    alpha;
+    half_life;
+    latencies = Hashtbl.create 64;
+    bandwidths = Hashtbl.create 64;
+    losses = Hashtbl.create 64;
+  }
+
+let copy t =
+  let deep table =
+    let fresh = Hashtbl.create (Hashtbl.length table) in
+    Hashtbl.iter (fun k (c : cell) -> Hashtbl.replace fresh k { c with ewma = c.ewma }) table;
+    fresh
+  in
+  {
+    t with
+    latencies = deep t.latencies;
+    bandwidths = deep t.bandwidths;
+    losses = deep t.losses;
+  }
+
+let observe t table ~src ~dst now x =
+  let key = (src, dst) in
+  match Hashtbl.find_opt table key with
+  | None -> Hashtbl.replace table key { ewma = x; n = 1; at = now }
+  | Some c ->
+      c.ewma <- ((1. -. t.alpha) *. c.ewma) +. (t.alpha *. x);
+      c.n <- c.n + 1;
+      c.at <- now
+
+let observe_latency t ~src ~dst now x = observe t t.latencies ~src ~dst now x
+let observe_bandwidth t ~src ~dst now x = observe t t.bandwidths ~src ~dst now x
+
+let observe_loss t ~src ~dst now ~delivered =
+  observe t t.losses ~src ~dst now (if delivered then 0. else 1.)
+
+let no_estimate = { value = 0.; confidence = 0.; samples = 0; last_update = None }
+
+let read t table ~src ~dst ~now =
+  match Hashtbl.find_opt table (src, dst) with
+  | None -> no_estimate
+  | Some c ->
+      let age = Float.max 0. (Dsim.Vtime.diff now c.at) in
+      let confidence = exp (-.age *. log 2. /. t.half_life) in
+      { value = c.ewma; confidence; samples = c.n; last_update = Some c.at }
+
+let latency t ~src ~dst ~now = read t t.latencies ~src ~dst ~now
+let bandwidth t ~src ~dst ~now = read t t.bandwidths ~src ~dst ~now
+let loss t ~src ~dst ~now = read t t.losses ~src ~dst ~now
+
+let predict_path t ~src ~dst ~now =
+  let l = latency t ~src ~dst ~now in
+  if l.samples = 0 then None
+  else
+    let bw =
+      let b = bandwidth t ~src ~dst ~now in
+      if b.samples = 0 then 1_048_576. else Float.max 1. b.value
+    in
+    let p =
+      let x = loss t ~src ~dst ~now in
+      if x.samples = 0 then 0. else Float.min 1. (Float.max 0. x.value)
+    in
+    Some (Linkprop.v ~latency:(Float.max 0. l.value) ~bandwidth:bw ~loss:p)
+
+let predict_transfer_time t ~src ~dst ~now ~bytes =
+  match predict_path t ~src ~dst ~now with
+  | None -> None
+  | Some p ->
+      let once = Linkprop.transfer_time p ~bytes in
+      (* Expected attempts under independent drops: 1 / (1 - loss). *)
+      let retries = if p.Linkprop.loss >= 0.999 then 1000. else 1. /. (1. -. p.Linkprop.loss) in
+      Some (once *. retries)
+
+let known_pairs t =
+  let keys table = Hashtbl.fold (fun k _ acc -> k :: acc) table [] in
+  List.sort_uniq compare (keys t.latencies @ keys t.bandwidths @ keys t.losses)
+
+let forget_before t cutoff =
+  let prune table =
+    let stale =
+      Hashtbl.fold (fun k c acc -> if Dsim.Vtime.(c.at < cutoff) then k :: acc else acc) table []
+    in
+    List.iter (Hashtbl.remove table) stale
+  in
+  prune t.latencies;
+  prune t.bandwidths;
+  prune t.losses
+
+let merge_from dst src ~now =
+  let merge_table mine theirs =
+    Hashtbl.iter
+      (fun key (c : cell) ->
+        let import () = Hashtbl.replace mine key { ewma = c.ewma; n = c.n; at = c.at } in
+        match Hashtbl.find_opt mine key with
+        | None -> import ()
+        | Some existing ->
+            let conf (cell : cell) =
+              let age = Float.max 0. (Dsim.Vtime.diff now cell.at) in
+              exp (-.age *. log 2. /. dst.half_life)
+            in
+            if conf c > conf existing then import ())
+      theirs
+  in
+  merge_table dst.latencies src.latencies;
+  merge_table dst.bandwidths src.bandwidths;
+  merge_table dst.losses src.losses

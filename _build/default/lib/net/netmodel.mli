@@ -1,0 +1,61 @@
+(** Measured network model — the iPlane substitute (paper §3.3).
+
+    Applications and the runtime feed passive observations (per-message
+    latency samples, transfer throughputs, losses) into one shared
+    store per node; any component may then ask for a prediction. Each
+    estimate is an exponentially-weighted moving average tagged with
+    the virtual time of its last update; {!confidence} decays with age,
+    implementing the paper's "incorporate confidence in the information
+    as a function of its age". *)
+
+type t
+
+type estimate = {
+  value : float;
+  confidence : float;  (** in [0,1]; 0 = never measured or stale *)
+  samples : int;
+  last_update : Dsim.Vtime.t option;
+}
+
+val create : ?alpha:float -> ?half_life:float -> unit -> t
+(** [alpha] is the EWMA weight of a new sample (default 0.3);
+    [half_life] is the confidence half-life in virtual seconds
+    (default 30.). *)
+
+val copy : t -> t
+(** Independent copy used when forking a simulation for lookahead, so
+    speculative observations never pollute the real model. *)
+
+val observe_latency : t -> src:int -> dst:int -> Dsim.Vtime.t -> float -> unit
+(** Records a one-way latency sample, in seconds. *)
+
+val observe_bandwidth : t -> src:int -> dst:int -> Dsim.Vtime.t -> float -> unit
+(** Records an achieved-throughput sample, in bytes/second. *)
+
+val observe_loss : t -> src:int -> dst:int -> Dsim.Vtime.t -> delivered:bool -> unit
+(** Records a delivery outcome; the loss estimate is an EWMA of the
+    0/1 drop indicator. *)
+
+val latency : t -> src:int -> dst:int -> now:Dsim.Vtime.t -> estimate
+val bandwidth : t -> src:int -> dst:int -> now:Dsim.Vtime.t -> estimate
+val loss : t -> src:int -> dst:int -> now:Dsim.Vtime.t -> estimate
+
+val predict_path : t -> src:int -> dst:int -> now:Dsim.Vtime.t -> Linkprop.t option
+(** Combined path prediction; [None] until a latency sample exists.
+    Missing bandwidth defaults to 1 MB/s, missing loss to 0. *)
+
+val predict_transfer_time : t -> src:int -> dst:int -> now:Dsim.Vtime.t -> bytes:int -> float option
+(** Expected transfer time for a message of [bytes], inflated by the
+    expected number of retries implied by the loss estimate. *)
+
+val known_pairs : t -> (int * int) list
+(** Directed pairs with at least one observation of any kind. *)
+
+val forget_before : t -> Dsim.Vtime.t -> unit
+(** Drops every estimate last updated strictly before the cutoff. *)
+
+val merge_from : t -> t -> now:Dsim.Vtime.t -> unit
+(** [merge_from dst src ~now] imports [src]'s estimates into [dst],
+    keeping whichever side has higher confidence at [now] — this is how
+    a node benefits from measurements shared by the information
+    plane. *)

@@ -1,0 +1,1 @@
+lib/proto/action.ml: Format Node_id

@@ -1,0 +1,1 @@
+lib/proto/app_intf.ml: Action Core Ctx Format Handler Node_id View

@@ -1,0 +1,1 @@
+lib/proto/ctx.ml: Core Dsim Net Node_id

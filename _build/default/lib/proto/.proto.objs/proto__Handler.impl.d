@@ -1,0 +1,1 @@
+lib/proto/handler.ml: Action Ctx List Node_id

@@ -1,0 +1,1 @@
+lib/proto/view.ml: Dsim List Node_id

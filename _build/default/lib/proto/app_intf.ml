@@ -1,0 +1,51 @@
+(** The application signature — what a protocol must provide to run on
+    the engine (the Mace-framework substitute).
+
+    A node is a state machine: [init] produces the boot state, guarded
+    {!Handler.t}s consume messages, [on_timer] consumes timer fires.
+    Handlers are pure ([state] must be immutable); all effects travel
+    through the returned {!Action.t} list. This purity is load-bearing:
+    it makes checkpoints O(1) and lets the model checker and the
+    lookahead machinery clone and replay executions freely. *)
+
+module type APP = sig
+  type state
+  type msg
+
+  val name : string
+
+  val equal_state : state -> state -> bool
+  (** Structural equality; used by the explorer to deduplicate visited
+      global states. *)
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val msg_kind : msg -> string
+  (** Coarse message class, e.g. ["join"]. Names the implicit handler
+      choice and keys event filters installed by execution steering. *)
+
+  val msg_bytes : msg -> int
+  (** Wire size used by the network emulator for transmission delay. *)
+
+  val init : Ctx.t -> state * msg Action.t list
+  (** Boot: runs once when the node joins the system. *)
+
+  val receive : (state, msg) Handler.t list
+  (** Guarded handlers; several may apply to one message (NFA style). *)
+
+  val on_timer : Ctx.t -> state -> string -> state * msg Action.t list
+
+  val properties : (state, msg) View.t Core.Property.t list
+  (** Exposed safety/liveness properties (§3.2). *)
+
+  val objectives : (state, msg) View.t Core.Objective.t list
+  (** Exposed performance objectives (§3.2); higher is better. *)
+
+  val generic_msgs : state -> (Node_id.t * msg) list
+  (** Messages an under-specified {e generic node} (§3.3.2) could
+      plausibly send to a node in [state], as (sender, message) pairs
+      with a fictitious sender id. Bounded and typically small; the
+      explorer injects these to look beyond the collected
+      neighbourhood. Return [[]] to disable. *)
+end

@@ -1,0 +1,34 @@
+(** Per-invocation handler context.
+
+    The context is the only channel through which a handler touches the
+    runtime: the current virtual time, a deterministic random stream,
+    the shared network model (read-only, for building features), and —
+    centrally — [choose], which submits a {!Core.Choice.t} to the
+    installed resolver. The [choose] field is polymorphic so one
+    context serves choices over any value type. *)
+
+type t = {
+  self : Node_id.t;
+  now : Dsim.Vtime.t;
+  rng : Dsim.Rng.t;
+  net : Net.Netmodel.t;
+  choose : 'a. 'a Core.Choice.t -> 'a;
+}
+
+(** Convenience: expected transfer time in milliseconds to [dst] for a
+    [bytes]-sized message according to the network model; [default_ms]
+    when the model has no data. Handlers use this to build choice
+    features such as [("rtt_ms", …)]. *)
+let predicted_ms ?(bytes = 512) ?(default_ms = 50.) t dst =
+  match
+    Net.Netmodel.predict_transfer_time t.net ~src:(Node_id.to_int t.self)
+      ~dst:(Node_id.to_int dst) ~now:t.now ~bytes
+  with
+  | Some s -> s *. 1000.
+  | None -> default_ms
+
+(** Confidence of the latency estimate towards [dst] (0 when unknown). *)
+let link_confidence t dst =
+  (Net.Netmodel.latency t.net ~src:(Node_id.to_int t.self) ~dst:(Node_id.to_int dst)
+     ~now:t.now)
+    .Net.Netmodel.confidence

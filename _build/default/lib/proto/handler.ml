@@ -1,0 +1,19 @@
+(** Guarded message handlers — the NFA style of §3.1.
+
+    An application registers a list of handlers for incoming messages.
+    On delivery the engine evaluates every guard; if several handlers
+    are applicable the ambiguity itself becomes a choice (label
+    ["handler"]) resolved by the installed resolver. Writing several
+    small guarded handlers instead of one monolithic one is exactly the
+    simplification the paper advocates. *)
+
+type ('state, 'msg) t = {
+  name : string;
+  guard : 'state -> src:Node_id.t -> 'msg -> bool;
+  handle : Ctx.t -> 'state -> src:Node_id.t -> 'msg -> 'state * 'msg Action.t list;
+}
+
+let v ?(guard = fun _ ~src:_ _ -> true) ~name handle = { name; guard; handle }
+
+let applicable handlers state ~src msg =
+  List.filter (fun h -> h.guard state ~src msg) handlers

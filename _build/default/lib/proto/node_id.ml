@@ -1,0 +1,20 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Node_id.of_int: negative";
+  i
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp ppf t = Format.fprintf ppf "n%d" t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

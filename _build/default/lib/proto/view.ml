@@ -1,0 +1,34 @@
+(** Global views: what properties and objectives are evaluated on.
+
+    In the simulation engine the view is exact; in the CrystalBall
+    runtime it is reconstructed from collected checkpoints and may be
+    partial and stale — the same property and objective code runs on
+    both, as the paper requires. *)
+
+type ('state, 'msg) t = {
+  time : Dsim.Vtime.t;
+  nodes : (Node_id.t * 'state) list;  (** live nodes, ascending id *)
+  inflight : (Node_id.t * Node_id.t * 'msg) list;  (** (src, dst, msg) *)
+}
+
+let find t id =
+  List.find_map (fun (i, s) -> if Node_id.equal i id then Some s else None) t.nodes
+
+let node_count t = List.length t.nodes
+let inflight_count t = List.length t.inflight
+let ids t = List.map fst t.nodes
+
+(** Fold over node states. *)
+let fold f acc t = List.fold_left (fun acc (id, s) -> f acc id s) acc t.nodes
+
+(** Restrict to a subset of nodes — used to build the partial views the
+    runtime reconstructs from a checkpoint neighbourhood. *)
+let restrict t keep =
+  {
+    t with
+    nodes = List.filter (fun (id, _) -> Node_id.Set.mem id keep) t.nodes;
+    inflight =
+      List.filter
+        (fun (a, b, _) -> Node_id.Set.mem a keep && Node_id.Set.mem b keep)
+        t.inflight;
+  }

@@ -1,0 +1,1 @@
+lib/runtime/crystal.ml: Config Dsim Engine Float Format List Mc Net Proto String Wire

@@ -1,0 +1,1 @@
+lib/runtime/crystal.mli: Config Dsim Engine Mc Proto Wire

@@ -1,0 +1,1 @@
+lib/runtime/playbook.ml: Core Engine Option Proto

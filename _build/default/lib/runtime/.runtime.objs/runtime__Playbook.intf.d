@@ -1,0 +1,1 @@
+lib/runtime/playbook.mli: Core Engine Net Proto

@@ -1,0 +1,216 @@
+module Make (App : Proto.App_intf.APP) = struct
+  module E = Engine.Sim.Make (App)
+  module Ex = Mc.Explorer.Make (App)
+  module St = Mc.Steering.Make (App)
+
+  type checkpoint = { taken_at : Dsim.Vtime.t; view : (App.state, App.msg) Proto.View.t }
+
+  type live_veto = { veto : St.veto; expires : Dsim.Vtime.t }
+
+  type report = {
+    checkpoints_taken : int;
+    steering_rounds : int;
+    vetoes_installed : int;
+    cannot_steer : int;
+    worlds_explored : int;
+    checkpoint_bytes : int;
+  }
+
+  type t = {
+    cfg : Config.t;
+    eng : E.t;
+    neighbors : App.state -> Proto.Node_id.t list;
+    codec : App.state Wire.Codec.t option;
+    mutable checkpoint_bytes : int;
+    mutable checkpoints : checkpoint list;  (* newest first *)
+    mutable next_checkpoint : Dsim.Vtime.t;
+    mutable next_steer : Dsim.Vtime.t;
+    mutable vetoes : live_veto list;
+    mutable verdicts : (Dsim.Vtime.t * St.verdict) list;
+    mutable n_checkpoints : int;
+    mutable n_rounds : int;
+    mutable n_vetoes : int;
+    mutable n_cannot : int;
+    mutable n_worlds : int;
+  }
+
+  let collect_checkpoint t =
+    let view = E.global_view t.eng in
+    t.checkpoints <- { taken_at = E.now t.eng; view } :: t.checkpoints;
+    t.n_checkpoints <- t.n_checkpoints + 1;
+    (* When the app provides a state codec, checkpoint dissemination is
+       charged to the emulated network: each node ships its serialized
+       state to every neighbour, contending with application traffic on
+       its access link (paper §3.3.2's communication-overhead limit). *)
+    (match t.codec with
+    | None -> ()
+    | Some codec ->
+        let now_s = Dsim.Vtime.to_seconds (E.now t.eng) in
+        List.iter
+          (fun (id, state) ->
+            let per_copy = Wire.Codec.size codec state + 32 in
+            let copies = max 1 (List.length (t.neighbors state)) in
+            let bytes = per_copy * copies in
+            t.checkpoint_bytes <- t.checkpoint_bytes + bytes;
+            Net.Netem.occupy_access (E.netem t.eng)
+              ~endpoint:(Proto.Node_id.to_int id) ~now:now_s ~bytes)
+          view.Proto.View.nodes);
+    (* Trim history. *)
+    let rec take n = function
+      | [] -> []
+      | c :: rest -> if n = 0 then [] else c :: take (n - 1) rest
+    in
+    t.checkpoints <- take t.cfg.history t.checkpoints
+
+  let attach ?(config = Config.default) ?codec ~neighbors eng =
+    let cfg = Config.validate config in
+    let t =
+      {
+        cfg;
+        eng;
+        neighbors;
+        codec;
+        checkpoint_bytes = 0;
+        checkpoints = [];
+        next_checkpoint = Dsim.Vtime.add (E.now eng) cfg.checkpoint_period;
+        next_steer = Dsim.Vtime.add (E.now eng) cfg.steer_period;
+        vetoes = [];
+        verdicts = [];
+        n_checkpoints = 0;
+        n_rounds = 0;
+        n_vetoes = 0;
+        n_cannot = 0;
+        n_worlds = 0;
+      }
+    in
+    (* The controller snapshots immediately on attach so a usable (if
+       possibly empty) view exists as soon as the collection delay has
+       elapsed. *)
+    collect_checkpoint t;
+    t
+
+  let engine t = t.eng
+
+  (* A checkpoint is usable once the emulated collection delay has
+     elapsed — until then the controller is still gathering it. *)
+  let usable_checkpoints t =
+    let now = E.now t.eng in
+    List.filter
+      (fun c -> Dsim.Vtime.diff now c.taken_at >= t.cfg.checkpoint_delay)
+      t.checkpoints
+
+  let latest_view t =
+    match usable_checkpoints t with [] -> None | c :: _ -> Some c.view
+
+  let neighborhood_view t ~of_node =
+    match E.state_of t.eng of_node with
+    | None -> None
+    | Some own_state -> (
+        match latest_view t with
+        | None -> None
+        | Some stale ->
+            let hood = Proto.Node_id.Set.of_list (t.neighbors own_state) in
+            let stale_neighbors = Proto.View.restrict stale hood in
+            Some
+              {
+                stale_neighbors with
+                Proto.View.time = E.now t.eng;
+                nodes =
+                  (of_node, own_state)
+                  :: List.filter
+                       (fun (id, _) -> not (Proto.Node_id.equal id of_node))
+                       stale_neighbors.Proto.View.nodes;
+              })
+
+  let refresh_filters t =
+    let now = E.now t.eng in
+    t.vetoes <- List.filter (fun lv -> Dsim.Vtime.(now < lv.expires) ) t.vetoes;
+    E.clear_filters t.eng;
+    List.iter
+      (fun lv ->
+        let v = lv.veto in
+        E.add_filter t.eng ~name:(Format.asprintf "%a" St.pp_veto v)
+          (fun ~kind ~src ~dst ->
+            String.equal kind v.St.kind
+            && Proto.Node_id.equal src v.St.src
+            && Proto.Node_id.equal dst v.St.dst))
+      t.vetoes
+
+  let install_veto t veto =
+    let already =
+      List.exists (fun lv -> lv.veto = veto) t.vetoes
+    in
+    if not already then begin
+      t.vetoes <-
+        { veto; expires = Dsim.Vtime.add (E.now t.eng) t.cfg.filter_ttl } :: t.vetoes;
+      t.n_vetoes <- t.n_vetoes + 1;
+      Dsim.Trace.logf (E.trace t.eng) (E.now t.eng) Dsim.Trace.Info ~component:"crystal"
+        "installing %a" St.pp_veto veto
+    end
+
+  (* One steering round: run consequence prediction from each live
+     node's neighbourhood snapshot; install every veto judged safe. *)
+  let steer t =
+    t.n_rounds <- t.n_rounds + 1;
+    let nodes = E.live_nodes t.eng in
+    List.iter
+      (fun (id, _) ->
+        match neighborhood_view t ~of_node:id with
+        | None -> ()
+        | Some view ->
+            let world = Ex.world_of_view view in
+            let verdict =
+              St.decide ~max_worlds:t.cfg.max_worlds ~include_drops:t.cfg.include_drops
+                ~generic_node:t.cfg.generic_node ~depth:t.cfg.steer_depth world
+            in
+            t.n_worlds <- t.n_worlds + t.cfg.max_worlds;
+            (match verdict with
+            | St.No_violation -> ()
+            | St.Steer vetoes ->
+                t.verdicts <- (E.now t.eng, verdict) :: t.verdicts;
+                List.iter (install_veto t) vetoes
+            | St.Cannot_steer _ ->
+                t.verdicts <- (E.now t.eng, verdict) :: t.verdicts;
+                t.n_cannot <- t.n_cannot + 1))
+      nodes;
+    refresh_filters t
+
+  let tick t =
+    let now = E.now t.eng in
+    if Dsim.Vtime.(t.next_checkpoint <= now) then begin
+      collect_checkpoint t;
+      t.next_checkpoint <- Dsim.Vtime.add now t.cfg.checkpoint_period
+    end;
+    if Dsim.Vtime.(t.next_steer <= now) then begin
+      steer t;
+      t.next_steer <- Dsim.Vtime.add now t.cfg.steer_period
+    end
+    else refresh_filters t
+
+  let run_for t duration =
+    if duration < 0. then invalid_arg "Crystal.run_for: negative duration";
+    let slice = Float.min t.cfg.checkpoint_period t.cfg.steer_period /. 2. in
+    let target = Dsim.Vtime.add (E.now t.eng) duration in
+    let continue = ref true in
+    while !continue do
+      let now = E.now t.eng in
+      if Dsim.Vtime.(target <= now) then continue := false
+      else begin
+        let step = Float.min slice (Dsim.Vtime.diff target now) in
+        E.run_for t.eng step;
+        tick t
+      end
+    done
+
+  let report t =
+    {
+      checkpoints_taken = t.n_checkpoints;
+      steering_rounds = t.n_rounds;
+      vetoes_installed = t.n_vetoes;
+      cannot_steer = t.n_cannot;
+      worlds_explored = t.n_worlds;
+      checkpoint_bytes = t.checkpoint_bytes;
+    }
+
+  let verdict_log t = List.rev t.verdicts
+end

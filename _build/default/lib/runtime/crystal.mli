@@ -1,0 +1,70 @@
+(** The CrystalBall-enabled runtime (paper Figure 1).
+
+    Attached to a running engine, it periodically
+    {ul
+    {- collects checkpoints of every node (kept with an emulated
+       collection delay, so consumers always see a slightly stale,
+       realistically partial view);}
+    {- runs consequence prediction from each node's neighbourhood
+       snapshot and, when a violation is predicted and steering away is
+       safe, installs time-limited event filters into the engine.}}
+
+    Drive it with {!run_for}, which slices the engine's execution into
+    runtime periods — the simulation analogue of the controller thread
+    running beside the service. *)
+
+module Make (App : Proto.App_intf.APP) : sig
+  module E : module type of Engine.Sim.Make (App)
+  module Ex : module type of Mc.Explorer.Make (App)
+  module St : module type of Mc.Steering.Make (App)
+
+  type t
+
+  type report = {
+    checkpoints_taken : int;
+    steering_rounds : int;
+    vetoes_installed : int;
+    cannot_steer : int;
+    worlds_explored : int;
+    checkpoint_bytes : int;
+        (** control traffic charged to the network when a state codec
+            was supplied; 0 otherwise *)
+  }
+
+  val attach :
+    ?config:Config.t ->
+    ?codec:App.state Wire.Codec.t ->
+    neighbors:(App.state -> Proto.Node_id.t list) ->
+    E.t ->
+    t
+  (** [neighbors] extracts a node's protocol neighbourhood from its
+      state (e.g. parent and children for a tree) — the set whose
+      checkpoints the controller collects. When [codec] is given, every
+      collection serializes each node's state and charges
+      [size * |neighbors|] bytes of control traffic to that node's
+      access links, so checkpointing contends with the application
+      (paper §3.3.2). *)
+
+  val engine : t -> E.t
+
+  val tick : t -> unit
+  (** Performs any checkpoint collection and steering round now due.
+      {!run_for} calls this automatically. *)
+
+  val run_for : t -> float -> unit
+  (** Advances the engine by the given virtual duration, interleaving
+      runtime periods. *)
+
+  val latest_view : t -> (App.state, App.msg) Proto.View.t option
+  (** Most recent {e usable} (i.e. old enough to have been collected)
+      global checkpoint view; [None] before the first collection
+      matures. *)
+
+  val neighborhood_view :
+    t -> of_node:Proto.Node_id.t -> (App.state, App.msg) Proto.View.t option
+  (** The stale partial view node [of_node]'s controller would hold:
+      its own current state plus its neighbours' checkpointed states. *)
+
+  val report : t -> report
+  val verdict_log : t -> (Dsim.Vtime.t * St.verdict) list
+end

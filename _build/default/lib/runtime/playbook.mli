@@ -1,0 +1,38 @@
+(** Offline precomputation (paper §3.4: "precompute the impact of
+    actions on system behaviors before the system is deployed").
+
+    A playbook is trained before deployment: several simulated episodes
+    run under full predictive lookahead, and every lookahead's
+    per-alternative scores train a contextual bandit. The trained
+    bandit is then frozen into a zero-cost, exploitation-only resolver
+    for production — the learned counterpart of shipping a hand-tuned
+    policy, except it was derived from the application's own exposed
+    objectives. *)
+
+module Make (App : Proto.App_intf.APP) : sig
+  module E : module type of Engine.Sim.Make (App)
+
+  type t
+
+  val train :
+    ?lookahead:E.lookahead ->
+    ?episodes:int ->
+    ?seed:int ->
+    topology:Net.Topology.t ->
+    scenario:(E.t -> unit) ->
+    unit ->
+    t
+  (** [train ~topology ~scenario ()] runs [episodes] (default 3)
+      simulated deployments, each driven by [scenario] on a fresh
+      engine with a distinct seed (base [seed], default 1000), with
+      full lookahead resolution training the playbook's bandit.
+      [lookahead] defaults to {!E.default_lookahead}. *)
+
+  val resolver : t -> Core.Resolver.t
+  (** The frozen policy: pure exploitation of what training learned. *)
+
+  val contexts_learned : t -> int
+  val training_forks : t -> int
+  (** Total speculative branches simulated during training — the
+      offline cost that production no longer pays. *)
+end

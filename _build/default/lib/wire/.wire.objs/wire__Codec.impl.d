@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Array Buffer Bytes Char Int64 List Printf String

@@ -1,0 +1,229 @@
+(* Encoders write through a sink so [size] can run the same pass into a
+   counter instead of a buffer; decoders consume a string with a mutable
+   cursor and fail with a message rather than an exception. *)
+
+type sink = { put_char : char -> unit; put_string : string -> unit }
+
+type cursor = { data : string; mutable pos : int }
+
+exception Malformed of string
+
+type 'a t = { enc : sink -> 'a -> unit; dec : cursor -> 'a }
+
+let buffer_sink buf =
+  { put_char = Buffer.add_char buf; put_string = Buffer.add_string buf }
+
+let counting_sink counter =
+  {
+    put_char = (fun _ -> incr counter);
+    put_string = (fun s -> counter := !counter + String.length s);
+  }
+
+let encode c v =
+  let buf = Buffer.create 64 in
+  c.enc (buffer_sink buf) v;
+  Buffer.contents buf
+
+let size c v =
+  let counter = ref 0 in
+  c.enc (counting_sink counter) v;
+  !counter
+
+let decode c s =
+  let cur = { data = s; pos = 0 } in
+  match c.dec cur with
+  | v ->
+      if cur.pos = String.length s then Ok v
+      else Error (Printf.sprintf "trailing bytes at offset %d" cur.pos)
+  | exception Malformed msg -> Error msg
+
+let read_char cur =
+  if cur.pos >= String.length cur.data then raise (Malformed "unexpected end of input");
+  let c = cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  c
+
+let read_string cur n =
+  if n < 0 || cur.pos + n > String.length cur.data then
+    raise (Malformed "unexpected end of input");
+  let s = String.sub cur.data cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+(* Unsigned LEB128 over the int's bits. *)
+let enc_uint sink v =
+  let rec go v =
+    let low = v land 0x7F in
+    let rest = v lsr 7 in
+    if rest = 0 then sink.put_char (Char.chr low)
+    else begin
+      sink.put_char (Char.chr (low lor 0x80));
+      go rest
+    end
+  in
+  go v
+
+let dec_uint cur =
+  let rec go shift acc =
+    if shift > 63 then raise (Malformed "varint too long");
+    let b = Char.code (read_char cur) in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let unit = { enc = (fun _ () -> ()); dec = (fun _ -> ()) }
+
+let bool =
+  {
+    enc = (fun sink b -> sink.put_char (if b then '\001' else '\000'));
+    dec =
+      (fun cur ->
+        match read_char cur with
+        | '\000' -> false
+        | '\001' -> true
+        | c -> raise (Malformed (Printf.sprintf "invalid bool byte %d" (Char.code c))));
+  }
+
+(* Zig-zag so negative ints stay short. *)
+let int =
+  {
+    enc = (fun sink v -> enc_uint sink ((v lsl 1) lxor (v asr 62)));
+    dec =
+      (fun cur ->
+        let u = dec_uint cur in
+        (u lsr 1) lxor (-(u land 1)));
+  }
+
+let float =
+  {
+    enc =
+      (fun sink v ->
+        let bits = Int64.bits_of_float v in
+        for i = 0 to 7 do
+          sink.put_char
+            (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+        done);
+    dec =
+      (fun cur ->
+        let bits = ref 0L in
+        for i = 0 to 7 do
+          bits :=
+            Int64.logor !bits (Int64.shift_left (Int64.of_int (Char.code (read_char cur))) (8 * i))
+        done;
+        Int64.float_of_bits !bits);
+  }
+
+let string =
+  {
+    enc =
+      (fun sink s ->
+        enc_uint sink (String.length s);
+        sink.put_string s);
+    dec =
+      (fun cur ->
+        let n = dec_uint cur in
+        read_string cur n);
+  }
+
+let bytes_ =
+  { enc = (fun sink b -> string.enc sink (Bytes.to_string b));
+    dec = (fun cur -> Bytes.of_string (string.dec cur)) }
+
+let option c =
+  {
+    enc =
+      (fun sink -> function
+        | None -> sink.put_char '\000'
+        | Some v ->
+            sink.put_char '\001';
+            c.enc sink v);
+    dec =
+      (fun cur ->
+        match read_char cur with
+        | '\000' -> None
+        | '\001' -> Some (c.dec cur)
+        | ch -> raise (Malformed (Printf.sprintf "invalid option byte %d" (Char.code ch))));
+  }
+
+(* Adversarial inputs can claim absurd lengths; since every element
+   costs at least one byte on the wire (unit elements excepted, which
+   no codec here produces standalone), a claimed length beyond the
+   remaining input is malformed — rejecting it up front keeps [decode]
+   total instead of attempting a huge allocation. *)
+let dec_length cur =
+  let n = dec_uint cur in
+  if n > String.length cur.data - cur.pos then
+    raise (Malformed (Printf.sprintf "container length %d exceeds remaining input" n));
+  n
+
+let list c =
+  {
+    enc =
+      (fun sink xs ->
+        enc_uint sink (List.length xs);
+        List.iter (c.enc sink) xs);
+    dec =
+      (fun cur ->
+        let n = dec_length cur in
+        List.init n (fun _ -> c.dec cur));
+  }
+
+let array c =
+  {
+    enc =
+      (fun sink xs ->
+        enc_uint sink (Array.length xs);
+        Array.iter (c.enc sink) xs);
+    dec =
+      (fun cur ->
+        let n = dec_length cur in
+        Array.init n (fun _ -> c.dec cur));
+  }
+
+let pair a b =
+  {
+    enc =
+      (fun sink (x, y) ->
+        a.enc sink x;
+        b.enc sink y);
+    dec =
+      (fun cur ->
+        let x = a.dec cur in
+        let y = b.dec cur in
+        (x, y));
+  }
+
+let triple a b c =
+  {
+    enc =
+      (fun sink (x, y, z) ->
+        a.enc sink x;
+        b.enc sink y;
+        c.enc sink z);
+    dec =
+      (fun cur ->
+        let x = a.dec cur in
+        let y = b.dec cur in
+        let z = c.dec cur in
+        (x, y, z));
+  }
+
+let conv to_repr of_repr repr =
+  { enc = (fun sink v -> repr.enc sink (to_repr v)); dec = (fun cur -> of_repr (repr.dec cur)) }
+
+let tagged to_case of_case =
+  {
+    enc =
+      (fun sink v ->
+        let tag, payload = to_case v in
+        enc_uint sink tag;
+        string.enc sink payload);
+    dec =
+      (fun cur ->
+        let tag = dec_uint cur in
+        let payload = string.dec cur in
+        match of_case tag payload with
+        | Ok v -> v
+        | Error msg -> raise (Malformed msg));
+  }

@@ -1,0 +1,48 @@
+(** Composable binary codecs.
+
+    The runtime's checkpoints travel over the (simulated) network, so
+    their sizes must be real: applications describe their state with
+    these combinators and the runtime charges the measured bytes to the
+    emulated access links. The encoding is a compact, deterministic
+    binary format (LEB128 varints, length-prefixed strings); every
+    codec round-trips, which the property tests verify. *)
+
+type 'a t
+
+val encode : 'a t -> 'a -> string
+val decode : 'a t -> string -> ('a, string) result
+(** [Error] describes the first malformed byte encountered. *)
+
+val size : 'a t -> 'a -> int
+(** [size c v] = [String.length (encode c v)] without materialising the
+    string (single encoding pass into a counter). *)
+
+(** {1 Primitives} *)
+
+val unit : unit t
+val bool : bool t
+val int : int t
+(** Zig-zag LEB128: small magnitudes (of either sign) stay small. *)
+
+val float : float t
+(** IEEE-754 double, 8 bytes. *)
+
+val string : string t
+val bytes_ : bytes t
+
+(** {1 Combinators} *)
+
+val option : 'a t -> 'a option t
+val list : 'a t -> 'a list t
+val array : 'a t -> 'a array t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val conv : ('a -> 'b) -> ('b -> 'a) -> 'b t -> 'a t
+(** [conv to_repr of_repr repr] encodes ['a] through its
+    representation ['b]. *)
+
+val tagged : ('a -> int * string) -> (int -> string -> ('a, string) result) -> 'a t
+(** Low-level escape hatch for sum types: map a value to a
+    (tag, payload) pair and back; payloads are produced with [encode]
+    of the per-case codec. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Dsim Fun List QCheck QCheck_alcotest String

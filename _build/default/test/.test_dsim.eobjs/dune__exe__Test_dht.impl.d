@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Apps Core Dsim Engine Experiments List Net Proto String

@@ -1,0 +1,1 @@
+test/test_dissem.ml: Alcotest Apps Core Engine Experiments List Net Proto

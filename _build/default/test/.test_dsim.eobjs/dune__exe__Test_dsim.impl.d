@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Array Dsim Float Fun Gen Int List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Core Dsim Engine Format List Metrics Net Option Proto Runtime String

@@ -1,0 +1,1 @@
+test/test_faultplan.ml: Alcotest Core Dsim Engine Format List Net Proto String Test_support

@@ -1,0 +1,1 @@
+test/test_gossip.ml: Alcotest Apps Core Dsim Engine Experiments Fun Int List Metrics Net Printf Proto

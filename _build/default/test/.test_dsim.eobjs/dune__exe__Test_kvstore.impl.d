@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Apps Core Dsim Engine Experiments List Net Proto

@@ -1,0 +1,1 @@
+test/test_lease.ml: Alcotest Apps Core Engine Experiments List Net Proto String

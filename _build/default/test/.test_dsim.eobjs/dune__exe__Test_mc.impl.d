@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Dsim List Mc Proto String Test_support

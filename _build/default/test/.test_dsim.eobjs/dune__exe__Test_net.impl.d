@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Dsim Float List Net QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Apps Core Dsim Engine Experiments List Mc Net Printf Proto

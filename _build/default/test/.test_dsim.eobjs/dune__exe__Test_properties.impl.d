@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Core Dsim Engine Fun Gen List Mc Metrics Net Proto QCheck QCheck_alcotest String Test_support

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Core Dsim Format List Net Proto String

@@ -1,0 +1,1 @@
+test/test_randtree.ml: Alcotest Apps Core Dsim Engine Experiments List Net Option Proto

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Core List Net Proto Runtime Test_support

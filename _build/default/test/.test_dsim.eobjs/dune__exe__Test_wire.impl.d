@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Apps Core Engine Float Fun List Net Printf Proto QCheck QCheck_alcotest Result Seq String Wire

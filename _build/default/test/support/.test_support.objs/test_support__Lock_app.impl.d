@@ -1,0 +1,1 @@
+test/support/lock_app.ml: Core Format Proto

@@ -1,0 +1,52 @@
+(* A toy mutual-exclusion protocol used by the model-checker and
+   runtime test suites: violations (two holders) are easy to stage and
+   easy for consequence prediction to find. *)
+
+type msg = Grant | Release | Flip
+
+type state = { self : Proto.Node_id.t; holding : bool }
+
+let name = "lock"
+let equal_state (a : state) b = a = b
+let msg_kind = function Grant -> "grant" | Release -> "release" | Flip -> "flip"
+let msg_bytes _ = 16
+
+let pp_msg ppf m =
+  Format.fprintf ppf "%s" (match m with Grant -> "grant" | Release -> "release" | Flip -> "flip")
+
+let pp_state ppf st = Format.fprintf ppf "{h=%b}" st.holding
+
+let init (ctx : Proto.Ctx.t) = ({ self = ctx.self; holding = false }, [])
+
+let receive =
+  [
+    Proto.Handler.v ~name:"grant"
+      ~guard:(fun _ ~src:_ m -> m = Grant)
+      (fun _ st ~src:_ _ -> ({ st with holding = true }, []));
+    Proto.Handler.v ~name:"release"
+      ~guard:(fun _ ~src:_ m -> m = Release)
+      (fun _ st ~src:_ _ -> ({ st with holding = false }, []));
+    Proto.Handler.v ~name:"flip"
+      ~guard:(fun _ ~src:_ m -> m = Flip)
+      (fun ctx st ~src:_ _ ->
+        (* A choice: alternative 0 is harmless, alternative 1 takes the
+           lock. Exploration must branch into both. *)
+        let take = ctx.choose (Core.Choice.of_values ~label:"flip" [ false; true ]) in
+        if take then ({ st with holding = true }, []) else (st, []));
+  ]
+
+let on_timer _ st id : state * msg Proto.Action.t list =
+  match id with "grab" -> ({ st with holding = true }, []) | _ -> (st, [])
+
+let properties : (state, msg) Proto.View.t Core.Property.t list =
+  [
+    Core.Property.safety ~name:"mutex" (fun view ->
+        Proto.View.fold (fun n _ st -> if st.holding then n + 1 else n) 0 view <= 1);
+    Core.Property.liveness ~name:"someone-holds" (fun view ->
+        Proto.View.fold (fun any _ st -> any || st.holding) false view);
+  ]
+
+let objectives : (state, msg) Proto.View.t Core.Objective.t list = []
+
+let generic_msgs st : (Proto.Node_id.t * msg) list =
+  if st.holding then [] else [ (Proto.Node_id.of_int 9, Grant) ]

@@ -1,0 +1,301 @@
+(* Unit and property tests for the discrete-event substrate. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ---------- Vtime ---------- *)
+
+let test_vtime_roundtrip () =
+  checkf "seconds" 1.5 Dsim.Vtime.(to_seconds (of_seconds 1.5));
+  checkf "ms" 1500. Dsim.Vtime.(to_ms (of_seconds 1.5));
+  checkf "of_ms" 0.25 Dsim.Vtime.(to_seconds (of_ms 250.))
+
+let test_vtime_add_diff () =
+  let t = Dsim.Vtime.of_seconds 2. in
+  let u = Dsim.Vtime.add t 3. in
+  checkf "add" 5. (Dsim.Vtime.to_seconds u);
+  checkf "diff" 3. (Dsim.Vtime.diff u t);
+  checkf "diff-neg" (-3.) (Dsim.Vtime.diff t u)
+
+let test_vtime_ordering () =
+  let a = Dsim.Vtime.of_seconds 1. and b = Dsim.Vtime.of_seconds 2. in
+  checkb "lt" true Dsim.Vtime.(a < b);
+  checkb "le-eq" true Dsim.Vtime.(a <= a);
+  checkb "not-lt" false Dsim.Vtime.(b < a);
+  checkf "min" 1. (Dsim.Vtime.to_seconds (Dsim.Vtime.min a b));
+  checkf "max" 2. (Dsim.Vtime.to_seconds (Dsim.Vtime.max a b))
+
+let test_vtime_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Vtime.of_seconds: negative") (fun () ->
+      ignore (Dsim.Vtime.of_seconds (-1.)));
+  Alcotest.check_raises "nan" (Invalid_argument "Vtime.of_seconds: not finite") (fun () ->
+      ignore (Dsim.Vtime.of_seconds Float.nan));
+  Alcotest.check_raises "neg-add" (Invalid_argument "Vtime.add: negative delta") (fun () ->
+      ignore (Dsim.Vtime.add Dsim.Vtime.zero (-0.1)))
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Dsim.Rng.create 7 and b = Dsim.Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Dsim.Rng.bits64 a) (Dsim.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Dsim.Rng.create 1 and b = Dsim.Rng.create 2 in
+  checkb "different streams" false (Dsim.Rng.bits64 a = Dsim.Rng.bits64 b)
+
+let test_rng_copy_independent () =
+  let a = Dsim.Rng.create 3 in
+  let b = Dsim.Rng.copy a in
+  let xa = Dsim.Rng.bits64 a in
+  let xb = Dsim.Rng.bits64 b in
+  check Alcotest.int64 "copy continues identically" xa xb;
+  ignore (Dsim.Rng.bits64 a);
+  let ya = Dsim.Rng.bits64 a and yb = Dsim.Rng.bits64 b in
+  checkb "desynchronised after extra draw" false (ya = yb)
+
+let test_rng_split_independent () =
+  let parent = Dsim.Rng.create 11 in
+  let child = Dsim.Rng.split parent in
+  let xs = List.init 32 (fun _ -> Dsim.Rng.bits64 parent) in
+  let ys = List.init 32 (fun _ -> Dsim.Rng.bits64 child) in
+  checkb "streams differ" false (xs = ys)
+
+let test_rng_int_bounds () =
+  let rng = Dsim.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Dsim.Rng.int rng 7 in
+    checkb "in range" true (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Dsim.Rng.int rng 0))
+
+let test_rng_uniform_range () =
+  let rng = Dsim.Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Dsim.Rng.uniform rng in
+    checkb "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_pick_and_shuffle () =
+  let rng = Dsim.Rng.create 13 in
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 50 do
+    checkb "pick member" true (List.mem (Dsim.Rng.pick rng xs) xs)
+  done;
+  let shuffled = Dsim.Rng.shuffle rng xs in
+  checki "same length" (List.length xs) (List.length shuffled);
+  check (Alcotest.list Alcotest.int) "same multiset" (List.sort compare xs)
+    (List.sort compare shuffled);
+  Alcotest.check_raises "pick empty" (Invalid_argument "Rng.pick: empty") (fun () ->
+      ignore (Dsim.Rng.pick rng []))
+
+let test_rng_sample () =
+  let rng = Dsim.Rng.create 17 in
+  let xs = List.init 10 Fun.id in
+  let s = Dsim.Rng.sample_without_replacement rng 4 xs in
+  checki "k elements" 4 (List.length s);
+  checki "distinct" 4 (List.length (List.sort_uniq compare s));
+  let all = Dsim.Rng.sample_without_replacement rng 99 xs in
+  checki "clamped to population" 10 (List.length all)
+
+let test_rng_exponential_mean () =
+  let rng = Dsim.Rng.create 23 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Dsim.Rng.exponential rng 2.0
+  done;
+  let mean = !total /. float_of_int n in
+  checkb "mean near 2.0" true (Float.abs (mean -. 2.0) < 0.1)
+
+(* ---------- Heap ---------- *)
+
+let int_heap () = Dsim.Heap.create ~cmp:Int.compare
+
+let test_heap_ordering () =
+  let h = int_heap () in
+  List.iter (Dsim.Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 1; 2; 3; 5; 8; 9 ] (Dsim.Heap.drain h);
+  checkb "empty after drain" true (Dsim.Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  (* Elements comparing equal must pop in insertion order. *)
+  let h = Dsim.Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  List.iter (Dsim.Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "fifo ties"
+    [ (0, "z"); (1, "a"); (1, "b"); (1, "c") ]
+    (Dsim.Heap.drain h)
+
+let test_heap_peek_pop () =
+  let h = int_heap () in
+  checkb "peek empty" true (Dsim.Heap.peek h = None);
+  checkb "pop empty" true (Dsim.Heap.pop h = None);
+  Dsim.Heap.push h 4;
+  checkb "peek" true (Dsim.Heap.peek h = Some 4);
+  checki "length" 1 (Dsim.Heap.length h)
+
+let test_heap_copy_independent () =
+  let h = int_heap () in
+  List.iter (Dsim.Heap.push h) [ 3; 1; 2 ];
+  let c = Dsim.Heap.copy h in
+  ignore (Dsim.Heap.pop h);
+  checki "copy unaffected" 3 (Dsim.Heap.length c);
+  check (Alcotest.list Alcotest.int) "copy drains fully" [ 1; 2; 3 ] (Dsim.Heap.drain c)
+
+let test_heap_filter () =
+  let h = int_heap () in
+  List.iter (Dsim.Heap.push h) [ 5; 2; 7; 4; 1 ];
+  Dsim.Heap.filter_in_place h (fun x -> x mod 2 = 1);
+  check (Alcotest.list Alcotest.int) "odds survive" [ 1; 5; 7 ] (Dsim.Heap.drain h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Dsim.Heap.push h) xs;
+      Dsim.Heap.drain h = List.sort Int.compare xs)
+
+let prop_heap_length =
+  QCheck.Test.make ~name:"heap length tracks pushes and pops" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iteri
+        (fun i x ->
+          Dsim.Heap.push h x;
+          if i mod 3 = 2 then ignore (Dsim.Heap.pop h))
+        xs;
+      Dsim.Heap.length h >= 0 && Dsim.Heap.length h <= List.length xs)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_basic () =
+  let s = Dsim.Stats.create () in
+  List.iter (Dsim.Stats.add s) [ 1.; 2.; 3.; 4. ];
+  checki "count" 4 (Dsim.Stats.count s);
+  checkf "mean" 2.5 (Dsim.Stats.mean s);
+  checkf "sum" 10. (Dsim.Stats.sum s);
+  checkf "min" 1. (Dsim.Stats.min s);
+  checkf "max" 4. (Dsim.Stats.max s);
+  checkf "median" 2.5 (Dsim.Stats.median s)
+
+let test_stats_percentile () =
+  let s = Dsim.Stats.create () in
+  List.iter (Dsim.Stats.add s) (List.init 101 float_of_int);
+  checkf "p0" 0. (Dsim.Stats.percentile s 0.);
+  checkf "p50" 50. (Dsim.Stats.percentile s 50.);
+  checkf "p100" 100. (Dsim.Stats.percentile s 100.);
+  checkf "p25" 25. (Dsim.Stats.percentile s 25.)
+
+let test_stats_variance () =
+  let s = Dsim.Stats.create () in
+  List.iter (Dsim.Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  checkf "variance" 4. (Dsim.Stats.variance s);
+  checkf "stddev" 2. (Dsim.Stats.stddev s)
+
+let test_stats_empty () =
+  let s = Dsim.Stats.create () in
+  checkf "mean empty" 0. (Dsim.Stats.mean s);
+  Alcotest.check_raises "min empty" (Invalid_argument "Stats.min: empty") (fun () ->
+      ignore (Dsim.Stats.min s))
+
+let test_stats_merge () =
+  let a = Dsim.Stats.create () and b = Dsim.Stats.create () in
+  Dsim.Stats.add a 1.;
+  Dsim.Stats.add b 3.;
+  let m = Dsim.Stats.merge a b in
+  checki "merged count" 2 (Dsim.Stats.count m);
+  checkf "merged mean" 2. (Dsim.Stats.mean m)
+
+let test_histogram () =
+  let h = Dsim.Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:5 in
+  List.iter (Dsim.Stats.Histogram.add h) [ 0.5; 1.; 3.; 9.9; 42.; -1. ];
+  let counts = Dsim.Stats.Histogram.counts h in
+  checki "bucket0 (incl. clamped -1)" 3 counts.(0);
+  checki "bucket4 (incl. clamped 42)" 2 counts.(4);
+  checki "total" 6 (Dsim.Stats.Histogram.total h);
+  let lo, hi = Dsim.Stats.Histogram.bucket_bounds h 1 in
+  checkf "bounds lo" 2. lo;
+  checkf "bounds hi" 4. hi
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Dsim.Stats.create () in
+      List.iter (Dsim.Stats.add s) xs;
+      let m = Dsim.Stats.mean s in
+      m >= Dsim.Stats.min s -. 1e-9 && m <= Dsim.Stats.max s +. 1e-9)
+
+(* ---------- Trace ---------- *)
+
+let test_trace_basic () =
+  let t = Dsim.Trace.create () in
+  Dsim.Trace.log t Dsim.Vtime.zero Dsim.Trace.Info ~component:"x" "hello";
+  Dsim.Trace.logf t Dsim.Vtime.zero Dsim.Trace.Warn ~component:"y" "n=%d" 42;
+  checki "count" 2 (Dsim.Trace.count t);
+  checki "records" 2 (List.length (Dsim.Trace.records t));
+  checki "find" 1 (List.length (Dsim.Trace.find t ~component:"y" ~substring:"n=42"))
+
+let test_trace_capacity () =
+  let t = Dsim.Trace.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Dsim.Trace.logf t Dsim.Vtime.zero Dsim.Trace.Debug ~component:"c" "%d" i
+  done;
+  checki "total count" 10 (Dsim.Trace.count t);
+  let kept = Dsim.Trace.records t in
+  checki "bounded" 3 (List.length kept);
+  check Alcotest.string "oldest kept" "8" (List.hd kept).Dsim.Trace.message
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "dsim"
+    [
+      ( "vtime",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_vtime_roundtrip;
+          Alcotest.test_case "add/diff" `Quick test_vtime_add_diff;
+          Alcotest.test_case "ordering" `Quick test_vtime_ordering;
+          Alcotest.test_case "invalid" `Quick test_vtime_invalid;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "pick/shuffle" `Quick test_rng_pick_and_shuffle;
+          Alcotest.test_case "sample" `Quick test_rng_sample;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+        ] );
+      ( "heap",
+        Alcotest.test_case "ordering" `Quick test_heap_ordering
+        :: Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties
+        :: Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop
+        :: Alcotest.test_case "copy" `Quick test_heap_copy_independent
+        :: Alcotest.test_case "filter" `Quick test_heap_filter
+        :: qcheck [ prop_heap_sorts; prop_heap_length ] );
+      ( "stats",
+        Alcotest.test_case "basic" `Quick test_stats_basic
+        :: Alcotest.test_case "percentile" `Quick test_stats_percentile
+        :: Alcotest.test_case "variance" `Quick test_stats_variance
+        :: Alcotest.test_case "empty" `Quick test_stats_empty
+        :: Alcotest.test_case "merge" `Quick test_stats_merge
+        :: Alcotest.test_case "histogram" `Quick test_histogram
+        :: qcheck [ prop_stats_mean_bounded ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basic" `Quick test_trace_basic;
+          Alcotest.test_case "capacity" `Quick test_trace_capacity;
+        ] );
+    ]

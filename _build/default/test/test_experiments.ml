@@ -1,0 +1,138 @@
+(* End-to-end sanity checks of the experiment drivers at reduced scale
+   — the full-size runs live in the benchmark harness. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module RT = Experiments.Randtree_exp
+module GX = Experiments.Gossip_exp
+module DX = Experiments.Dissem_exp
+module PX = Experiments.Paxos_exp
+
+let test_randtree_all_setups_join () =
+  List.iter
+    (fun setup ->
+      let o = RT.run ~nodes:9 ~seed:2 ~with_failure:false setup in
+      checki (RT.setup_name setup ^ " joined") 9 o.RT.joined;
+      checkb (RT.setup_name setup ^ " depth") true (o.RT.depth_after_join >= 3))
+    [ RT.Baseline; RT.Choice_random; RT.Choice_greedy ]
+
+let test_randtree_failure_path () =
+  let o = RT.run ~nodes:9 ~seed:2 ~with_failure:true RT.Choice_random in
+  checkb "rejoin measured" true (o.RT.depth_after_rejoin <> None);
+  checki "everyone back" 9 o.RT.joined
+
+let test_randtree_median () =
+  let o = RT.run_median ~nodes:9 ~seeds:[ 2; 3; 4 ] ~with_failure:false RT.Choice_random in
+  checkb "median depth" true (o.RT.depth_after_join >= 3);
+  checki "median joined" 9 o.RT.joined
+
+let test_randtree_crystalball_not_worse () =
+  let rand = RT.run ~nodes:9 ~seed:2 RT.Choice_random in
+  let cb = RT.run ~nodes:9 ~seed:2 RT.Choice_crystalball in
+  match (rand.RT.depth_after_rejoin, cb.RT.depth_after_rejoin) with
+  | Some r, Some c -> checkb "CrystalBall <= Random + 1" true (c <= r + 1)
+  | _ -> Alcotest.fail "missing rejoin depths"
+
+let test_gossip_policies_cover () =
+  List.iter
+    (fun p ->
+      let o = GX.run ~seed:2 ~waves:2 ~scenario:GX.Uniform p in
+      checkb (GX.policy_name p ^ " covers") true (o.GX.max_coverage_s < 30.))
+    [ GX.Restricted; GX.Random_peer; GX.Greedy_rtt ]
+
+let test_gossip_scenarios_differ () =
+  let fast = GX.run ~seed:2 ~waves:2 ~scenario:GX.Uniform GX.Random_peer in
+  let slow = GX.run ~seed:2 ~waves:2 ~scenario:GX.Slow_stub GX.Random_peer in
+  checkb "slow stub is slower" true (slow.GX.mean_coverage_s >= fast.GX.mean_coverage_s)
+
+let test_dissem_scenarios () =
+  let fast = DX.run ~seed:2 ~scenario:DX.Fast_seed DX.Random_block in
+  let choked = DX.run ~seed:2 ~scenario:DX.Choked_seed DX.Random_block in
+  checki "fast completes" 15 fast.DX.completed;
+  checki "choked completes" 15 choked.DX.completed;
+  checkb "choked slower" true (choked.DX.mean_completion_s > fast.DX.mean_completion_s)
+
+let test_paxos_loaded_leader_shape () =
+  let fixed = PX.run ~seed:2 ~duration:20. ~scenario:PX.Loaded_leader PX.Fixed_leader in
+  let local = PX.run ~seed:2 ~duration:20. ~scenario:PX.Loaded_leader PX.Local in
+  checki "fixed safe" 0 fixed.PX.agreement_violations;
+  checki "local safe" 0 local.PX.agreement_violations;
+  checkb "loaded leader hurts fixed" true
+    (fixed.PX.mean_latency_ms > 1.5 *. local.PX.mean_latency_ms)
+
+let test_metrics_exp () =
+  match Experiments.Metrics_exp.run () with
+  | Some c ->
+      checkb "reduction positive" true (c.loc_reduction_percent > 0.);
+      checkb "complexity ratio" true
+        (c.baseline.Metrics.Code_metrics.per_handler
+        > c.choice.Metrics.Code_metrics.per_handler)
+  | None -> Alcotest.fail "sources not found"
+
+let test_names_total () =
+  checki "five randtree setups" 5 (List.length RT.all_setups);
+  checki "six gossip policies" 6 (List.length GX.all_policies);
+  checki "four dissem policies" 4 (List.length DX.all_policies);
+  checki "five paxos policies" 5 (List.length PX.all_policies)
+
+let test_randtree_churn () =
+  let o = RT.run_churn ~nodes:11 ~seed:2 ~duration:30. RT.Choice_random in
+  checkb "sampled" true (o.RT.samples >= 6);
+  checkb "depth sane" true (o.RT.mean_depth > 2. && o.RT.mean_depth < 11.);
+  (* One node is down at any time, so on average under 11 joined. *)
+  checkb "availability tracked" true (o.RT.mean_joined < 11. && o.RT.mean_joined > 6.)
+
+let test_paxos_partition () =
+  let o = PX.run ~seed:2 ~duration:40. ~scenario:PX.Partitioned PX.Local in
+  checki "agreement survives the partition" 0 o.PX.agreement_violations;
+  (* The minority's proposals stall during the partition and recover
+     after it heals, so commits continue but the tail stretches. *)
+  checkb "most commands still commit" true (o.PX.committed * 10 >= o.PX.born * 8);
+  checkb "tail shows the stall" true (o.PX.p99_latency_ms > o.PX.mean_latency_ms)
+
+let test_randtree_scoped_lookahead () =
+  let j, r = RT.run_scoped ~nodes:15 ~seed:2 ~hops:(Some 2) () in
+  checkb "scoped join sane" true (j >= 3 && j <= 15);
+  checkb "scoped rejoin sane" true (r >= 3 && r <= 15);
+  let jg, rg = RT.run_scoped ~nodes:15 ~seed:2 ~hops:None () in
+  checkb "global join sane" true (jg >= 3 && rg >= 3)
+
+let test_gossip_playbook () =
+  let o, contexts, forks =
+    GX.run_playbook ~seed:3 ~waves:2 ~episodes:1 ~scenario:GX.Uniform ()
+  in
+  checkb "covers" true (o.GX.max_coverage_s < 30.);
+  checkb "learned contexts" true (contexts > 0);
+  checkb "offline forks" true (forks > 0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "randtree",
+        [
+          Alcotest.test_case "all setups join" `Slow test_randtree_all_setups_join;
+          Alcotest.test_case "failure path" `Slow test_randtree_failure_path;
+          Alcotest.test_case "median" `Slow test_randtree_median;
+          Alcotest.test_case "crystalball not worse" `Slow test_randtree_crystalball_not_worse;
+          Alcotest.test_case "churn" `Slow test_randtree_churn;
+          Alcotest.test_case "scoped lookahead" `Slow test_randtree_scoped_lookahead;
+        ] );
+      ( "gossip",
+        [
+          Alcotest.test_case "policies cover" `Slow test_gossip_policies_cover;
+          Alcotest.test_case "scenarios differ" `Slow test_gossip_scenarios_differ;
+          Alcotest.test_case "playbook" `Slow test_gossip_playbook;
+        ] );
+      ("dissem", [ Alcotest.test_case "scenarios" `Slow test_dissem_scenarios ]);
+      ( "paxos",
+        [
+          Alcotest.test_case "loaded leader" `Slow test_paxos_loaded_leader_shape;
+          Alcotest.test_case "partition" `Slow test_paxos_partition;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "code metrics" `Quick test_metrics_exp;
+          Alcotest.test_case "inventories" `Quick test_names_total;
+        ] );
+    ]

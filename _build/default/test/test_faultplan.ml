@@ -1,0 +1,106 @@
+(* Tests for the declarative fault-schedule DSL, executed against the
+   lock toy app. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let nid = Proto.Node_id.of_int
+
+module Lock = Test_support.Lock_app
+module E = Engine.Sim.Make (Lock)
+module F = Engine.Faultplan
+module Run = F.Run (E)
+
+let topology =
+  Net.Topology.uniform ~n:4 (Net.Linkprop.v ~latency:0.02 ~bandwidth:1_000_000. ~loss:0.)
+
+let make () =
+  let eng = E.create ~seed:2 ~jitter:0. ~topology () in
+  E.set_resolver eng Core.Resolver.random;
+  for i = 0 to 3 do
+    E.spawn eng (nid i)
+  done;
+  E.run_for eng 0.1;
+  eng
+
+(* ---------- plan structure ---------- *)
+
+let test_plan_sorting () =
+  let p = F.plan [ (5., F.Kill 1); (1., F.Restart 2); (3., F.Kill 0) ] in
+  Alcotest.check (Alcotest.list (Alcotest.float 0.)) "sorted times" [ 1.; 3.; 5. ]
+    (List.map fst (F.events p));
+  Alcotest.check (Alcotest.float 0.) "duration" 5. (F.duration p)
+
+let test_plan_invalid () =
+  Alcotest.check_raises "negative time" (Invalid_argument "Faultplan.plan: negative time")
+    (fun () -> ignore (F.plan [ (-1., F.Kill 0) ]))
+
+let test_plan_pp () =
+  let p = F.plan [ (1., F.Partition ([ 0; 1 ], [ 2; 3 ])) ] in
+  let s = Format.asprintf "%a" F.pp p in
+  checkb "printable" true (String.length s > 10)
+
+(* ---------- execution ---------- *)
+
+let test_kill_restart_schedule () =
+  let eng = make () in
+  Run.execute ~and_then:0.5 eng
+    (F.plan [ (0.5, F.Kill 2); (1.5, F.Restart 2) ]);
+  checkb "node back" true (E.alive eng (nid 2));
+  (* Timeline respected: total elapsed = 0.1 (setup) + 1.5 + 0.5. *)
+  Alcotest.check (Alcotest.float 1e-6) "clock" 2.1 (Dsim.Vtime.to_seconds (E.now eng))
+
+let test_kill_takes_effect_at_time () =
+  let eng = make () in
+  Run.execute eng (F.plan [ (0.5, F.Kill 2) ]);
+  checkb "dead after plan" false (E.alive eng (nid 2))
+
+let test_partition_blocks_and_heals () =
+  let eng = make () in
+  Run.execute eng (F.plan [ (0.1, F.Partition ([ 0; 1 ], [ 2; 3 ])) ]);
+  E.inject eng ~src:(nid 0) ~dst:(nid 2) Lock.Grant;
+  E.run_for eng 1.;
+  checkb "cut blocks" true
+    (match E.state_of eng (nid 2) with Some st -> not st.Lock.holding | None -> false);
+  Run.execute eng (F.plan [ (0.1, F.Heal_partition ([ 0; 1 ], [ 2; 3 ])) ]);
+  E.inject eng ~src:(nid 0) ~dst:(nid 2) Lock.Grant;
+  E.run_for eng 1.;
+  checkb "heal restores" true
+    (match E.state_of eng (nid 2) with Some st -> st.Lock.holding | None -> false)
+
+let test_degrade_and_restore () =
+  let eng = make () in
+  let base = (Net.Netem.path (E.netem eng) ~src:0 ~dst:1).Net.Linkprop.latency in
+  Run.execute eng
+    (F.plan [ (0.1, F.Degrade { endpoint = 1; latency_factor = 10.; bandwidth_factor = 0.1 }) ]);
+  let slowed = (Net.Netem.path (E.netem eng) ~src:0 ~dst:1).Net.Linkprop.latency in
+  checkb "latency inflated" true (slowed > 5. *. base);
+  Run.execute eng (F.plan [ (0.1, F.Restore 1) ]);
+  let restored = (Net.Netem.path (E.netem eng) ~src:0 ~dst:1).Net.Linkprop.latency in
+  Alcotest.check (Alcotest.float 1e-9) "restored" base restored
+
+let test_empty_plan_is_noop () =
+  let eng = make () in
+  let before = Dsim.Vtime.to_seconds (E.now eng) in
+  Run.execute eng (F.plan []);
+  Alcotest.check (Alcotest.float 1e-9) "time unchanged" before
+    (Dsim.Vtime.to_seconds (E.now eng));
+  checki "duration 0" 0 (int_of_float (F.duration (F.plan [])))
+
+let () =
+  Alcotest.run "faultplan"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "sorting" `Quick test_plan_sorting;
+          Alcotest.test_case "invalid" `Quick test_plan_invalid;
+          Alcotest.test_case "pp" `Quick test_plan_pp;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "kill/restart schedule" `Quick test_kill_restart_schedule;
+          Alcotest.test_case "kill timing" `Quick test_kill_takes_effect_at_time;
+          Alcotest.test_case "partition" `Quick test_partition_blocks_and_heals;
+          Alcotest.test_case "degrade/restore" `Quick test_degrade_and_restore;
+          Alcotest.test_case "empty plan" `Quick test_empty_plan_is_noop;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the replicated KV store and its read-replica policies. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let nid = Proto.Node_id.of_int
+
+module K = Apps.Kvstore
+module App = K.Default
+module E = Engine.Sim.Make (App)
+
+let topology =
+  Net.Topology.uniform ~n:K.Default_params.population
+    (Net.Linkprop.v ~latency:0.02 ~bandwidth:1_000_000. ~loss:0.)
+
+let make ?(resolver = K.session_resolver) ?(seed = 8) () =
+  let eng = E.create ~seed ~jitter:0. ~topology () in
+  E.set_resolver eng resolver;
+  for i = 0 to K.Default_params.population - 1 do
+    E.spawn eng (nid i)
+  done;
+  eng
+
+let totals eng =
+  List.fold_left
+    (fun (reads, viol, applied) (_, st) ->
+      (reads + App.reads_done st, viol + App.monotonic_violations st, max applied (App.applied_seq st)))
+    (0, 0, 0) (E.live_nodes eng)
+
+let test_writes_replicate () =
+  let eng = make () in
+  E.run_for eng 10.;
+  let _, _, head = totals eng in
+  checkb "writes sequenced" true (head > 10);
+  (* After a quiet period every replica has applied everything. *)
+  E.run_for eng 1.;
+  let applied = List.map (fun (_, st) -> App.applied_seq st) (E.live_nodes eng) in
+  checkb "replicas close to head" true
+    (List.for_all (fun a -> head - a <= 5) applied)
+
+let test_reads_complete () =
+  let eng = make () in
+  E.run_for eng 20.;
+  let reads, _, _ = totals eng in
+  checkb "many reads served" true (reads > 100)
+
+let test_monotonic_reads_hold_for_sane_policies () =
+  List.iter
+    (fun resolver ->
+      let eng = make ~resolver () in
+      E.run_for eng 30.;
+      let _, viol, _ = totals eng in
+      checki ("no regressions under " ^ resolver.Core.Resolver.name) 0 viol)
+    [ K.primary_resolver; K.session_resolver; K.nearest_resolver ]
+
+let test_apply_out_of_order_buffered () =
+  (* Deliver applies 2 then 1 by hand: nothing applies until 1 lands,
+     then both do, in order. *)
+  let eng = E.create ~seed:8 ~jitter:0. ~topology () in
+  E.set_resolver eng K.session_resolver;
+  E.spawn eng (nid 1);
+  E.run_for eng 0.05;
+  E.inject eng ~src:(nid 0) ~dst:(nid 1) (K.Apply { seq = 2; key = 3; value = 2 });
+  E.run_for eng 0.5;
+  (match E.state_of eng (nid 1) with
+  | Some st -> checki "gap blocks apply" 0 (App.applied_seq st)
+  | None -> Alcotest.fail "replica missing");
+  E.inject eng ~src:(nid 0) ~dst:(nid 1) (K.Apply { seq = 1; key = 7; value = 1 });
+  E.run_for eng 0.5;
+  match E.state_of eng (nid 1) with
+  | Some st -> checki "both applied in order" 2 (App.applied_seq st)
+  | None -> Alcotest.fail "replica missing"
+
+(* ---------- resolver units ---------- *)
+
+let read_site ~floor ~known =
+  let alternative (rid, is_primary, rtt, known_seq) =
+    Core.Choice.alt
+      ~features:
+        [
+          ("replica_id", float_of_int rid);
+          ("is_primary", if is_primary then 1. else 0.);
+          ("rtt_ms", rtt);
+          ("known_seq", known_seq);
+          ("floor", floor);
+        ]
+      rid
+  in
+  Core.Choice.site ~node:2 ~occurrence:0
+    (Core.Choice.make ~label:K.read_label (List.map alternative known))
+
+let test_primary_resolver () =
+  let site = read_site ~floor:5. ~known:[ (1, false, 5., 9.); (0, true, 80., 9.) ] in
+  let g = Dsim.Rng.create 1 in
+  checki "primary wins regardless of rtt" 1 (K.primary_resolver.Core.Resolver.choose g site)
+
+let test_nearest_resolver () =
+  let site = read_site ~floor:5. ~known:[ (0, true, 80., 9.); (3, false, 4., 0.) ] in
+  let g = Dsim.Rng.create 1 in
+  checki "cheapest wins regardless of freshness" 1
+    (K.nearest_resolver.Core.Resolver.choose g site)
+
+let test_session_resolver () =
+  let g = Dsim.Rng.create 1 in
+  (* A cheap fresh-enough replica beats both the primary and a cheaper
+     stale one. *)
+  let site =
+    read_site ~floor:5.
+      ~known:[ (0, true, 80., 99.); (3, false, 10., 7.); (4, false, 3., 2.) ]
+  in
+  checki "cheap fresh replica" 1 (K.session_resolver.Core.Resolver.choose g site);
+  (* Nobody fresh: fall back to the primary. *)
+  let site = read_site ~floor:50. ~known:[ (0, true, 80., 10.); (3, false, 3., 7.) ] in
+  checki "primary fallback" 0 (K.session_resolver.Core.Resolver.choose g site)
+
+let test_experiment_tradeoff () =
+  let nearest = Experiments.Kvstore_exp.run ~seed:4 ~duration:30. Experiments.Kvstore_exp.Nearest in
+  let primary =
+    Experiments.Kvstore_exp.run ~seed:4 ~duration:30. Experiments.Kvstore_exp.Primary_only
+  in
+  checkb "nearest is faster" true
+    (nearest.Experiments.Kvstore_exp.mean_read_ms < primary.Experiments.Kvstore_exp.mean_read_ms);
+  checkb "primary is fresher or equal" true
+    (primary.Experiments.Kvstore_exp.mean_staleness
+    <= nearest.Experiments.Kvstore_exp.mean_staleness +. 0.05)
+
+let () =
+  Alcotest.run "kvstore"
+    [
+      ( "replication",
+        [
+          Alcotest.test_case "writes replicate" `Quick test_writes_replicate;
+          Alcotest.test_case "reads complete" `Quick test_reads_complete;
+          Alcotest.test_case "monotonic reads" `Quick test_monotonic_reads_hold_for_sane_policies;
+          Alcotest.test_case "out-of-order applies" `Quick test_apply_out_of_order_buffered;
+        ] );
+      ( "resolvers",
+        [
+          Alcotest.test_case "primary" `Quick test_primary_resolver;
+          Alcotest.test_case "nearest" `Quick test_nearest_resolver;
+          Alcotest.test_case "session" `Quick test_session_resolver;
+        ] );
+      ("experiment", [ Alcotest.test_case "tradeoff" `Slow test_experiment_tradeoff ]);
+    ]

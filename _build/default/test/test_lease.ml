@@ -1,0 +1,111 @@
+(* Tests for the buggy lease service and the S1/A2 steering experiment
+   built on it. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let nid = Proto.Node_id.of_int
+
+module L = Apps.Lease
+
+module Calm_params = struct
+  (* Expiry comfortably above hold time + RTT: the race disarmed. *)
+  let population = 3
+  let want_period = 2.0
+  let hold_time = 0.5
+  let expiry = 5.0
+end
+
+module Calm = L.Make (Calm_params)
+module CalmE = Engine.Sim.Make (Calm)
+module Buggy = L.Default
+module BuggyE = Engine.Sim.Make (Buggy)
+
+let topology n = Net.Topology.uniform ~n (Net.Linkprop.v ~latency:0.05 ~bandwidth:1_000_000. ~loss:0.)
+
+let test_calm_lease_circulates () =
+  let eng = CalmE.create ~seed:3 ~jitter:0. ~topology:(topology 3) () in
+  CalmE.set_resolver eng Core.Resolver.random;
+  for i = 0 to 2 do
+    CalmE.spawn eng (nid i)
+  done;
+  CalmE.run_for eng 60.;
+  let grants =
+    List.fold_left (fun acc (_, st) -> acc + Calm.grants_made st) 0 (CalmE.live_nodes eng)
+  in
+  checkb "many grants" true (grants > 10);
+  checki "no violations with a sound expiry" 0 (List.length (CalmE.violations eng))
+
+let test_buggy_lease_violates () =
+  let eng = BuggyE.create ~seed:3 ~jitter:0. ~topology:(Experiments.Steering_exp.topology) () in
+  BuggyE.set_resolver eng Core.Resolver.random;
+  for i = 0 to 3 do
+    BuggyE.spawn eng (nid i)
+  done;
+  BuggyE.run_for eng 120.;
+  checkb "the premature expiry races" true (List.length (BuggyE.violations eng) > 0);
+  checkb "named property" true
+    (List.for_all (fun (_, n) -> String.equal n "exclusive-lease") (BuggyE.violations eng))
+
+let test_denied_when_busy () =
+  let eng = CalmE.create ~seed:3 ~jitter:0. ~topology:(topology 3) () in
+  CalmE.set_resolver eng Core.Resolver.random;
+  for i = 0 to 2 do
+    CalmE.spawn eng (nid i)
+  done;
+  CalmE.run_for eng 0.05;
+  (* Two requests back to back: the first wins, the second is denied. *)
+  CalmE.inject eng ~src:(nid 1) ~dst:(nid 0) L.Request;
+  CalmE.inject eng ~after:0.2 ~src:(nid 2) ~dst:(nid 0) L.Request;
+  CalmE.run_for eng 1.;
+  checki "one lease granted" 1 (CalmE.delivered_of_kind eng "lease");
+  checki "one denial" 1 (CalmE.delivered_of_kind eng "denied")
+
+let test_release_frees () =
+  let eng = CalmE.create ~seed:3 ~jitter:0. ~topology:(topology 3) () in
+  CalmE.set_resolver eng Core.Resolver.random;
+  for i = 0 to 2 do
+    CalmE.spawn eng (nid i)
+  done;
+  CalmE.run_for eng 0.05;
+  CalmE.inject eng ~src:(nid 1) ~dst:(nid 0) L.Request;
+  CalmE.run_for eng 0.5;
+  CalmE.inject eng ~src:(nid 1) ~dst:(nid 0) L.Release;
+  CalmE.run_for eng 0.5;
+  CalmE.inject eng ~src:(nid 2) ~dst:(nid 0) L.Request;
+  CalmE.run_for eng 0.5;
+  checki "second lease after release" 2 (CalmE.delivered_of_kind eng "lease")
+
+let test_steering_experiment_s1 () =
+  let base = Experiments.Steering_exp.run ~seed:5 ~duration:60. ~with_runtime:false () in
+  let steered = Experiments.Steering_exp.run ~seed:5 ~duration:60. ~with_runtime:true () in
+  checkb "bug fires unprotected" true (base.Experiments.Steering_exp.violations > 0);
+  checkb "runtime prevents most" true
+    (steered.Experiments.Steering_exp.violations * 2 < base.Experiments.Steering_exp.violations);
+  checkb "filters actually fired" true (steered.Experiments.Steering_exp.filtered > 0)
+
+let test_staleness_degrades_a2 () =
+  let fresh =
+    Experiments.Steering_exp.run ~seed:5 ~duration:60. ~checkpoint_delay:0.02 ~with_runtime:true ()
+  in
+  let stale =
+    Experiments.Steering_exp.run ~seed:5 ~duration:60. ~checkpoint_delay:0.5 ~with_runtime:true ()
+  in
+  checkb "fresh model prevents more than a stale one" true
+    (fresh.Experiments.Steering_exp.violations <= stale.Experiments.Steering_exp.violations)
+
+let () =
+  Alcotest.run "lease"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "calm circulates" `Quick test_calm_lease_circulates;
+          Alcotest.test_case "buggy violates" `Quick test_buggy_lease_violates;
+          Alcotest.test_case "denied when busy" `Quick test_denied_when_busy;
+          Alcotest.test_case "release frees" `Quick test_release_frees;
+        ] );
+      ( "steering",
+        [
+          Alcotest.test_case "S1 shape" `Slow test_steering_experiment_s1;
+          Alcotest.test_case "A2 shape" `Slow test_staleness_degrades_a2;
+        ] );
+    ]

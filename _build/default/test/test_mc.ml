@@ -1,0 +1,200 @@
+(* Tests for consequence prediction and execution steering, using a toy
+   mutual-exclusion protocol whose violations are easy to stage. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let nid = Proto.Node_id.of_int
+
+module Lock = Test_support.Lock_app
+
+module Ex = Mc.Explorer.Make (Lock)
+module St = Mc.Steering.Make (Lock)
+
+let world ?(timers = []) states pending : Ex.world =
+  {
+    states =
+      List.fold_left
+        (fun m (i, holding) -> Proto.Node_id.Map.add (nid i) { Lock.self = nid i; holding } m)
+        Proto.Node_id.Map.empty states;
+    pending = List.map (fun (a, b, m) -> (nid a, nid b, m)) pending;
+    timers = List.map (fun (i, id) -> (nid i, id)) timers;
+  }
+
+let explore ?include_drops ?generic_node ?depth:(d = 3) w =
+  Ex.explore ?include_drops ?generic_node ~depth:d w
+
+let violations_named name result =
+  List.filter (fun (v : Ex.violation) -> String.equal v.property name) result.Ex.violations
+
+(* ---------- Explorer ---------- *)
+
+let test_no_violation_in_safe_world () =
+  let r = explore (world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant) ]) in
+  checki "no violations" 0 (List.length r.Ex.violations);
+  checkb "explored >1 world" true (r.Ex.worlds_explored > 1);
+  checkb "not truncated" false r.Ex.truncated
+
+let test_finds_double_grant () =
+  let r =
+    explore (world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant); (1, 0, Lock.Grant) ])
+  in
+  checkb "mutex violated in some future" true (List.length (violations_named "mutex" r) > 0);
+  let v = List.hd (violations_named "mutex" r) in
+  checki "needs two deliveries" 2 v.Ex.at_depth;
+  checki "path length" 2 (List.length v.Ex.path)
+
+let test_depth_bound_respected () =
+  let w = world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant); (1, 0, Lock.Grant) ] in
+  let shallow = explore ~depth:1 w in
+  checki "unreachable at depth 1" 0 (List.length (violations_named "mutex" shallow))
+
+let test_choice_branching () =
+  (* Violation only if the flip chooses to take the lock — explorer
+     must branch into the non-default alternative. *)
+  let r = explore (world [ (0, true); (1, false) ] [ (0, 1, Lock.Flip) ]) in
+  checkb "found via choice branch" true (List.length (violations_named "mutex" r) > 0)
+
+let test_timer_branching () =
+  let r = explore (world ~timers:[ (1, "grab") ] [ (0, true); (1, false) ] []) in
+  checkb "timer fire explored" true (List.length (violations_named "mutex" r) > 0);
+  let v = List.hd (violations_named "mutex" r) in
+  checkb "path is a timer step" true
+    (match v.Ex.path with [ Ex.Timer_step _ ] -> true | _ -> false)
+
+let test_generic_node () =
+  let w = world [ (0, true); (1, false) ] [] in
+  let without = explore w in
+  checki "closed world safe" 0 (List.length (violations_named "mutex" without));
+  let with_generic = explore ~generic_node:true w in
+  checkb "generic node finds it" true (List.length (violations_named "mutex" with_generic) > 0)
+
+let test_drop_branches () =
+  (* With drops enabled the violating delivery can be avoided — both
+     futures are explored. *)
+  let w = world [ (0, true); (1, false) ] [ (0, 1, Lock.Grant) ] in
+  let r = explore ~include_drops:true w in
+  checkb "violation still found" true (List.length (violations_named "mutex" r) > 0);
+  checkb "drop step explored" true
+    (List.exists
+       (fun (s : Ex.step) -> match s with Ex.Drop_step _ -> true | _ -> false)
+       (List.concat_map (fun (v : Ex.violation) -> v.Ex.path) r.Ex.violations)
+     || r.Ex.worlds_explored > 2)
+
+let test_dedup () =
+  (* Two identical grants to the same node: delivering either first
+     reaches the same world. *)
+  let r = explore (world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant); (0, 1, Lock.Grant) ]) in
+  checkb "dedup hit" true (r.Ex.worlds_deduped > 0)
+
+let test_liveness_report () =
+  let holds = explore (world [ (0, false) ] [ (1, 0, Lock.Grant) ]) in
+  checkb "liveness satisfiable" true (holds.Ex.liveness_unmet = []);
+  let never = explore (world [ (0, false) ] []) in
+  checkb "liveness unmet reported" true (List.mem "someone-holds" never.Ex.liveness_unmet)
+
+let test_budget_truncation () =
+  let pending = List.init 6 (fun i -> (i mod 2, 1 - (i mod 2), Lock.Flip)) in
+  let r = Ex.explore ~max_worlds:10 ~depth:6 (world [ (0, false); (1, false) ] pending) in
+  checkb "truncated" true r.Ex.truncated;
+  checki "budget respected" 10 r.Ex.worlds_explored
+
+let test_first_steps () =
+  let r =
+    explore (world [ (0, true); (1, false) ] [ (0, 1, Lock.Grant); (1, 0, Lock.Release) ])
+  in
+  let steps = Ex.first_steps_to_violation r in
+  checkb "offending first step is the grant" true
+    (List.exists
+       (fun (s : Ex.step) ->
+         match s with
+         | Ex.Deliver_step { kind; _ } -> String.equal kind "grant"
+         | _ -> false)
+       steps)
+
+let test_iterative_deepening () =
+  (* The double grant needs depth 2; iterative deepening should stop
+     exactly there with a minimal 2-step path. *)
+  let w = world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant); (1, 0, Lock.Grant) ] in
+  let depth, r = Ex.iterative ~max_depth:5 w in
+  checki "stops at the minimal depth" 2 depth;
+  checkb "violations found" true (violations_named "mutex" r <> []);
+  List.iter
+    (fun (v : Ex.violation) -> checki "paths are minimal" 2 (List.length v.Ex.path))
+    (violations_named "mutex" r);
+  (* A safe world runs to max_depth and reports clean. *)
+  let safe = world [ (0, false); (1, false) ] [ (0, 1, Lock.Release) ] in
+  let depth, r = Ex.iterative ~max_depth:3 safe in
+  checki "exhausts the bound" 3 depth;
+  checki "clean" 0 (List.length r.Ex.violations)
+
+let test_world_of_view () =
+  let view : (Lock.state, Lock.msg) Proto.View.t =
+    {
+      time = Dsim.Vtime.zero;
+      nodes = [ (nid 0, { Lock.self = nid 0; holding = true }) ];
+      inflight = [ (nid 1, nid 0, Lock.Grant) ];
+    }
+  in
+  let w = Ex.world_of_view ~timers:[ (nid 0, "grab") ] view in
+  checki "states" 1 (Proto.Node_id.Map.cardinal w.Ex.states);
+  checki "pending" 1 (List.length w.Ex.pending);
+  checki "timers" 1 (List.length w.Ex.timers)
+
+(* ---------- Steering ---------- *)
+
+let test_steering_no_violation () =
+  let v = St.decide ~depth:3 (world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant) ]) in
+  checkb "nothing to steer" true (v = St.No_violation)
+
+let test_steering_vetoes_offender () =
+  let w = world [ (0, true); (1, false) ] [ (0, 1, Lock.Grant) ] in
+  match St.decide ~depth:3 w with
+  | St.Steer [ veto ] ->
+      Alcotest.check Alcotest.string "kind" "grant" veto.St.kind;
+      checki "src" 0 (Proto.Node_id.to_int veto.St.src);
+      checki "dst" 1 (Proto.Node_id.to_int veto.St.dst)
+  | St.Steer _ -> Alcotest.fail "expected exactly one veto"
+  | St.No_violation -> Alcotest.fail "violation missed"
+  | St.Cannot_steer _ -> Alcotest.fail "steering should be safe"
+
+let test_steering_double_grant_vetoes_one () =
+  let w = world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant); (1, 0, Lock.Grant) ] in
+  match St.decide ~depth:3 w with
+  | St.Steer vetoes -> checkb "at least one veto" true (List.length vetoes >= 1)
+  | St.No_violation | St.Cannot_steer _ -> Alcotest.fail "expected Steer"
+
+let test_steering_reports_unsteerable () =
+  (* The violation comes from a timer, not a filterable delivery. *)
+  let w = world ~timers:[ (1, "grab") ] [ (0, true); (1, false) ] [] in
+  match St.decide ~depth:2 w with
+  | St.Cannot_steer props -> checkb "mutex doomed" true (List.mem "mutex" props)
+  | St.No_violation -> Alcotest.fail "violation missed"
+  | St.Steer _ -> Alcotest.fail "no delivery can be vetoed here"
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "safe world" `Quick test_no_violation_in_safe_world;
+          Alcotest.test_case "double grant" `Quick test_finds_double_grant;
+          Alcotest.test_case "depth bound" `Quick test_depth_bound_respected;
+          Alcotest.test_case "choice branching" `Quick test_choice_branching;
+          Alcotest.test_case "timer branching" `Quick test_timer_branching;
+          Alcotest.test_case "generic node" `Quick test_generic_node;
+          Alcotest.test_case "drop branches" `Quick test_drop_branches;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "liveness" `Quick test_liveness_report;
+          Alcotest.test_case "budget truncation" `Quick test_budget_truncation;
+          Alcotest.test_case "first steps" `Quick test_first_steps;
+          Alcotest.test_case "iterative deepening" `Quick test_iterative_deepening;
+          Alcotest.test_case "world_of_view" `Quick test_world_of_view;
+        ] );
+      ( "steering",
+        [
+          Alcotest.test_case "no violation" `Quick test_steering_no_violation;
+          Alcotest.test_case "vetoes offender" `Quick test_steering_vetoes_offender;
+          Alcotest.test_case "double grant" `Quick test_steering_double_grant_vetoes_one;
+          Alcotest.test_case "unsteerable" `Quick test_steering_reports_unsteerable;
+        ] );
+    ]

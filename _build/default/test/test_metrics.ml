@@ -1,0 +1,190 @@
+(* Tests for the code-metrics analyser and the table renderer. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+module CM = Metrics.Code_metrics
+
+(* ---------- strip ---------- *)
+
+let test_strip_comments () =
+  let src = "let x = 1 (* comment *) + 2\n" in
+  let s = CM.strip src in
+  checkb "comment gone" false (String.length s >= 0 && String.exists (fun _ -> false) s);
+  checkb "no word comment" true
+    (not
+       (List.exists
+          (fun line -> String.length line > 0 && String.trim line = "comment")
+          (String.split_on_char '\n' s)));
+  checkb "code kept" true (String.length s > 10)
+
+let test_strip_nested_comments () =
+  let src = "a (* outer (* inner *) still-outer *) b" in
+  let s = CM.strip src in
+  checkb "inner gone" true (not (String.exists (fun c -> c = '*') s));
+  checkb "a kept" true (s.[0] = 'a');
+  checkb "b kept" true (s.[String.length s - 1] = 'b')
+
+let test_strip_strings () =
+  let src = "let s = \"if if if (* not a comment *)\"\nlet t = 2" in
+  let s = CM.strip src in
+  checkb "string contents blanked" true
+    (not
+       (String.length s >= 2
+       && String.exists (fun _ -> false) s))
+    |> ignore;
+  (* No 'if' from inside the literal should survive. *)
+  let m = CM.analyze_source ~file:"x" src in
+  checki "no handlers so no ifs counted" 0 m.CM.if_else;
+  checki "two lines of code" 2 m.CM.loc
+
+let test_strip_escaped_quote () =
+  let src = {|let s = "a\"b" let x = 1|} in
+  let s = CM.strip src in
+  checkb "terminates correctly" true (String.length s = String.length src)
+
+(* ---------- analyze ---------- *)
+
+let sample_source =
+  String.concat "\n"
+    [
+      "let helper x = if x then 1 else 2";
+      "";
+      "let handle_join st msg =";
+      "  if guard msg then";
+      "    if full st then forward st else accept st";
+      "  else st";
+      "";
+      "let on_timer st id =";
+      "  if id = \"tick\" then tick st else st";
+      "";
+      "let pp fmt = ()";
+    ]
+
+let test_analyze_sample () =
+  let m = CM.analyze_source ~file:"sample.ml" sample_source in
+  checki "loc counts non-blank" 8 m.CM.loc;
+  checki "two handler regions" 2 m.CM.handlers;
+  (* 2 ifs in handle_join region, 1 in on_timer; helper's if is outside
+     handler regions, pp ends the last region. *)
+  checki "ifs inside handlers" 3 m.CM.if_else;
+  checkf "per handler" 1.5 m.CM.per_handler
+
+let test_analyze_h_prefix_and_init () =
+  let src = "let h_ping st = if a then b else c\nlet init ctx = if x then y else z\n" in
+  let m = CM.analyze_source ~file:"x" src in
+  checki "h_ and init count" 2 m.CM.handlers;
+  checki "their ifs" 2 m.CM.if_else
+
+let test_analyze_no_handlers () =
+  let m = CM.analyze_source ~file:"x" "let a = 1\nlet b = if c then 1 else 2\n" in
+  checki "no handlers" 0 m.CM.handlers;
+  checkf "zero per-handler" 0. m.CM.per_handler
+
+let test_reduction_percent () =
+  let b = CM.analyze_source ~file:"b" (String.concat "\n" (List.init 100 (fun i -> Printf.sprintf "let x%d = 1" i))) in
+  let c = CM.analyze_source ~file:"c" (String.concat "\n" (List.init 57 (fun i -> Printf.sprintf "let x%d = 1" i))) in
+  checkf "43%" 43. (CM.reduction_percent ~baseline:b ~improved:c)
+
+let test_analyze_real_files () =
+  match Experiments.Metrics_exp.run () with
+  | Some c ->
+      checkb "baseline bigger" true (c.baseline.CM.loc > c.choice.CM.loc);
+      checkb "baseline more complex" true
+        (c.baseline.CM.per_handler > 4. *. c.choice.CM.per_handler);
+      checkb "meaningful reduction" true (c.loc_reduction_percent > 15.)
+  | None -> Alcotest.fail "repository sources not found"
+
+(* ---------- report ---------- *)
+
+let test_table_rendering () =
+  let out =
+    Metrics.Report.table ~title:"T" ~header:[ "name"; "v" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  checkb "title present" true (String.length out > 0 && out.[0] = 'T');
+  let lines = String.split_on_char '\n' out in
+  checki "six lines (title, rule, header, sep, 2 rows, trailing)" 7 (List.length lines);
+  (* Right-aligned numeric column: " 1" and "22" end their rows. *)
+  checkb "alignment" true
+    (List.exists (fun l -> String.length l > 0 && l.[String.length l - 1] = '1') lines)
+
+let test_table_pads_short_rows () =
+  let out = Metrics.Report.table ~title:"T" ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  checkb "no exception and rendered" true (String.length out > 0)
+
+let test_formatters () =
+  checks "fint" "42" (Metrics.Report.fint 42);
+  checks "ffloat" "3.14" (Metrics.Report.ffloat 3.14159);
+  checks "ffloat decimals" "3.1416" (Metrics.Report.ffloat ~decimals:4 3.14159);
+  checks "fopt some" "7" (Metrics.Report.fopt_int (Some 7));
+  checks "fopt none" "-" (Metrics.Report.fopt_int None)
+
+(* ---------- treeview ---------- *)
+
+let test_treeview_forest () =
+  let forest =
+    Metrics.Treeview.of_parents [ (0, None); (1, Some 0); (2, Some 0); (3, Some 1) ]
+  in
+  checki "one root" 1 (List.length forest);
+  let root = List.hd forest in
+  checki "root id" 0 root.Metrics.Treeview.id;
+  checki "depth" 3 (Metrics.Treeview.depth root);
+  let out = Metrics.Treeview.render forest in
+  checkb "renders children" true
+    (List.exists
+       (fun line -> String.trim line <> "" && String.length line > 0)
+       (String.split_on_char '\n' out));
+  checkb "contains connectors" true (String.length out > 10)
+
+let test_treeview_orphan_roots () =
+  (* A node whose parent is outside the set becomes its own root. *)
+  let forest = Metrics.Treeview.of_parents [ (5, Some 99); (6, Some 5) ] in
+  checki "orphan promoted" 1 (List.length forest);
+  checki "root is the orphan" 5 (List.hd forest).Metrics.Treeview.id
+
+let test_treeview_cycle_safe () =
+  let forest = Metrics.Treeview.of_parents [ (0, Some 1); (1, Some 0) ] in
+  (* No root exists; both parents are in-set, so the forest is empty —
+     and crucially, of_parents terminates. *)
+  checki "cycle yields no roots" 0 (List.length forest)
+
+let test_treeview_single () =
+  let forest = Metrics.Treeview.of_parents [ (7, None) ] in
+  checki "single depth" 1 (Metrics.Treeview.depth (List.hd forest));
+  Alcotest.check Alcotest.string "single render" "7\n" (Metrics.Treeview.render forest)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "strip",
+        [
+          Alcotest.test_case "comments" `Quick test_strip_comments;
+          Alcotest.test_case "nested" `Quick test_strip_nested_comments;
+          Alcotest.test_case "strings" `Quick test_strip_strings;
+          Alcotest.test_case "escapes" `Quick test_strip_escaped_quote;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "sample" `Quick test_analyze_sample;
+          Alcotest.test_case "h_ and init" `Quick test_analyze_h_prefix_and_init;
+          Alcotest.test_case "no handlers" `Quick test_analyze_no_handlers;
+          Alcotest.test_case "reduction" `Quick test_reduction_percent;
+          Alcotest.test_case "real files" `Quick test_analyze_real_files;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_table_rendering;
+          Alcotest.test_case "padding" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ( "treeview",
+        [
+          Alcotest.test_case "forest" `Quick test_treeview_forest;
+          Alcotest.test_case "orphan roots" `Quick test_treeview_orphan_roots;
+          Alcotest.test_case "cycle safe" `Quick test_treeview_cycle_safe;
+          Alcotest.test_case "single" `Quick test_treeview_single;
+        ] );
+    ]

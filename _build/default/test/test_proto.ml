@@ -1,0 +1,153 @@
+(* Unit tests for the state-machine programming model. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let nid = Proto.Node_id.of_int
+
+(* ---------- Node_id ---------- *)
+
+let test_node_id_basics () =
+  checki "roundtrip" 5 (Proto.Node_id.to_int (nid 5));
+  checkb "equal" true (Proto.Node_id.equal (nid 1) (nid 1));
+  checkb "not equal" false (Proto.Node_id.equal (nid 1) (nid 2));
+  checkb "ordering" true (Proto.Node_id.compare (nid 1) (nid 2) < 0);
+  checks "pp" "n7" (Format.asprintf "%a" Proto.Node_id.pp (nid 7));
+  Alcotest.check_raises "negative" (Invalid_argument "Node_id.of_int: negative") (fun () ->
+      ignore (nid (-1)))
+
+let test_node_id_collections () =
+  let s = Proto.Node_id.Set.of_list [ nid 3; nid 1; nid 3 ] in
+  checki "set dedups" 2 (Proto.Node_id.Set.cardinal s);
+  let m = Proto.Node_id.Map.(add (nid 1) "a" empty) in
+  checkb "map find" true (Proto.Node_id.Map.find_opt (nid 1) m = Some "a")
+
+(* ---------- Action ---------- *)
+
+let test_action_constructors () =
+  (match Proto.Action.send ~dst:(nid 2) "m" with
+  | Proto.Action.Send { dst; msg } ->
+      checki "dst" 2 (Proto.Node_id.to_int dst);
+      checks "msg" "m" msg
+  | _ -> Alcotest.fail "expected Send");
+  (match Proto.Action.set_timer ~id:"t" ~after:1.5 with
+  | Proto.Action.Set_timer { id; after } ->
+      checks "id" "t" id;
+      Alcotest.check (Alcotest.float 0.) "after" 1.5 after
+  | _ -> Alcotest.fail "expected Set_timer");
+  match Proto.Action.note "x=%d" 3 with
+  | Proto.Action.Note s -> checks "formatted" "x=3" s
+  | _ -> Alcotest.fail "expected Note"
+
+let test_action_pp () =
+  let pp_msg ppf s = Format.fprintf ppf "%s" s in
+  checks "send" "send(n2, hello)"
+    (Format.asprintf "%a" (Proto.Action.pp pp_msg) (Proto.Action.send ~dst:(nid 2) "hello"));
+  checks "cancel" "cancel_timer(t)"
+    (Format.asprintf "%a" (Proto.Action.pp pp_msg) (Proto.Action.cancel_timer "t"))
+
+(* ---------- Handler ---------- *)
+
+let test_handler_guards () =
+  let h1 =
+    Proto.Handler.v ~name:"even"
+      ~guard:(fun st ~src:_ m -> st = 0 && m mod 2 = 0)
+      (fun _ st ~src:_ _ -> (st, []))
+  in
+  let h2 = Proto.Handler.v ~name:"always" (fun _ st ~src:_ _ -> (st, [])) in
+  let applicable st m = Proto.Handler.applicable [ h1; h2 ] st ~src:(nid 0) m in
+  checki "both apply" 2 (List.length (applicable 0 4));
+  checki "guard filters" 1 (List.length (applicable 0 3));
+  checki "state-dependent" 1 (List.length (applicable 9 4));
+  checks "surviving handler" "always" (List.hd (applicable 0 3)).Proto.Handler.name
+
+(* ---------- View ---------- *)
+
+let view nodes inflight : (string, int) Proto.View.t =
+  {
+    time = Dsim.Vtime.zero;
+    nodes = List.map (fun (i, s) -> (nid i, s)) nodes;
+    inflight = List.map (fun (a, b, m) -> (nid a, nid b, m)) inflight;
+  }
+
+let test_view_accessors () =
+  let v = view [ (0, "a"); (1, "b") ] [ (0, 1, 42) ] in
+  checki "node count" 2 (Proto.View.node_count v);
+  checki "inflight" 1 (Proto.View.inflight_count v);
+  checkb "find" true (Proto.View.find v (nid 1) = Some "b");
+  checkb "find missing" true (Proto.View.find v (nid 9) = None);
+  checki "ids" 2 (List.length (Proto.View.ids v))
+
+let test_view_fold () =
+  let v = view [ (0, "x"); (1, "yy") ] [] in
+  checki "fold lengths" 3 (Proto.View.fold (fun acc _ s -> acc + String.length s) 0 v)
+
+let test_view_restrict () =
+  let v = view [ (0, "a"); (1, "b"); (2, "c") ] [ (0, 1, 1); (1, 2, 2) ] in
+  let keep = Proto.Node_id.Set.of_list [ nid 0; nid 1 ] in
+  let r = Proto.View.restrict v keep in
+  checki "nodes restricted" 2 (Proto.View.node_count r);
+  checki "inflight restricted" 1 (Proto.View.inflight_count r)
+
+(* ---------- Ctx helpers ---------- *)
+
+let test_ctx_predicted_ms () =
+  let net = Net.Netmodel.create () in
+  let ctx : Proto.Ctx.t =
+    {
+      self = nid 0;
+      now = Dsim.Vtime.of_seconds 1.;
+      rng = Dsim.Rng.create 1;
+      net;
+      choose = (fun c -> Core.Choice.nth c 0);
+    }
+  in
+  Alcotest.check (Alcotest.float 1e-6) "default when unknown" 50.
+    (Proto.Ctx.predicted_ms ctx (nid 1));
+  Net.Netmodel.observe_latency net ~src:0 ~dst:1 (Dsim.Vtime.of_seconds 1.) 0.1;
+  Net.Netmodel.observe_bandwidth net ~src:0 ~dst:1 (Dsim.Vtime.of_seconds 1.) 1_000_000.;
+  checkb "predicted from model" true (Proto.Ctx.predicted_ms ctx (nid 1) > 99.);
+  checkb "confidence known" true (Proto.Ctx.link_confidence ctx (nid 1) > 0.9);
+  Alcotest.check (Alcotest.float 0.) "confidence unknown" 0. (Proto.Ctx.link_confidence ctx (nid 2))
+
+let test_ctx_choose_dispatches () =
+  let ctx : Proto.Ctx.t =
+    {
+      self = nid 0;
+      now = Dsim.Vtime.zero;
+      rng = Dsim.Rng.create 1;
+      net = Net.Netmodel.create ();
+      choose = (fun c -> Core.Choice.nth c (Core.Choice.arity c - 1));
+    }
+  in
+  checks "polymorphic choose" "last"
+    (ctx.choose (Core.Choice.of_values ~label:"l" [ "first"; "mid"; "last" ]));
+  checki "works at other types" 3 (ctx.choose (Core.Choice.of_values ~label:"l" [ 1; 2; 3 ]))
+
+let () =
+  Alcotest.run "proto"
+    [
+      ( "node_id",
+        [
+          Alcotest.test_case "basics" `Quick test_node_id_basics;
+          Alcotest.test_case "collections" `Quick test_node_id_collections;
+        ] );
+      ( "action",
+        [
+          Alcotest.test_case "constructors" `Quick test_action_constructors;
+          Alcotest.test_case "pp" `Quick test_action_pp;
+        ] );
+      ("handler", [ Alcotest.test_case "guards" `Quick test_handler_guards ]);
+      ( "view",
+        [
+          Alcotest.test_case "accessors" `Quick test_view_accessors;
+          Alcotest.test_case "fold" `Quick test_view_fold;
+          Alcotest.test_case "restrict" `Quick test_view_restrict;
+        ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "predicted_ms" `Quick test_ctx_predicted_ms;
+          Alcotest.test_case "choose dispatches" `Quick test_ctx_choose_dispatches;
+        ] );
+    ]

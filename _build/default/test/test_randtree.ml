@@ -1,0 +1,197 @@
+(* Tests for the two RandTree variants: protocol behaviour, tree
+   invariants under churn, and the behavioural contract between the
+   baseline and the choice-exposed rewrite. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let nid = Proto.Node_id.of_int
+
+module C = Apps.Randtree_common
+module Base = Apps.Randtree_baseline.Default
+module Choice = Apps.Randtree_choice.Default
+module BE = Engine.Sim.Make (Base)
+module CE = Engine.Sim.Make (Choice)
+
+(* ---------- message vocabulary ---------- *)
+
+let test_msg_kinds () =
+  Alcotest.check Alcotest.string "join" "join" (C.msg_kind (C.Join { origin = nid 1 }));
+  Alcotest.check Alcotest.string "reply" "join_reply" (C.msg_kind (C.Join_reply { depth = 2 }));
+  Alcotest.check Alcotest.string "ping" "ping" (C.msg_kind C.Ping);
+  Alcotest.check Alcotest.string "ack" "ping_ack" (C.msg_kind (C.Ping_ack { depth = 1 }));
+  checkb "bytes positive" true (List.for_all (fun m -> C.msg_bytes m > 0)
+    [ C.Join { origin = nid 1 }; C.Join_reply { depth = 1 }; C.Ping; C.Ping_ack { depth = 1 } ])
+
+(* ---------- Measure ---------- *)
+
+type toy = { parent : int option; joined : bool }
+
+let toy_view nodes : (toy, unit) Proto.View.t =
+  {
+    time = Dsim.Vtime.zero;
+    nodes = List.map (fun (i, parent, joined) -> (nid i, { parent; joined })) nodes;
+    inflight = [];
+  }
+
+let parent st = Option.map nid st.parent
+let joined st = st.joined
+
+let test_measure_depths () =
+  let v = toy_view [ (0, None, true); (1, Some 0, true); (2, Some 1, true) ] in
+  checkb "root depth 1" true (C.Measure.depth_of ~parent v (nid 0) = Some 1);
+  checkb "leaf depth 3" true (C.Measure.depth_of ~parent v (nid 2) = Some 3);
+  checki "max depth" 3 (C.Measure.max_depth ~parent v);
+  Alcotest.check (Alcotest.float 1e-9) "mean depth" 2. (C.Measure.mean_depth ~parent v);
+  checkb "no cycle" false (C.Measure.has_cycle ~parent v)
+
+let test_measure_cycle () =
+  let v = toy_view [ (0, Some 1, true); (1, Some 0, true) ] in
+  checkb "cycle detected" true (C.Measure.has_cycle ~parent v);
+  checkb "cyclic depth undefined" true (C.Measure.depth_of ~parent v (nid 0) = None)
+
+let test_measure_left_view_is_not_cycle () =
+  (* A parent outside the view (crashed) must not count as a cycle. *)
+  let v = toy_view [ (1, Some 9, true) ] in
+  checkb "not a cycle" false (C.Measure.has_cycle ~parent v);
+  checkb "depth undefined" true (C.Measure.depth_of ~parent v (nid 1) = None)
+
+let test_measure_joined_count () =
+  let v = toy_view [ (0, None, true); (1, None, false) ] in
+  checki "joined" 1 (C.Measure.joined_count ~joined v)
+
+(* ---------- engine-level joins ---------- *)
+
+let topology n = Net.Topology.uniform ~n (Net.Linkprop.v ~latency:0.01 ~bandwidth:1_000_000. ~loss:0.)
+
+let join_run_base resolver n =
+  let eng = BE.create ~seed:5 ~jitter:0. ~topology:(topology n) () in
+  BE.set_resolver eng resolver;
+  for i = 0 to n - 1 do
+    BE.spawn eng ~after:(0.3 *. float_of_int i) (nid i)
+  done;
+  BE.run_for eng (10. +. (0.3 *. float_of_int n));
+  eng
+
+let join_run_choice resolver n =
+  let eng = CE.create ~seed:5 ~jitter:0. ~topology:(topology n) () in
+  CE.set_resolver eng resolver;
+  for i = 0 to n - 1 do
+    CE.spawn eng ~after:(0.3 *. float_of_int i) (nid i)
+  done;
+  CE.run_for eng (10. +. (0.3 *. float_of_int n));
+  eng
+
+let test_baseline_join_all () =
+  let eng = join_run_base Core.Resolver.random 12 in
+  let view = BE.global_view eng in
+  checki "all present" 12 (Proto.View.node_count view);
+  checkb "all joined" true
+    (List.for_all (fun (_, st) -> Base.is_joined st) view.Proto.View.nodes);
+  checkb "no cycle" false (C.Measure.has_cycle ~parent:Base.parent_of view);
+  let d = C.Measure.max_depth ~parent:Base.parent_of view in
+  checkb "depth sane" true (d >= 4 && d <= 12);
+  checkb "degree bound" true
+    (List.for_all
+       (fun (_, st) -> List.length (Base.children_of st) <= 2)
+       view.Proto.View.nodes)
+
+let test_choice_join_all () =
+  let eng = join_run_choice Core.Resolver.random 12 in
+  let view = CE.global_view eng in
+  checkb "all joined" true
+    (List.for_all (fun (_, st) -> Choice.is_joined st) view.Proto.View.nodes);
+  checkb "no cycle" false (C.Measure.has_cycle ~parent:Choice.parent_of view);
+  checkb "degree bound" true
+    (List.for_all
+       (fun (_, st) -> List.length (Choice.children_of st) <= 2)
+       view.Proto.View.nodes)
+
+let test_choice_exposes_forward_label () =
+  let eng = join_run_choice Core.Resolver.random 12 in
+  let labels =
+    List.map (fun (_, site, _) -> site.Core.Choice.site_label) (CE.decision_sites eng)
+  in
+  checkb "join.forward decisions happened" true (List.mem Choice.forward_label labels)
+
+let test_baseline_makes_no_choices () =
+  let eng = join_run_base Core.Resolver.random 12 in
+  checki "policy is hard-coded" 0 (List.length (BE.decision_sites eng))
+
+let test_parent_failure_triggers_rejoin () =
+  let eng = join_run_choice Core.Resolver.random 6 in
+  let view = CE.global_view eng in
+  (* Kill a non-root node that has children. *)
+  let victim =
+    List.find_map
+      (fun (id, st) ->
+        if (not (Proto.Node_id.equal id (nid 0))) && Choice.children_of st <> [] then Some id
+        else None)
+      view.Proto.View.nodes
+  in
+  match victim with
+  | None -> Alcotest.fail "no interior node found"
+  | Some v ->
+      CE.kill eng v;
+      CE.run_for eng 15.;
+      CE.restart eng v;
+      CE.run_for eng 15.;
+      let view = CE.global_view eng in
+      checki "everyone back" 6 (Proto.View.node_count view);
+      checkb "all joined again" true
+        (List.for_all (fun (_, st) -> Choice.is_joined st) view.Proto.View.nodes);
+      checkb "still acyclic" false (C.Measure.has_cycle ~parent:Choice.parent_of view)
+
+let test_no_cycle_property_enforced_live () =
+  let eng = join_run_choice Core.Resolver.random 10 in
+  checki "no property violations during churnless join" 0 (List.length (CE.violations eng))
+
+(* ---------- experiment-level ---------- *)
+
+let test_experiment_shapes () =
+  let o = Experiments.Randtree_exp.run ~nodes:15 ~seed:3 ~with_failure:false
+      Experiments.Randtree_exp.Choice_random
+  in
+  checki "all joined" 15 o.Experiments.Randtree_exp.joined;
+  checkb "depth plausible" true (o.depth_after_join >= 4 && o.depth_after_join <= 15);
+  checkb "no rejoin measured" true (o.depth_after_rejoin = None)
+
+let test_optimal_depth () =
+  checki "31 nodes binary" 5 (Experiments.Randtree_exp.optimal_depth ~nodes:31 ~max_children:2);
+  checki "1 node" 1 (Experiments.Randtree_exp.optimal_depth ~nodes:1 ~max_children:2);
+  checki "4 nodes ternary" 2 (Experiments.Randtree_exp.optimal_depth ~nodes:4 ~max_children:3)
+
+let test_baseline_equals_choice_random () =
+  (* The paper reports identical depths for Baseline and Choice-Random;
+     with a shared seed our two implementations agree exactly. *)
+  let b = Experiments.Randtree_exp.run ~nodes:15 ~seed:8 Experiments.Randtree_exp.Baseline in
+  let c = Experiments.Randtree_exp.run ~nodes:15 ~seed:8 Experiments.Randtree_exp.Choice_random in
+  checki "join depths equal" b.Experiments.Randtree_exp.depth_after_join
+    c.Experiments.Randtree_exp.depth_after_join
+
+let () =
+  Alcotest.run "randtree"
+    [
+      ("messages", [ Alcotest.test_case "kinds" `Quick test_msg_kinds ]);
+      ( "measure",
+        [
+          Alcotest.test_case "depths" `Quick test_measure_depths;
+          Alcotest.test_case "cycle" `Quick test_measure_cycle;
+          Alcotest.test_case "left view" `Quick test_measure_left_view_is_not_cycle;
+          Alcotest.test_case "joined count" `Quick test_measure_joined_count;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "baseline joins" `Quick test_baseline_join_all;
+          Alcotest.test_case "choice joins" `Quick test_choice_join_all;
+          Alcotest.test_case "choice exposes label" `Quick test_choice_exposes_forward_label;
+          Alcotest.test_case "baseline has no choices" `Quick test_baseline_makes_no_choices;
+          Alcotest.test_case "failure rejoin" `Slow test_parent_failure_triggers_rejoin;
+          Alcotest.test_case "live property check" `Quick test_no_cycle_property_enforced_live;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "shapes" `Slow test_experiment_shapes;
+          Alcotest.test_case "optimal depth" `Quick test_optimal_depth;
+          Alcotest.test_case "baseline = choice-random" `Slow test_baseline_equals_choice_random;
+        ] );
+    ]

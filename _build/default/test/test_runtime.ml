@@ -1,0 +1,145 @@
+(* Tests for the CrystalBall-enabled runtime: checkpoint staleness,
+   steering rounds, event-filter installation and expiry. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let nid = Proto.Node_id.of_int
+
+module Lock = Test_support.Lock_app
+module R = Runtime.Crystal.Make (Lock)
+module E = R.E
+
+let topology =
+  Net.Topology.uniform ~n:4 (Net.Linkprop.v ~latency:0.02 ~bandwidth:1_000_000. ~loss:0.)
+
+let all_neighbors (_ : Lock.state) = [ nid 0; nid 1; nid 2; nid 3 ]
+
+let config =
+  {
+    Runtime.Config.default with
+    Runtime.Config.checkpoint_period = 0.5;
+    checkpoint_delay = 0.1;
+    steer_period = 0.5;
+    steer_depth = 2;
+    filter_ttl = 3.0;
+  }
+
+let make ?(config = config) () =
+  let eng = E.create ~seed:1 ~jitter:0. ~topology () in
+  E.set_resolver eng Core.Resolver.first;
+  let cry = R.attach ~config ~neighbors:all_neighbors eng in
+  (eng, cry)
+
+let spawn_all eng =
+  for i = 0 to 3 do
+    E.spawn eng (nid i)
+  done
+
+let test_checkpoint_staleness () =
+  let eng, cry = make () in
+  spawn_all eng;
+  R.run_for cry 0.3;
+  (* A checkpoint was taken at ~0 but is only 0.3s old... wait: it
+     becomes usable once checkpoint_delay (0.1s) has passed. *)
+  checkb "usable after delay" true (R.latest_view cry <> None);
+  let eng2, cry2 = make ~config:{ config with Runtime.Config.checkpoint_delay = 5.0 } () in
+  spawn_all eng2;
+  R.run_for cry2 1.0;
+  checkb "not usable before delay" true (R.latest_view cry2 = None)
+
+let test_neighborhood_view () =
+  let eng, cry = make () in
+  spawn_all eng;
+  R.run_for cry 1.0;
+  (match R.neighborhood_view cry ~of_node:(nid 0) with
+  | Some view ->
+      checki "all four (own + neighbours)" 4 (Proto.View.node_count view);
+      checkb "own state present" true (Proto.View.find view (nid 0) <> None)
+  | None -> Alcotest.fail "expected a view");
+  checkb "dead node has no view" true (R.neighborhood_view cry ~of_node:(nid 9) = None)
+
+let test_steering_filters_offender () =
+  let eng, cry = make () in
+  spawn_all eng;
+  R.run_for cry 1.0;
+  (* Node 0 takes the lock; a conflicting grant to node 1 is in flight
+     with a long delay, giving the controller time to predict the
+     violation and install a filter before it arrives. *)
+  E.inject eng ~src:(nid 2) ~dst:(nid 0) Lock.Grant;
+  R.run_for cry 0.5;
+  E.inject eng ~after:2.0 ~src:(nid 3) ~dst:(nid 1) Lock.Grant;
+  R.run_for cry 4.0;
+  let report = R.report cry in
+  checkb "steering ran" true (report.R.steering_rounds > 0);
+  checkb "veto installed" true (report.R.vetoes_installed >= 1);
+  checki "offending grant filtered" 1 (E.stats eng).messages_filtered;
+  checki "no live violation" 0 (List.length (E.violations eng));
+  checkb "verdicts logged" true (List.length (R.verdict_log cry) >= 1)
+
+let test_filters_expire () =
+  let eng, cry = make () in
+  spawn_all eng;
+  R.run_for cry 1.0;
+  E.inject eng ~src:(nid 2) ~dst:(nid 0) Lock.Grant;
+  R.run_for cry 0.5;
+  E.inject eng ~after:2.0 ~src:(nid 3) ~dst:(nid 1) Lock.Grant;
+  R.run_for cry 4.0;
+  checki "filtered while fresh" 1 (E.stats eng).messages_filtered;
+  (* After the holder releases, the same kind of message is harmless;
+     once the TTL passes the filter must be gone. *)
+  E.inject eng ~src:(nid 2) ~dst:(nid 0) Lock.Release;
+  R.run_for cry 5.0;
+  E.inject eng ~src:(nid 3) ~dst:(nid 1) Lock.Grant;
+  R.run_for cry 1.0;
+  checkb "grant delivered after expiry" true
+    (match E.state_of eng (nid 1) with Some st -> st.Lock.holding | None -> false)
+
+let test_no_violation_no_vetoes () =
+  let eng, cry = make () in
+  spawn_all eng;
+  R.run_for cry 3.0;
+  let report = R.report cry in
+  checkb "rounds ran" true (report.R.steering_rounds >= 4);
+  checki "nothing installed" 0 report.R.vetoes_installed;
+  checki "nothing to report" 0 (List.length (R.verdict_log cry))
+
+let test_report_counts () =
+  let eng, cry = make () in
+  spawn_all eng;
+  R.run_for cry 2.6;
+  let r = R.report cry in
+  (* checkpoint at attach time plus one per period. *)
+  checkb "checkpoints accumulate" true (r.R.checkpoints_taken >= 4);
+  checkb "engine reachable" true (E.now (R.engine cry) = E.now eng)
+
+let test_config_validation () =
+  Alcotest.check_raises "bad period" (Invalid_argument "Config: checkpoint_period must be positive")
+    (fun () ->
+      ignore
+        (Runtime.Config.validate
+           { Runtime.Config.default with Runtime.Config.checkpoint_period = 0. }));
+  Alcotest.check_raises "bad ttl" (Invalid_argument "Config: filter_ttl must be positive")
+    (fun () ->
+      ignore
+        (Runtime.Config.validate { Runtime.Config.default with Runtime.Config.filter_ttl = -1. }))
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "checkpoints",
+        [
+          Alcotest.test_case "staleness" `Quick test_checkpoint_staleness;
+          Alcotest.test_case "neighborhood view" `Quick test_neighborhood_view;
+        ] );
+      ( "steering",
+        [
+          Alcotest.test_case "filters offender" `Quick test_steering_filters_offender;
+          Alcotest.test_case "filters expire" `Quick test_filters_expire;
+          Alcotest.test_case "quiet when safe" `Quick test_no_violation_no_vetoes;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "report counts" `Quick test_report_counts;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+    ]
