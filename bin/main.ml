@@ -415,6 +415,109 @@ let explore_cmd =
        ~doc:"Consequence prediction on a live snapshot of the buggy lease service.")
     Term.(const run $ seed_arg $ depth $ drops $ generic)
 
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let run seed rounds factor apps show_plans =
+    if factor <= 0. then begin
+      Printf.eprintf "intensity must be positive (got %g)\n" factor;
+      exit 2
+    end;
+    if rounds <= 0 then begin
+      Printf.eprintf "rounds must be positive (got %d)\n" rounds;
+      exit 2
+    end;
+    let apps =
+      match apps with
+      | [] -> Experiments.Chaos_exp.apps
+      | picked ->
+          List.iter
+            (fun a ->
+              if not (List.mem a Experiments.Chaos_exp.apps) then begin
+                Printf.eprintf "unknown app %s (have: %s)\n" a
+                  (String.concat ", " Experiments.Chaos_exp.apps);
+                exit 2
+              end)
+            picked;
+          picked
+    in
+    let reports =
+      List.concat_map
+        (fun app ->
+          List.map
+            (fun i -> Experiments.Chaos_exp.run ~factor ~seed:(seed + i) app)
+            (List.init rounds Fun.id))
+        apps
+    in
+    let rows =
+      List.map
+        (fun (r : Experiments.Chaos_exp.report) ->
+          [
+            r.Experiments.Chaos_exp.app;
+            Metrics.Report.fint r.Experiments.Chaos_exp.seed;
+            (if r.Experiments.Chaos_exp.violations = 0 then "yes"
+             else Printf.sprintf "NO (%d)" r.Experiments.Chaos_exp.violations);
+            (if r.Experiments.Chaos_exp.recovered then "yes" else "NO");
+            Metrics.Report.fint r.Experiments.Chaos_exp.plan_events;
+            Metrics.Report.fint r.Experiments.Chaos_exp.delivered;
+            Metrics.Report.fint r.Experiments.Chaos_exp.dropped;
+            Metrics.Report.fint r.Experiments.Chaos_exp.duplicated;
+            Metrics.Report.fint r.Experiments.Chaos_exp.corrupted;
+            Metrics.Report.fint r.Experiments.Chaos_exp.decode_failures;
+          ])
+        reports
+    in
+    Metrics.Report.print
+      ~title:
+        (Printf.sprintf "Chaos soak: %d storms/app, base seed %d, intensity x%.1f" rounds seed
+           factor)
+      ~header:
+        [ "app"; "seed"; "safe"; "recovered"; "events"; "dlv"; "drop"; "dup"; "corrupt"; "badwire" ]
+      rows;
+    if show_plans then
+      List.iter
+        (fun (r : Experiments.Chaos_exp.report) ->
+          Printf.printf "\n%s seed %d plan:\n  %s\n" r.Experiments.Chaos_exp.app
+            r.Experiments.Chaos_exp.seed r.Experiments.Chaos_exp.plan_text)
+        reports;
+    let bad =
+      List.filter
+        (fun (r : Experiments.Chaos_exp.report) ->
+          r.Experiments.Chaos_exp.violations > 0 || not r.Experiments.Chaos_exp.recovered)
+        reports
+    in
+    if bad <> [] then begin
+      Printf.printf "\n%d of %d soaks failed\n" (List.length bad) (List.length reports);
+      exit 1
+    end
+  in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N" ~doc:"Storms per application.")
+  in
+  let factor =
+    Arg.(
+      value
+      & opt float 2.
+      & info [ "intensity" ] ~docv:"X"
+          ~doc:"Scale factor on storm length and fault counts (tests use 1).")
+  in
+  let apps =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "app" ] ~docv:"APP"
+          ~doc:"Application to soak (paxos|kvstore|gossip|dht|randtree); repeatable.")
+  in
+  let show_plans =
+    Arg.(value & flag & info [ "plans" ] ~doc:"Print each generated fault plan (the replay witness).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Randomized adversarial soak: seeded storms of crashes, partitions, duplication, \
+          corruption and reordering over every application, asserting safety and recovery.")
+    Term.(const run $ seed_arg $ rounds $ factor $ apps $ show_plans)
+
 let () =
   let doc = "Reproduction of 'Simplifying Distributed System Development' (HotOS 2009)." in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
@@ -428,6 +531,7 @@ let () =
             paxos_cmd;
             dht_cmd;
             kvstore_cmd;
+            chaos_cmd;
             steering_cmd;
             metrics_cmd;
             overhead_cmd;

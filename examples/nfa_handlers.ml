@@ -36,6 +36,7 @@ module Edge_cache = struct
     | Miss -> "miss"
 
   let msg_bytes = function Doc _ -> 4096 | Lookup _ -> 64 | Hit | Miss -> 32
+  let msg_codec = None
 
   let pp_msg ppf = function
     | Doc d -> Format.fprintf ppf "doc(%d)" d

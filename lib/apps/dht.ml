@@ -26,6 +26,26 @@ let pp_msg ppf = function
   | Lookup { key; hops; _ } -> Format.fprintf ppf "lookup(%d,h%d)" key hops
   | Found { key; hops; _ } -> Format.fprintf ppf "found(%d,h%d)" key hops
 
+let msg_codec =
+  let open Wire.Codec in
+  let node = conv Proto.Node_id.to_int Proto.Node_id.of_int int in
+  let query = pair (pair int node) (pair float int) in
+  tagged
+    (function
+      | Lookup { key; origin; born; hops } -> (0, encode query ((key, origin), (born, hops)))
+      | Found { key; owner; born; hops } -> (1, encode query ((key, owner), (born, hops))))
+    (fun tag payload ->
+      match tag with
+      | 0 ->
+          Result.map
+            (fun ((key, origin), (born, hops)) -> Lookup { key; origin; born; hops })
+            (decode query payload)
+      | 1 ->
+          Result.map
+            (fun ((key, owner), (born, hops)) -> Found { key; owner; born; hops })
+            (decode query payload)
+      | t -> Error (Printf.sprintf "unknown dht tag %d" t))
+
 let route_label = "route.next"
 
 (* Clockwise distance from [a] to [b] on the ring. *)
@@ -107,6 +127,7 @@ end = struct
   let msg_kind = msg_kind
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
+  let msg_codec = Some msg_codec
 
   let pp_state ppf st =
     Format.fprintf ppf "{pos=%d done=%d}" st.pos (List.length st.completed)

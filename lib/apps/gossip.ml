@@ -28,6 +28,21 @@ let pp_msg ppf = function
   | Push { rumors; round } -> Format.fprintf ppf "push(%d rumors, r%d)" (List.length rumors) round
   | Push_back { rumors } -> Format.fprintf ppf "push_back(%d rumors)" (List.length rumors)
 
+let msg_codec =
+  let open Wire.Codec in
+  tagged
+    (function
+      | Push { rumors; round } -> (0, encode (pair (list int) int) (rumors, round))
+      | Push_back { rumors } -> (1, encode (list int) rumors))
+    (fun tag payload ->
+      match tag with
+      | 0 ->
+          Result.map
+            (fun (rumors, round) -> Push { rumors; round })
+            (decode (pair (list int) int) payload)
+      | 1 -> Result.map (fun rumors -> Push_back { rumors }) (decode (list int) payload)
+      | t -> Error (Printf.sprintf "unknown gossip tag %d" t))
+
 let peer_label = "gossip.peer"
 
 module type PARAMS = sig
@@ -68,6 +83,7 @@ end = struct
   let msg_kind = msg_kind
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
+  let msg_codec = Some msg_codec
 
   let pp_state ppf st =
     Format.fprintf ppf "{r%d known=%d}" st.round (Int_set.cardinal st.known)

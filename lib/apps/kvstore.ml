@@ -20,8 +20,11 @@ type msg =
   | Write of { key : int; origin : Proto.Node_id.t }
   | Write_done of { seq : int; born : float }
   | Apply of { seq : int; key : int; value : int }
-  | Read_req of { key : int; origin : Proto.Node_id.t; born : float }
-  | Read_reply of { key : int; value : int; applied_seq : int; born : float }
+  | Read_req of { rid : int; key : int; origin : Proto.Node_id.t; born : float }
+  | Read_reply of { rid : int; key : int; value : int; applied_seq : int; born : float }
+  | Sync_req of { have : int }
+      (** replica -> primary anti-entropy: "my applied_seq is [have],
+          re-send what I'm missing" *)
 
 let msg_kind = function
   | Write _ -> "write"
@@ -29,6 +32,7 @@ let msg_kind = function
   | Apply _ -> "apply"
   | Read_req _ -> "read_req"
   | Read_reply _ -> "read_reply"
+  | Sync_req _ -> "sync"
 
 let msg_bytes = function
   | Write _ -> 96
@@ -36,6 +40,7 @@ let msg_bytes = function
   | Apply _ -> 128
   | Read_req _ -> 64
   | Read_reply _ -> 128
+  | Sync_req _ -> 32
 
 let pp_msg ppf = function
   | Write { key; _ } -> Format.fprintf ppf "write(k%d)" key
@@ -43,6 +48,40 @@ let pp_msg ppf = function
   | Apply { seq; key; _ } -> Format.fprintf ppf "apply(s%d k%d)" seq key
   | Read_req { key; _ } -> Format.fprintf ppf "read(k%d)" key
   | Read_reply { key; applied_seq; _ } -> Format.fprintf ppf "reply(k%d s%d)" key applied_seq
+  | Sync_req { have } -> Format.fprintf ppf "sync(s%d)" have
+
+let msg_codec =
+  let open Wire.Codec in
+  let node = conv Proto.Node_id.to_int Proto.Node_id.of_int int in
+  tagged
+    (function
+      | Write { key; origin } -> (0, encode (pair int node) (key, origin))
+      | Write_done { seq; born } -> (1, encode (pair int float) (seq, born))
+      | Apply { seq; key; value } -> (2, encode (triple int int int) (seq, key, value))
+      | Read_req { rid; key; origin; born } ->
+          (3, encode (pair (pair int int) (pair node float)) ((rid, key), (origin, born)))
+      | Read_reply { rid; key; value; applied_seq; born } ->
+          (4, encode (pair (triple int int int) (pair int float)) ((rid, key, value), (applied_seq, born)))
+      | Sync_req { have } -> (5, encode int have))
+    (fun tag payload ->
+      match tag with
+      | 0 -> Result.map (fun (key, origin) -> Write { key; origin }) (decode (pair int node) payload)
+      | 1 -> Result.map (fun (seq, born) -> Write_done { seq; born }) (decode (pair int float) payload)
+      | 2 ->
+          Result.map
+            (fun (seq, key, value) -> Apply { seq; key; value })
+            (decode (triple int int int) payload)
+      | 3 ->
+          Result.map
+            (fun ((rid, key), (origin, born)) -> Read_req { rid; key; origin; born })
+            (decode (pair (pair int int) (pair node float)) payload)
+      | 4 ->
+          Result.map
+            (fun ((rid, key, value), (applied_seq, born)) ->
+              Read_reply { rid; key; value; applied_seq; born })
+            (decode (pair (triple int int int) (pair int float)) payload)
+      | 5 -> Result.map (fun have -> Sync_req { have }) (decode int payload)
+      | t -> Error (Printf.sprintf "unknown kvstore tag %d" t))
 
 let read_label = "read.replica"
 
@@ -87,6 +126,9 @@ end = struct
     write_floor : int;  (* freshest of our own acked writes *)
     staleness_sum : int;  (* total seqs-behind-freshest across reads *)
     known_seq : (Proto.Node_id.t * int) list;  (* last applied_seq seen per replica *)
+    next_rid : int;  (* read-request ids issued by this session *)
+    last_rid : int;  (* newest reply this session has processed *)
+    history : (int * int) Int_map.t;  (* primary: seq -> (key, value), for anti-entropy *)
     read_lat : float list;
     write_lat : float list;
     mono_violations : int;
@@ -106,6 +148,9 @@ end = struct
     && a.write_floor = b.write_floor
     && a.staleness_sum = b.staleness_sum
     && a.known_seq = b.known_seq
+    && a.next_rid = b.next_rid
+    && a.last_rid = b.last_rid
+    && Int_map.equal ( = ) a.history b.history
     && a.read_lat = b.read_lat
     && a.write_lat = b.write_lat
     && a.mono_violations = b.mono_violations
@@ -114,6 +159,7 @@ end = struct
   let msg_kind = msg_kind
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
+  let msg_codec = Some msg_codec
 
   let pp_state ppf st =
     Format.fprintf ppf "{applied=%d reads=%d viol=%d}" st.applied_seq st.reads st.mono_violations
@@ -131,15 +177,26 @@ end = struct
   let replicas =
     List.init P.population Proto.Node_id.of_int
 
+  (* Anti-entropy: every node periodically tells the primary how far it
+     has applied; the primary re-sends what the channel ate. Without
+     this a single lost [Apply] wedges a replica forever — under benign
+     loss that window is short, under chaos storms it is the norm. *)
+  let sync_period = 1.0
+  let sync_batch = 32
+
   let init (ctx : Proto.Ctx.t) =
     let timers =
       (if P.write_period > 0. then
          [ Proto.Action.set_timer ~id:"write" ~after:(P.write_period *. (0.5 +. Dsim.Rng.uniform ctx.rng)) ]
        else [])
       @
-      if P.read_period > 0. then
-        [ Proto.Action.set_timer ~id:"read" ~after:(P.read_period *. (0.5 +. Dsim.Rng.uniform ctx.rng)) ]
-      else []
+      (if P.read_period > 0. then
+         [ Proto.Action.set_timer ~id:"read" ~after:(P.read_period *. (0.5 +. Dsim.Rng.uniform ctx.rng)) ]
+       else [])
+      @ [
+          Proto.Action.set_timer ~id:"sync"
+            ~after:(sync_period +. (0.13 *. float_of_int (Proto.Node_id.to_int ctx.self)));
+        ]
     in
     ( {
         self = ctx.self;
@@ -152,6 +209,9 @@ end = struct
         write_floor = 0;
         staleness_sum = 0;
         known_seq = [];
+        next_rid = 0;
+        last_rid = 0;
+        history = Int_map.empty;
         read_lat = [];
         write_lat = [];
         mono_violations = 0;
@@ -180,11 +240,38 @@ end = struct
         | Write { key; origin } ->
             let seq = st.head_seq + 1 in
             let born = Dsim.Vtime.to_seconds ctx.now in
-            let st = { st with head_seq = seq; write_origins = (seq, (origin, born)) :: st.write_origins } in
-            ( st,
+            let st =
+              {
+                st with
+                head_seq = seq;
+                write_origins = (seq, (origin, born)) :: st.write_origins;
+                history = Int_map.add seq (key, seq) st.history;
+              }
+            in
+            (* The primary is its own first replica: it applies
+               synchronously rather than round-tripping an [Apply]
+               through the (possibly lossy, reordering) network to
+               itself — the sequencer must never lag its own log, or a
+               session whose floor came from a faster replica would
+               read the primary and watch the log run backwards. *)
+            let st = drain { st with buffer = Int_map.add seq (key, seq) st.buffer } in
+            let done_, waiting =
+              List.partition (fun (s, _) -> s <= st.applied_seq) st.write_origins
+            in
+            let acks =
               List.map
-                (fun r -> Proto.Action.send ~dst:r (Apply { seq; key; value = seq }))
-                replicas )
+                (fun (s, (origin, born)) ->
+                  Proto.Action.send ~dst:origin (Write_done { seq = s; born }))
+                done_
+            in
+            let applies =
+              List.filter_map
+                (fun r ->
+                  if Proto.Node_id.equal r st.self then None
+                  else Some (Proto.Action.send ~dst:r (Apply { seq; key; value = seq })))
+                replicas
+            in
+            ({ st with write_origins = waiting }, applies @ acks)
         | _ -> (st, []))
 
   let h_apply =
@@ -234,12 +321,12 @@ end = struct
       ~guard:(fun _ ~src:_ m -> match m with Read_req _ -> true | _ -> false)
       (fun _ctx st ~src:_ m ->
         match m with
-        | Read_req { key; origin; born } ->
+        | Read_req { rid; key; origin; born } ->
             let value = Option.value ~default:0 (Int_map.find_opt key st.store) in
             ( st,
               [
                 Proto.Action.send ~dst:origin
-                  (Read_reply { key; value; applied_seq = st.applied_seq; born });
+                  (Read_reply { rid; key; value; applied_seq = st.applied_seq; born });
               ] )
         | _ -> (st, []))
 
@@ -248,7 +335,8 @@ end = struct
       ~guard:(fun _ ~src:_ m -> match m with Read_reply _ -> true | _ -> false)
       (fun ctx st ~src m ->
         match m with
-        | Read_reply { applied_seq; born; _ } ->
+        | Read_reply { rid; applied_seq; born; _ } when rid > st.last_rid ->
+            let st = { st with last_rid = rid } in
             let lat = Dsim.Vtime.to_seconds ctx.now -. born in
             (* Monotonic reads: within one session the log must never
                appear to run backwards across successive reads. *)
@@ -271,7 +359,24 @@ end = struct
               [] )
         | _ -> (st, []))
 
-  let receive = [ h_write; h_apply; h_write_done; h_read_req; h_read_reply ]
+  let h_sync =
+    Proto.Handler.v ~name:"sync"
+      ~guard:(fun st ~src:_ m -> (match m with Sync_req _ -> true | _ -> false) && is_primary st)
+      (fun _ctx st ~src m ->
+        match m with
+        | Sync_req { have } ->
+            let upto = min st.head_seq (have + sync_batch) in
+            let resend = ref [] in
+            for seq = upto downto have + 1 do
+              match Int_map.find_opt seq st.history with
+              | Some (key, value) ->
+                  resend := Proto.Action.send ~dst:src (Apply { seq; key; value }) :: !resend
+              | None -> ()
+            done;
+            (st, !resend)
+        | _ -> (st, []))
+
+  let receive = [ h_write; h_apply; h_write_done; h_read_req; h_read_reply; h_sync ]
 
   (* The exposed choice: which *other* replica serves this read? (The
      local store is a cache, not a quorum member; sessions consult the
@@ -310,10 +415,18 @@ end = struct
         let key = Dsim.Rng.int ctx.rng P.keys in
         let born = Dsim.Vtime.to_seconds ctx.now in
         let target = choose_replica ctx st in
+        let rid = st.next_rid + 1 in
         let read_actions =
-          [ Proto.Action.send ~dst:target (Read_req { key; origin = st.self; born }) ]
+          [ Proto.Action.send ~dst:target (Read_req { rid; key; origin = st.self; born }) ]
         in
-        (st, read_actions @ [ Proto.Action.set_timer ~id:"read" ~after:P.read_period ])
+        ( { st with next_rid = rid },
+          read_actions @ [ Proto.Action.set_timer ~id:"read" ~after:P.read_period ] )
+    | "sync" ->
+        let rearm = Proto.Action.set_timer ~id:"sync" ~after:sync_period in
+        if is_primary st then (st, [ rearm ])
+        else
+          ( st,
+            [ Proto.Action.send ~dst:primary_id (Sync_req { have = st.applied_seq }); rearm ] )
     | _ -> (st, [])
 
   let properties : (state, msg) Proto.View.t Core.Property.t list =
@@ -352,7 +465,7 @@ end = struct
     else
       [
         ( Proto.Node_id.of_int 92,
-          Read_reply { key = 0; value = 0; applied_seq = 0; born = 0. } );
+          Read_reply { rid = 0; key = 0; value = 0; applied_seq = 0; born = 0. } );
       ]
 end
 

@@ -68,6 +68,7 @@ end = struct
   let msg_kind = msg_kind
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
+  let msg_codec = None
 
   let pp_state ppf st =
     match st.role with

@@ -52,6 +52,42 @@ let pp_msg ppf = function
   | Accepted { inst; bal; cmd } -> Format.fprintf ppf "accepted(i%d b%d %a)" inst bal pp_cmd cmd
   | Decided { inst; cmd } -> Format.fprintf ppf "decided(i%d %a)" inst pp_cmd cmd
 
+let msg_codec =
+  let open Wire.Codec in
+  let cmd_c =
+    conv
+      (fun c -> (c.origin, c.seq, c.born))
+      (fun (origin, seq, born) -> { origin; seq; born })
+      (triple int int float)
+  in
+  let ballot = pair int int in
+  let ballot_cmd = triple int int cmd_c in
+  tagged
+    (function
+      | Submit { cmd } -> (0, encode cmd_c cmd)
+      | Prepare { inst; bal } -> (1, encode ballot (inst, bal))
+      | Promise { inst; bal; accepted } ->
+          (2, encode (triple int int (option (pair int cmd_c))) (inst, bal, accepted))
+      | Accept_req { inst; bal; cmd } -> (3, encode ballot_cmd (inst, bal, cmd))
+      | Accepted { inst; bal; cmd } -> (4, encode ballot_cmd (inst, bal, cmd))
+      | Decided { inst; cmd } -> (5, encode (pair int cmd_c) (inst, cmd)))
+    (fun tag payload ->
+      match tag with
+      | 0 -> Result.map (fun cmd -> Submit { cmd }) (decode cmd_c payload)
+      | 1 -> Result.map (fun (inst, bal) -> Prepare { inst; bal }) (decode ballot payload)
+      | 2 ->
+          Result.map
+            (fun (inst, bal, accepted) -> Promise { inst; bal; accepted })
+            (decode (triple int int (option (pair int cmd_c))) payload)
+      | 3 ->
+          Result.map
+            (fun (inst, bal, cmd) -> Accept_req { inst; bal; cmd })
+            (decode ballot_cmd payload)
+      | 4 ->
+          Result.map (fun (inst, bal, cmd) -> Accepted { inst; bal; cmd }) (decode ballot_cmd payload)
+      | 5 -> Result.map (fun (inst, cmd) -> Decided { inst; cmd }) (decode (pair int cmd_c) payload)
+      | t -> Error (Printf.sprintf "unknown paxos tag %d" t))
+
 let proposer_label = "paxos.proposer"
 
 module type PARAMS = sig
@@ -111,6 +147,7 @@ end = struct
   let msg_kind = msg_kind
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
+  let msg_codec = Some msg_codec
 
   let pp_state ppf st =
     Format.fprintf ppf "{q=%d props=%d dec=%d}" (List.length st.queue)

@@ -40,6 +40,7 @@ end = struct
   let msg_kind = C.msg_kind
   let msg_bytes = C.msg_bytes
   let pp_msg = C.pp_msg
+  let msg_codec = Some C.msg_codec
 
   let pp_state ppf st =
     Format.fprintf ppf "{p=%a d=%d c=[%a] j=%b}"
@@ -56,6 +57,9 @@ end = struct
   let is_root st = Proto.Node_id.equal st.self P.root
   let now_s (ctx : Proto.Ctx.t) = Dsim.Vtime.to_seconds ctx.now
   let child_mem st id = List.mem_assoc id st.children
+
+  let is_parent st id =
+    match st.parent with Some p -> Proto.Node_id.equal p id | None -> false
 
   let touch_child ctx st id =
     List.map
@@ -103,7 +107,9 @@ end = struct
   let h_join_duplicate =
     Proto.Handler.v ~name:"join/duplicate"
       ~guard:(fun st ~src:_ msg ->
-        match join_origin msg with Some o -> st.joined && child_mem st o | None -> false)
+        match join_origin msg with
+        | Some o -> st.joined && child_mem st o && not (is_parent st o)
+        | None -> false)
       (fun ctx st ~src:_ msg ->
         match join_origin msg with
         | Some origin ->
@@ -117,6 +123,7 @@ end = struct
         match join_origin msg with
         | Some o ->
             st.joined && (not (child_mem st o))
+            && (not (is_parent st o))
             && (not (Proto.Node_id.equal o st.self))
             && List.length st.children < P.max_children
         | None -> false)
@@ -137,6 +144,7 @@ end = struct
         match join_origin msg with
         | Some o ->
             st.joined && (not (child_mem st o))
+            && (not (is_parent st o))
             && (not (Proto.Node_id.equal o st.self))
             && List.length st.children >= P.max_children
         | None -> false)
@@ -166,7 +174,7 @@ end = struct
       ~guard:(fun _ ~src:_ msg -> match msg with C.Join_reply _ -> true | _ -> false)
       (fun ctx st ~src msg ->
         match msg with
-        | C.Join_reply { depth } when not st.joined ->
+        | C.Join_reply { depth } when (not st.joined) && not (child_mem st src) ->
             ( { st with parent = Some src; parent_seen = now_s ctx; depth; joined = true },
               [ Proto.Action.cancel_timer "retry" ] )
         | C.Join_reply _ | C.Join _ | C.Ping | C.Ping_ack _ -> (st, []))

@@ -29,6 +29,23 @@ let pp_msg ppf = function
   | Ping -> Format.fprintf ppf "ping"
   | Ping_ack { depth } -> Format.fprintf ppf "ping_ack(d=%d)" depth
 
+let msg_codec =
+  let open Wire.Codec in
+  let node = conv Proto.Node_id.to_int Proto.Node_id.of_int int in
+  tagged
+    (function
+      | Join { origin } -> (0, encode node origin)
+      | Join_reply { depth } -> (1, encode int depth)
+      | Ping -> (2, "")
+      | Ping_ack { depth } -> (3, encode int depth))
+    (fun tag payload ->
+      match tag with
+      | 0 -> Result.map (fun origin -> Join { origin }) (decode node payload)
+      | 1 -> Result.map (fun depth -> Join_reply { depth }) (decode int payload)
+      | 2 -> if String.equal payload "" then Ok Ping else Error "ping carries a payload"
+      | 3 -> Result.map (fun depth -> Ping_ack { depth }) (decode int payload)
+      | t -> Error (Printf.sprintf "unknown randtree tag %d" t))
+
 (** Protocol timing shared by both variants. *)
 module Timing = struct
   let join_retry = 2.0

@@ -1,0 +1,131 @@
+type profile = {
+  crashes : int;
+  partitions : int;
+  degrades : int;
+  duplicate_rate : float;
+  duplicate_copies : int;
+  corrupt_rate : float;
+  corrupt_flip : float;
+  reorder_rate : float;
+  reorder_window : float;
+  storm : float;
+  grace : float;
+  protect : int list;
+}
+
+let default_profile =
+  {
+    crashes = 2;
+    partitions = 1;
+    degrades = 1;
+    duplicate_rate = 0.08;
+    duplicate_copies = 1;
+    corrupt_rate = 0.05;
+    corrupt_flip = 0.02;
+    reorder_rate = 0.15;
+    reorder_window = 0.3;
+    storm = 6.;
+    grace = 8.;
+    protect = [];
+  }
+
+let pp_profile ppf p =
+  Format.fprintf ppf
+    "{crashes=%d partitions=%d degrades=%d dup=%.2f corrupt=%.2f reorder=%.2f storm=%.1fs \
+     grace=%.1fs}"
+    p.crashes p.partitions p.degrades p.duplicate_rate p.corrupt_rate p.reorder_rate p.storm
+    p.grace
+
+(* Fault windows open in the first 60% of the storm and always close by
+   95% of it, so the storm ends with every link healed, every victim
+   revived and every channel fault switched off — the grace period
+   measures recovery, not leftover faults. *)
+let window rng ~storm =
+  let opens = Dsim.Rng.float rng (0.6 *. storm) in
+  let closes = Float.min (opens +. ((0.1 +. Dsim.Rng.float rng 0.25) *. storm)) (0.95 *. storm) in
+  (opens, closes)
+
+let generate ~seed ~nodes profile =
+  if nodes <= 0 then invalid_arg "Chaos.generate: no nodes";
+  if profile.storm <= 0. then invalid_arg "Chaos.generate: non-positive storm";
+  let rng = Dsim.Rng.create seed in
+  let storm = profile.storm in
+  let events = ref [] in
+  let add at e = events := (at, e) :: !events in
+  (* Channel faults run for the whole storm. The switch-off events are
+     emitted even when the rate is zero so every plan ends on a clean
+     channel regardless of how it was composed. *)
+  add 0.
+    (Faultplan.Set_duplicate
+       { rate = profile.duplicate_rate; copies = profile.duplicate_copies });
+  add 0. (Faultplan.Set_corrupt { rate = profile.corrupt_rate; flip = profile.corrupt_flip });
+  add 0. (Faultplan.Set_reorder { rate = profile.reorder_rate; window = profile.reorder_window });
+  add storm (Faultplan.Set_duplicate { rate = 0.; copies = 1 });
+  add storm (Faultplan.Set_corrupt { rate = 0.; flip = 0. });
+  add storm (Faultplan.Set_reorder { rate = 0.; window = 0. });
+  let all = List.init nodes Fun.id in
+  (* Crashes: distinct victims (so no schedule ever restarts a node a
+     concurrent window already revived), drawn outside [protect]. *)
+  let eligible = List.filter (fun i -> not (List.mem i profile.protect)) all in
+  let victims =
+    Dsim.Rng.sample_without_replacement rng (min profile.crashes (List.length eligible)) eligible
+  in
+  List.iter
+    (fun v ->
+      let opens, closes = window rng ~storm in
+      add opens (Faultplan.Kill v);
+      add closes (Faultplan.Restart v))
+    victims;
+  for _ = 1 to profile.partitions do
+    let k = 1 + Dsim.Rng.int rng (max 1 (nodes / 2)) in
+    let a = Dsim.Rng.sample_without_replacement rng k all in
+    let b = List.filter (fun i -> not (List.mem i a)) all in
+    if b <> [] then begin
+      let opens, closes = window rng ~storm in
+      add opens (Faultplan.Partition (a, b));
+      add closes (Faultplan.Heal_partition (a, b))
+    end
+  done;
+  for _ = 1 to profile.degrades do
+    let endpoint = Dsim.Rng.int rng nodes in
+    let latency_factor = 2. +. Dsim.Rng.float rng 6. in
+    let bandwidth_factor = 0.15 +. Dsim.Rng.float rng 0.45 in
+    let opens, closes = window rng ~storm in
+    add opens (Faultplan.Degrade { endpoint; latency_factor; bandwidth_factor });
+    add closes (Faultplan.Restore endpoint)
+  done;
+  Faultplan.plan !events
+
+module Soak (App : Proto.App_intf.APP) = struct
+  module E = Sim.Make (App)
+  module Exec = Faultplan.Run (E)
+
+  type outcome = {
+    plan : Faultplan.t;
+    violations : (Dsim.Vtime.t * string) list;
+    recovered : bool;
+    stats : E.stats;
+    elapsed : float;
+  }
+
+  let run ?(warmup = 2.) ~setup ~recovered ~seed ~topology profile =
+    let eng = E.create ~seed ~topology () in
+    setup eng;
+    E.run_for eng warmup;
+    let plan = generate ~seed ~nodes:(Net.Topology.size topology) profile in
+    let start = E.now eng in
+    Exec.execute eng plan;
+    (* A plan whose last event fires early still owns the full storm
+       window. *)
+    let spent = Dsim.Vtime.diff (E.now eng) start in
+    if spent < profile.storm then E.run_for eng (profile.storm -. spent);
+    let check = recovered eng in
+    E.run_for eng profile.grace;
+    {
+      plan;
+      violations = E.violations eng;
+      recovered = check ();
+      stats = E.stats eng;
+      elapsed = Dsim.Vtime.to_seconds (E.now eng);
+    }
+end

@@ -1,0 +1,72 @@
+(** Randomized chaos soaks: seeded adversarial fault schedules plus the
+    harness that runs an app through one and judges the outcome.
+
+    A {!profile} says how hostile the deployment is (how many crashes,
+    partitions and degradations; how much duplication, corruption and
+    reordering on every channel); {!generate} turns a seed and a
+    profile into a concrete reproducible {!Faultplan.t} — same seed,
+    same plan, bit for bit. {!Soak} runs an app under the plan and
+    checks the two things the paper's runtime promises: safety holds
+    {e during} the storm, and the app's objective recovers within a
+    grace period {e after} it. *)
+
+type profile = {
+  crashes : int;  (** crash/restart pairs, distinct victims *)
+  partitions : int;  (** partition/heal pairs (random split) *)
+  degrades : int;  (** degrade/restore pairs (random endpoint) *)
+  duplicate_rate : float;
+  duplicate_copies : int;
+  corrupt_rate : float;
+  corrupt_flip : float;
+  reorder_rate : float;
+  reorder_window : float;
+  storm : float;  (** seconds of active chaos *)
+  grace : float;  (** seconds allowed for recovery after the storm *)
+  protect : int list;
+      (** node ids never crashed (e.g. a store's primary whose
+          in-memory log is the system's only copy) *)
+}
+
+val default_profile : profile
+(** Moderate hostility: 2 crashes, 1 partition, 1 degradation, 8%
+    duplication, 5% corruption, 15% reordering over a 6s storm with an
+    8s grace. *)
+
+val pp_profile : Format.formatter -> profile -> unit
+
+val generate : seed:int -> nodes:int -> profile -> Faultplan.t
+(** A reproducible random plan over node ids [0 .. nodes-1]: channel
+    faults switch on at t=0 and off at [storm]; every kill is
+    restarted, every partition healed and every degradation restored
+    by 95% of the storm, so the plan ends with the system nominally
+    whole. @raise Invalid_argument on [nodes <= 0] or a non-positive
+    storm. *)
+
+module Soak (App : Proto.App_intf.APP) : sig
+  module E : module type of Sim.Make (App)
+
+  type outcome = {
+    plan : Faultplan.t;
+    violations : (Dsim.Vtime.t * string) list;
+        (** safety violations observed at any point (storm or grace) *)
+    recovered : bool;  (** the caller's recovery check passed *)
+    stats : E.stats;
+    elapsed : float;  (** total virtual seconds simulated *)
+  }
+
+  val run :
+    ?warmup:float ->
+    setup:(E.t -> unit) ->
+    recovered:(E.t -> unit -> bool) ->
+    seed:int ->
+    topology:Net.Topology.t ->
+    profile ->
+    outcome
+  (** [run ~setup ~recovered ~seed ~topology profile]: [setup] spawns
+      nodes and seeds workload on the fresh engine; after [warmup]
+      (default 2s) the generated plan executes, the rest of the storm
+      runs out, then [recovered eng] snapshots whatever baseline it
+      needs and the returned thunk is asked for the verdict after
+      [grace] more seconds. The engine seed equals the plan seed, so
+      the whole soak is bit-reproducible. *)
+end

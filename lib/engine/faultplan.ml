@@ -5,11 +5,44 @@ type event =
   | Heal_partition of int list * int list
   | Degrade of { endpoint : int; latency_factor : float; bandwidth_factor : float }
   | Restore of int
+  | Set_duplicate of { rate : float; copies : int }
+  | Set_corrupt of { rate : float; flip : float }
+  | Set_reorder of { rate : float; window : float }
+  | Crash_storm of { victims : int; period : float; rounds : int }
 
 type t = { schedule : (float * event) list }
 
+let check_rate what r =
+  if not (r >= 0. && r <= 1.) then
+    invalid_arg (Printf.sprintf "Faultplan.plan: %s %g outside [0,1]" what r)
+
+let validate_event = function
+  | Kill _ | Restart _ | Heal_partition _ | Restore _ -> ()
+  | Partition (a, b) ->
+      if List.exists (fun x -> List.mem x b) a then
+        invalid_arg "Faultplan.plan: partition groups overlap"
+  | Degrade { latency_factor; bandwidth_factor; _ } ->
+      if latency_factor <= 0. || bandwidth_factor <= 0. then
+        invalid_arg "Faultplan.plan: non-positive degrade factor"
+  | Set_duplicate { rate; copies } ->
+      check_rate "duplicate rate" rate;
+      if copies < 1 then invalid_arg "Faultplan.plan: duplicate copies < 1"
+  | Set_corrupt { rate; flip } ->
+      check_rate "corrupt rate" rate;
+      check_rate "corrupt flip rate" flip
+  | Set_reorder { rate; window } ->
+      check_rate "reorder rate" rate;
+      if window < 0. then invalid_arg "Faultplan.plan: negative reorder window"
+  | Crash_storm { victims; period; rounds } ->
+      if victims <= 0 || rounds <= 0 then invalid_arg "Faultplan.plan: empty crash storm";
+      if period <= 0. then invalid_arg "Faultplan.plan: non-positive storm period"
+
 let plan events =
-  List.iter (fun (at, _) -> if at < 0. then invalid_arg "Faultplan.plan: negative time") events;
+  List.iter
+    (fun (at, e) ->
+      if at < 0. then invalid_arg "Faultplan.plan: negative time";
+      validate_event e)
+    events;
   { schedule = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events }
 
 let events t = t.schedule
@@ -29,6 +62,11 @@ let pp_event ppf = function
       Format.fprintf ppf "degrade(%d, lat x%.1f, bw /%.1f)" endpoint latency_factor
         (1. /. bandwidth_factor)
   | Restore n -> Format.fprintf ppf "restore(%d)" n
+  | Set_duplicate { rate; copies } -> Format.fprintf ppf "duplicate(p=%.3f, x%d)" rate copies
+  | Set_corrupt { rate; flip } -> Format.fprintf ppf "corrupt(p=%.3f, flip=%.3f)" rate flip
+  | Set_reorder { rate; window } -> Format.fprintf ppf "reorder(p=%.3f, w=%.2fs)" rate window
+  | Crash_storm { victims; period; rounds } ->
+      Format.fprintf ppf "crash_storm(%d victims, %.2fs period, %d rounds)" victims period rounds
 
 let pp ppf t =
   Format.pp_print_list
@@ -43,15 +81,26 @@ module Run (E : sig
   val run_for : t -> float -> unit
   val kill : t -> Proto.Node_id.t -> unit
   val restart : t -> ?after:float -> Proto.Node_id.t -> unit
+  val alive : t -> Proto.Node_id.t -> bool
   val netem : t -> Net.Netem.t
 end) =
 struct
   let cross f a b =
     List.iter (fun x -> List.iter (fun y -> if x <> y then f x y) b) a
 
+  (* Chaos plans compose schedules that may race with each other (a
+     crash storm can already have revived a node a later [Restart]
+     names), so restarts are idempotent here: a node that is already
+     alive is left alone. *)
+  let restart_if_down eng id = if not (E.alive eng id) then E.restart eng id
+
+  let set_faults eng f =
+    let nem = E.netem eng in
+    Net.Netem.set_faults nem (f (Net.Netem.global_faults nem))
+
   let apply eng = function
     | Kill n -> E.kill eng (Proto.Node_id.of_int n)
-    | Restart n -> E.restart eng (Proto.Node_id.of_int n)
+    | Restart n -> restart_if_down eng (Proto.Node_id.of_int n)
     | Partition (a, b) -> cross (fun x y -> Net.Netem.cut_bidirectional (E.netem eng) x y) a b
     | Heal_partition (a, b) ->
         cross
@@ -85,6 +134,40 @@ struct
             Net.Netem.clear_override nem ~src:other ~dst:endpoint
           end
         done
+    | Set_duplicate { rate; copies } ->
+        set_faults eng (fun f ->
+            { f with Net.Netem.duplicate_rate = rate; duplicate_copies = copies })
+    | Set_corrupt { rate; flip } ->
+        set_faults eng (fun f -> { f with Net.Netem.corrupt_rate = rate; corrupt_flip = flip })
+    | Set_reorder { rate; window } ->
+        set_faults eng (fun f -> { f with Net.Netem.reorder_rate = rate; reorder_window = window })
+    | Crash_storm { victims; period; rounds } ->
+        (* Rolling outage: each round crashes a deterministic rotation
+           of [victims] nodes, lets the survivors run one period, then
+           revives the casualties before the next round hits. *)
+        let n = Net.Topology.size (Net.Netem.topology (E.netem eng)) in
+        for r = 0 to rounds - 1 do
+          let ids =
+            List.sort_uniq compare
+              (List.init (min victims n) (fun i -> ((r * victims) + i) mod n))
+          in
+          let killed =
+            List.filter_map
+              (fun i ->
+                let id = Proto.Node_id.of_int i in
+                if E.alive eng id then begin
+                  E.kill eng id;
+                  Some id
+                end
+                else None)
+              ids
+          in
+          E.run_for eng period;
+          List.iter (restart_if_down eng) killed;
+          (* Reboots are scheduled events; process them before the next
+             round decides who is alive. *)
+          E.run_for eng 0.
+        done
 
   let execute ?(and_then = 0.) eng t =
     let start = E.now eng in
@@ -94,5 +177,7 @@ struct
         if at > elapsed then E.run_for eng (at -. elapsed);
         apply eng event)
       t.schedule;
-    if and_then > 0. then E.run_for eng and_then
+    (* Run even when [and_then] is 0: a schedule ending in a restart
+       has just queued the reboot at the current instant. *)
+    E.run_for eng and_then
 end

@@ -16,6 +16,23 @@ type event =
   | Degrade of { endpoint : int; latency_factor : float; bandwidth_factor : float }
       (** multiply every path touching [endpoint] *)
   | Restore of int  (** undo {!Degrade} on the endpoint *)
+  | Set_duplicate of { rate : float; copies : int }
+      (** from now on, duplicate each delivered message with
+          probability [rate], [copies] ghost copies each; rate 0 turns
+          duplication back off *)
+  | Set_corrupt of { rate : float; flip : float }
+      (** from now on, garble each delivered message's wire encoding
+          with probability [rate] (per-byte flip probability [flip]);
+          rate 0 turns corruption back off *)
+  | Set_reorder of { rate : float; window : float }
+      (** from now on, hold back each message with probability [rate]
+          for up to [window] extra seconds, letting later sends
+          overtake it; rate 0 turns reordering back off *)
+  | Crash_storm of { victims : int; period : float; rounds : int }
+      (** [rounds] rolling rounds: crash a rotation of [victims]
+          nodes, run [period] seconds, revive them, move to the next
+          rotation. Occupies [rounds * period] seconds of the
+          schedule. *)
 
 type t
 (** A finite schedule of timed fault events. *)
@@ -23,7 +40,9 @@ type t
 val plan : (float * event) list -> t
 (** [plan events] with times in virtual seconds relative to execution
     start; events fire in time order regardless of list order.
-    @raise Invalid_argument on a negative time. *)
+    @raise Invalid_argument on a negative time, a [Degrade] with a
+    non-positive factor, a [Partition] whose groups overlap, a fault
+    rate outside [0,1], or a degenerate [Crash_storm]. *)
 
 val events : t -> (float * event) list
 (** The schedule, sorted by time. *)
@@ -43,11 +62,14 @@ module Run (E : sig
   val run_for : t -> float -> unit
   val kill : t -> Proto.Node_id.t -> unit
   val restart : t -> ?after:float -> Proto.Node_id.t -> unit
+  val alive : t -> Proto.Node_id.t -> bool
   val netem : t -> Net.Netem.t
 end) : sig
   val execute : ?and_then:float -> E.t -> t -> unit
   (** Runs the engine through the whole plan, firing each event at its
       offset, then keeps running for [and_then] extra seconds (default
       0). Degradations are applied as link overrides relative to the
-      topology's current effective paths. *)
+      topology's current effective paths. [Restart] events (and crash
+      storm revivals) are idempotent: a node already alive is left
+      alone, so composed schedules cannot crash the executor. *)
 end

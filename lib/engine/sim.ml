@@ -15,6 +15,9 @@ module Make (App : Proto.App_intf.APP) = struct
     messages_delivered : int;
     messages_dropped : int;
     messages_filtered : int;
+    messages_duplicated : int;
+    messages_corrupted : int;
+    decode_failures : int;
     decisions : int;
     lookahead_forks : int;
   }
@@ -84,6 +87,9 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable n_delivered : int;
     mutable n_dropped : int;
     mutable n_filtered : int;
+    mutable n_duplicated : int;
+    mutable n_corrupted : int;
+    mutable n_decode_failures : int;
     mutable n_decisions : int;
     mutable n_forks : int;
   }
@@ -119,6 +125,9 @@ module Make (App : Proto.App_intf.APP) = struct
       n_delivered = 0;
       n_dropped = 0;
       n_filtered = 0;
+      n_duplicated = 0;
+      n_corrupted = 0;
+      n_decode_failures = 0;
       n_decisions = 0;
       n_forks = 0;
     }
@@ -136,6 +145,9 @@ module Make (App : Proto.App_intf.APP) = struct
       messages_delivered = t.n_delivered;
       messages_dropped = t.n_dropped;
       messages_filtered = t.n_filtered;
+      messages_duplicated = t.n_duplicated;
+      messages_corrupted = t.n_corrupted;
+      decode_failures = t.n_decode_failures;
       decisions = t.n_decisions;
       lookahead_forks = t.n_forks;
     }
@@ -252,20 +264,66 @@ module Make (App : Proto.App_intf.APP) = struct
     check_endpoint t id;
     schedule t ~after (Boot id)
 
+  (* Garbles a wire encoding: each byte has one bit flipped with
+     probability [flip]; if the dice spare every byte, one byte is
+     forced — a [Corrupt] verdict always yields a genuinely altered
+     payload. *)
+  let garble t ~flip s =
+    let b = Bytes.of_string s in
+    let len = Bytes.length b in
+    let flipped = ref false in
+    let flip_at i =
+      let bit = 1 lsl Dsim.Rng.int t.rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
+      flipped := true
+    in
+    for i = 0 to len - 1 do
+      if Dsim.Rng.uniform t.rng < flip then flip_at i
+    done;
+    if (not !flipped) && len > 0 then flip_at (Dsim.Rng.int t.rng len);
+    Bytes.to_string b
+
+  let drop t ~src ~dst ~cause pp_payload =
+    let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+    t.n_dropped <- t.n_dropped + 1;
+    Net.Netmodel.observe_loss t.netmodel ~src:se ~dst:de t.now ~delivered:false;
+    Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"net" "drop(%s) %a->%a %t" cause
+      Proto.Node_id.pp src Proto.Node_id.pp dst pp_payload
+
   let route t ~src ~dst msg =
     let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+    let deliver delay =
+      Dsim.Heap.push t.queue
+        { at = Dsim.Vtime.add t.now delay; ev = Deliver { src; dst; msg; sent_at = t.now } }
+    in
+    let pp_msg out = App.pp_msg out msg in
     match
       Net.Netem.judge t.netem ~now:(Dsim.Vtime.to_seconds t.now) ~src:se ~dst:de
         ~bytes:(App.msg_bytes msg)
     with
-    | Net.Netem.Drop cause ->
-        t.n_dropped <- t.n_dropped + 1;
-        Net.Netmodel.observe_loss t.netmodel ~src:se ~dst:de t.now ~delivered:false;
-        Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"net" "drop(%s) %a->%a %a"
-          cause Proto.Node_id.pp src Proto.Node_id.pp dst App.pp_msg msg
-    | Net.Netem.Deliver delay ->
-        Dsim.Heap.push t.queue
-          { at = Dsim.Vtime.add t.now delay; ev = Deliver { src; dst; msg; sent_at = t.now } }
+    | Net.Netem.Drop cause -> drop t ~src ~dst ~cause pp_msg
+    | Net.Netem.Deliver delay -> deliver delay
+    | Net.Netem.Duplicate delays ->
+        t.n_duplicated <- t.n_duplicated + Int.max 0 (List.length delays - 1);
+        List.iter deliver delays
+    | Net.Netem.Corrupt { delay; flip } -> (
+        t.n_corrupted <- t.n_corrupted + 1;
+        (* The fault acts on the wire form: encode, flip bytes, try to
+           decode what a receiver would see. A decode failure surfaces
+           as a drop (and is counted); a flip that still parses is
+           caught by the transport checksum every real deployment runs
+           under, so it too surfaces as a drop — handlers never see a
+           garbled payload, and nothing escapes the engine. *)
+        match App.msg_codec with
+        | None -> drop t ~src ~dst ~cause:"corrupt" pp_msg
+        | Some codec -> (
+            ignore delay;
+            let garbled = garble t ~flip (Wire.Codec.encode codec msg) in
+            match Wire.Codec.decode codec garbled with
+            | Error e | (exception Wire.Codec.Malformed e) ->
+                t.n_decode_failures <- t.n_decode_failures + 1;
+                drop t ~src ~dst ~cause:("corrupt: " ^ e) pp_msg
+            | Ok _ -> drop t ~src ~dst ~cause:"corrupt: checksum mismatch" pp_msg))
 
   let inject t ?(after = 0.) ~src ~dst msg =
     check_endpoint t src;

@@ -21,6 +21,12 @@ module Make (App : Proto.App_intf.APP) : sig
     messages_delivered : int;
     messages_dropped : int;
     messages_filtered : int;  (** dropped by steering event filters *)
+    messages_duplicated : int;  (** ghost copies injected by the fault layer *)
+    messages_corrupted : int;  (** messages garbled by the fault layer *)
+    decode_failures : int;
+        (** corrupted messages whose wire form no longer decoded; a
+            subset of [messages_corrupted] (the rest were caught by the
+            modelled transport checksum), all surfaced as drops *)
     decisions : int;  (** choice points resolved *)
     lookahead_forks : int;  (** speculative branches simulated *)
   }

@@ -1,0 +1,304 @@
+(** Chaos soaks (robustness; paper §2's "simulation under various
+    deployment settings", taken adversarially). Each application runs
+    through a seeded random {!Engine.Chaos} storm — crashes,
+    partitions, degradations, duplication, corruption, reordering —
+    and is judged on the two promises the runtime makes: no safety
+    violation ever, and the app's own objective moving again within a
+    grace period. One {!report} shape covers every app so tests and
+    the CLI print one table. *)
+
+type report = {
+  app : string;
+  seed : int;
+  violations : int;
+  recovered : bool;
+  plan_events : int;
+  plan_text : string;
+      (** [Faultplan.pp] of the generated plan — the replay witness *)
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+  decode_failures : int;
+  elapsed : float;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-8s seed=%-4d %s %s viol=%d dlv=%d drop=%d dup=%d corr=%d badwire=%d"
+    r.app r.seed
+    (if r.violations = 0 then "SAFE  " else "UNSAFE")
+    (if r.recovered then "recovered" else "STUCK    ")
+    r.violations r.delivered r.dropped r.duplicated r.corrupted r.decode_failures
+
+(* Every soak uses one flat LAN-ish topology: the storm supplies the
+   adversity, the base network stays out of the way. *)
+let topology ~n =
+  Net.Topology.uniform ~n (Net.Linkprop.v ~latency:0.02 ~bandwidth:200_000. ~loss:0.)
+
+(* ---------- paxos: 5 replicas, commands keep committing ---------- *)
+
+module Paxos_app = Apps.Paxos.Default
+module Paxos_soak = Engine.Chaos.Soak (Paxos_app)
+
+let paxos_profile =
+  { Engine.Chaos.default_profile with crashes = 2; partitions = 1 }
+
+let paxos_decided eng =
+  List.fold_left
+    (fun acc (_, st) -> acc + Apps.Paxos.Int_map.cardinal (Paxos_app.decided st))
+    0
+    (Paxos_soak.E.live_nodes eng)
+
+let soak_paxos ?(profile = paxos_profile) seed =
+  let n = Apps.Paxos.Default_params.population in
+  let o =
+    Paxos_soak.run ~seed ~topology:(topology ~n) profile
+      ~setup:(fun eng ->
+        Paxos_soak.E.set_resolver eng (Apps.Paxos.round_robin_resolver ~population:n);
+        let rng = Dsim.Rng.create (seed + 77) in
+        for i = 0 to n - 1 do
+          Paxos_soak.E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
+        done)
+      ~recovered:(fun eng ->
+        (* Consensus recovered iff the log keeps growing after the storm. *)
+        let before = paxos_decided eng in
+        fun () -> paxos_decided eng > before)
+  in
+  let s = o.Paxos_soak.stats in
+  {
+    app = "paxos";
+    seed;
+    violations = List.length o.Paxos_soak.violations;
+    recovered = o.Paxos_soak.recovered;
+    plan_events = List.length (Engine.Faultplan.events o.Paxos_soak.plan);
+    plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Paxos_soak.plan;
+    delivered = s.Paxos_soak.E.messages_delivered;
+    dropped = s.Paxos_soak.E.messages_dropped;
+    duplicated = s.Paxos_soak.E.messages_duplicated;
+    corrupted = s.Paxos_soak.E.messages_corrupted;
+    decode_failures = s.Paxos_soak.E.decode_failures;
+    elapsed = o.Paxos_soak.elapsed;
+  }
+
+(* ---------- kvstore: primary protected, replicas catch up ---------- *)
+
+module Kv_app = Apps.Kvstore.Default
+module Kv_soak = Engine.Chaos.Soak (Kv_app)
+
+let kvstore_profile =
+  (* No crashes: a replica revived with an empty log legitimately
+     re-serves early sequence numbers, which is exactly the staleness
+     the monotonic-reads property exists to flag. The channel faults
+     and partitions stay. *)
+  { Engine.Chaos.default_profile with crashes = 0; protect = [ 0 ] }
+
+let soak_kvstore ?(profile = kvstore_profile) seed =
+  let n = Apps.Kvstore.Default_params.population in
+  let o =
+    Kv_soak.run ~seed ~topology:(topology ~n) profile
+      ~setup:(fun eng ->
+        Kv_soak.E.set_resolver eng Apps.Kvstore.session_resolver;
+        let rng = Dsim.Rng.create (seed + 77) in
+        for i = 0 to n - 1 do
+          Kv_soak.E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
+        done)
+      ~recovered:(fun eng ->
+        (* Recovery = anti-entropy closes the gap: every replica reaches
+           at least the head the primary had when the storm ended. *)
+        let head =
+          List.fold_left
+            (fun acc (_, st) -> max acc (Kv_app.applied_seq st))
+            0 (Kv_soak.E.live_nodes eng)
+        in
+        fun () ->
+          List.for_all
+            (fun (_, st) -> Kv_app.applied_seq st >= head)
+            (Kv_soak.E.live_nodes eng))
+  in
+  let s = o.Kv_soak.stats in
+  {
+    app = "kvstore";
+    seed;
+    violations = List.length o.Kv_soak.violations;
+    recovered = o.Kv_soak.recovered;
+    plan_events = List.length (Engine.Faultplan.events o.Kv_soak.plan);
+    plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Kv_soak.plan;
+    delivered = s.Kv_soak.E.messages_delivered;
+    dropped = s.Kv_soak.E.messages_dropped;
+    duplicated = s.Kv_soak.E.messages_duplicated;
+    corrupted = s.Kv_soak.E.messages_corrupted;
+    decode_failures = s.Kv_soak.E.decode_failures;
+    elapsed = o.Kv_soak.elapsed;
+  }
+
+(* ---------- gossip: 12 nodes, rumors survive and respread ---------- *)
+
+module Gossip_app = Apps.Gossip.Make (struct
+  let population = 12
+  let round_period = 0.5
+  let candidate_cap = 8
+end)
+
+module Gossip_soak = Engine.Chaos.Soak (Gossip_app)
+
+let gossip_profile = { Engine.Chaos.default_profile with crashes = 3 }
+let gossip_rumors = [ 0; 1; 2; 3; 4 ]
+
+let soak_gossip ?(profile = gossip_profile) seed =
+  let n = 12 in
+  let source = Proto.Node_id.of_int 1 in
+  let o =
+    Gossip_soak.run ~seed ~topology:(topology ~n) profile
+      ~setup:(fun eng ->
+        Gossip_soak.E.set_resolver eng Core.Resolver.random;
+        let rng = Dsim.Rng.create (seed + 77) in
+        for i = 0 to n - 1 do
+          Gossip_soak.E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
+        done;
+        Gossip_soak.E.inject eng ~after:0.5 ~src:source ~dst:source
+          (Gossip_app.seed_rumors source gossip_rumors))
+      ~recovered:(fun eng ->
+        (* Recovery = push-pull refills everyone, including nodes that
+           restarted with empty rumor sets. *)
+        let want = Apps.Gossip.Int_set.of_list gossip_rumors in
+        fun () ->
+          List.for_all
+            (fun (_, st) -> Apps.Gossip.Int_set.subset want (Gossip_app.known st))
+            (Gossip_soak.E.live_nodes eng))
+  in
+  let s = o.Gossip_soak.stats in
+  {
+    app = "gossip";
+    seed;
+    violations = List.length o.Gossip_soak.violations;
+    recovered = o.Gossip_soak.recovered;
+    plan_events = List.length (Engine.Faultplan.events o.Gossip_soak.plan);
+    plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Gossip_soak.plan;
+    delivered = s.Gossip_soak.E.messages_delivered;
+    dropped = s.Gossip_soak.E.messages_dropped;
+    duplicated = s.Gossip_soak.E.messages_duplicated;
+    corrupted = s.Gossip_soak.E.messages_corrupted;
+    decode_failures = s.Gossip_soak.E.decode_failures;
+    elapsed = o.Gossip_soak.elapsed;
+  }
+
+(* ---------- dht: 16 nodes, lookups keep completing ---------- *)
+
+module Dht_app = Apps.Dht.Make (struct
+  let population = 16
+  let query_period = 1.0
+  let max_hops = 24
+end)
+
+module Dht_soak = Engine.Chaos.Soak (Dht_app)
+
+let dht_profile = { Engine.Chaos.default_profile with crashes = 3 }
+
+let dht_completed eng =
+  List.fold_left
+    (fun acc (_, st) -> acc + List.length (Dht_app.lookups st))
+    0 (Dht_soak.E.live_nodes eng)
+
+let soak_dht ?(profile = dht_profile) seed =
+  let n = 16 in
+  let o =
+    Dht_soak.run ~seed ~topology:(topology ~n) profile
+      ~setup:(fun eng ->
+        Dht_soak.E.set_resolver eng Core.Resolver.random;
+        let rng = Dsim.Rng.create (seed + 77) in
+        for i = 0 to n - 1 do
+          Dht_soak.E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
+        done)
+      ~recovered:(fun eng ->
+        let before = dht_completed eng in
+        fun () -> dht_completed eng > before)
+  in
+  let s = o.Dht_soak.stats in
+  {
+    app = "dht";
+    seed;
+    violations = List.length o.Dht_soak.violations;
+    recovered = o.Dht_soak.recovered;
+    plan_events = List.length (Engine.Faultplan.events o.Dht_soak.plan);
+    plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Dht_soak.plan;
+    delivered = s.Dht_soak.E.messages_delivered;
+    dropped = s.Dht_soak.E.messages_dropped;
+    duplicated = s.Dht_soak.E.messages_duplicated;
+    corrupted = s.Dht_soak.E.messages_corrupted;
+    decode_failures = s.Dht_soak.E.decode_failures;
+    elapsed = o.Dht_soak.elapsed;
+  }
+
+(* ---------- randtree: 8 nodes, tree re-forms around the root ---------- *)
+
+module Tree_app = Apps.Randtree_choice.Default
+module Tree_soak = Engine.Chaos.Soak (Tree_app)
+
+let randtree_profile =
+  (* The root is the tree's identity; protect it like the kvstore
+     primary. *)
+  { Engine.Chaos.default_profile with crashes = 2; protect = [ 0 ] }
+
+let soak_randtree ?(profile = randtree_profile) seed =
+  let n = 8 in
+  let o =
+    Tree_soak.run ~seed ~topology:(topology ~n) profile
+      ~setup:(fun eng ->
+        Tree_soak.E.set_resolver eng Core.Resolver.random;
+        let rng = Dsim.Rng.create (seed + 77) in
+        Tree_soak.E.spawn eng (Proto.Node_id.of_int 0);
+        for i = 1 to n - 1 do
+          Tree_soak.E.spawn eng
+            ~after:(0.3 +. (0.2 *. float_of_int i) +. Dsim.Rng.float rng 0.1)
+            (Proto.Node_id.of_int i)
+        done)
+      ~recovered:(fun eng ->
+        fun () ->
+          List.for_all
+            (fun (_, st) -> Tree_app.is_joined st)
+            (Tree_soak.E.live_nodes eng))
+  in
+  let s = o.Tree_soak.stats in
+  {
+    app = "randtree";
+    seed;
+    violations = List.length o.Tree_soak.violations;
+    recovered = o.Tree_soak.recovered;
+    plan_events = List.length (Engine.Faultplan.events o.Tree_soak.plan);
+    plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Tree_soak.plan;
+    delivered = s.Tree_soak.E.messages_delivered;
+    dropped = s.Tree_soak.E.messages_dropped;
+    duplicated = s.Tree_soak.E.messages_duplicated;
+    corrupted = s.Tree_soak.E.messages_corrupted;
+    decode_failures = s.Tree_soak.E.decode_failures;
+    elapsed = o.Tree_soak.elapsed;
+  }
+
+(* ---------- dispatcher ---------- *)
+
+let apps = [ "paxos"; "kvstore"; "gossip"; "dht"; "randtree" ]
+
+(* [scale] stretches a soak beyond its test-sized defaults: the storm
+   and grace grow by [factor], crash/partition/degrade counts grow
+   with it. Used by the CLI's large-bounds runs. *)
+let scale factor (p : Engine.Chaos.profile) =
+  if factor <= 0. then invalid_arg "Chaos_exp.scale: non-positive factor";
+  let times n = max n (int_of_float (ceil (float_of_int n *. factor))) in
+  {
+    p with
+    Engine.Chaos.crashes = times p.Engine.Chaos.crashes;
+    partitions = times p.Engine.Chaos.partitions;
+    degrades = times p.Engine.Chaos.degrades;
+    storm = p.Engine.Chaos.storm *. factor;
+    grace = p.Engine.Chaos.grace *. factor;
+  }
+
+let run ?(factor = 1.) ~seed app =
+  let pick base soak = soak ?profile:(Some (scale factor base)) seed in
+  match app with
+  | "paxos" -> pick paxos_profile soak_paxos
+  | "kvstore" -> pick kvstore_profile soak_kvstore
+  | "gossip" -> pick gossip_profile soak_gossip
+  | "dht" -> pick dht_profile soak_dht
+  | "randtree" -> pick randtree_profile soak_randtree
+  | other -> invalid_arg ("Chaos_exp.run: unknown app " ^ other)

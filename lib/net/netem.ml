@@ -1,4 +1,39 @@
-type verdict = Deliver of float | Drop of string
+type verdict =
+  | Deliver of float
+  | Drop of string
+  | Duplicate of float list
+  | Corrupt of { delay : float; flip : float }
+
+type faults = {
+  duplicate_rate : float;
+  duplicate_copies : int;
+  corrupt_rate : float;
+  corrupt_flip : float;
+  reorder_rate : float;
+  reorder_window : float;
+}
+
+let no_faults =
+  {
+    duplicate_rate = 0.;
+    duplicate_copies = 1;
+    corrupt_rate = 0.;
+    corrupt_flip = 0.02;
+    reorder_rate = 0.;
+    reorder_window = 0.;
+  }
+
+let validate_faults f =
+  let rate name r =
+    if not (r >= 0. && r <= 1.) then
+      invalid_arg (Printf.sprintf "Netem: %s %g outside [0,1]" name r)
+  in
+  rate "duplicate_rate" f.duplicate_rate;
+  rate "corrupt_rate" f.corrupt_rate;
+  rate "corrupt_flip" f.corrupt_flip;
+  rate "reorder_rate" f.reorder_rate;
+  if f.duplicate_copies < 1 then invalid_arg "Netem: duplicate_copies < 1";
+  if f.reorder_window < 0. then invalid_arg "Netem: negative reorder_window"
 
 type t = {
   topo : Topology.t;
@@ -9,6 +44,8 @@ type t = {
   isolated : (int, unit) Hashtbl.t;
   uplink_free : (int, float) Hashtbl.t;  (* endpoint -> time its uplink frees up *)
   downlink_free : (int, float) Hashtbl.t;
+  mutable faults : faults;  (* default for every pair *)
+  pair_faults : (int * int, faults) Hashtbl.t;  (* directed-pair overrides *)
 }
 
 let create ?(jitter = 0.05) ?(serialize_access = true) ~rng topo =
@@ -22,6 +59,8 @@ let create ?(jitter = 0.05) ?(serialize_access = true) ~rng topo =
     isolated = Hashtbl.create 16;
     uplink_free = Hashtbl.create 64;
     downlink_free = Hashtbl.create 64;
+    faults = no_faults;
+    pair_faults = Hashtbl.create 16;
   }
 
 let topology t = t.topo
@@ -34,7 +73,23 @@ let copy t =
     isolated = Hashtbl.copy t.isolated;
     uplink_free = Hashtbl.copy t.uplink_free;
     downlink_free = Hashtbl.copy t.downlink_free;
+    pair_faults = Hashtbl.copy t.pair_faults;
   }
+
+let global_faults t = t.faults
+
+let set_faults t f =
+  validate_faults f;
+  t.faults <- f
+
+let set_pair_faults t ~src ~dst f =
+  validate_faults f;
+  Hashtbl.replace t.pair_faults (src, dst) f
+
+let clear_pair_faults t ~src ~dst = Hashtbl.remove t.pair_faults (src, dst)
+
+let faults_of t ~src ~dst =
+  match Hashtbl.find_opt t.pair_faults (src, dst) with Some f -> f | None -> t.faults
 
 let blackhole = Linkprop.v ~latency:0.001 ~bandwidth:1. ~loss:1.
 
@@ -72,7 +127,33 @@ let judge t ~now ~src ~dst ~bytes =
         (* Clamp multiplicative noise so delays never go negative. *)
         Float.max 0.1 (1. +. (t.jitter *. ((2. *. Dsim.Rng.uniform t.rng) -. 1.)))
     in
-    Deliver (base *. noise)
+    let delay = base *. noise in
+    (* Adversarial channel faults. Every draw is guarded by a
+       rate-positivity check so that a fault-free configuration consumes
+       exactly the same RNG stream as before this layer existed — seeded
+       experiments stay bit-identical unless faults are switched on. *)
+    let f = faults_of t ~src ~dst in
+    let delay =
+      if f.reorder_rate > 0. && Dsim.Rng.uniform t.rng < f.reorder_rate then
+        (* Held back by up to a full window — enough to overtake any
+           number of later sends, inverting order beyond what
+           multiplicative jitter can produce. *)
+        delay +. Dsim.Rng.float t.rng f.reorder_window
+      else delay
+    in
+    if f.corrupt_rate > 0. && Dsim.Rng.uniform t.rng < f.corrupt_rate then
+      Corrupt { delay; flip = f.corrupt_flip }
+    else if f.duplicate_rate > 0. && Dsim.Rng.uniform t.rng < f.duplicate_rate then begin
+      (* Ghost copies trail the original by up to a few RTTs (or the
+         reorder window when one is configured), like retransmission
+         storms do. *)
+      let spread = Float.max f.reorder_window ((4. *. p.Linkprop.latency) +. 0.01) in
+      let extras =
+        List.init f.duplicate_copies (fun _ -> delay +. Dsim.Rng.float t.rng spread)
+      in
+      Duplicate (delay :: extras)
+    end
+    else Deliver delay
   end
 
 let occupy_access t ~endpoint ~now ~bytes =

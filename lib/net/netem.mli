@@ -10,6 +10,31 @@ type t
 type verdict =
   | Deliver of float  (** arrives after this many seconds *)
   | Drop of string  (** lost; the string names the cause *)
+  | Duplicate of float list
+      (** arrives more than once; one delivery per listed delay, the
+          first being the original copy *)
+  | Corrupt of { delay : float; flip : float }
+      (** arrives after [delay] but garbled: each payload byte is
+          flipped with probability [flip] (at least one bit always
+          flips). The engine applies the flips to the wire encoding,
+          so a corrupted message manifests as a decode failure or a
+          checksum drop — never as a clean payload. *)
+
+type faults = {
+  duplicate_rate : float;  (** probability a delivered message is duplicated *)
+  duplicate_copies : int;  (** ghost copies per duplication (>= 1) *)
+  corrupt_rate : float;  (** probability a delivered message is garbled *)
+  corrupt_flip : float;  (** per-byte flip probability for garbled messages *)
+  reorder_rate : float;  (** probability a message is held back *)
+  reorder_window : float;
+      (** extra seconds (uniform in [0, window]) a held-back message
+          waits — later sends overtake it, inverting delivery order
+          beyond what jitter produces *)
+}
+
+val no_faults : faults
+(** All rates zero: the channel behaves exactly as before the
+    adversarial layer existed (same RNG draws, same verdicts). *)
 
 val create : ?jitter:float -> ?serialize_access:bool -> rng:Dsim.Rng.t -> Topology.t -> t
 (** [jitter] is the standard deviation of multiplicative delay noise
@@ -39,6 +64,22 @@ val occupy_access : t -> endpoint:int -> now:float -> bytes:int -> unit
     for the transmission time of [bytes] at the endpoint's access
     bandwidth, delaying subsequent application messages. No-op when
     access serialization is disabled. *)
+
+val global_faults : t -> faults
+(** The fault profile applied to every pair without a per-pair entry. *)
+
+val set_faults : t -> faults -> unit
+(** Replaces the global fault profile. Raises [Invalid_argument] on
+    rates outside [0,1], [duplicate_copies < 1] or a negative window. *)
+
+val set_pair_faults : t -> src:int -> dst:int -> faults -> unit
+(** Pins the directed pair to its own fault profile, shadowing the
+    global one. Same validation as {!set_faults}. *)
+
+val clear_pair_faults : t -> src:int -> dst:int -> unit
+
+val faults_of : t -> src:int -> dst:int -> faults
+(** Effective fault profile for the directed pair. *)
 
 val set_override : t -> src:int -> dst:int -> Linkprop.t -> unit
 (** Pins the directed pair to an explicit property. *)

@@ -28,6 +28,13 @@ module type APP = sig
   val msg_bytes : msg -> int
   (** Wire size used by the network emulator for transmission delay. *)
 
+  val msg_codec : msg Wire.Codec.t option
+  (** Real wire encoding, when the app has one. The engine's
+      corruption fault acts on this encoding — flipped bytes are run
+      back through [decode], so codec error paths are exercised by
+      genuinely garbled inputs. [None] opts out: corrupted messages
+      are then dropped without a decode attempt. *)
+
   val init : Ctx.t -> state * msg Action.t list
   (** Boot: runs once when the node joins the system. *)
 

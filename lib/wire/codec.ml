@@ -153,7 +153,10 @@ let option c =
    total instead of attempting a huge allocation. *)
 let dec_length cur =
   let n = dec_uint cur in
-  if n > String.length cur.data - cur.pos then
+  (* [dec_uint] can overflow into a negative OCaml int (63-bit) on
+     adversarial varints; a negative length is as malformed as an
+     oversized one and must not reach [List.init]. *)
+  if n < 0 || n > String.length cur.data - cur.pos then
     raise (Malformed (Printf.sprintf "container length %d exceeds remaining input" n));
   n
 
@@ -210,7 +213,18 @@ let triple a b c =
   }
 
 let conv to_repr of_repr repr =
-  { enc = (fun sink v -> repr.enc sink (to_repr v)); dec = (fun cur -> of_repr (repr.dec cur)) }
+  {
+    enc = (fun sink v -> repr.enc sink (to_repr v));
+    dec =
+      (fun cur ->
+        let r = repr.dec cur in
+        (* A representation that decodes but fails validation (e.g. a
+           negative node id from corrupted bytes) is malformed wire
+           data, not a crash. *)
+        try of_repr r with
+        | Malformed _ as e -> raise e
+        | e -> raise (Malformed (Printexc.to_string e)));
+  }
 
 let tagged to_case of_case =
   {

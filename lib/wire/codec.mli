@@ -9,6 +9,11 @@
 
 type 'a t
 
+exception Malformed of string
+(** Raised by a codec's decoding half on bad wire data; {!decode}
+    catches it. Custom {!conv} validators may raise it directly (any
+    other exception they raise is converted to it). *)
+
 val encode : 'a t -> 'a -> string
 val decode : 'a t -> string -> ('a, string) result
 (** [Error] describes the first malformed byte encountered. *)

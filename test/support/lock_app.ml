@@ -10,6 +10,7 @@ let name = "lock"
 let equal_state (a : state) b = a = b
 let msg_kind = function Grant -> "grant" | Release -> "release" | Flip -> "flip"
 let msg_bytes _ = 16
+let msg_codec = None
 
 let pp_msg ppf m =
   Format.fprintf ppf "%s" (match m with Grant -> "grant" | Release -> "release" | Flip -> "flip")

@@ -1,0 +1,111 @@
+(* Chaos soaks: every application rides out seeded random storms —
+   crashes, partitions, degradations, duplication, corruption,
+   reordering — with zero safety violations and post-storm recovery,
+   reproducibly. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+module C = Engine.Chaos
+module X = Experiments.Chaos_exp
+
+let seeds = [ 1; 2; 3 ]
+
+(* Every report is produced once and shared across test cases. *)
+let reports =
+  lazy
+    (List.concat_map (fun app -> List.map (fun seed -> X.run ~seed app) seeds) X.apps)
+
+let soak_case app =
+  Alcotest.test_case app `Slow (fun () ->
+      List.iter
+        (fun (r : X.report) ->
+          if String.equal r.X.app app then begin
+            checki (Printf.sprintf "%s seed %d: no safety violation" app r.X.seed) 0
+              r.X.violations;
+            checkb (Printf.sprintf "%s seed %d: recovered" app r.X.seed) true r.X.recovered;
+            checkb (Printf.sprintf "%s seed %d: storm was real" app r.X.seed) true
+              (r.X.dropped > 0 || r.X.duplicated > 0 || r.X.corrupted > 0)
+          end)
+        (Lazy.force reports))
+
+(* The corruption path must genuinely reach the decoder: across the
+   soaks, some garbled message fails to parse (and is dropped, counted,
+   with no exception escaping — the soaks above would have died
+   otherwise). *)
+let test_decode_failures_exercised () =
+  let total =
+    List.fold_left (fun acc (r : X.report) -> acc + r.X.decode_failures) 0 (Lazy.force reports)
+  in
+  checkb "some corrupted message failed decode" true (total > 0);
+  let corrupted =
+    List.fold_left (fun acc (r : X.report) -> acc + r.X.corrupted) 0 (Lazy.force reports)
+  in
+  checkb "decode failures are a subset of corruptions" true (total <= corrupted)
+
+(* ---------- determinism ---------- *)
+
+let test_generate_deterministic () =
+  let p = { C.default_profile with C.crashes = 3; partitions = 2; degrades = 2 } in
+  let show plan = Format.asprintf "%a" Engine.Faultplan.pp plan in
+  checks "same seed, same plan" (show (C.generate ~seed:42 ~nodes:10 p))
+    (show (C.generate ~seed:42 ~nodes:10 p));
+  checkb "different seed, different plan" true
+    (not (String.equal (show (C.generate ~seed:42 ~nodes:10 p))
+            (show (C.generate ~seed:43 ~nodes:10 p))))
+
+let test_generate_respects_protect () =
+  let p = { C.default_profile with C.crashes = 5; protect = [ 0; 1 ] } in
+  List.iter
+    (fun seed ->
+      List.iter
+        (function
+          | _, Engine.Faultplan.Kill v ->
+              checkb (Printf.sprintf "seed %d never kills protected %d" seed v) true (v > 1)
+          | _ -> ())
+        (Engine.Faultplan.events (C.generate ~seed ~nodes:6 p)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_generate_validation () =
+  Alcotest.check_raises "no nodes" (Invalid_argument "Chaos.generate: no nodes") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:0 C.default_profile));
+  Alcotest.check_raises "bad storm" (Invalid_argument "Chaos.generate: non-positive storm")
+    (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.storm = 0. }))
+
+(* Same seed + profile -> the identical storm, the identical verdict,
+   the identical traffic: the whole soak is a replayable witness. *)
+let test_replay_bit_identical () =
+  let a = X.run ~seed:7 "kvstore" and b = X.run ~seed:7 "kvstore" in
+  checks "identical plan" a.X.plan_text b.X.plan_text;
+  checki "identical violation count" a.X.violations b.X.violations;
+  checki "identical deliveries" a.X.delivered b.X.delivered;
+  checki "identical corruptions" a.X.corrupted b.X.corrupted;
+  checkb "identical verdict" true (Bool.equal a.X.recovered b.X.recovered)
+
+let test_scale_grows_profile () =
+  let p = X.scale 2. C.default_profile in
+  checkb "longer storm" true (p.C.storm > C.default_profile.C.storm);
+  checkb "more crashes" true (p.C.crashes >= C.default_profile.C.crashes);
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Chaos_exp.scale: non-positive factor") (fun () ->
+      ignore (X.scale 0. C.default_profile))
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ("soak", List.map soak_case X.apps);
+      ( "engine",
+        [
+          Alcotest.test_case "decode failures exercised" `Slow test_decode_failures_exercised;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "generate is seed-deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "protect respected" `Quick test_generate_respects_protect;
+          Alcotest.test_case "generate validation" `Quick test_generate_validation;
+          Alcotest.test_case "replay is bit-identical" `Slow test_replay_bit_identical;
+          Alcotest.test_case "profile scaling" `Quick test_scale_grows_profile;
+        ] );
+    ]

@@ -15,6 +15,7 @@ module Toy = struct
 
   let msg_kind = function Ping _ -> "ping" | Pong _ -> "pong" | Kick -> "kick"
   let msg_bytes = function Ping _ | Pong _ -> 64 | Kick -> 16
+  let msg_codec = None
 
   let pp_msg ppf = function
     | Ping n -> Format.fprintf ppf "ping(%d)" n
@@ -353,6 +354,7 @@ module Nfa = struct
   let equal_state (a : state) b = a = b
   let msg_kind Datum = "datum"
   let msg_bytes Datum = 32
+  let msg_codec = None
   let pp_msg ppf Datum = Format.fprintf ppf "datum"
   let pp_state ppf st = Format.fprintf ppf "{s=%d f=%d}" st.stored st.forwarded
   let init (ctx : Proto.Ctx.t) = ({ self = ctx.self; stored = 0; forwarded = 0 }, [])

@@ -39,6 +39,45 @@ let test_plan_pp () =
   let s = Format.asprintf "%a" F.pp p in
   checkb "printable" true (String.length s > 10)
 
+(* ---------- validation ---------- *)
+
+let invalid name msg mk =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.check_raises name (Invalid_argument msg) (fun () -> ignore (F.plan (mk ()))))
+
+let validation_cases =
+  [
+    invalid "overlapping partition" "Faultplan.plan: partition groups overlap" (fun () ->
+        [ (0., F.Partition ([ 0; 1 ], [ 1; 2 ])) ]);
+    invalid "zero latency factor" "Faultplan.plan: non-positive degrade factor" (fun () ->
+        [ (0., F.Degrade { endpoint = 1; latency_factor = 0.; bandwidth_factor = 0.5 }) ]);
+    invalid "negative bandwidth factor" "Faultplan.plan: non-positive degrade factor" (fun () ->
+        [ (0., F.Degrade { endpoint = 1; latency_factor = 2.; bandwidth_factor = -1. }) ]);
+    invalid "duplicate rate above 1" "Faultplan.plan: duplicate rate 2 outside [0,1]" (fun () ->
+        [ (0., F.Set_duplicate { rate = 2.; copies = 1 }) ]);
+    invalid "duplicate without copies" "Faultplan.plan: duplicate copies < 1" (fun () ->
+        [ (0., F.Set_duplicate { rate = 0.5; copies = 0 }) ]);
+    invalid "negative corrupt flip" "Faultplan.plan: corrupt flip rate -0.1 outside [0,1]"
+      (fun () -> [ (0., F.Set_corrupt { rate = 0.5; flip = -0.1 }) ]);
+    invalid "negative reorder window" "Faultplan.plan: negative reorder window" (fun () ->
+        [ (0., F.Set_reorder { rate = 0.5; window = -1. }) ]);
+    invalid "empty crash storm" "Faultplan.plan: empty crash storm" (fun () ->
+        [ (0., F.Crash_storm { victims = 0; period = 1.; rounds = 2 }) ]);
+    invalid "zero-period crash storm" "Faultplan.plan: non-positive storm period" (fun () ->
+        [ (0., F.Crash_storm { victims = 1; period = 0.; rounds = 2 }) ]);
+  ]
+
+let test_valid_plan_accepted () =
+  let p =
+    F.plan
+      [
+        (0., F.Set_duplicate { rate = 0.1; copies = 2 });
+        (0., F.Set_corrupt { rate = 0.; flip = 0. });
+        (1., F.Crash_storm { victims = 1; period = 0.5; rounds = 2 });
+      ]
+  in
+  checki "kept all events" 3 (List.length (F.events p))
+
 (* ---------- execution ---------- *)
 
 let test_kill_restart_schedule () =
@@ -78,6 +117,46 @@ let test_degrade_and_restore () =
   let restored = (Net.Netem.path (E.netem eng) ~src:0 ~dst:1).Net.Linkprop.latency in
   Alcotest.check (Alcotest.float 1e-9) "restored" base restored
 
+let test_set_faults_events () =
+  let eng = make () in
+  Run.execute eng
+    (F.plan
+       [
+         (0., F.Set_duplicate { rate = 0.2; copies = 3 });
+         (0., F.Set_corrupt { rate = 0.1; flip = 0.05 });
+         (0., F.Set_reorder { rate = 0.3; window = 0.4 });
+       ]);
+  let f = Net.Netem.global_faults (E.netem eng) in
+  Alcotest.check (Alcotest.float 0.) "duplicate rate" 0.2 f.Net.Netem.duplicate_rate;
+  checki "duplicate copies" 3 f.Net.Netem.duplicate_copies;
+  Alcotest.check (Alcotest.float 0.) "corrupt rate" 0.1 f.Net.Netem.corrupt_rate;
+  Alcotest.check (Alcotest.float 0.) "corrupt flip" 0.05 f.Net.Netem.corrupt_flip;
+  Alcotest.check (Alcotest.float 0.) "reorder rate" 0.3 f.Net.Netem.reorder_rate;
+  Alcotest.check (Alcotest.float 0.) "reorder window" 0.4 f.Net.Netem.reorder_window;
+  (* Zero rates switch the faults back off without disturbing the rest. *)
+  Run.execute eng (F.plan [ (0., F.Set_corrupt { rate = 0.; flip = 0. }) ]);
+  let f = Net.Netem.global_faults (E.netem eng) in
+  Alcotest.check (Alcotest.float 0.) "corrupt off" 0. f.Net.Netem.corrupt_rate;
+  Alcotest.check (Alcotest.float 0.) "duplicate untouched" 0.2 f.Net.Netem.duplicate_rate
+
+let test_crash_storm_revives_everyone () =
+  let eng = make () in
+  let before = Dsim.Vtime.to_seconds (E.now eng) in
+  Run.execute eng (F.plan [ (0., F.Crash_storm { victims = 2; period = 0.4; rounds = 3 }) ]);
+  for i = 0 to 3 do
+    checkb (Printf.sprintf "node %d alive after storm" i) true (E.alive eng (nid i))
+  done;
+  (* The storm occupies rounds * period of schedule time. *)
+  checkb "storm consumed its window" true
+    (Dsim.Vtime.to_seconds (E.now eng) -. before >= 3. *. 0.4 -. 1e-9)
+
+let test_restart_idempotent () =
+  let eng = make () in
+  (* A restart of a node that is already alive must be a no-op, so
+     composed schedules can't crash the executor. *)
+  Run.execute eng (F.plan [ (0.1, F.Restart 1) ]);
+  checkb "still alive" true (E.alive eng (nid 1))
+
 let test_empty_plan_is_noop () =
   let eng = make () in
   let before = Dsim.Vtime.to_seconds (E.now eng) in
@@ -95,12 +174,18 @@ let () =
           Alcotest.test_case "invalid" `Quick test_plan_invalid;
           Alcotest.test_case "pp" `Quick test_plan_pp;
         ] );
+      ( "validation",
+        Alcotest.test_case "valid plan accepted" `Quick test_valid_plan_accepted
+        :: validation_cases );
       ( "execution",
         [
           Alcotest.test_case "kill/restart schedule" `Quick test_kill_restart_schedule;
           Alcotest.test_case "kill timing" `Quick test_kill_takes_effect_at_time;
           Alcotest.test_case "partition" `Quick test_partition_blocks_and_heals;
           Alcotest.test_case "degrade/restore" `Quick test_degrade_and_restore;
+          Alcotest.test_case "channel fault events" `Quick test_set_faults_events;
+          Alcotest.test_case "crash storm" `Quick test_crash_storm_revives_everyone;
+          Alcotest.test_case "idempotent restart" `Quick test_restart_idempotent;
           Alcotest.test_case "empty plan" `Quick test_empty_plan_is_noop;
         ] );
     ]

@@ -129,7 +129,7 @@ let test_netem_deliver () =
   let nem = mk_netem () in
   (match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:1000 with
   | Net.Netem.Deliver d -> checkf "prop + tx" 1.01 d
-  | Net.Netem.Drop _ -> Alcotest.fail "unexpected drop");
+  | _ -> Alcotest.fail "unexpected verdict");
   ()
 
 let test_netem_loss () =
@@ -139,21 +139,21 @@ let test_netem_loss () =
   in
   match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:10 with
   | Net.Netem.Drop cause -> Alcotest.check Alcotest.string "cause" "loss" cause
-  | Net.Netem.Deliver _ -> Alcotest.fail "expected drop"
+  | _ -> Alcotest.fail "expected drop"
 
 let test_netem_cut_heal () =
   let nem = mk_netem () in
   Net.Netem.cut nem ~src:0 ~dst:1;
   (match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:10 with
   | Net.Netem.Drop _ -> ()
-  | Net.Netem.Deliver _ -> Alcotest.fail "cut link delivered");
+  | _ -> Alcotest.fail "cut link delivered");
   (match Net.Netem.judge nem ~now:0. ~src:1 ~dst:0 ~bytes:10 with
   | Net.Netem.Deliver _ -> ()
-  | Net.Netem.Drop _ -> Alcotest.fail "reverse direction should work");
+  | _ -> Alcotest.fail "reverse direction should work");
   Net.Netem.heal nem ~src:0 ~dst:1;
   match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:10 with
   | Net.Netem.Deliver _ -> ()
-  | Net.Netem.Drop _ -> Alcotest.fail "healed link dropped"
+  | _ -> Alcotest.fail "healed link dropped"
 
 let test_netem_isolate () =
   let nem = mk_netem () in
@@ -161,7 +161,7 @@ let test_netem_isolate () =
   checkb "isolated" true (Net.Netem.is_isolated nem 2);
   (match Net.Netem.judge nem ~now:0. ~src:3 ~dst:2 ~bytes:10 with
   | Net.Netem.Drop _ -> ()
-  | Net.Netem.Deliver _ -> Alcotest.fail "message reached isolated node");
+  | _ -> Alcotest.fail "message reached isolated node");
   Net.Netem.rejoin nem 2;
   checkb "rejoined" false (Net.Netem.is_isolated nem 2)
 
@@ -172,6 +172,70 @@ let test_netem_override () =
   Net.Netem.clear_override nem ~src:0 ~dst:1;
   checkf "cleared" 0.01 (Net.Netem.path nem ~src:0 ~dst:1).Net.Linkprop.latency
 
+(* Overrides are a layer over the topology, never a mutation of it: any
+   sequence of cut / degrade ending in heal leaves the pair exactly
+   where it started. *)
+let prop_cut_degrade_heal_roundtrip =
+  QCheck.Test.make ~name:"cut -> degrade -> heal restores the exact path" ~count:100
+    QCheck.(triple (int_bound 3) (int_bound 3) (float_range 1.5 20.))
+    (fun (src, dst, factor) ->
+      QCheck.assume (src <> dst);
+      let nem = mk_netem () in
+      let base = Net.Netem.path nem ~src ~dst in
+      Net.Netem.cut nem ~src ~dst;
+      Net.Netem.set_override nem ~src ~dst
+        (prop
+           ~latency:(base.Net.Linkprop.latency *. factor)
+           ~bandwidth:(base.Net.Linkprop.bandwidth /. factor)
+           ~loss:base.Net.Linkprop.loss);
+      Net.Netem.heal nem ~src ~dst;
+      let back = Net.Netem.path nem ~src ~dst in
+      back.Net.Linkprop.latency = base.Net.Linkprop.latency
+      && back.Net.Linkprop.bandwidth = base.Net.Linkprop.bandwidth
+      && back.Net.Linkprop.loss = base.Net.Linkprop.loss)
+
+let test_netem_duplicate_verdict () =
+  let nem = mk_netem () in
+  Net.Netem.set_faults nem
+    { Net.Netem.no_faults with Net.Netem.duplicate_rate = 1.; duplicate_copies = 2 };
+  match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:10 with
+  | Net.Netem.Duplicate delays ->
+      checki "original + copies" 3 (List.length delays);
+      checkb "copies arrive no earlier" true
+        (List.for_all (fun d -> d >= List.hd delays) delays)
+  | _ -> Alcotest.fail "expected duplicate verdict"
+
+let test_netem_corrupt_verdict () =
+  let nem = mk_netem () in
+  Net.Netem.set_faults nem
+    { Net.Netem.no_faults with Net.Netem.corrupt_rate = 1.; corrupt_flip = 0.5 };
+  match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:10 with
+  | Net.Netem.Corrupt { flip; delay } ->
+      checkf "flip rate carried" 0.5 flip;
+      checkb "positive delay" true (delay > 0.)
+  | _ -> Alcotest.fail "expected corrupt verdict"
+
+let test_netem_pair_faults () =
+  let nem = mk_netem () in
+  Net.Netem.set_pair_faults nem ~src:0 ~dst:1
+    { Net.Netem.no_faults with Net.Netem.corrupt_rate = 1. };
+  (match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:10 with
+  | Net.Netem.Corrupt _ -> ()
+  | _ -> Alcotest.fail "pair fault ignored");
+  (match Net.Netem.judge nem ~now:0. ~src:2 ~dst:3 ~bytes:10 with
+  | Net.Netem.Deliver _ -> ()
+  | _ -> Alcotest.fail "pair fault leaked to other pairs");
+  Net.Netem.clear_pair_faults nem ~src:0 ~dst:1;
+  match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:10 with
+  | Net.Netem.Deliver _ -> ()
+  | _ -> Alcotest.fail "cleared pair fault still active"
+
+let test_netem_faults_validated () =
+  Alcotest.check_raises "rate outside [0,1]"
+    (Invalid_argument "Netem: duplicate_rate 1.5 outside [0,1]") (fun () ->
+      Net.Netem.set_faults (mk_netem ())
+        { Net.Netem.no_faults with Net.Netem.duplicate_rate = 1.5 })
+
 let test_netem_serialization () =
   let nem = mk_netem ~serialize_access:true () in
   (* Two back-to-back 1000-byte sends at t=0 on a 1000 B/s uplink: the
@@ -179,12 +243,12 @@ let test_netem_serialization () =
   let d1 =
     match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes:1000 with
     | Net.Netem.Deliver d -> d
-    | Net.Netem.Drop _ -> Alcotest.fail "drop"
+    | _ -> Alcotest.fail "drop"
   in
   let d2 =
     match Net.Netem.judge nem ~now:0. ~src:0 ~dst:2 ~bytes:1000 with
     | Net.Netem.Deliver d -> d
-    | Net.Netem.Drop _ -> Alcotest.fail "drop"
+    | _ -> Alcotest.fail "drop"
   in
   checkf "first unqueued" 1.01 d1;
   checkf "second queued behind first" 2.01 d2
@@ -195,7 +259,7 @@ let test_netem_copy_independent () =
   Net.Netem.cut nem ~src:0 ~dst:1;
   match Net.Netem.judge c ~now:0. ~src:0 ~dst:1 ~bytes:10 with
   | Net.Netem.Deliver _ -> ()
-  | Net.Netem.Drop _ -> Alcotest.fail "copy shares override table"
+  | _ -> Alcotest.fail "copy shares override table"
 
 (* ---------- Netmodel ---------- *)
 
@@ -294,15 +358,18 @@ let () =
         :: Alcotest.test_case "waxman total" `Quick test_waxman_total
         :: qcheck [ prop_transit_stub_symmetric_locality ] );
       ( "netem",
-        [
-          Alcotest.test_case "deliver" `Quick test_netem_deliver;
-          Alcotest.test_case "loss" `Quick test_netem_loss;
-          Alcotest.test_case "cut/heal" `Quick test_netem_cut_heal;
-          Alcotest.test_case "isolate" `Quick test_netem_isolate;
-          Alcotest.test_case "override" `Quick test_netem_override;
-          Alcotest.test_case "access serialization" `Quick test_netem_serialization;
-          Alcotest.test_case "copy" `Quick test_netem_copy_independent;
-        ] );
+        Alcotest.test_case "deliver" `Quick test_netem_deliver
+        :: Alcotest.test_case "loss" `Quick test_netem_loss
+        :: Alcotest.test_case "cut/heal" `Quick test_netem_cut_heal
+        :: Alcotest.test_case "isolate" `Quick test_netem_isolate
+        :: Alcotest.test_case "override" `Quick test_netem_override
+        :: Alcotest.test_case "duplicate verdict" `Quick test_netem_duplicate_verdict
+        :: Alcotest.test_case "corrupt verdict" `Quick test_netem_corrupt_verdict
+        :: Alcotest.test_case "per-pair faults" `Quick test_netem_pair_faults
+        :: Alcotest.test_case "fault validation" `Quick test_netem_faults_validated
+        :: Alcotest.test_case "access serialization" `Quick test_netem_serialization
+        :: Alcotest.test_case "copy" `Quick test_netem_copy_independent
+        :: qcheck [ prop_cut_degrade_heal_roundtrip ] );
       ( "netmodel",
         Alcotest.test_case "latency ewma" `Quick test_netmodel_latency_estimate
         :: Alcotest.test_case "confidence decay" `Quick test_netmodel_confidence_decay

@@ -197,7 +197,7 @@ let prop_netem_fifo =
         | bytes :: rest -> (
             match Net.Netem.judge nem ~now:0. ~src:0 ~dst:1 ~bytes with
             | Net.Netem.Deliver d -> d >= last && ordered d rest
-            | Net.Netem.Drop _ -> false)
+            | _ -> false)
       in
       ordered 0. sizes)
 
