@@ -128,6 +128,7 @@ end = struct
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
   let msg_codec = Some msg_codec
+  let durable = None
 
   let pp_state ppf st =
     Format.fprintf ppf "{pos=%d done=%d}" st.pos (List.length st.completed)

@@ -304,6 +304,12 @@ end = struct
       (pair node
          (pair blockset
             (pair (list (pair node blockset)) (list (triple node int float)))))
+
+  (* The checkpoint codec doubles as the durability codec: a restarted
+     node resumes with the blocks it had already fetched instead of
+     re-downloading the file. [equal_state] (not polymorphic (=))
+     suppresses no-op records — a decoded state's set shapes differ. *)
+  let durable = Some (Proto.Durability.v ~equal:equal_state state_codec)
 end
 
 module Default = Make (Default_params)

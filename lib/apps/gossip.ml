@@ -84,6 +84,7 @@ end = struct
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
   let msg_codec = Some msg_codec
+  let durable = None
 
   let pp_state ppf st =
     Format.fprintf ppf "{r%d known=%d}" st.round (Int_set.cardinal st.known)

@@ -161,6 +161,93 @@ end = struct
   let pp_msg = pp_msg
   let msg_codec = Some msg_codec
 
+  (* ---------- durability ----------
+
+     What must survive a crash is the committed data path: the store
+     itself, how far it has applied, and (on the primary) the write
+     sequencer and the anti-entropy history — losing [head_seq] would
+     let a reborn primary re-issue sequence numbers and fork the log.
+     Session state (read/write floors, rids) and the out-of-order
+     [buffer] are deliberately transient: a reborn session starts a
+     fresh one, and anti-entropy refetches whatever the buffer held. *)
+
+  let bindings_c value_c = Wire.Codec.(list (pair int value_c))
+
+  let durable_c =
+    Wire.Codec.(
+      pair (pair int int) (pair (bindings_c int) (bindings_c (pair int int))))
+
+  let projection_c =
+    Wire.Codec.conv
+      (fun st ->
+        ( (st.applied_seq, st.head_seq),
+          (Int_map.bindings st.store, Int_map.bindings st.history) ))
+      (fun ((applied_seq, head_seq), (store, history)) ->
+        {
+          self = Proto.Node_id.of_int 0;
+          (* placeholder: [restore] keeps the booted self *)
+          store = Int_map.of_seq (List.to_seq store);
+          applied_seq;
+          buffer = Int_map.empty;
+          head_seq;
+          write_origins = [];
+          read_floor = 0;
+          write_floor = 0;
+          staleness_sum = 0;
+          known_seq = [];
+          next_rid = 0;
+          last_rid = 0;
+          history = Int_map.of_seq (List.to_seq history);
+          read_lat = [];
+          write_lat = [];
+          mono_violations = 0;
+          reads = 0;
+        })
+      durable_c
+
+  let changed_bindings prev next =
+    Int_map.fold
+      (fun k v acc ->
+        match Int_map.find_opt k prev with Some v' when v' = v -> acc | _ -> (k, v) :: acc)
+      next []
+
+  let durable =
+    let log ~prev ~next =
+      let store = changed_bindings prev.store next.store in
+      let history = changed_bindings prev.history next.history in
+      if
+        store = [] && history = [] && prev.applied_seq = next.applied_seq
+        && prev.head_seq = next.head_seq
+      then None
+      else
+        Some
+          (Wire.Codec.encode durable_c
+             ((next.applied_seq, next.head_seq), (store, history)))
+    in
+    let replay st record =
+      Result.map
+        (fun ((applied_seq, head_seq), (store, history)) ->
+          let add m (k, v) = Int_map.add k v m in
+          {
+            st with
+            applied_seq = Int.max st.applied_seq applied_seq;
+            head_seq = Int.max st.head_seq head_seq;
+            store = List.fold_left add st.store store;
+            history = List.fold_left add st.history history;
+          })
+        (Wire.Codec.decode durable_c record)
+    in
+    let restore ~boot ~durable =
+      {
+        boot with
+        store = durable.store;
+        applied_seq = durable.applied_seq;
+        head_seq = durable.head_seq;
+        history = durable.history;
+      }
+    in
+    Some (Proto.Durability.v ~snapshot_every:64 ~log ~replay ~restore projection_c)
+
   let pp_state ppf st =
     Format.fprintf ppf "{applied=%d reads=%d viol=%d}" st.applied_seq st.reads st.mono_violations
 

@@ -52,14 +52,16 @@ let pp_msg ppf = function
   | Accepted { inst; bal; cmd } -> Format.fprintf ppf "accepted(i%d b%d %a)" inst bal pp_cmd cmd
   | Decided { inst; cmd } -> Format.fprintf ppf "decided(i%d %a)" inst pp_cmd cmd
 
+let cmd_codec =
+  let open Wire.Codec in
+  conv
+    (fun c -> (c.origin, c.seq, c.born))
+    (fun (origin, seq, born) -> { origin; seq; born })
+    (triple int int float)
+
 let msg_codec =
   let open Wire.Codec in
-  let cmd_c =
-    conv
-      (fun c -> (c.origin, c.seq, c.born))
-      (fun (origin, seq, born) -> { origin; seq; born })
-      (triple int int float)
-  in
+  let cmd_c = cmd_codec in
   let ballot = pair int int in
   let ballot_cmd = triple int int cmd_c in
   tagged
@@ -157,6 +159,90 @@ end = struct
   let latencies st = st.latencies
   let born_count st = st.born
 
+  (* ---------- durability ----------
+
+     What Paxos must never forget is exactly what the acceptor and
+     learner roles have externalised: promises made, values accepted,
+     decisions learned — plus the instance/sequence counters that stop
+     a reborn proposer from reusing an instance its previous life
+     already spent. Proposer scratch state ([queue], [proposals]) and
+     telemetry are rebuilt or abandoned; a lost in-flight command is a
+     liveness wart, a reused instance is an agreement violation. *)
+
+  let slot_c =
+    let open Wire.Codec in
+    conv
+      (fun (s : acceptor_slot) -> (s.promised, s.accepted))
+      (fun (promised, accepted) -> { promised; accepted })
+      (pair int (option (pair int cmd_codec)))
+
+  let bindings_c value_c = Wire.Codec.(list (pair int value_c))
+
+  (* Snapshots and WAL deltas share one shape: the counters (absolute)
+     and two binding lists — the whole maps in a snapshot, only the
+     changed entries in a delta. *)
+  let durable_c = Wire.Codec.(pair (pair int int) (pair (bindings_c slot_c) (bindings_c cmd_codec)))
+
+  let projection_c =
+    Wire.Codec.conv
+      (fun st ->
+        ( (st.next_seq, st.next_slot),
+          (Int_map.bindings st.acceptor, Int_map.bindings st.decided) ))
+      (fun ((next_seq, next_slot), (acc, dec)) ->
+        {
+          self = Proto.Node_id.of_int 0;
+          (* placeholder: [restore] keeps the booted self *)
+          next_seq;
+          next_slot;
+          queue = [];
+          acceptor = Int_map.of_seq (List.to_seq acc);
+          proposals = Int_map.empty;
+          decided = Int_map.of_seq (List.to_seq dec);
+          latencies = [];
+          born = 0;
+        })
+      durable_c
+
+  let changed_bindings prev next =
+    Int_map.fold
+      (fun k v acc ->
+        match Int_map.find_opt k prev with Some v' when v' = v -> acc | _ -> (k, v) :: acc)
+      next []
+
+  let durable =
+    let log ~prev ~next =
+      let slots = changed_bindings prev.acceptor next.acceptor in
+      let dec = changed_bindings prev.decided next.decided in
+      if
+        slots = [] && dec = [] && prev.next_seq = next.next_seq
+        && prev.next_slot = next.next_slot
+      then None
+      else Some (Wire.Codec.encode durable_c ((next.next_seq, next.next_slot), (slots, dec)))
+    in
+    let replay st record =
+      Result.map
+        (fun ((next_seq, next_slot), (slots, dec)) ->
+          let add m (k, v) = Int_map.add k v m in
+          {
+            st with
+            next_seq = Int.max st.next_seq next_seq;
+            next_slot = Int.max st.next_slot next_slot;
+            acceptor = List.fold_left add st.acceptor slots;
+            decided = List.fold_left add st.decided dec;
+          })
+        (Wire.Codec.decode durable_c record)
+    in
+    let restore ~boot ~durable =
+      {
+        boot with
+        next_seq = durable.next_seq;
+        next_slot = durable.next_slot;
+        acceptor = durable.acceptor;
+        decided = durable.decided;
+      }
+    in
+    Some (Proto.Durability.v ~snapshot_every:64 ~log ~replay ~restore projection_c)
+
   let n = P.population
   let majority = (n / 2) + 1
   let replicas = List.init n Proto.Node_id.of_int
@@ -165,16 +251,16 @@ end = struct
   let self_int st = Proto.Node_id.to_int st.self
 
   let init (ctx : Proto.Ctx.t) =
-    (* Crash-recovery epoch: a reborn proposer must never reuse an
-       instance from its previous life, and without stable storage it
-       cannot remember which it used — so the starting slot is derived
-       from boot time, which only moves forward. *)
-    let epoch = 1 + int_of_float (Dsim.Vtime.to_seconds ctx.now *. 4.) in
+    (* A reborn proposer must never reuse an instance from its previous
+       life. The durable [next_slot], recovered through [restore], is
+       what remembers how far the old life got — which makes losing the
+       disk (an amnesia crash) exactly the failure this protocol cannot
+       survive, and the durability layer load-bearing for agreement. *)
     let st =
       {
         self = ctx.self;
         next_seq = 0;
-        next_slot = epoch;
+        next_slot = 0;
         queue = [];
         acceptor = Int_map.empty;
         proposals = Int_map.empty;

@@ -41,6 +41,7 @@ end = struct
   let msg_bytes = C.msg_bytes
   let pp_msg = C.pp_msg
   let msg_codec = Some C.msg_codec
+  let durable = None
 
   let pp_state ppf st =
     Format.fprintf ppf "{p=%a d=%d c=[%a] j=%b}"

@@ -1,5 +1,6 @@
 type profile = {
   crashes : int;
+  crash_mode : Faultplan.crash_mode;
   partitions : int;
   degrades : int;
   duplicate_rate : float;
@@ -16,6 +17,7 @@ type profile = {
 let default_profile =
   {
     crashes = 2;
+    crash_mode = Faultplan.Clean;
     partitions = 1;
     degrades = 1;
     duplicate_rate = 0.08;
@@ -30,11 +32,17 @@ let default_profile =
   }
 
 let pp_profile ppf p =
+  let mode =
+    match p.crash_mode with
+    | Faultplan.Clean -> ""
+    | Faultplan.Amnesia -> "(amnesia)"
+    | Faultplan.Torn -> "(torn)"
+  in
   Format.fprintf ppf
-    "{crashes=%d partitions=%d degrades=%d dup=%.2f corrupt=%.2f reorder=%.2f storm=%.1fs \
+    "{crashes=%d%s partitions=%d degrades=%d dup=%.2f corrupt=%.2f reorder=%.2f storm=%.1fs \
      grace=%.1fs}"
-    p.crashes p.partitions p.degrades p.duplicate_rate p.corrupt_rate p.reorder_rate p.storm
-    p.grace
+    p.crashes mode p.partitions p.degrades p.duplicate_rate p.corrupt_rate p.reorder_rate
+    p.storm p.grace
 
 (* Fault windows open in the first 60% of the storm and always close by
    95% of it, so the storm ends with every link healed, every victim
@@ -70,10 +78,16 @@ let generate ~seed ~nodes profile =
   let victims =
     Dsim.Rng.sample_without_replacement rng (min profile.crashes (List.length eligible)) eligible
   in
+  let crash v =
+    match profile.crash_mode with
+    | Faultplan.Clean -> Faultplan.Kill v
+    | Faultplan.Amnesia -> Faultplan.Kill_amnesia v
+    | Faultplan.Torn -> Faultplan.Torn_write v
+  in
   List.iter
     (fun v ->
       let opens, closes = window rng ~storm in
-      add opens (Faultplan.Kill v);
+      add opens (crash v);
       add closes (Faultplan.Restart v))
     victims;
   for _ = 1 to profile.partitions do

@@ -12,6 +12,10 @@
 
 type profile = {
   crashes : int;  (** crash/restart pairs, distinct victims *)
+  crash_mode : Faultplan.crash_mode;
+      (** what each crash does to the victim's disk — {!Faultplan.Clean}
+          (default) preserves it, [Amnesia] wipes it, [Torn] truncates
+          the WAL mid-record; irrelevant for non-durable apps *)
   partitions : int;  (** partition/heal pairs (random split) *)
   degrades : int;  (** degrade/restore pairs (random endpoint) *)
   duplicate_rate : float;

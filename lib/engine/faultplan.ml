@@ -1,5 +1,9 @@
+type crash_mode = Clean | Amnesia | Torn
+
 type event =
   | Kill of int
+  | Kill_amnesia of int
+  | Torn_write of int
   | Restart of int
   | Partition of int list * int list
   | Heal_partition of int list * int list
@@ -8,7 +12,7 @@ type event =
   | Set_duplicate of { rate : float; copies : int }
   | Set_corrupt of { rate : float; flip : float }
   | Set_reorder of { rate : float; window : float }
-  | Crash_storm of { victims : int; period : float; rounds : int }
+  | Crash_storm of { victims : int; period : float; rounds : int; mode : crash_mode }
 
 type t = { schedule : (float * event) list }
 
@@ -17,7 +21,7 @@ let check_rate what r =
     invalid_arg (Printf.sprintf "Faultplan.plan: %s %g outside [0,1]" what r)
 
 let validate_event = function
-  | Kill _ | Restart _ | Heal_partition _ | Restore _ -> ()
+  | Kill _ | Kill_amnesia _ | Torn_write _ | Restart _ | Heal_partition _ | Restore _ -> ()
   | Partition (a, b) ->
       if List.exists (fun x -> List.mem x b) a then
         invalid_arg "Faultplan.plan: partition groups overlap"
@@ -33,7 +37,7 @@ let validate_event = function
   | Set_reorder { rate; window } ->
       check_rate "reorder rate" rate;
       if window < 0. then invalid_arg "Faultplan.plan: negative reorder window"
-  | Crash_storm { victims; period; rounds } ->
+  | Crash_storm { victims; period; rounds; mode = _ } ->
       if victims <= 0 || rounds <= 0 then invalid_arg "Faultplan.plan: empty crash storm";
       if period <= 0. then invalid_arg "Faultplan.plan: non-positive storm period"
 
@@ -53,8 +57,15 @@ let pp_group ppf g =
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
     g
 
+let pp_mode ppf = function
+  | Clean -> ()
+  | Amnesia -> Format.fprintf ppf ", amnesia"
+  | Torn -> Format.fprintf ppf ", torn"
+
 let pp_event ppf = function
   | Kill n -> Format.fprintf ppf "kill(%d)" n
+  | Kill_amnesia n -> Format.fprintf ppf "kill_amnesia(%d)" n
+  | Torn_write n -> Format.fprintf ppf "torn_write(%d)" n
   | Restart n -> Format.fprintf ppf "restart(%d)" n
   | Partition (a, b) -> Format.fprintf ppf "partition(%a | %a)" pp_group a pp_group b
   | Heal_partition (a, b) -> Format.fprintf ppf "heal(%a | %a)" pp_group a pp_group b
@@ -65,8 +76,9 @@ let pp_event ppf = function
   | Set_duplicate { rate; copies } -> Format.fprintf ppf "duplicate(p=%.3f, x%d)" rate copies
   | Set_corrupt { rate; flip } -> Format.fprintf ppf "corrupt(p=%.3f, flip=%.3f)" rate flip
   | Set_reorder { rate; window } -> Format.fprintf ppf "reorder(p=%.3f, w=%.2fs)" rate window
-  | Crash_storm { victims; period; rounds } ->
-      Format.fprintf ppf "crash_storm(%d victims, %.2fs period, %d rounds)" victims period rounds
+  | Crash_storm { victims; period; rounds; mode } ->
+      Format.fprintf ppf "crash_storm(%d victims, %.2fs period, %d rounds%a)" victims period
+        rounds pp_mode mode
 
 let pp ppf t =
   Format.pp_print_list
@@ -80,6 +92,8 @@ module Run (E : sig
   val now : t -> Dsim.Vtime.t
   val run_for : t -> float -> unit
   val kill : t -> Proto.Node_id.t -> unit
+  val kill_amnesia : t -> Proto.Node_id.t -> unit
+  val torn_write : t -> Proto.Node_id.t -> unit
   val restart : t -> ?after:float -> Proto.Node_id.t -> unit
   val alive : t -> Proto.Node_id.t -> bool
   val netem : t -> Net.Netem.t
@@ -88,11 +102,7 @@ struct
   let cross f a b =
     List.iter (fun x -> List.iter (fun y -> if x <> y then f x y) b) a
 
-  (* Chaos plans compose schedules that may race with each other (a
-     crash storm can already have revived a node a later [Restart]
-     names), so restarts are idempotent here: a node that is already
-     alive is left alone. *)
-  let restart_if_down eng id = if not (E.alive eng id) then E.restart eng id
+  let crash_of = function Clean -> E.kill | Amnesia -> E.kill_amnesia | Torn -> E.torn_write
 
   let set_faults eng f =
     let nem = E.netem eng in
@@ -100,7 +110,13 @@ struct
 
   let apply eng = function
     | Kill n -> E.kill eng (Proto.Node_id.of_int n)
-    | Restart n -> restart_if_down eng (Proto.Node_id.of_int n)
+    | Kill_amnesia n -> E.kill_amnesia eng (Proto.Node_id.of_int n)
+    | Torn_write n -> E.torn_write eng (Proto.Node_id.of_int n)
+    (* Chaos plans compose schedules that may race with each other (a
+       crash storm can already have revived a node a later [Restart]
+       names); the engine's restart is idempotent, so racing revivals
+       are harmless. *)
+    | Restart n -> E.restart eng (Proto.Node_id.of_int n)
     | Partition (a, b) -> cross (fun x y -> Net.Netem.cut_bidirectional (E.netem eng) x y) a b
     | Heal_partition (a, b) ->
         cross
@@ -141,10 +157,12 @@ struct
         set_faults eng (fun f -> { f with Net.Netem.corrupt_rate = rate; corrupt_flip = flip })
     | Set_reorder { rate; window } ->
         set_faults eng (fun f -> { f with Net.Netem.reorder_rate = rate; reorder_window = window })
-    | Crash_storm { victims; period; rounds } ->
+    | Crash_storm { victims; period; rounds; mode } ->
         (* Rolling outage: each round crashes a deterministic rotation
-           of [victims] nodes, lets the survivors run one period, then
-           revives the casualties before the next round hits. *)
+           of [victims] nodes (in [mode] — cleanly, with disk loss, or
+           mid-append), lets the survivors run one period, then revives
+           the casualties before the next round hits. *)
+        let crash = crash_of mode eng in
         let n = Net.Topology.size (Net.Netem.topology (E.netem eng)) in
         for r = 0 to rounds - 1 do
           let ids =
@@ -156,14 +174,14 @@ struct
               (fun i ->
                 let id = Proto.Node_id.of_int i in
                 if E.alive eng id then begin
-                  E.kill eng id;
+                  crash id;
                   Some id
                 end
                 else None)
               ids
           in
           E.run_for eng period;
-          List.iter (restart_if_down eng) killed;
+          List.iter (fun id -> E.restart eng id) killed;
           (* Reboots are scheduled events; process them before the next
              round decides who is alive. *)
           E.run_for eng 0.

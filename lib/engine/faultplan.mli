@@ -7,8 +7,17 @@
     protocols ("robustness to various deployment settings" needs the
     settings to be first-class). *)
 
+(** What happens to a crashing node's disk. [Clean] keeps it intact
+    (a durable app recovers on restart); [Amnesia] loses it entirely;
+    [Torn] truncates the WAL mid-record, as a power cut during an
+    append would. All three are identical for apps without a
+    {!Proto.Durability} hook. *)
+type crash_mode = Clean | Amnesia | Torn
+
 type event =
-  | Kill of int  (** crash the node with this id *)
+  | Kill of int  (** crash the node with this id; its disk survives *)
+  | Kill_amnesia of int  (** crash the node and wipe its disk *)
+  | Torn_write of int  (** crash the node mid-append, tearing its WAL tail *)
   | Restart of int
   | Partition of int list * int list
       (** cut every link between the two groups, both directions *)
@@ -28,11 +37,11 @@ type event =
       (** from now on, hold back each message with probability [rate]
           for up to [window] extra seconds, letting later sends
           overtake it; rate 0 turns reordering back off *)
-  | Crash_storm of { victims : int; period : float; rounds : int }
+  | Crash_storm of { victims : int; period : float; rounds : int; mode : crash_mode }
       (** [rounds] rolling rounds: crash a rotation of [victims]
-          nodes, run [period] seconds, revive them, move to the next
-          rotation. Occupies [rounds * period] seconds of the
-          schedule. *)
+          nodes (in [mode]), run [period] seconds, revive them, move
+          to the next rotation. Occupies [rounds * period] seconds of
+          the schedule. *)
 
 type t
 (** A finite schedule of timed fault events. *)
@@ -54,13 +63,15 @@ val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 
 (** Executors are engine-specific because engines are app-specific;
-    [Run] builds one from the five primitives every engine offers. *)
+    [Run] builds one from the primitives every engine offers. *)
 module Run (E : sig
   type t
 
   val now : t -> Dsim.Vtime.t
   val run_for : t -> float -> unit
   val kill : t -> Proto.Node_id.t -> unit
+  val kill_amnesia : t -> Proto.Node_id.t -> unit
+  val torn_write : t -> Proto.Node_id.t -> unit
   val restart : t -> ?after:float -> Proto.Node_id.t -> unit
   val alive : t -> Proto.Node_id.t -> bool
   val netem : t -> Net.Netem.t
@@ -70,6 +81,7 @@ end) : sig
       offset, then keeps running for [and_then] extra seconds (default
       0). Degradations are applied as link overrides relative to the
       topology's current effective paths. [Restart] events (and crash
-      storm revivals) are idempotent: a node already alive is left
-      alone, so composed schedules cannot crash the executor. *)
+      storm revivals) lean on the engine's idempotent restart: a node
+      already alive is left alone, so composed schedules cannot crash
+      the executor. *)
 end

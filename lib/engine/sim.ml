@@ -1,12 +1,16 @@
 module Make (App : Proto.App_intf.APP) = struct
   module Smap = Map.Make (String)
 
-  type node = { state : App.state; alive : bool; timer_gens : int Smap.t }
+  type node = { state : App.state; alive : bool; timer_gens : int Smap.t; incarnation : int }
 
   type ev =
     | Boot of Proto.Node_id.t
     | Deliver of { src : Proto.Node_id.t; dst : Proto.Node_id.t; msg : App.msg; sent_at : Dsim.Vtime.t }
     | Timer_fire of { node : Proto.Node_id.t; id : string; gen : int }
+    | Outbound of { node : Proto.Node_id.t; incarnation : int; actions : App.msg Proto.Action.t list }
+        (* sends withheld until the WAL record they depend on is durable
+           (write-ahead discipline); dropped if the node crashed or was
+           reborn in the interim — those messages were never sent *)
 
   type scheduled = { at : Dsim.Vtime.t; ev : ev }
 
@@ -17,9 +21,17 @@ module Make (App : Proto.App_intf.APP) = struct
     messages_filtered : int;
     messages_duplicated : int;
     messages_corrupted : int;
+    messages_reordered : int;
     decode_failures : int;
     decisions : int;
     lookahead_forks : int;
+    wal_appends : int;
+    snapshots : int;
+    recoveries : int;
+    torn_recoveries : int;
+    amnesia_wipes : int;
+    torn_writes : int;
+    store_bytes_written : int;
   }
 
   type lookahead = {
@@ -83,6 +95,13 @@ module Make (App : Proto.App_intf.APP) = struct
     kind_counts : (string, int) Hashtbl.t;
     mutable message_log : (Dsim.Vtime.t * Proto.Node_id.t * Proto.Node_id.t * string) list option;
         (* newest first when enabled; [None] = disabled (the default) *)
+    mutable log_capacity : int;  (* 0 = unbounded *)
+    mutable log_length : int;
+    mutable stores : Store.t Proto.Node_id.Map.t;
+        (* per-node durable storage, created lazily at first boot;
+           empty forever when [App.durable = None] — the zero-cost path *)
+    fsync_latency : float;
+    disk_bandwidth : float;
     mutable n_events : int;
     mutable n_delivered : int;
     mutable n_dropped : int;
@@ -92,10 +111,16 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable n_decode_failures : int;
     mutable n_decisions : int;
     mutable n_forks : int;
+    mutable n_wal_appends : int;
+    mutable n_snapshots : int;
+    mutable n_recoveries : int;
+    mutable n_torn_recoveries : int;
+    mutable n_amnesia_wipes : int;
+    mutable n_torn_writes : int;
   }
 
   let create ?(seed = 1) ?(jitter = 0.05) ?(check_properties = true) ?(trace_capacity = 100_000)
-      ~topology () =
+      ?(fsync_latency = 0.0005) ?(disk_bandwidth = 50_000_000.) ~topology () =
     let rng = Dsim.Rng.create seed in
     let netem_rng = Dsim.Rng.split rng in
     {
@@ -121,6 +146,11 @@ module Make (App : Proto.App_intf.APP) = struct
       pending_rewards = [];
       kind_counts = Hashtbl.create 16;
       message_log = None;
+      log_capacity = 0;
+      log_length = 0;
+      stores = Proto.Node_id.Map.empty;
+      fsync_latency;
+      disk_bandwidth;
       n_events = 0;
       n_delivered = 0;
       n_dropped = 0;
@@ -130,6 +160,12 @@ module Make (App : Proto.App_intf.APP) = struct
       n_decode_failures = 0;
       n_decisions = 0;
       n_forks = 0;
+      n_wal_appends = 0;
+      n_snapshots = 0;
+      n_recoveries = 0;
+      n_torn_recoveries = 0;
+      n_amnesia_wipes = 0;
+      n_torn_writes = 0;
     }
 
   let now t = t.now
@@ -147,9 +183,18 @@ module Make (App : Proto.App_intf.APP) = struct
       messages_filtered = t.n_filtered;
       messages_duplicated = t.n_duplicated;
       messages_corrupted = t.n_corrupted;
+      messages_reordered = Net.Netem.reorders t.netem;
       decode_failures = t.n_decode_failures;
       decisions = t.n_decisions;
       lookahead_forks = t.n_forks;
+      wal_appends = t.n_wal_appends;
+      snapshots = t.n_snapshots;
+      recoveries = t.n_recoveries;
+      torn_recoveries = t.n_torn_recoveries;
+      amnesia_wipes = t.n_amnesia_wipes;
+      torn_writes = t.n_torn_writes;
+      store_bytes_written =
+        Proto.Node_id.Map.fold (fun _ s acc -> acc + Store.bytes_written s) t.stores 0;
     }
 
   let set_resolver t r = t.mode <- Plain r
@@ -197,7 +242,10 @@ module Make (App : Proto.App_intf.APP) = struct
 
   let inflight t =
     List.filter_map
-      (fun s -> match s.ev with Deliver { src; dst; msg; _ } -> Some (src, dst, msg) | Boot _ | Timer_fire _ -> None)
+      (fun s ->
+        match s.ev with
+        | Deliver { src; dst; msg; _ } -> Some (src, dst, msg)
+        | Boot _ | Timer_fire _ | Outbound _ -> None)
       (Dsim.Heap.to_list t.queue)
 
   let global_view t : (App.state, App.msg) Proto.View.t =
@@ -207,9 +255,33 @@ module Make (App : Proto.App_intf.APP) = struct
 
   let delivered_of_kind t kind = Option.value ~default:0 (Hashtbl.find_opt t.kind_counts kind)
 
-  let enable_message_log t = if t.message_log = None then t.message_log <- Some []
+  let store t id = Proto.Node_id.Map.find_opt id t.stores
 
-  let message_log t = List.rev (Option.value ~default:[] t.message_log)
+  let enable_message_log ?(capacity = 0) t =
+    if capacity < 0 then invalid_arg "Sim.enable_message_log: negative capacity";
+    t.log_capacity <- capacity;
+    if t.message_log = None then t.message_log <- Some []
+
+  let take n l = List.filteri (fun i _ -> i < n) l
+
+  let message_log t =
+    match t.message_log with
+    | None -> []
+    | Some l -> List.rev (if t.log_capacity > 0 then take t.log_capacity l else l)
+
+  let log_message t ~src ~dst kind =
+    match t.message_log with
+    | None -> ()
+    | Some log ->
+        let log = (t.now, src, dst, kind) :: log in
+        t.log_length <- t.log_length + 1;
+        (* Amortised O(1) bounding: let the list run to twice the cap,
+           then chop back to the [capacity] newest entries. *)
+        if t.log_capacity > 0 && t.log_length >= 2 * t.log_capacity then begin
+          t.message_log <- Some (take t.log_capacity log);
+          t.log_length <- t.log_capacity
+        end
+        else t.message_log <- Some log
 
   let fork_with t fallback =
     {
@@ -221,6 +293,7 @@ module Make (App : Proto.App_intf.APP) = struct
       netmodel = Net.Netmodel.copy t.netmodel;
       trace = Dsim.Trace.create ~capacity:16 ();
       message_log = None;
+      stores = Proto.Node_id.Map.map Store.copy t.stores;
       mode = Plain fallback;
       speculative = true;
       reward_window = None;
@@ -257,12 +330,35 @@ module Make (App : Proto.App_intf.APP) = struct
         Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a killed"
           Proto.Node_id.pp id
 
+  let kill_amnesia t id =
+    (match Proto.Node_id.Map.find_opt id t.stores with
+    | Some s ->
+        Store.wipe s;
+        t.n_amnesia_wipes <- t.n_amnesia_wipes + 1;
+        Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"store" "%a disk wiped"
+          Proto.Node_id.pp id
+    | None -> ());
+    kill t id
+
+  let torn_write t id =
+    (match Proto.Node_id.Map.find_opt id t.stores with
+    | Some s ->
+        if Store.tear s ~rng:t.rng then begin
+          t.n_torn_writes <- t.n_torn_writes + 1;
+          Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"store" "%a WAL tail torn"
+            Proto.Node_id.pp id
+        end
+    | None -> ());
+    kill t id
+
+  (* Idempotent: restarting a live node is a no-op, and a stale Boot
+     that fires after something else already revived the node is
+     ignored (see the Boot branch of [process_scheduled]). *)
   let restart t ?(after = 0.) id =
-    (match Proto.Node_id.Map.find_opt id t.nodes with
-    | Some n when n.alive -> invalid_arg "Sim.restart: node is alive"
-    | Some _ | None -> ());
     check_endpoint t id;
-    schedule t ~after (Boot id)
+    match Proto.Node_id.Map.find_opt id t.nodes with
+    | Some n when n.alive -> ()
+    | Some _ | None -> schedule t ~after (Boot id)
 
   (* Garbles a wire encoding: each byte has one bit flipped with
      probability [flip]; if the dice spare every byte, one byte is
@@ -474,11 +570,117 @@ module Make (App : Proto.App_intf.APP) = struct
               Proto.Node_id.pp node s)
       actions
 
+  (* Send actions that must wait for a durable write leave through a
+     deferred [Outbound] event; everything else (timers, notes) is
+     internal to the node and applies immediately. [delay = 0] is the
+     fast path — no event, no reordering, bit-identical to a world
+     without the persistence layer. *)
+  and defer_sends t node ~delay actions =
+    if delay <= 0. then perform_action t node actions
+    else begin
+      let sends, internal =
+        List.partition (function Proto.Action.Send _ -> true | _ -> false) actions
+      in
+      perform_action t node internal;
+      match sends with
+      | [] -> ()
+      | _ ->
+          let incarnation = (Proto.Node_id.Map.find node t.nodes).incarnation in
+          schedule t ~after:delay (Outbound { node; incarnation; actions = sends })
+    end
+
+  and store_of t node =
+    match Proto.Node_id.Map.find_opt node t.stores with
+    | Some s -> s
+    | None ->
+        let s = Store.create ~fsync_latency:t.fsync_latency ~bandwidth:t.disk_bandwidth () in
+        t.stores <- Proto.Node_id.Map.add node s t.stores;
+        s
+
+  (* Write-ahead step for one transition: ask the app what (if
+     anything) this transition must persist, append it, and return the
+     disk's completion delay so the caller can withhold the sends. *)
+  and persist t node ~prev ~next (d : (App.state, App.msg) Proto.Durability.t) =
+    match d.log ~prev ~next with
+    | None -> 0.
+    | Some record ->
+        let store = store_of t node in
+        let now = Dsim.Vtime.to_seconds t.now in
+        let delay = Store.append store ~now record in
+        t.n_wal_appends <- t.n_wal_appends + 1;
+        if Store.wal_entries store >= d.snapshot_every then begin
+          (* Compaction queues behind the append on the same disk, so
+             its completion delay subsumes the append's. *)
+          let delay' =
+            Store.install_snapshot store ~now (Wire.Codec.encode d.codec next)
+          in
+          t.n_snapshots <- t.n_snapshots + 1;
+          Float.max delay delay'
+        end
+        else delay
+
   and apply_handler_result t node (state, actions) =
-    (match Proto.Node_id.Map.find_opt node t.nodes with
-    | Some n -> t.nodes <- Proto.Node_id.Map.add node { n with state } t.nodes
-    | None -> ());
-    perform_action t node actions
+    match Proto.Node_id.Map.find_opt node t.nodes with
+    | None -> perform_action t node actions
+    | Some n ->
+        let delay =
+          match App.durable with
+          | None -> 0.
+          | Some d -> persist t node ~prev:n.state ~next:state d
+        in
+        t.nodes <- Proto.Node_id.Map.add node { n with state } t.nodes;
+        defer_sends t node ~delay actions
+
+  (* Recovery (never raises — see {!Proto.Durability}): decode the
+     snapshot, fold every complete WAL record through [replay]
+     (stopping at the first failure), merge into the boot state, and
+     compact the result into a fresh snapshot. An empty store seeds an
+     initial snapshot; an unreadable one degrades to amnesia. *)
+  and recover t id (d : (App.state, App.msg) Proto.Durability.t) boot =
+    let store = store_of t id in
+    let now = Dsim.Vtime.to_seconds t.now in
+    let seed_snapshot st =
+      let delay = Store.install_snapshot store ~now (Wire.Codec.encode d.codec st) in
+      t.n_snapshots <- t.n_snapshots + 1;
+      delay
+    in
+    if Store.is_empty store then (boot, seed_snapshot boot)
+    else begin
+      let { Store.snapshot; entries; torn } = Store.read store in
+      if torn then begin
+        t.n_torn_recoveries <- t.n_torn_recoveries + 1;
+        Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"store"
+          "%a recovery dropped a torn WAL tail" Proto.Node_id.pp id
+      end;
+      let durable =
+        match snapshot with
+        | None -> None
+        | Some s -> (
+            match Wire.Codec.decode d.codec s with
+            | Ok st ->
+                let rec fold st = function
+                  | [] -> st
+                  | r :: rest -> (
+                      match d.replay st r with
+                      | Ok st' -> fold st' rest
+                      | Error _ | (exception _) -> st)
+                in
+                Some (fold st entries)
+            | Error _ | (exception _) -> None)
+      in
+      match durable with
+      | None ->
+          (* Snapshot unreadable: the disk is worthless, fall back to
+             amnesia rather than poison the application. *)
+          Store.wipe store;
+          (boot, seed_snapshot boot)
+      | Some durable ->
+          let state = d.restore ~boot ~durable in
+          t.n_recoveries <- t.n_recoveries + 1;
+          Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"store"
+            "%a recovered (%d WAL records)" Proto.Node_id.pp id (List.length entries);
+          (state, seed_snapshot state)
+    end
 
   (* ---------- event processing ---------- *)
 
@@ -491,22 +693,34 @@ module Make (App : Proto.App_intf.APP) = struct
     let saved_processing = t.processing in
     t.processing <- Some sched;
     (match sched.ev with
-    | Boot id ->
-        let ctx = make_ctx t id in
-        let state, actions = App.init ctx in
-        (* Bump every inherited timer generation so timers armed by a
-           previous incarnation of this node can no longer fire, while
-           generations the new incarnation hands out stay distinct from
-           the old ones. *)
-        let timer_gens =
-          match Proto.Node_id.Map.find_opt id t.nodes with
-          | Some prev -> Smap.map (fun g -> g + 1) prev.timer_gens
-          | None -> Smap.empty
-        in
-        t.nodes <- Proto.Node_id.Map.add id { state; alive = true; timer_gens } t.nodes;
-        perform_action t id actions;
-        Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a booted"
-          Proto.Node_id.pp id
+    | Boot id -> (
+        match Proto.Node_id.Map.find_opt id t.nodes with
+        | Some n when n.alive ->
+            (* A stale Boot — something else already revived the node
+               since this restart was scheduled. Idempotence says the
+               later revival is a no-op. *)
+            Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"engine"
+              "%a already alive, ignoring boot" Proto.Node_id.pp id
+        | prev ->
+            let ctx = make_ctx t id in
+            let boot, actions = App.init ctx in
+            (* Bump every inherited timer generation so timers armed by a
+               previous incarnation of this node can no longer fire, while
+               generations the new incarnation hands out stay distinct from
+               the old ones. *)
+            let timer_gens =
+              match prev with
+              | Some p -> Smap.map (fun g -> g + 1) p.timer_gens
+              | None -> Smap.empty
+            in
+            let incarnation = match prev with Some p -> p.incarnation + 1 | None -> 0 in
+            let state, delay =
+              match App.durable with None -> (boot, 0.) | Some d -> recover t id d boot
+            in
+            t.nodes <- Proto.Node_id.Map.add id { state; alive = true; timer_gens; incarnation } t.nodes;
+            defer_sends t id ~delay actions;
+            Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a booted"
+              Proto.Node_id.pp id)
     | Deliver { src; dst; msg; sent_at } -> (
         match Proto.Node_id.Map.find_opt dst t.nodes with
         | Some n when n.alive ->
@@ -526,9 +740,7 @@ module Make (App : Proto.App_intf.APP) = struct
                   (float_of_int (App.msg_bytes msg) /. latency);
               t.n_delivered <- t.n_delivered + 1;
               Hashtbl.replace t.kind_counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt t.kind_counts kind));
-              (match t.message_log with
-              | Some log -> t.message_log <- Some ((t.now, src, dst, kind) :: log)
-              | None -> ());
+              log_message t ~src ~dst kind;
               let applicable = Proto.Handler.applicable App.receive n.state ~src msg in
               match applicable with
               | [] ->
@@ -558,7 +770,14 @@ module Make (App : Proto.App_intf.APP) = struct
         | Some n when n.alive && Smap.find_opt id n.timer_gens = Some gen ->
             let ctx = make_ctx t node in
             apply_handler_result t node (App.on_timer ctx n.state id)
-        | Some _ | None -> ()));
+        | Some _ | None -> ())
+    | Outbound { node; incarnation; actions } -> (
+        match Proto.Node_id.Map.find_opt node t.nodes with
+        | Some n when n.alive && n.incarnation = incarnation -> perform_action t node actions
+        | Some _ | None ->
+            (* The node crashed (or was reborn) before its write
+               completed: the withheld messages were never sent. *)
+            ()));
     t.processing <- saved_processing;
     t.event_decisions <- saved_decisions;
     if t.check_properties then begin

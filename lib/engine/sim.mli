@@ -23,12 +23,22 @@ module Make (App : Proto.App_intf.APP) : sig
     messages_filtered : int;  (** dropped by steering event filters *)
     messages_duplicated : int;  (** ghost copies injected by the fault layer *)
     messages_corrupted : int;  (** messages garbled by the fault layer *)
+    messages_reordered : int;
+        (** messages held back by the reorder fault (they still arrive,
+            late — this counter is the only witness) *)
     decode_failures : int;
         (** corrupted messages whose wire form no longer decoded; a
             subset of [messages_corrupted] (the rest were caught by the
             modelled transport checksum), all surfaced as drops *)
     decisions : int;  (** choice points resolved *)
     lookahead_forks : int;  (** speculative branches simulated *)
+    wal_appends : int;  (** write-ahead records made durable *)
+    snapshots : int;  (** snapshot compactions (including boot seeds) *)
+    recoveries : int;  (** boots that restored state from a disk *)
+    torn_recoveries : int;  (** recoveries that dropped a torn WAL tail *)
+    amnesia_wipes : int;  (** {!kill_amnesia} crashes that erased a disk *)
+    torn_writes : int;  (** {!torn_write} crashes that truncated a WAL *)
+    store_bytes_written : int;  (** total bytes charged to all disks *)
   }
 
   (** Configuration of the predictive lookahead (paper §3.4): for each
@@ -59,12 +69,16 @@ module Make (App : Proto.App_intf.APP) : sig
     ?jitter:float ->
     ?check_properties:bool ->
     ?trace_capacity:int ->
+    ?fsync_latency:float ->
+    ?disk_bandwidth:float ->
     topology:Net.Topology.t ->
     unit ->
     t
   (** [jitter] is forwarded to {!Net.Netem.create}; [check_properties]
       (default true) evaluates the app's safety properties after every
-      event. *)
+      event. [fsync_latency] (default 0.5 ms) and [disk_bandwidth]
+      (default 50 MB/s) parameterise the per-node disks backing
+      {!Proto.Durability} — irrelevant when [App.durable = None]. *)
 
   (** {1 Choice policy} *)
 
@@ -101,11 +115,27 @@ module Make (App : Proto.App_intf.APP) : sig
       the node already exists. *)
 
   val kill : t -> Proto.Node_id.t -> unit
-  (** Immediate crash: pending timers die, queued messages to the node
-      will be dropped on arrival. Unknown ids are ignored. *)
+  (** Immediate clean crash: pending timers die, queued messages to the
+      node will be dropped on arrival. The node's disk survives intact,
+      so a durable app recovers on restart. Unknown ids are ignored. *)
+
+  val kill_amnesia : t -> Proto.Node_id.t -> unit
+  (** Crash that also loses the disk: the node's store is wiped before
+      the kill, so the next boot starts from [App.init] alone — the
+      failure mode durable protocols must {e not} be asked to survive,
+      kept here to demonstrate what durability buys. *)
+
+  val torn_write : t -> Proto.Node_id.t -> unit
+  (** Crash mid-append: the raw WAL is truncated at a random point
+      inside its last record, then the node is killed. Recovery detects
+      the torn tail by checksum, drops it, and resumes from the last
+      complete record ([stats.torn_recoveries] counts this). *)
 
   val restart : t -> ?after:float -> Proto.Node_id.t -> unit
-  (** Reboots a dead node with a fresh [App.init] state. *)
+  (** Reboots a dead node: [App.init] runs, then (for durable apps) the
+      recovery contract of {!Proto.Durability} merges what the disk
+      remembers. Idempotent — restarting a live node, or racing two
+      restarts of the same node, is a no-op. *)
 
   val inject : t -> ?after:float -> src:Proto.Node_id.t -> dst:Proto.Node_id.t -> App.msg -> unit
   (** Feeds an external message into the system through the emulator —
@@ -135,14 +165,22 @@ module Make (App : Proto.App_intf.APP) : sig
       [App.msg_kind] have been delivered so far. *)
   val delivered_of_kind : t -> string -> int
 
-  val enable_message_log : t -> unit
+  val enable_message_log : ?capacity:int -> t -> unit
   (** Starts recording every delivery as (time, src, dst, kind) — feed
       the result to {!Metrics.Seqdiag.render} for a sequence diagram.
-      Off by default (it retains one entry per delivery); forks never
-      log. *)
+      Off by default. [capacity] bounds retention to the newest entries
+      (default 0 = unbounded); long soaks should set it so the log
+      cannot grow without bound. Forks never log.
+      @raise Invalid_argument on a negative capacity. *)
 
-  (** Recorded deliveries, oldest first; empty when logging is off. *)
+  (** Recorded deliveries, oldest first (at most [capacity] of them
+      when a bound is set); empty when logging is off. *)
   val message_log : t -> (Dsim.Vtime.t * Proto.Node_id.t * Proto.Node_id.t * string) list
+
+  (** The node's simulated disk, for inspection — [None] until a
+      durable app first boots there. *)
+  val store : t -> Proto.Node_id.t -> Store.t option
+
   val trace : t -> Dsim.Trace.t
   val netem : t -> Net.Netem.t
   val netmodel : t -> Net.Netmodel.t

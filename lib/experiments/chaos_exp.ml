@@ -19,6 +19,7 @@ type report = {
   dropped : int;
   duplicated : int;
   corrupted : int;
+  reordered : int;
   decode_failures : int;
   elapsed : float;
 }
@@ -76,6 +77,7 @@ let soak_paxos ?(profile = paxos_profile) seed =
     dropped = s.Paxos_soak.E.messages_dropped;
     duplicated = s.Paxos_soak.E.messages_duplicated;
     corrupted = s.Paxos_soak.E.messages_corrupted;
+    reordered = s.Paxos_soak.E.messages_reordered;
     decode_failures = s.Paxos_soak.E.decode_failures;
     elapsed = o.Paxos_soak.elapsed;
   }
@@ -86,11 +88,12 @@ module Kv_app = Apps.Kvstore.Default
 module Kv_soak = Engine.Chaos.Soak (Kv_app)
 
 let kvstore_profile =
-  (* No crashes: a replica revived with an empty log legitimately
-     re-serves early sequence numbers, which is exactly the staleness
-     the monotonic-reads property exists to flag. The channel faults
-     and partitions stay. *)
-  { Engine.Chaos.default_profile with crashes = 0; protect = [ 0 ] }
+  (* Clean crashes are survivable now that the store is durable: a
+     revived replica recovers its applied log from disk instead of
+     re-serving early sequence numbers (the staleness monotonic-reads
+     exists to flag). The primary stays protected — its in-flight
+     sequencing window is still the system's only copy. *)
+  { Engine.Chaos.default_profile with crashes = 2; protect = [ 0 ] }
 
 let soak_kvstore ?(profile = kvstore_profile) seed =
   let n = Apps.Kvstore.Default_params.population in
@@ -127,6 +130,7 @@ let soak_kvstore ?(profile = kvstore_profile) seed =
     dropped = s.Kv_soak.E.messages_dropped;
     duplicated = s.Kv_soak.E.messages_duplicated;
     corrupted = s.Kv_soak.E.messages_corrupted;
+    reordered = s.Kv_soak.E.messages_reordered;
     decode_failures = s.Kv_soak.E.decode_failures;
     elapsed = o.Kv_soak.elapsed;
   }
@@ -178,6 +182,7 @@ let soak_gossip ?(profile = gossip_profile) seed =
     dropped = s.Gossip_soak.E.messages_dropped;
     duplicated = s.Gossip_soak.E.messages_duplicated;
     corrupted = s.Gossip_soak.E.messages_corrupted;
+    reordered = s.Gossip_soak.E.messages_reordered;
     decode_failures = s.Gossip_soak.E.decode_failures;
     elapsed = o.Gossip_soak.elapsed;
   }
@@ -225,6 +230,7 @@ let soak_dht ?(profile = dht_profile) seed =
     dropped = s.Dht_soak.E.messages_dropped;
     duplicated = s.Dht_soak.E.messages_duplicated;
     corrupted = s.Dht_soak.E.messages_corrupted;
+    reordered = s.Dht_soak.E.messages_reordered;
     decode_failures = s.Dht_soak.E.decode_failures;
     elapsed = o.Dht_soak.elapsed;
   }
@@ -270,6 +276,7 @@ let soak_randtree ?(profile = randtree_profile) seed =
     dropped = s.Tree_soak.E.messages_dropped;
     duplicated = s.Tree_soak.E.messages_duplicated;
     corrupted = s.Tree_soak.E.messages_corrupted;
+    reordered = s.Tree_soak.E.messages_reordered;
     decode_failures = s.Tree_soak.E.decode_failures;
     elapsed = o.Tree_soak.elapsed;
   }

@@ -46,6 +46,7 @@ type t = {
   downlink_free : (int, float) Hashtbl.t;
   mutable faults : faults;  (* default for every pair *)
   pair_faults : (int * int, faults) Hashtbl.t;  (* directed-pair overrides *)
+  mutable reorders : int;  (* messages held back by the reorder fault *)
 }
 
 let create ?(jitter = 0.05) ?(serialize_access = true) ~rng topo =
@@ -61,6 +62,7 @@ let create ?(jitter = 0.05) ?(serialize_access = true) ~rng topo =
     downlink_free = Hashtbl.create 64;
     faults = no_faults;
     pair_faults = Hashtbl.create 16;
+    reorders = 0;
   }
 
 let topology t = t.topo
@@ -76,6 +78,7 @@ let copy t =
     pair_faults = Hashtbl.copy t.pair_faults;
   }
 
+let reorders t = t.reorders
 let global_faults t = t.faults
 
 let set_faults t f =
@@ -134,11 +137,13 @@ let judge t ~now ~src ~dst ~bytes =
        experiments stay bit-identical unless faults are switched on. *)
     let f = faults_of t ~src ~dst in
     let delay =
-      if f.reorder_rate > 0. && Dsim.Rng.uniform t.rng < f.reorder_rate then
+      if f.reorder_rate > 0. && Dsim.Rng.uniform t.rng < f.reorder_rate then begin
         (* Held back by up to a full window — enough to overtake any
            number of later sends, inverting order beyond what
            multiplicative jitter can produce. *)
+        t.reorders <- t.reorders + 1;
         delay +. Dsim.Rng.float t.rng f.reorder_window
+      end
       else delay
     in
     if f.corrupt_rate > 0. && Dsim.Rng.uniform t.rng < f.corrupt_rate then

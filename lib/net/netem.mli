@@ -81,6 +81,12 @@ val clear_pair_faults : t -> src:int -> dst:int -> unit
 val faults_of : t -> src:int -> dst:int -> faults
 (** Effective fault profile for the directed pair. *)
 
+val reorders : t -> int
+(** How many messages the reorder fault has held back so far. The
+    verdict for a held-back message is still [Deliver] (with the
+    inflated delay), so this counter is the only witness that the
+    fault fired — the engine surfaces it as [stats.messages_reordered]. *)
+
 val set_override : t -> src:int -> dst:int -> Linkprop.t -> unit
 (** Pins the directed pair to an explicit property. *)
 

@@ -35,6 +35,12 @@ module type APP = sig
       genuinely garbled inputs. [None] opts out: corrupted messages
       are then dropped without a decode attempt. *)
 
+  val durable : (state, msg) Durability.t option
+  (** What this protocol must persist to survive a crash, and how to
+      recover it (see {!Durability}). [None] means total amnesia on
+      restart — the engine then reboots the node through [init] alone,
+      exactly as before the persistence layer existed, at zero cost. *)
+
   val init : Ctx.t -> state * msg Action.t list
   (** Boot: runs once when the node joins the system. *)
 

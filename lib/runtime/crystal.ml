@@ -64,6 +64,14 @@ module Make (App : Proto.App_intf.APP) = struct
 
   let attach ?(config = Config.default) ?codec ~neighbors eng =
     let cfg = Config.validate config in
+    (* One codec path for both byte-accounting consumers: an app that
+       declared how its state persists (App.durable) gets checkpoint
+       traffic charged with that same codec unless the caller overrides. *)
+    let codec =
+      match codec with
+      | Some _ -> codec
+      | None -> Option.map (fun (d : _ Proto.Durability.t) -> d.codec) App.durable
+    in
     let t =
       {
         cfg;

@@ -43,7 +43,9 @@ module Make (App : Proto.App_intf.APP) : sig
       collection serializes each node's state and charges
       [size * |neighbors|] bytes of control traffic to that node's
       access links, so checkpointing contends with the application
-      (paper §3.3.2). *)
+      (paper §3.3.2). When omitted, the codec of the app's
+      {!Proto.Durability} hook (if any) is used, so durability and
+      checkpointing share one serialization path. *)
 
   val engine : t -> E.t
 

@@ -44,6 +44,15 @@ let test_decode_failures_exercised () =
   in
   checkb "decode failures are a subset of corruptions" true (total <= corrupted)
 
+(* The reorder fault must genuinely shuffle deliveries: across the
+   soaks (every profile schedules reorder windows), some message
+   overtakes another and the engine counts it. *)
+let test_reordering_exercised () =
+  let total =
+    List.fold_left (fun acc (r : X.report) -> acc + r.X.reordered) 0 (Lazy.force reports)
+  in
+  checkb "some message was reordered" true (total > 0)
+
 (* ---------- determinism ---------- *)
 
 let test_generate_deterministic () =
@@ -99,6 +108,7 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "decode failures exercised" `Slow test_decode_failures_exercised;
+          Alcotest.test_case "reordering exercised" `Slow test_reordering_exercised;
         ] );
       ( "determinism",
         [

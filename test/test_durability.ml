@@ -1,0 +1,191 @@
+(* Crash-recovery semantics end to end: durable paxos keeps agreement
+   through crash storms that amnesiac paxos provably cannot; torn
+   writes recover without raising; durability is deterministic and
+   zero-cost for apps that don't opt in. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let nid = Proto.Node_id.of_int
+
+(* A small consensus group keeps the quorum-intersection argument
+   sharp: majority is 2 of 3, so one amnesiac acceptor plus the reborn
+   proposer can outvote the survivor's memory. *)
+module P = Apps.Paxos.Make (struct
+  let population = 3
+  let client_period = 0.5
+  let retry_timeout = 1.5
+end)
+
+module E = Engine.Sim.Make (P)
+module F = Engine.Faultplan
+module Run = F.Run (E)
+
+let topology =
+  Net.Topology.uniform ~n:3 (Net.Linkprop.v ~latency:0.02 ~bandwidth:1_000_000. ~loss:0.)
+
+(* Decide some instances, then crash nodes 0 and 1 in turn (in [mode])
+   and let the group settle. Node 2 is never crashed: it survives as a
+   witness of every pre-storm decision, so an amnesiac rebirth that
+   re-decides an old instance disagrees with a *live* replica. Same
+   seed + same mode = same run. *)
+let storm ~mode ~seed =
+  let eng = E.create ~seed ~topology () in
+  E.set_resolver eng Apps.Paxos.self_resolver;
+  for i = 0 to 2 do
+    E.spawn eng (nid i)
+  done;
+  E.run_for eng 2.0;
+  Run.execute ~and_then:4.0 eng
+    (F.plan [ (0., F.Crash_storm { victims = 1; period = 2.0; rounds = 2; mode }) ]);
+  eng
+
+let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+
+(* The headline: with intact disks, every crash in the storm is
+   survivable — promises, accepted values and the instance counter come
+   back, so agreement holds on every seed. *)
+let test_durable_agreement_holds () =
+  List.iter
+    (fun seed ->
+      let eng = storm ~mode:F.Clean ~seed in
+      checki (Printf.sprintf "clean storm keeps agreement (seed %d)" seed) 0
+        (List.length (E.violations eng));
+      let s = E.stats eng in
+      checkb (Printf.sprintf "recoveries happened (seed %d)" seed) true (s.E.recoveries > 0);
+      checkb (Printf.sprintf "wal written (seed %d)" seed) true (s.E.wal_appends > 0))
+    seeds
+
+(* The counterfactual on the same seeds: wipe the disks at each crash
+   and the reborn proposer reuses instances its previous life already
+   decided — somewhere across these storms two replicas must decide
+   differently. This is the forgotten-promise violation durable state
+   exists to prevent. *)
+let test_amnesia_violates_agreement () =
+  let violated =
+    List.exists (fun seed -> E.violations (storm ~mode:F.Amnesia ~seed) <> []) seeds
+  in
+  checkb "some amnesia storm violates agreement" true violated;
+  (* And the wipes really happened — the engine counted them. *)
+  let s = E.stats (storm ~mode:F.Amnesia ~seed:1) in
+  checkb "amnesia wipes counted" true (s.E.amnesia_wipes > 0)
+
+(* Torn writes: every crash truncates the WAL mid-record. Recovery must
+   never raise — the checksum detects the torn tail, drops it, and the
+   node resumes from a valid (possibly older) state. *)
+let test_torn_write_recovery_never_raises () =
+  let torn_seen = ref false and recovered_seen = ref false in
+  List.iter
+    (fun seed ->
+      let eng = storm ~mode:F.Torn ~seed in
+      let s = E.stats eng in
+      if s.E.torn_writes > 0 then torn_seen := true;
+      if s.E.torn_recoveries > 0 then recovered_seen := true;
+      (* The state every node resumed with is a real paxos state. *)
+      List.iter
+        (fun (_, st) -> ignore (Apps.Paxos.Int_map.cardinal (P.decided st)))
+        (E.live_nodes eng))
+    seeds;
+  checkb "some WAL actually tore" true !torn_seen;
+  checkb "torn tails were detected and dropped" true !recovered_seen
+
+(* Bit-determinism with durability in the loop: same seed, same plan,
+   same everything out. *)
+let test_deterministic () =
+  let observe () =
+    let eng = storm ~mode:F.Amnesia ~seed:5 in
+    ( E.stats eng,
+      E.violations eng,
+      List.map
+        (fun (id, st) -> (Proto.Node_id.to_int id, Apps.Paxos.Int_map.bindings (P.decided st)))
+        (E.live_nodes eng) )
+  in
+  checkb "identical runs" true (observe () = observe ())
+
+(* Zero-cost opt-out: an app without a durability hook creates no
+   store, writes no bytes, defers no sends — even across crashes. *)
+module L = Test_support.Lock_app
+module EL = Engine.Sim.Make (L)
+
+let test_zero_cost_without_hook () =
+  let topo = Net.Topology.uniform ~n:2 (Net.Linkprop.v ~latency:0.01 ~bandwidth:1e6 ~loss:0.) in
+  let eng = EL.create ~seed:3 ~topology:topo () in
+  EL.spawn eng (nid 0);
+  EL.spawn eng (nid 1);
+  EL.run_for eng 1.;
+  EL.kill eng (nid 0);
+  EL.restart eng (nid 0);
+  EL.kill_amnesia eng (nid 1);
+  EL.restart eng (nid 1);
+  EL.run_for eng 1.;
+  let s = EL.stats eng in
+  checki "no wal appends" 0 s.EL.wal_appends;
+  checki "no snapshots" 0 s.EL.snapshots;
+  checki "no bytes written" 0 s.EL.store_bytes_written;
+  checkb "no store materialized" true (EL.store eng (nid 0) = None)
+
+(* Dissem rides the same hook with its checkpoint codec: a cleanly
+   crashed peer comes back owning the blocks it had already fetched. *)
+module D = Apps.Dissem.Make (struct
+  let population = 6
+  let blocks = 16
+  let block_bytes = 1024
+  let degree = 3
+  let tick_period = 0.2
+  let request_timeout = 3.0
+  let candidate_cap = 8
+end)
+
+module ED = Engine.Sim.Make (D)
+
+let test_dissem_keeps_blocks () =
+  let topo =
+    Net.Topology.uniform ~n:6 (Net.Linkprop.v ~latency:0.02 ~bandwidth:500_000. ~loss:0.)
+  in
+  let eng = ED.create ~seed:2 ~topology:topo () in
+  ED.set_resolver eng Core.Resolver.random;
+  for i = 0 to 5 do
+    ED.spawn eng (nid i)
+  done;
+  ED.run_for eng 4.;
+  let before =
+    match ED.state_of eng (nid 3) with
+    | Some st -> Apps.Dissem.Int_set.cardinal (D.have st)
+    | None -> 0
+  in
+  checkb "peer fetched something before the crash" true (before > 0);
+  ED.kill eng (nid 3);
+  ED.restart eng (nid 3);
+  ED.run_for eng 0.01;
+  let after =
+    match ED.state_of eng (nid 3) with
+    | Some st -> Apps.Dissem.Int_set.cardinal (D.have st)
+    | None -> 0
+  in
+  checkb "blocks survived the crash" true (after >= before);
+  (* The amnesiac variant really loses them — the hook is load-bearing. *)
+  ED.kill_amnesia eng (nid 3);
+  ED.restart eng (nid 3);
+  ED.run_for eng 0.01;
+  let wiped =
+    match ED.state_of eng (nid 3) with
+    | Some st -> Apps.Dissem.Int_set.cardinal (D.have st)
+    | None -> max_int
+  in
+  checki "amnesia restarts empty" 0 wiped
+
+let () =
+  Alcotest.run "durability"
+    [
+      ( "paxos crash storms",
+        [
+          Alcotest.test_case "durable agreement holds" `Quick test_durable_agreement_holds;
+          Alcotest.test_case "amnesia violates agreement" `Quick test_amnesia_violates_agreement;
+          Alcotest.test_case "torn-write recovery" `Quick test_torn_write_recovery_never_raises;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "opt-in boundary",
+        [
+          Alcotest.test_case "zero-cost without hook" `Quick test_zero_cost_without_hook;
+          Alcotest.test_case "dissem keeps blocks" `Quick test_dissem_keeps_blocks;
+        ] );
+    ]

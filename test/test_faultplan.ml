@@ -62,9 +62,9 @@ let validation_cases =
     invalid "negative reorder window" "Faultplan.plan: negative reorder window" (fun () ->
         [ (0., F.Set_reorder { rate = 0.5; window = -1. }) ]);
     invalid "empty crash storm" "Faultplan.plan: empty crash storm" (fun () ->
-        [ (0., F.Crash_storm { victims = 0; period = 1.; rounds = 2 }) ]);
+        [ (0., F.Crash_storm { victims = 0; period = 1.; rounds = 2; mode = F.Clean }) ]);
     invalid "zero-period crash storm" "Faultplan.plan: non-positive storm period" (fun () ->
-        [ (0., F.Crash_storm { victims = 1; period = 0.; rounds = 2 }) ]);
+        [ (0., F.Crash_storm { victims = 1; period = 0.; rounds = 2; mode = F.Clean }) ]);
   ]
 
 let test_valid_plan_accepted () =
@@ -73,7 +73,7 @@ let test_valid_plan_accepted () =
       [
         (0., F.Set_duplicate { rate = 0.1; copies = 2 });
         (0., F.Set_corrupt { rate = 0.; flip = 0. });
-        (1., F.Crash_storm { victims = 1; period = 0.5; rounds = 2 });
+        (1., F.Crash_storm { victims = 1; period = 0.5; rounds = 2; mode = F.Clean });
       ]
   in
   checki "kept all events" 3 (List.length (F.events p))
@@ -142,7 +142,7 @@ let test_set_faults_events () =
 let test_crash_storm_revives_everyone () =
   let eng = make () in
   let before = Dsim.Vtime.to_seconds (E.now eng) in
-  Run.execute eng (F.plan [ (0., F.Crash_storm { victims = 2; period = 0.4; rounds = 3 }) ]);
+  Run.execute eng (F.plan [ (0., F.Crash_storm { victims = 2; period = 0.4; rounds = 3; mode = F.Clean }) ]);
   for i = 0 to 3 do
     checkb (Printf.sprintf "node %d alive after storm" i) true (E.alive eng (nid i))
   done;
