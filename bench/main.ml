@@ -7,6 +7,10 @@
 
 let fast = Array.exists (String.equal "--fast") Sys.argv
 
+(* Run only the exploration-engine section (and emit BENCH_explorer.json)
+   without regenerating every experiment table. *)
+let explorer_only = Array.exists (String.equal "--explorer-only") Sys.argv
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -582,10 +586,298 @@ let micro () =
         (ns_per_run t))
     tests
 
+(* ------------------------------------------------------------------ *)
+(* EX: the exploration engine                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Worlds/second of consequence prediction: the retired digest engine
+   (kept as Mc.Explorer_ref, the differential-test oracle) against the
+   fingerprinted worklist engine, on snapshots frozen out of live paxos
+   and randtree runs at the steering defaults (depth 3, max_worlds
+   5000). Also times a full steering round (base explore plus one
+   re-explore per candidate veto) both cold and with the runtime's
+   persistent transposition cache. Results go to stdout and to
+   BENCH_explorer.json in the working directory. *)
+
+type ex_measure = {
+  worlds_per_run : int;
+  ms_per_run : float;
+  worlds_per_sec : float;
+}
+
+type ex_row = {
+  scenario : string;
+  ex_depth : int;
+  ex_max_worlds : int;
+  ex_drops : bool;
+  before : ex_measure;
+  after : ex_measure;
+  after_par : ex_measure;
+  par_domains : int;
+  steer_before_ms : float;
+  steer_after_ms : float;
+  steer_warm_ms : float;
+  deduped : int;
+  cached_warm : int;
+  collisions : int;
+}
+
+module Ex_bench (App : Proto.App_intf.APP) = struct
+  module Ex = Mc.Explorer.Make (App)
+  module Ref = Mc.Explorer_ref.Make (App)
+  module St = Mc.Steering.Make (App)
+
+  let ref_world_of (w : Ex.world) : Ref.world =
+    { Ref.states = w.states; pending = w.pending; timers = w.timers }
+
+  (* Repeat [f] until [min_time] wall seconds elapse (after one warm-up
+     run); milliseconds per run. *)
+  let time_ms ~min_time f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    let runs = ref 0 in
+    let elapsed = ref 0. in
+    while !elapsed < min_time do
+      ignore (f ());
+      incr runs;
+      elapsed := Unix.gettimeofday () -. t0
+    done;
+    !elapsed *. 1000. /. float_of_int !runs
+
+  (* The steering decision procedure run verbatim over the reference
+     explorer: base explore, then one re-explore per candidate veto —
+     what a pre-rewrite steering round cost. *)
+  let ref_steer_round ?include_drops ~max_worlds ~depth (w : Ref.world) =
+    let explore w = Ref.explore ?include_drops ~max_worlds ~depth w in
+    let pset (r : Ref.result) =
+      List.sort_uniq String.compare
+        (List.map (fun (v : Ref.violation) -> v.property) r.violations)
+    in
+    let base = explore w in
+    match base.Ref.violations with
+    | [] -> ()
+    | _ :: _ ->
+        let doomed = pset base in
+        let candidates =
+          List.filter_map
+            (function
+              | Ref.Deliver_step { src; dst; kind } -> Some (src, dst, kind)
+              | Ref.Drop_step _ | Ref.Timer_step _ | Ref.Generic_step _ -> None)
+            (Ref.first_steps_to_violation base)
+        in
+        List.iter
+          (fun (src, dst, kind) ->
+            let dropped = ref false in
+            let steered =
+              {
+                w with
+                Ref.pending =
+                  List.filter
+                    (fun (s, d, m) ->
+                      let matches =
+                        (not !dropped)
+                        && Proto.Node_id.equal s src && Proto.Node_id.equal d dst
+                        && String.equal (App.msg_kind m) kind
+                      in
+                      if matches then dropped := true;
+                      not matches)
+                    w.Ref.pending;
+              }
+            in
+            ignore (List.for_all (fun p -> List.mem p doomed) (pset (explore steered))))
+          candidates
+
+  let run ~scenario ?(include_drops = false) ~depth ~max_worlds (w : Ex.world) =
+    let min_time = if fast then 0.2 else 1.0 in
+    let refw = ref_world_of w in
+    (* Worlds-per-run may legitimately differ between engines in drop
+       mode (the worklist search covers length-divergent paths the
+       bounded DFS pruned; see DESIGN.md), so each engine's throughput
+       is computed against its own count. *)
+    let r_old = Ref.explore ~include_drops ~max_worlds ~depth refw in
+    let r_new = Ex.explore ~include_drops ~max_worlds ~depth w in
+    let measure worlds ms =
+      { worlds_per_run = worlds; ms_per_run = ms; worlds_per_sec = float_of_int worlds /. ms *. 1000. }
+    in
+    let ms_old = time_ms ~min_time (fun () -> Ref.explore ~include_drops ~max_worlds ~depth refw) in
+    let ms_new = time_ms ~min_time (fun () -> Ex.explore ~include_drops ~max_worlds ~depth w) in
+    let par_domains = max 2 (min 8 (Domain.recommended_domain_count ())) in
+    let ms_par =
+      time_ms ~min_time (fun () ->
+          Ex.explore ~include_drops ~domains:par_domains ~max_worlds ~depth w)
+    in
+    let steer_before_ms =
+      time_ms ~min_time (fun () -> ref_steer_round ~include_drops ~max_worlds ~depth refw)
+    in
+    let steer_after_ms =
+      time_ms ~min_time (fun () -> St.decide ~include_drops ~max_worlds ~depth w)
+    in
+    let cache = St.Ex.create_cache () in
+    let steer_warm_ms =
+      time_ms ~min_time (fun () -> St.decide ~include_drops ~cache ~max_worlds ~depth w)
+    in
+    let r_warm = Ex.explore ~include_drops ~cache ~max_worlds ~depth w in
+    {
+      scenario;
+      ex_depth = depth;
+      ex_max_worlds = max_worlds;
+      ex_drops = include_drops;
+      before = measure r_old.Ref.worlds_explored ms_old;
+      after = measure r_new.Ex.worlds_explored ms_new;
+      after_par = measure r_new.Ex.worlds_explored ms_par;
+      par_domains;
+      steer_before_ms;
+      steer_after_ms;
+      steer_warm_ms;
+      deduped = r_new.Ex.worlds_deduped;
+      cached_warm = r_warm.Ex.outcomes_cached;
+      collisions = r_new.Ex.fingerprint_collisions;
+    }
+end
+
+module Ex_paxos_params = struct
+  let population = 3
+  let client_period = 0. (* the bench injects commands itself *)
+  let retry_timeout = 1.0
+end
+
+module Ex_papp = Apps.Paxos.Make (Ex_paxos_params)
+module Ex_pe = Engine.Sim.Make (Ex_papp)
+module Ex_pb = Ex_bench (Ex_papp)
+
+let ex_paxos_world ~seed =
+  let topology =
+    Net.Topology.uniform ~n:3 (Net.Linkprop.v ~latency:0.01 ~bandwidth:1_000_000. ~loss:0.)
+  in
+  let eng = Ex_pe.create ~seed ~jitter:0. ~topology () in
+  Ex_pe.set_resolver eng Apps.Paxos.self_resolver;
+  for i = 0 to 2 do
+    Ex_pe.spawn eng (Proto.Node_id.of_int i)
+  done;
+  Ex_pe.run_for eng 0.05;
+  let submit origin seq =
+    Ex_pe.inject eng
+      ~src:(Proto.Node_id.of_int origin)
+      ~dst:(Proto.Node_id.of_int 0)
+      (Apps.Paxos.Submit { cmd = { Apps.Paxos.origin; seq; born = 0. } })
+  in
+  submit 1 0;
+  submit 2 1;
+  Ex_pe.run_for eng 0.015;
+  Ex_pb.Ex.world_of_view (Ex_pe.global_view eng)
+
+module Ex_rapp = Apps.Randtree_choice.Default
+module Ex_re = Engine.Sim.Make (Ex_rapp)
+module Ex_rb = Ex_bench (Ex_rapp)
+
+let ex_randtree_world ~seed =
+  let n = 6 in
+  let topology =
+    Net.Topology.uniform ~n (Net.Linkprop.v ~latency:0.01 ~bandwidth:1_000_000. ~loss:0.)
+  in
+  let eng = Ex_re.create ~seed ~jitter:0. ~topology () in
+  for i = 0 to n - 1 do
+    Ex_re.spawn eng ~after:(0.05 *. float_of_int i) (Proto.Node_id.of_int i)
+  done;
+  (* Freeze mid-join so the snapshot still has joins in flight. *)
+  Ex_re.run_for eng 0.26;
+  Ex_rb.Ex.world_of_view (Ex_re.global_view eng)
+
+let ex_json_path = "BENCH_explorer.json"
+
+let ex_emit_json rows =
+  let oc = open_out ex_json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  let measure_json label (m : ex_measure) =
+    Printf.sprintf
+      "{ \"engine\": %S, \"worlds_per_run\": %d, \"ms_per_run\": %.4f, \"worlds_per_sec\": %.1f }"
+      label m.worlds_per_run m.ms_per_run m.worlds_per_sec
+  in
+  p "{\n";
+  p "  \"bench\": \"explorer-engine\",\n";
+  p "  \"units\": { \"throughput\": \"worlds/second\", \"latency\": \"ms/steering round\" },\n";
+  p "  \"fast\": %b,\n" fast;
+  p "  \"scenarios\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\n";
+      p "      \"name\": %S,\n" r.scenario;
+      p "      \"config\": { \"depth\": %d, \"max_worlds\": %d, \"include_drops\": %b },\n"
+        r.ex_depth r.ex_max_worlds r.ex_drops;
+      p "      \"explore\": {\n";
+      p "        \"before\": %s,\n" (measure_json "digest-dfs" r.before);
+      p "        \"after\": %s,\n" (measure_json "fingerprint-worklist" r.after);
+      p "        \"after_parallel\": { \"domains\": %d, %s },\n" r.par_domains
+        (let s = measure_json "fingerprint-worklist" r.after_par in
+         String.sub s 2 (String.length s - 4));
+      p "        \"speedup\": %.2f\n" (r.after.worlds_per_sec /. r.before.worlds_per_sec);
+      p "      },\n";
+      p "      \"steering_round\": {\n";
+      p "        \"before_ms\": %.4f,\n" r.steer_before_ms;
+      p "        \"after_ms\": %.4f,\n" r.steer_after_ms;
+      p "        \"after_warm_cache_ms\": %.4f,\n" r.steer_warm_ms;
+      p "        \"speedup\": %.2f\n" (r.steer_before_ms /. r.steer_after_ms);
+      p "      },\n";
+      p "      \"counters\": { \"worlds_deduped\": %d, \"outcomes_cached_warm\": %d, \"fingerprint_collisions\": %d }\n"
+        r.deduped r.cached_warm r.collisions;
+      p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let ex () =
+  section "EX  Exploration engine: digest DFS vs fingerprinted worklist (steering defaults)";
+  let depth = 3 and max_worlds = 5_000 in
+  let rows =
+    [
+      Ex_pb.run ~scenario:"paxos" ~depth ~max_worlds (ex_paxos_world ~seed:3);
+      Ex_pb.run ~scenario:"paxos-drops" ~include_drops:true ~depth ~max_worlds
+        (ex_paxos_world ~seed:3);
+      Ex_rb.run ~scenario:"randtree" ~depth ~max_worlds (ex_randtree_world ~seed:5);
+    ]
+  in
+  Metrics.Report.print ~title:"consequence-prediction throughput (same worlds both engines)"
+    ~header:[ "scenario"; "worlds"; "before w/s"; "after w/s"; "speedup"; "domains w/s" ]
+    (List.map
+       (fun r ->
+         [
+           r.scenario;
+           Printf.sprintf "%d/%d" r.before.worlds_per_run r.after.worlds_per_run;
+           Printf.sprintf "%.0f" r.before.worlds_per_sec;
+           Printf.sprintf "%.0f" r.after.worlds_per_sec;
+           Printf.sprintf "%.1fx" (r.after.worlds_per_sec /. r.before.worlds_per_sec);
+           Printf.sprintf "%.0f (%d)" r.after_par.worlds_per_sec r.par_domains;
+         ])
+       rows);
+  Metrics.Report.print ~title:"steering-round latency (base explore + per-veto re-explores)"
+    ~header:[ "scenario"; "before (ms)"; "after (ms)"; "warm cache (ms)"; "speedup" ]
+    (List.map
+       (fun r ->
+         [
+           r.scenario;
+           Printf.sprintf "%.3f" r.steer_before_ms;
+           Printf.sprintf "%.3f" r.steer_after_ms;
+           Printf.sprintf "%.3f" r.steer_warm_ms;
+           Printf.sprintf "%.1fx" (r.steer_before_ms /. r.steer_after_ms);
+         ])
+       rows);
+  List.iter
+    (fun r ->
+      Printf.printf "  %-12s deduped %d, warm-cache outcomes %d, fp collisions %d\n" r.scenario
+        r.deduped r.cached_warm r.collisions)
+    rows;
+  ex_emit_json rows;
+  Printf.printf "  wrote %s\n" ex_json_path
+
 let () =
   Printf.printf
     "Reproduction benches: Yabandeh et al., Simplifying Distributed System Development (HotOS 2009)\n";
   if fast then print_endline "(--fast: single seed, reduced sweeps)";
+  if explorer_only then begin
+    ex ();
+    exit 0
+  end;
   e1 ();
   e23 ();
   e3b ();
@@ -600,5 +892,6 @@ let () =
   a3 ();
   a4 ();
   a5 ();
+  ex ();
   micro ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."

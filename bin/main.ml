@@ -245,12 +245,15 @@ let steering_cmd =
     in
     Metrics.Report.print
       ~title:(Printf.sprintf "Lease race over %.0fs, checkpoint staleness %.2fs" duration delay)
-      ~header:[ "setup"; "violations"; "grants"; "filtered"; "vetoes" ]
+      ~header:[ "setup"; "violations"; "grants"; "filtered"; "vetoes"; "worlds"; "cached"; "fp coll." ]
       [
         [
           "no runtime";
           Metrics.Report.fint base.Experiments.Steering_exp.violations;
           Metrics.Report.fint base.Experiments.Steering_exp.grants;
+          "0";
+          "0";
+          "0";
           "0";
           "0";
         ];
@@ -260,6 +263,9 @@ let steering_cmd =
           Metrics.Report.fint steered.Experiments.Steering_exp.grants;
           Metrics.Report.fint steered.Experiments.Steering_exp.filtered;
           Metrics.Report.fint steered.Experiments.Steering_exp.vetoes;
+          Metrics.Report.fint steered.Experiments.Steering_exp.worlds_explored;
+          Metrics.Report.fint steered.Experiments.Steering_exp.outcomes_cached;
+          Metrics.Report.fint steered.Experiments.Steering_exp.fingerprint_collisions;
         ];
       ]
   in
@@ -381,8 +387,9 @@ let explore_cmd =
         let result =
           Ex.explore ~include_drops:drops ~generic_node:generic ~depth world
         in
-        Printf.printf "explored %d worlds (%d deduped%s)\n" result.Ex.worlds_explored
-          result.Ex.worlds_deduped
+        Printf.printf "explored %d worlds (%d deduped, %d cached outcomes, %d fp collisions%s)\n"
+          result.Ex.worlds_explored result.Ex.worlds_deduped result.Ex.outcomes_cached
+          result.Ex.fingerprint_collisions
           (if result.Ex.truncated then ", truncated" else "");
         (match result.Ex.violations with
         | [] -> print_endline "no violation reachable within the horizon"
@@ -393,7 +400,10 @@ let explore_cmd =
             List.iter
               (fun s -> Printf.printf "    %s\n" (Format.asprintf "%a" Ex.pp_step s))
               v.Ex.path);
-        (match St.decide ~include_drops:drops ~generic_node:generic ~depth world with
+        let verdict, stats =
+          St.decide_with_stats ~include_drops:drops ~generic_node:generic ~depth world
+        in
+        (match verdict with
         | St.No_violation -> print_endline "steering: nothing to do"
         | St.Steer vetoes ->
             print_endline "steering: safe to veto —";
@@ -401,7 +411,9 @@ let explore_cmd =
               (fun veto -> Printf.printf "  %s\n" (Format.asprintf "%a" St.pp_veto veto))
               vetoes
         | St.Cannot_steer props ->
-            Printf.printf "steering: cannot steer away from %s\n" (String.concat ", " props))
+            Printf.printf "steering: cannot steer away from %s\n" (String.concat ", " props));
+        Printf.printf "steering explored %d worlds (%d cached outcomes, %d fp collisions)\n"
+          stats.St.worlds_explored stats.St.outcomes_cached stats.St.fingerprint_collisions
   in
   let depth =
     Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc:"Exploration depth.")

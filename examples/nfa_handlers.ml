@@ -48,6 +48,8 @@ module Edge_cache = struct
   let pp_state ppf st =
     Format.fprintf ppf "{cached=%d hits=%d misses=%d}" (List.length st.cached) st.hits st.misses
 
+  let fingerprint = None
+
   let init (ctx : Proto.Ctx.t) =
     ({ self = ctx.self; cached = []; pushed = 0; hits = 0; misses = 0 }, [])
 

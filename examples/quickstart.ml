@@ -34,6 +34,8 @@ module Work_sharing = struct
   let pp_state ppf st =
     Format.fprintf ppf "{backlog=%d completed=%d}" st.backlog st.completed
 
+  let fingerprint = None
+
   (* Node 0 is the dispatcher; workers differ in speed. *)
   let init (ctx : Proto.Ctx.t) =
     let id = Proto.Node_id.to_int ctx.self in

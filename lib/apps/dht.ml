@@ -133,6 +133,9 @@ end = struct
   let pp_state ppf st =
     Format.fprintf ppf "{pos=%d done=%d}" st.pos (List.length st.completed)
 
+  (* Same equivalence classes as [pp_state] above, without formatting. *)
+  let fingerprint = Some (fun st -> Hashtbl.hash (st.pos, List.length st.completed))
+
   let lookups st = st.completed
   let issued st = st.issued
   let hop_violations st = st.hop_violations

@@ -118,6 +118,10 @@ end = struct
   let pp_state ppf st =
     Format.fprintf ppf "{have=%d out=%d}" (Int_set.cardinal st.have) (List.length st.outstanding)
 
+  (* Same equivalence classes as [pp_state] above, without formatting. *)
+  let fingerprint =
+    Some (fun st -> Hashtbl.hash (Int_set.cardinal st.have, List.length st.outstanding))
+
   let have st = st.have
   let complete st = Int_set.cardinal st.have = P.blocks
   let self_of st = st.self

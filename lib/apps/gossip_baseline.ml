@@ -61,6 +61,9 @@ end = struct
   let pp_state ppf st =
     Format.fprintf ppf "{r%d known=%d}" st.round (Int_set.cardinal st.known)
 
+  (* Same equivalence classes as [pp_state] above, without formatting. *)
+  let fingerprint = Some (fun st -> Hashtbl.hash (st.round, Int_set.cardinal st.known))
+
   let known st = st.known
   let round_of st = st.round
   let rtt_estimate st peer = List.assoc_opt peer st.rtt_est

@@ -251,6 +251,10 @@ end = struct
   let pp_state ppf st =
     Format.fprintf ppf "{applied=%d reads=%d viol=%d}" st.applied_seq st.reads st.mono_violations
 
+  (* Same equivalence classes as [pp_state] above, without formatting. *)
+  let fingerprint =
+    Some (fun st -> Hashtbl.hash (st.applied_seq, st.reads, st.mono_violations))
+
   let applied_seq st = st.applied_seq
   let read_latencies st = st.read_lat
   let write_latencies st = st.write_lat

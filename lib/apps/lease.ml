@@ -79,6 +79,9 @@ end = struct
           holder grants
     | Client { holding } -> Format.fprintf ppf "{client h=%b}" holding
 
+  (* [pp_state] prints the whole role, so hashing it matches exactly. *)
+  let fingerprint = Some (fun st -> Hashtbl.hash st.role)
+
   let holding st = match st.role with Client { holding } -> holding | Granter _ -> false
   let grants_made st = match st.role with Granter { grants; _ } -> grants | Client _ -> 0
 

@@ -155,6 +155,13 @@ end = struct
     Format.fprintf ppf "{q=%d props=%d dec=%d}" (List.length st.queue)
       (Int_map.cardinal st.proposals) (Int_map.cardinal st.decided)
 
+  (* Same equivalence classes as [pp_state] above, without formatting. *)
+  let fingerprint =
+    Some
+      (fun st ->
+        Hashtbl.hash
+          (List.length st.queue, Int_map.cardinal st.proposals, Int_map.cardinal st.decided))
+
   let decided st = st.decided
   let latencies st = st.latencies
   let born_count st = st.born

@@ -51,6 +51,14 @@ end = struct
       (List.map fst st.children)
       st.joined
 
+  (* Same equivalence classes as [pp_state] above, without formatting.
+     [hash_param] with generous bounds so long child lists are not
+     truncated into accidental hash-equality. *)
+  let fingerprint =
+    Some
+      (fun st ->
+        Hashtbl.hash_param 64 256 (st.parent, st.depth, List.map fst st.children, st.joined))
+
   let parent_of st = st.parent
   let depth_field st = st.depth
   let is_joined st = st.joined

@@ -86,7 +86,11 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable violated_now : string list;  (* properties currently violated *)
     mutable filters : filter list;
     mutable decision_log : (Dsim.Vtime.t * Core.Choice.site * int) list;
-    mutable event_decisions : (int * int) list;  (* within the event being processed *)
+    mutable event_decisions : (int * int) list;
+        (* within the event being processed; newest first — only ever
+           consulted through [List.assoc_opt] on unique occurrence
+           numbers, so order is irrelevant and consing beats the
+           quadratic append this used to do *)
     mutable event_occurrence : int;
     mutable processing : scheduled option;
     mutable spawned : Proto.Node_id.Set.t;
@@ -489,7 +493,7 @@ module Make (App : Proto.App_intf.APP) = struct
                     let scores =
                       Array.init n (fun i ->
                           predict_branch t cfg fb ~node sched
-                            ~forced:(prior @ [ (occurrence, i) ]))
+                            ~forced:((occurrence, i) :: prior))
                     in
                     let best_score = Array.fold_left Float.max neg_infinity scores in
                     (* Train the cache with normalised predicted scores so
@@ -522,7 +526,7 @@ module Make (App : Proto.App_intf.APP) = struct
              site.Core.Choice.site_label)
       else index
     in
-    t.event_decisions <- t.event_decisions @ [ (occurrence, index) ];
+    t.event_decisions <- (occurrence, index) :: t.event_decisions;
     t.n_decisions <- t.n_decisions + 1;
     if not t.speculative then begin
       t.decision_log <- (t.now, site, index) :: t.decision_log;

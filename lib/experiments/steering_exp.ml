@@ -17,6 +17,9 @@ type outcome = {
   grants : int;
   filtered : int;
   vetoes : int;
+  worlds_explored : int;  (** worlds actually visited across all steering rounds *)
+  outcomes_cached : int;
+  fingerprint_collisions : int;
 }
 
 let population = Apps.Lease.Default_params.population
@@ -55,11 +58,15 @@ let run ?(seed = 42) ?(duration = 120.) ?(checkpoint_delay = 0.05) ~with_runtime
   let grants =
     List.fold_left (fun acc (_, st) -> acc + App.grants_made st) 0 (E.live_nodes eng)
   in
+  let rep = Option.map R.report cry in
   {
     with_runtime;
     checkpoint_delay;
     violations = List.length (E.violations eng);
     grants;
     filtered = (E.stats eng).messages_filtered;
-    vetoes = (match cry with Some cry -> (R.report cry).R.vetoes_installed | None -> 0);
+    vetoes = (match rep with Some r -> r.R.vetoes_installed | None -> 0);
+    worlds_explored = (match rep with Some r -> r.R.worlds_explored | None -> 0);
+    outcomes_cached = (match rep with Some r -> r.R.outcomes_cached | None -> 0);
+    fingerprint_collisions = (match rep with Some r -> r.R.fingerprint_collisions | None -> 0);
   }

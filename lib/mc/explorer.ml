@@ -1,4 +1,6 @@
 module Make (App : Proto.App_intf.APP) = struct
+  module Nm = Proto.Node_id.Map
+
   type world = {
     states : App.state Proto.Node_id.Map.t;
     pending : (Proto.Node_id.t * Proto.Node_id.t * App.msg) list;
@@ -19,6 +21,8 @@ module Make (App : Proto.App_intf.APP) = struct
     worlds_deduped : int;
     liveness_unmet : string list;
     truncated : bool;
+    outcomes_cached : int;
+    fingerprint_collisions : int;
   }
 
   let pp_step ppf = function
@@ -38,26 +42,108 @@ module Make (App : Proto.App_intf.APP) = struct
       timers;
     }
 
-  let view_of_world w : (App.state, App.msg) Proto.View.t =
+  (* ---------- Fingerprints ----------
+
+     Dedup keys worlds by a pair of independent 63-bit lanes instead of
+     an MD5 of the pretty-printed world. The first lane indexes the
+     visited table; the second is stored and checked, so a first-lane
+     collision between structurally distinct worlds is {e detected}
+     (counted in [fingerprint_collisions]) and the worlds kept apart,
+     reproducing the effectively collision-free behavior of the old
+     digest. Per-element fingerprints (one per node state, one per
+     pending message) are cached in the internal world representation
+     and combined with a cheap mixer, so deriving a successor world
+     only hashes what changed. *)
+
+  let mix h k =
+    let h = h lxor ((k + 0x9e3779b9) * 0x2545F4914F6CDD1D) in
+    let h = (h lsl 13) lor ((h land max_int) lsr 50) in
+    (h * 5) + 0x38495ab5
+
+  let render pp v =
+    let buf = Buffer.create 64 in
+    let ppf = Format.formatter_of_buffer buf in
+    pp ppf v;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+
+  (* Per-node state fingerprint pair. The app hook, when present, must
+     match [pp_state]'s equivalence classes (see {!App_intf.APP}); the
+     fallback hashes the [pp_state] rendering itself, which is exact by
+     construction and done once per distinct reached state rather than
+     once per world. *)
+  let state_fp =
+    match App.fingerprint with
+    | Some f -> fun st ->
+        let h = f st in
+        (mix 0x12345 h, mix 0x6789a (h lxor 0x0F0F0F0F))
+    | None ->
+        fun st ->
+          let s = render App.pp_state st in
+          (Hashtbl.hash s, Hashtbl.seeded_hash 0x3ade68b1 s)
+
+  let msg_fp m =
+    let s = render App.pp_msg m in
+    (Hashtbl.hash s, Hashtbl.seeded_hash 0x3ade68b1 s)
+
+  (* Internal world: the public shape plus cached per-element
+     fingerprints, so world keys are an integer fold, not a render. *)
+  type pmsg = {
+    p_src : Proto.Node_id.t;
+    p_dst : Proto.Node_id.t;
+    p_msg : App.msg;
+    p_fp1 : int;
+    p_fp2 : int;
+  }
+
+  type iworld = {
+    i_states : App.state Nm.t;
+    i_sfp : (int * int) Nm.t;
+    i_pending : pmsg list;
+    i_timers : (Proto.Node_id.t * string) list;
+  }
+
+  let iworld_of_world (w : world) =
     {
-      time = Dsim.Vtime.zero;
-      nodes = Proto.Node_id.Map.bindings w.states;
-      inflight = w.pending;
+      i_states = w.states;
+      i_sfp = Nm.map state_fp w.states;
+      i_pending =
+        List.map
+          (fun (src, dst, msg) ->
+            let f1, f2 = msg_fp msg in
+            { p_src = src; p_dst = dst; p_msg = msg; p_fp1 = f1; p_fp2 = f2 })
+          w.pending;
+      i_timers = w.timers;
     }
 
-  let digest w =
-    let buf = Buffer.create 256 in
-    let ppf = Format.formatter_of_buffer buf in
-    Proto.Node_id.Map.iter
-      (fun id s -> Format.fprintf ppf "%a=%a;" Proto.Node_id.pp id App.pp_state s)
-      w.states;
+  let view_of_iworld iw : (App.state, App.msg) Proto.View.t =
+    {
+      time = Dsim.Vtime.zero;
+      nodes = Nm.bindings iw.i_states;
+      inflight = List.map (fun p -> (p.p_src, p.p_dst, p.p_msg)) iw.i_pending;
+    }
+
+  let world_key iw =
+    let h1 = ref 0x42 and h2 = ref 0x1337 in
+    Nm.iter
+      (fun id (f1, f2) ->
+        let n = Proto.Node_id.to_int id in
+        h1 := mix (mix !h1 n) f1;
+        h2 := mix (mix !h2 (n + 1)) f2)
+      iw.i_sfp;
     List.iter
-      (fun (a, b, m) ->
-        Format.fprintf ppf "%a>%a:%a;" Proto.Node_id.pp a Proto.Node_id.pp b App.pp_msg m)
-      w.pending;
-    List.iter (fun (n, id) -> Format.fprintf ppf "T%a.%s;" Proto.Node_id.pp n id) w.timers;
-    Format.pp_print_flush ppf ();
-    Digest.string (Buffer.contents buf)
+      (fun p ->
+        let s = Proto.Node_id.to_int p.p_src and d = Proto.Node_id.to_int p.p_dst in
+        h1 := mix (mix (mix !h1 s) d) p.p_fp1;
+        h2 := mix (mix (mix !h2 (s + 1)) (d + 1)) p.p_fp2)
+      iw.i_pending;
+    List.iter
+      (fun (n, id) ->
+        let i = Proto.Node_id.to_int n in
+        h1 := mix (mix !h1 i) (Hashtbl.hash id);
+        h2 := mix (mix !h2 (i + 1)) (Hashtbl.seeded_hash 0x3ade68b1 id))
+      iw.i_timers;
+    (!h1, !h2)
 
   (* Runs a handler body under a decision script: choice occurrence [o]
      answers [script(o)], defaulting to alternative 0. Returns the
@@ -111,137 +197,374 @@ module Make (App : Proto.App_intf.APP) = struct
 
   let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs
 
-  let apply_actions w node actions =
-    List.fold_left
-      (fun w action ->
-        match action with
-        | Proto.Action.Send { dst; msg } -> { w with pending = w.pending @ [ (node, dst, msg) ] }
-        | Proto.Action.Set_timer { id; _ } ->
-            if List.mem (node, id) w.timers then w
-            else { w with timers = w.timers @ [ (node, id) ] }
-        | Proto.Action.Cancel_timer id ->
-            { w with timers = List.filter (fun e -> e <> (node, id)) w.timers }
-        | Proto.Action.Note _ -> w)
-      w actions
+  (* ---------- Transposition cache ----------
 
-  (* Outcomes of delivering [msg] from [src] at [dst] in [w] (with the
-     message already removed): one world per (handler, choice-combo). *)
-  let deliver_outcomes ~seed w ~src ~dst msg =
-    match Proto.Node_id.Map.find_opt dst w.states with
-    | None -> [ w ]
+     Handler outcomes are pure functions of (state, src, msg, seed) —
+     each scripted run builds a fresh RNG and net model — so they can
+     be memoized across worlds and across explore calls. Keys compare
+     with real state/message equality (fingerprints only speed up
+     hashing), so a cache hit is exact, never a hash-collision guess.
+     Cached entries hold the successor state's fingerprint and each
+     sent message's fingerprint, so replaying a hit does no rendering
+     at all. *)
+
+  type pact =
+    | P_send of { dst : Proto.Node_id.t; msg : App.msg; fp1 : int; fp2 : int }
+    | P_set of string
+    | P_cancel of string
+
+  type outcome = { o_state : App.state; o_fp : int * int; o_acts : pact list }
+
+  type dkey = {
+    dk_state : App.state;
+    dk_sfp : int;
+    dk_src : int;
+    dk_msg : App.msg;
+    dk_mh : int;
+    dk_seed : int;
+  }
+
+  module Dcache = Hashtbl.Make (struct
+    type t = dkey
+
+    let equal a b =
+      a.dk_sfp = b.dk_sfp && a.dk_src = b.dk_src && a.dk_mh = b.dk_mh && a.dk_seed = b.dk_seed
+      && App.equal_state a.dk_state b.dk_state
+      && a.dk_msg = b.dk_msg
+
+    let hash k = Hashtbl.hash (k.dk_sfp, k.dk_src, k.dk_mh, k.dk_seed)
+  end)
+
+  type tkey = { tk_state : App.state; tk_sfp : int; tk_id : string; tk_seed : int }
+
+  module Tcache = Hashtbl.Make (struct
+    type t = tkey
+
+    let equal a b =
+      a.tk_sfp = b.tk_sfp && a.tk_seed = b.tk_seed && String.equal a.tk_id b.tk_id
+      && App.equal_state a.tk_state b.tk_state
+
+    let hash k = Hashtbl.hash (k.tk_sfp, k.tk_id, k.tk_seed)
+  end)
+
+  type cache = {
+    c_deliver : outcome list Dcache.t;  (* [] encodes "no applicable handler" *)
+    c_timer : outcome list Tcache.t;
+    mutable c_hits : int;
+  }
+
+  let create_cache () =
+    { c_deliver = Dcache.create 4096; c_timer = Tcache.create 256; c_hits = 0 }
+
+  (* Bound memory on pathological workloads; steering neighbourhoods
+     stay far below this. *)
+  let cache_cap = 200_000
+
+  let precompute (state', actions) =
+    let o_acts =
+      List.filter_map
+        (function
+          | Proto.Action.Send { dst; msg } ->
+              let fp1, fp2 = msg_fp msg in
+              Some (P_send { dst; msg; fp1; fp2 })
+          | Proto.Action.Set_timer { id; _ } -> Some (P_set id)
+          | Proto.Action.Cancel_timer id -> Some (P_cancel id)
+          | Proto.Action.Note _ -> None)
+        actions
+    in
+    { o_state = state'; o_fp = state_fp state'; o_acts }
+
+  (* Outcomes of delivering [msg] from [src] at [dst] — one per
+     (handler, choice-combo), [] when no handler applies — memoized in
+     [cache]. *)
+  let cached_deliver cache ~seed iw ~src ~dst msg =
+    match Nm.find_opt dst iw.i_states with
+    | None -> `Unchanged
     | Some state -> (
-        match Proto.Handler.applicable App.receive state ~src msg with
-        | [] -> [ w ]
-        | handlers ->
-            List.concat_map
-              (fun (h : _ Proto.Handler.t) ->
-                all_outcomes ~seed ~self:dst (fun ctx -> h.handle ctx state ~src msg)
-                |> List.map (fun (state', actions) ->
-                       apply_actions
-                         { w with states = Proto.Node_id.Map.add dst state' w.states }
-                         dst actions))
-              handlers)
+        let sfp = fst (Nm.find dst iw.i_sfp) in
+        let key =
+          {
+            dk_state = state;
+            dk_sfp = sfp;
+            dk_src = Proto.Node_id.to_int src;
+            dk_msg = msg;
+            dk_mh = Hashtbl.hash msg;
+            dk_seed = seed;
+          }
+        in
+        match Dcache.find_opt cache.c_deliver key with
+        | Some outs ->
+            cache.c_hits <- cache.c_hits + 1;
+            if outs = [] then `Unchanged else `Outcomes (dst, outs)
+        | None ->
+            let outs =
+              match Proto.Handler.applicable App.receive state ~src msg with
+              | [] -> []
+              | handlers ->
+                  List.concat_map
+                    (fun (h : _ Proto.Handler.t) ->
+                      all_outcomes ~seed ~self:dst (fun ctx -> h.handle ctx state ~src msg)
+                      |> List.map precompute)
+                    handlers
+            in
+            if Dcache.length cache.c_deliver >= cache_cap then Dcache.reset cache.c_deliver;
+            Dcache.add cache.c_deliver key outs;
+            if outs = [] then `Unchanged else `Outcomes (dst, outs))
 
-  let timer_outcomes ~seed w ~node ~id =
-    match Proto.Node_id.Map.find_opt node w.states with
-    | None -> [ w ]
-    | Some state ->
-        all_outcomes ~seed ~self:node (fun ctx -> App.on_timer ctx state id)
-        |> List.map (fun (state', actions) ->
-               apply_actions { w with states = Proto.Node_id.Map.add node state' w.states } node
-                 actions)
+  let cached_timer cache ~seed iw ~node ~id =
+    match Nm.find_opt node iw.i_states with
+    | None -> `Unchanged
+    | Some state -> (
+        let sfp = fst (Nm.find node iw.i_sfp) in
+        let key = { tk_state = state; tk_sfp = sfp; tk_id = id; tk_seed = seed } in
+        match Tcache.find_opt cache.c_timer key with
+        | Some outs ->
+            cache.c_hits <- cache.c_hits + 1;
+            `Outcomes (node, outs)
+        | None ->
+            let outs =
+              all_outcomes ~seed ~self:node (fun ctx -> App.on_timer ctx state id)
+              |> List.map precompute
+            in
+            if Tcache.length cache.c_timer >= cache_cap then Tcache.reset cache.c_timer;
+            Tcache.add cache.c_timer key outs;
+            `Outcomes (node, outs))
 
-  let rec iterative_from ~explore ~max_depth depth world =
-    let result = explore ~depth world in
-    if result.violations <> [] || depth >= max_depth then (depth, result)
-    else iterative_from ~explore ~max_depth (depth + 1) world
+  (* Rebuild a world around one node's outcome. Sends append to pending
+     in action order through a reversed accumulator (the old
+     implementation appended one element per Send, quadratically);
+     timers keep the historical insertion-ordered-unique list — the
+     digest was order-sensitive, so canonicalizing into a set here
+     would coarsen dedup classes, and timer lists are tiny anyway. *)
+  let apply_outcome iw node (o : outcome) =
+    let i_states = Nm.add node o.o_state iw.i_states in
+    let i_sfp = Nm.add node o.o_fp iw.i_sfp in
+    let sends_rev, i_timers =
+      List.fold_left
+        (fun (sends, timers) -> function
+          | P_send { dst; msg; fp1; fp2 } ->
+              ({ p_src = node; p_dst = dst; p_msg = msg; p_fp1 = fp1; p_fp2 = fp2 } :: sends,
+               timers)
+          | P_set id ->
+              (sends, if List.mem (node, id) timers then timers else timers @ [ (node, id) ])
+          | P_cancel id -> (sends, List.filter (fun e -> e <> (node, id)) timers))
+        ([], iw.i_timers) o.o_acts
+    in
+    let i_pending =
+      match sends_rev with [] -> iw.i_pending | _ -> iw.i_pending @ List.rev sends_rev
+    in
+    { i_states; i_sfp; i_pending; i_timers }
 
-  let first_steps_to_violation result =
-    List.sort_uniq compare
-      (List.filter_map
-         (fun v -> match v.path with [] -> None | s :: _ -> Some s)
-         result.violations)
+  (* All successor worlds of [iw], as (step, world) pairs, in exactly
+     the old recursive branching order: deliveries (then the optional
+     drop) of each pending message in order, then armed timers, then
+     generic-node injections. *)
+  let successors cache ~seed ~include_drops ~generic_node iw =
+    let acc = ref [] in
+    let add step w = acc := (step, w) :: !acc in
+    List.iteri
+      (fun i p ->
+        let kind = App.msg_kind p.p_msg in
+        let without = { iw with i_pending = remove_nth i iw.i_pending } in
+        let step = Deliver_step { src = p.p_src; dst = p.p_dst; kind } in
+        (match cached_deliver cache ~seed without ~src:p.p_src ~dst:p.p_dst p.p_msg with
+        | `Unchanged -> add step without
+        | `Outcomes (node, outs) ->
+            List.iter (fun o -> add step (apply_outcome without node o)) outs);
+        if include_drops then add (Drop_step { src = p.p_src; dst = p.p_dst; kind }) without)
+      iw.i_pending;
+    List.iter
+      (fun (node, id) ->
+        let step = Timer_step { node; id } in
+        match cached_timer cache ~seed iw ~node ~id with
+        | `Unchanged -> add step iw
+        | `Outcomes (node, outs) -> List.iter (fun o -> add step (apply_outcome iw node o)) outs)
+      iw.i_timers;
+    if generic_node then
+      Nm.iter
+        (fun dst state ->
+          List.iter
+            (fun (sender, msg) ->
+              let kind = App.msg_kind msg in
+              let step = Generic_step { dst; kind } in
+              match cached_deliver cache ~seed iw ~src:sender ~dst msg with
+              | `Unchanged -> add step iw
+              | `Outcomes (node, outs) ->
+                  List.iter (fun o -> add step (apply_outcome iw node o)) outs)
+            (App.generic_msgs state))
+        iw.i_states;
+    List.rev !acc
 
-  let explore ?(max_worlds = 20_000) ?(include_drops = false) ?(generic_node = false) ?(seed = 7)
-      ~depth root =
+  (* ---------- Worklist exploration ---------- *)
+
+  type frontier_item = { fw : iworld; fpath : step list (* reversed *) }
+
+  type analysis = {
+    a_viols : string list;
+    a_live : string list;
+    a_succs : (step * iworld) list;
+  }
+
+  (* Strided parallel map: worker [k] handles indices k, k+domains, …
+     Each worker owns its own transposition cache, so the only shared
+     mutable state is the output array, at disjoint indices; the
+     spawn/join around each level provides the happens-before edges.
+     Work split and result order are deterministic, so verdicts cannot
+     depend on [domains]. *)
+  let parallel_map ~domains f arr =
+    let n = Array.length arr in
+    let domains = min domains n in
+    if domains <= 1 then Array.map (f 0) arr
+    else begin
+      let out = Array.make n None in
+      let worker k () =
+        let i = ref k in
+        while !i < n do
+          out.(!i) <- Some (f k arr.(!i));
+          i := !i + domains
+        done
+      in
+      let spawned = List.init (domains - 1) (fun j -> Domain.spawn (worker (j + 1))) in
+      worker 0 ();
+      List.iter Domain.join spawned;
+      Array.map (function Some r -> r | None -> assert false) out
+    end
+
+  let explore_levels ~max_worlds ~include_drops ~generic_node ~seed ~cache ~domains ~depth
+      ~early_stop root =
     if depth < 0 then invalid_arg "Explorer.explore: negative depth";
-    let visited : (Digest.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+    if domains < 1 then invalid_arg "Explorer.explore: domains must be >= 1";
+    if max_worlds < 0 then invalid_arg "Explorer.explore: negative max_worlds";
+    let caches =
+      Array.init (max domains 1) (fun k ->
+          if k = 0 then match cache with Some c -> c | None -> create_cache ()
+          else create_cache ())
+    in
+    let hits0 = Array.fold_left (fun a c -> a + c.c_hits) 0 caches in
+    let visited : (int, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+    let collisions = ref 0 in
     let violations = ref [] in
     let explored = ref 0 in
     let deduped = ref 0 in
     let truncated = ref false in
-    let liveness = List.filter (fun (p : _ Core.Property.t) -> p.kind = Core.Property.Liveness) App.properties in
-    let liveness_sat : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-    let rec go w path d =
-      if !explored >= max_worlds then truncated := true
-      else begin
-        let dg = digest w in
-        if Hashtbl.mem visited dg then incr deduped
-        else begin
-          Hashtbl.replace visited dg ();
-          incr explored;
-          let view = view_of_world w in
-          List.iter
-            (fun (p : _ Core.Property.t) ->
-              violations :=
-                { property = p.name; path = List.rev path; at_depth = d } :: !violations)
-            (Core.Property.check App.properties view);
-          List.iter
-            (fun (p : _ Core.Property.t) ->
-              if p.holds view then Hashtbl.replace liveness_sat p.name ())
-            liveness;
-          if d < depth then begin
-            (* Deliveries (and optionally drops) of each pending message. *)
-            List.iteri
-              (fun i (src, dst, msg) ->
-                let kind = App.msg_kind msg in
-                let without = { w with pending = remove_nth i w.pending } in
-                List.iter
-                  (fun w' -> go w' (Deliver_step { src; dst; kind } :: path) (d + 1))
-                  (deliver_outcomes ~seed without ~src ~dst msg);
-                if include_drops then go without (Drop_step { src; dst; kind } :: path) (d + 1))
-              w.pending;
-            (* Armed timers. *)
-            List.iter
-              (fun (node, id) ->
-                List.iter
-                  (fun w' -> go w' (Timer_step { node; id } :: path) (d + 1))
-                  (timer_outcomes ~seed w ~node ~id))
-              w.timers;
-            (* The generic node sends anything from the app's alphabet. *)
-            if generic_node then
-              Proto.Node_id.Map.iter
-                (fun dst state ->
-                  List.iter
-                    (fun (sender, msg) ->
-                      let kind = App.msg_kind msg in
-                      List.iter
-                        (fun w' -> go w' (Generic_step { dst; kind } :: path) (d + 1))
-                        (deliver_outcomes ~seed w ~src:sender ~dst msg))
-                    (App.generic_msgs state))
-                w.states
-          end
-        end
-      end
+    let liveness =
+      List.filter (fun (p : _ Core.Property.t) -> p.kind = Core.Property.Liveness) App.properties
     in
-    go root [] 0;
+    let liveness_sat : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    let frontier = ref [| { fw = iworld_of_world root; fpath = [] } |] in
+    let level = ref 0 in
+    let stop_level = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let d = !level in
+      (* Phase A (sequential): budget then dedup, in frontier order,
+         mirroring the old per-candidate check order exactly. *)
+      let survivors = ref [] in
+      Array.iter
+        (fun item ->
+          if !explored >= max_worlds then truncated := true
+          else begin
+            let k1, k2 = world_key item.fw in
+            match Hashtbl.find_opt visited k1 with
+            | Some lane2 when List.mem k2 !lane2 -> incr deduped
+            | Some lane2 ->
+                incr collisions;
+                lane2 := k2 :: !lane2;
+                incr explored;
+                survivors := item :: !survivors
+            | None ->
+                Hashtbl.add visited k1 (ref [ k2 ]);
+                incr explored;
+                survivors := item :: !survivors
+          end)
+        !frontier;
+      let survivors = Array.of_list (List.rev !survivors) in
+      (* Phase B (parallel when domains > 1): property checks and
+         successor generation, pure per item. *)
+      let expand = d < depth in
+      let analyses =
+        parallel_map ~domains
+          (fun k item ->
+            let view = view_of_iworld item.fw in
+            let a_viols =
+              List.map
+                (fun (p : _ Core.Property.t) -> p.name)
+                (Core.Property.check App.properties view)
+            in
+            let a_live =
+              List.filter_map
+                (fun (p : _ Core.Property.t) -> if p.holds view then Some p.name else None)
+                liveness
+            in
+            let a_succs =
+              if expand then
+                successors caches.(k) ~seed ~include_drops ~generic_node item.fw
+              else []
+            in
+            { a_viols; a_live; a_succs })
+          survivors
+      in
+      (* Phase C (sequential): merge in frontier order. *)
+      let next = ref [] in
+      Array.iteri
+        (fun i item ->
+          let a = analyses.(i) in
+          List.iter
+            (fun property ->
+              violations := { property; path = List.rev item.fpath; at_depth = d } :: !violations)
+            a.a_viols;
+          List.iter (fun name -> Hashtbl.replace liveness_sat name ()) a.a_live;
+          List.iter
+            (fun (step, w') -> next := { fw = w'; fpath = step :: item.fpath } :: !next)
+            a.a_succs)
+        survivors;
+      frontier := Array.of_list (List.rev !next);
+      stop_level := d;
+      if early_stop && d >= 1 && !violations <> [] then continue := false
+      else if d >= depth || Array.length !frontier = 0 then continue := false
+      else incr level
+    done;
     let liveness_unmet =
       List.filter_map
         (fun (p : _ Core.Property.t) ->
           if Hashtbl.mem liveness_sat p.name then None else Some p.name)
         liveness
     in
-    {
-      violations = List.rev !violations;
-      worlds_explored = !explored;
-      worlds_deduped = !deduped;
-      liveness_unmet;
-      truncated = !truncated;
-    }
+    let hits = Array.fold_left (fun a c -> a + c.c_hits) 0 caches - hits0 in
+    ( !stop_level,
+      {
+        violations = List.rev !violations;
+        worlds_explored = !explored;
+        worlds_deduped = !deduped;
+        liveness_unmet;
+        truncated = !truncated;
+        outcomes_cached = hits;
+        fingerprint_collisions = !collisions;
+      } )
 
-  let iterative ?max_worlds ?include_drops ?generic_node ?seed ~max_depth world =
+  let explore ?(max_worlds = 20_000) ?(include_drops = false) ?(generic_node = false) ?(seed = 7)
+      ?cache ?(domains = 1) ~depth root =
+    snd
+      (explore_levels ~max_worlds ~include_drops ~generic_node ~seed ~cache ~domains ~depth
+         ~early_stop:false root)
+
+  (* Single-pass replacement for restart-per-depth iterative deepening:
+     level-synchronous search stops at the end of the first level (>= 1)
+     that has surfaced a violation, which is exactly the state the old
+     implementation reached by re-exploring at depth 1, 2, … *)
+  let iterative ?(max_worlds = 20_000) ?(include_drops = false) ?(generic_node = false)
+      ?(seed = 7) ?cache ?(domains = 1) ~max_depth world =
     if max_depth < 1 then invalid_arg "Explorer.iterative: max_depth must be >= 1";
-    iterative_from
-      ~explore:(fun ~depth w -> explore ?max_worlds ?include_drops ?generic_node ?seed ~depth w)
-      ~max_depth 1 world
+    let stop_level, result =
+      explore_levels ~max_worlds ~include_drops ~generic_node ~seed ~cache ~domains
+        ~depth:max_depth ~early_stop:true world
+    in
+    let depth = if result.violations <> [] then max 1 stop_level else max_depth in
+    (depth, result)
+
+  let first_steps_to_violation result =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun v -> match v.path with [] -> None | s :: _ -> Some s)
+         result.violations)
 end

@@ -12,7 +12,12 @@
 
     Exploration is untimed: it follows causally related chains of
     events, as consequence prediction does, rather than timestamps.
-    Worlds are deduplicated by a structural digest. *)
+    Worlds are deduplicated by a two-lane structural fingerprint
+    (first-lane collisions are detected via the second lane and the
+    worlds kept apart); the search runs level-synchronously over an
+    explicit worklist, memoizes handler outcomes in a transposition
+    cache, and can fan a level out across Domains without changing any
+    verdict. See DESIGN.md §"The exploration engine". *)
 
 module Make (App : Proto.App_intf.APP) : sig
   type world = {
@@ -38,7 +43,24 @@ module Make (App : Proto.App_intf.APP) : sig
     liveness_unmet : string list;
         (** liveness properties satisfied by no explored world *)
     truncated : bool;  (** hit [max_worlds] before exhausting depth *)
+    outcomes_cached : int;
+        (** handler outcomes served from the transposition cache (a
+            per-partition statistic: it may vary with [domains] or a
+            shared [cache], unlike every other field) *)
+    fingerprint_collisions : int;
+        (** distinct worlds whose first-lane fingerprints collided;
+            detected via the second lane and kept apart *)
   }
+
+  (** A transposition cache memoizing handler outcomes, reusable across
+      {!explore} calls (steering re-explores near-identical
+      neighbourhoods every round). Entries are exact — keyed on real
+      state/message equality — so sharing one never changes verdicts,
+      only [outcomes_cached]. Not thread-safe: share at most with the
+      sequential caller; parallel strides use internal caches. *)
+  type cache
+
+  val create_cache : unit -> cache
 
   val world_of_view :
     ?timers:(Proto.Node_id.t * string) list -> (App.state, App.msg) Proto.View.t -> world
@@ -48,6 +70,8 @@ module Make (App : Proto.App_intf.APP) : sig
     ?include_drops:bool ->
     ?generic_node:bool ->
     ?seed:int ->
+    ?cache:cache ->
+    ?domains:int ->
     depth:int ->
     world ->
     result
@@ -55,20 +79,28 @@ module Make (App : Proto.App_intf.APP) : sig
       (default false) also branches on losing each pending message.
       [generic_node] (default false) injects [App.generic_msgs].
       [seed] feeds the context RNG handlers see (default 7) — handler
-      randomness is explored as-is, not branched. *)
+      randomness is explored as-is, not branched. [cache] carries
+      memoized handler outcomes across calls. [domains] (default 1)
+      fans each level's expansion out across that many Domains; any
+      value yields identical results (only timing and
+      [outcomes_cached] change). *)
 
   val iterative :
     ?max_worlds:int ->
     ?include_drops:bool ->
     ?generic_node:bool ->
     ?seed:int ->
+    ?cache:cache ->
+    ?domains:int ->
     max_depth:int ->
     world ->
     int * result
-  (** Iterative deepening: explores at depth 1, 2, … and stops at the
-      first depth that surfaces a violation (so the reported paths are
-      minimal causes — the best input for steering), or at [max_depth].
-      Returns the stopping depth with its result. *)
+  (** Iterative deepening: stops at the first depth that surfaces a
+      violation (so the reported paths are minimal causes — the best
+      input for steering), or at [max_depth]. Returns the stopping
+      depth with its result. Implemented as a single level-synchronous
+      pass that halts at the end of the first violating level, rather
+      than one restart per depth. *)
 
   val first_steps_to_violation : result -> step list
   (** Deduplicated first steps of all violating paths — the actions

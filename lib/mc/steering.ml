@@ -29,29 +29,64 @@ module Make (App : Proto.App_intf.APP) = struct
     in
     { w with Ex.pending }
 
-  let decide ?max_worlds ?include_drops ?generic_node ~depth world =
-    let explore w = Ex.explore ?max_worlds ?include_drops ?generic_node ~depth w in
+  type stats = {
+    worlds_explored : int;
+    worlds_deduped : int;
+    outcomes_cached : int;
+    fingerprint_collisions : int;
+  }
+
+  let decide_with_stats ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ~depth
+      world =
+    (* One transposition cache spans the base explore and every
+       candidate-veto re-explore: steered worlds differ from the base
+       by a single removed delivery, so almost every handler outcome
+       repeats. *)
+    let cache = match cache with Some c -> c | None -> Ex.create_cache () in
+    let stats =
+      ref
+        { worlds_explored = 0; worlds_deduped = 0; outcomes_cached = 0; fingerprint_collisions = 0 }
+    in
+    let explore w =
+      let r = Ex.explore ?max_worlds ?include_drops ?generic_node ?seed ~cache ?domains ~depth w in
+      stats :=
+        {
+          worlds_explored = !stats.worlds_explored + r.Ex.worlds_explored;
+          worlds_deduped = !stats.worlds_deduped + r.Ex.worlds_deduped;
+          outcomes_cached = !stats.outcomes_cached + r.Ex.outcomes_cached;
+          fingerprint_collisions = !stats.fingerprint_collisions + r.Ex.fingerprint_collisions;
+        };
+      r
+    in
     let base = explore world in
-    match base.Ex.violations with
-    | [] -> No_violation
-    | _ :: _ ->
-        let doomed = property_set base in
-        let candidates =
-          List.filter_map
-            (fun step ->
-              match step with
-              | Ex.Deliver_step { src; dst; kind } -> Some { src; dst; kind }
-              | Ex.Drop_step _ | Ex.Timer_step _ | Ex.Generic_step _ -> None)
-            (Ex.first_steps_to_violation base)
-        in
-        let safe =
-          List.filter
-            (fun veto ->
-              let steered = explore (without_delivery world veto) in
-              (* Safe iff steering surfaces no property beyond those the
-                 un-steered future already violates. *)
-              List.for_all (fun p -> List.mem p doomed) (property_set steered))
-            candidates
-        in
-        (match safe with [] -> Cannot_steer doomed | _ :: _ -> Steer safe)
+    let verdict =
+      match base.Ex.violations with
+      | [] -> No_violation
+      | _ :: _ ->
+          let doomed = property_set base in
+          let candidates =
+            List.filter_map
+              (fun step ->
+                match step with
+                | Ex.Deliver_step { src; dst; kind } -> Some { src; dst; kind }
+                | Ex.Drop_step _ | Ex.Timer_step _ | Ex.Generic_step _ -> None)
+              (Ex.first_steps_to_violation base)
+          in
+          let safe =
+            List.filter
+              (fun veto ->
+                let steered = explore (without_delivery world veto) in
+                (* Safe iff steering surfaces no property beyond those the
+                   un-steered future already violates. *)
+                List.for_all (fun p -> List.mem p doomed) (property_set steered))
+              candidates
+          in
+          (match safe with [] -> Cannot_steer doomed | _ :: _ -> Steer safe)
+    in
+    (verdict, !stats)
+
+  let decide ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ~depth world =
+    fst
+      (decide_with_stats ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ~depth
+         world)
 end

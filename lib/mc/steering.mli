@@ -22,13 +22,42 @@ module Make (App : Proto.App_intf.APP) : sig
         (** violations predicted, but every candidate filter introduced
             new ones; the property names are reported *)
 
+  (** Exploration work behind one verdict, summed over the base
+      explore and every candidate-veto re-explore — the number the
+      runtime should account steering budgets against. *)
+  type stats = {
+    worlds_explored : int;
+    worlds_deduped : int;
+    outcomes_cached : int;
+    fingerprint_collisions : int;
+  }
+
   val decide :
     ?max_worlds:int ->
     ?include_drops:bool ->
     ?generic_node:bool ->
+    ?seed:int ->
+    ?cache:Ex.cache ->
+    ?domains:int ->
     depth:int ->
     Ex.world ->
     verdict
+
+  val decide_with_stats :
+    ?max_worlds:int ->
+    ?include_drops:bool ->
+    ?generic_node:bool ->
+    ?seed:int ->
+    ?cache:Ex.cache ->
+    ?domains:int ->
+    depth:int ->
+    Ex.world ->
+    verdict * stats
+  (** Like {!decide}, also reporting the exploration work done. A
+      supplied [cache] (or one created internally) is shared across
+      the base and per-veto explores; pass a persistent one to reuse
+      outcomes across steering rounds. [domains] fans each explore's
+      levels out across Domains; verdicts never depend on it. *)
 
   val pp_veto : Format.formatter -> veto -> unit
 end

@@ -35,6 +35,21 @@ module type APP = sig
       genuinely garbled inputs. [None] opts out: corrupted messages
       are then dropped without a decode attempt. *)
 
+  val fingerprint : (state -> int) option
+  (** Cheap structural fingerprint used by the explorer to deduplicate
+      visited worlds without rendering states through [pp_state].
+
+      Contract: the fingerprint must induce {e the same} equivalence
+      classes as the [pp_state] rendering on reachable states — states
+      with equal prints must hash equal (or dedup misses worlds it used
+      to merge), and states with distinct prints should hash distinct
+      (or dedup merges worlds it used to keep apart). When [pp_state]
+      prints a lossy summary, mirror exactly the fields it prints.
+      [None] falls back to hashing the [pp_state] rendering itself,
+      which is always class-exact and, thanks to per-state caching in
+      the explorer, already far cheaper than the historical
+      whole-world digest. *)
+
   val durable : (state, msg) Durability.t option
   (** What this protocol must persist to survive a crash, and how to
       recover it (see {!Durability}). [None] means total amnesia on

@@ -13,6 +13,8 @@ module Make (App : Proto.App_intf.APP) = struct
     vetoes_installed : int;
     cannot_steer : int;
     worlds_explored : int;
+    outcomes_cached : int;
+    fingerprint_collisions : int;
     checkpoint_bytes : int;
   }
 
@@ -32,6 +34,12 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable n_vetoes : int;
     mutable n_cannot : int;
     mutable n_worlds : int;
+    mutable n_cached : int;
+    mutable n_collisions : int;
+    (* Persisted across steering rounds: consecutive rounds explore
+       near-identical neighbourhoods, which is the transposition
+       cache's best case. *)
+    cache : St.Ex.cache;
   }
 
   let collect_checkpoint t =
@@ -89,6 +97,9 @@ module Make (App : Proto.App_intf.APP) = struct
         n_vetoes = 0;
         n_cannot = 0;
         n_worlds = 0;
+        n_cached = 0;
+        n_collisions = 0;
+        cache = St.Ex.create_cache ();
       }
     in
     (* The controller snapshots immediately on attach so a usable (if
@@ -167,11 +178,14 @@ module Make (App : Proto.App_intf.APP) = struct
         | None -> ()
         | Some view ->
             let world = Ex.world_of_view view in
-            let verdict =
-              St.decide ~max_worlds:t.cfg.max_worlds ~include_drops:t.cfg.include_drops
-                ~generic_node:t.cfg.generic_node ~depth:t.cfg.steer_depth world
+            let verdict, stats =
+              St.decide_with_stats ~max_worlds:t.cfg.max_worlds
+                ~include_drops:t.cfg.include_drops ~generic_node:t.cfg.generic_node
+                ~cache:t.cache ~domains:t.cfg.domains ~depth:t.cfg.steer_depth world
             in
-            t.n_worlds <- t.n_worlds + t.cfg.max_worlds;
+            t.n_worlds <- t.n_worlds + stats.St.worlds_explored;
+            t.n_cached <- t.n_cached + stats.St.outcomes_cached;
+            t.n_collisions <- t.n_collisions + stats.St.fingerprint_collisions;
             (match verdict with
             | St.No_violation -> ()
             | St.Steer vetoes ->
@@ -217,6 +231,8 @@ module Make (App : Proto.App_intf.APP) = struct
       vetoes_installed = t.n_vetoes;
       cannot_steer = t.n_cannot;
       worlds_explored = t.n_worlds;
+      outcomes_cached = t.n_cached;
+      fingerprint_collisions = t.n_collisions;
       checkpoint_bytes = t.checkpoint_bytes;
     }
 

@@ -26,6 +26,15 @@ module Make (App : Proto.App_intf.APP) : sig
     vetoes_installed : int;
     cannot_steer : int;
     worlds_explored : int;
+        (** worlds actually visited by consequence prediction, summed
+            over every explore of every steering round (not the
+            per-round budget) *)
+    outcomes_cached : int;
+        (** handler outcomes served from the runtime's persistent
+            transposition cache *)
+    fingerprint_collisions : int;
+        (** detected first-lane fingerprint collisions (worlds were
+            kept apart; this only measures hash quality) *)
     checkpoint_bytes : int;
         (** control traffic charged to the network when a state codec
             was supplied; 0 otherwise *)

@@ -18,6 +18,9 @@ let pp_msg ppf m =
 
 let pp_state ppf st = Format.fprintf ppf "{h=%b}" st.holding
 
+(* [pp_state] prints only [holding]; match that granularity exactly. *)
+let fingerprint = Some (fun st -> Hashtbl.hash st.holding)
+
 let init (ctx : Proto.Ctx.t) = ({ self = ctx.self; holding = false }, [])
 
 let receive =

@@ -1,0 +1,398 @@
+(* Differential tests for the rewritten explorer: the fingerprinted
+   worklist implementation (Mc.Explorer) is pinned against the
+   digest-based reference (Mc.Explorer_ref) on seeded lock, paxos and
+   randtree worlds, across include_drops and generic_node modes.
+
+   Two comparison strengths, chosen per scenario:
+
+   - [check_same]: byte-exact — same worlds_explored/worlds_deduped,
+     same violation multiset with first depths and path lengths, same
+     liveness and veto-candidate sets. This holds wherever every path
+     to a world has the same length, which is the case for purely
+     message-consuming scenarios.
+
+   - [check_verdict] + [check_steering]: where a world is reachable at
+     different depths (generic-node injections consume nothing; some
+     handler cycles regenerate earlier worlds), the old bounded DFS
+     first-visits such worlds deeper and then prunes them at the depth
+     bound, while the worklist search visits them at their minimal
+     depth and keeps expanding — strictly better coverage, and
+     violation first-depths that are never worse. For these scenarios
+     we pin what consequence prediction actually feeds steering:
+     identical violated-property sets, identical veto candidates,
+     identical liveness, first depths no deeper than the reference's —
+     and byte-identical steering verdicts against a reference
+     steering decision procedure run over the old explorer.
+
+   A second group checks that [domains] parallelism and shared
+   transposition caches never change any verdict. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let check_strings = Alcotest.(check (list string))
+let nid = Proto.Node_id.of_int
+
+module Diff (App : Proto.App_intf.APP) = struct
+  module Ex = Mc.Explorer.Make (App)
+  module Ref = Mc.Explorer_ref.Make (App)
+  module Sn = Mc.Steering.Make (App)
+
+  let ref_world_of (w : Ex.world) : Ref.world =
+    { Ref.states = w.states; pending = w.pending; timers = w.timers }
+
+  (* Violations as sorted strings: property, first depth and path
+     length pin the verdict; the concrete representative path is
+     traversal-order-defined, so DFS and BFS may legally differ. *)
+  let new_viols (r : Ex.result) =
+    List.sort compare
+      (List.map
+         (fun (v : Ex.violation) ->
+           Printf.sprintf "%s@%d/%d" v.property v.at_depth (List.length v.path))
+         r.violations)
+
+  let ref_viols (r : Ref.result) =
+    List.sort compare
+      (List.map
+         (fun (v : Ref.violation) ->
+           Printf.sprintf "%s@%d/%d" v.property v.at_depth (List.length v.path))
+         r.violations)
+
+  let check_same name ?max_worlds ?include_drops ?generic_node ~depth (w : Ex.world) =
+    let r_new = Ex.explore ?max_worlds ?include_drops ?generic_node ~depth w in
+    let r_old = Ref.explore ?max_worlds ?include_drops ?generic_node ~depth (ref_world_of w) in
+    (* Under truncation the budget admits different worlds per
+       traversal order, so differential scenarios must stay inside it. *)
+    checkb (name ^ ": reference not truncated") false r_old.Ref.truncated;
+    checkb (name ^ ": rewrite not truncated") false r_new.Ex.truncated;
+    checki (name ^ ": worlds_explored") r_old.Ref.worlds_explored r_new.Ex.worlds_explored;
+    checki (name ^ ": worlds_deduped") r_old.Ref.worlds_deduped r_new.Ex.worlds_deduped;
+    check_strings (name ^ ": violations") (ref_viols r_old) (new_viols r_new);
+    check_strings (name ^ ": liveness_unmet")
+      (List.sort compare r_old.Ref.liveness_unmet)
+      (List.sort compare r_new.Ex.liveness_unmet);
+    check_strings (name ^ ": veto candidates")
+      (List.map (Format.asprintf "%a" Ref.pp_step) (Ref.first_steps_to_violation r_old))
+      (List.map (Format.asprintf "%a" Ex.pp_step) (Ex.first_steps_to_violation r_new))
+
+  (* Semantic comparison for scenarios where visit depths legally
+     differ (see the header comment): what steering consumes must
+     still be identical, and the rewrite's first depths must never be
+     deeper than the reference's. *)
+  let check_verdict name ?max_worlds ?include_drops ?generic_node ~depth (w : Ex.world) =
+    let r_new = Ex.explore ?max_worlds ?include_drops ?generic_node ~depth w in
+    let r_old = Ref.explore ?max_worlds ?include_drops ?generic_node ~depth (ref_world_of w) in
+    checkb (name ^ ": reference not truncated") false r_old.Ref.truncated;
+    checkb (name ^ ": rewrite not truncated") false r_new.Ex.truncated;
+    let pset_new =
+      List.sort_uniq compare (List.map (fun (v : Ex.violation) -> v.property) r_new.Ex.violations)
+    in
+    let pset_old =
+      List.sort_uniq compare
+        (List.map (fun (v : Ref.violation) -> v.property) r_old.Ref.violations)
+    in
+    check_strings (name ^ ": violated properties") pset_old pset_new;
+    check_strings (name ^ ": liveness_unmet")
+      (List.sort compare r_old.Ref.liveness_unmet)
+      (List.sort compare r_new.Ex.liveness_unmet);
+    (* No veto-candidate comparison here: first steps belong to
+       first-visit representative paths, which are traversal-defined
+       in these scenarios; [check_steering] pins the verdict built
+       from them instead. *)
+    let min_depth viols prop =
+      List.fold_left (fun acc (p, d) -> if p = prop then min acc d else acc) max_int viols
+    in
+    let new_pd = List.map (fun (v : Ex.violation) -> (v.property, v.at_depth)) r_new.Ex.violations in
+    let old_pd =
+      List.map (fun (v : Ref.violation) -> (v.property, v.at_depth)) r_old.Ref.violations
+    in
+    List.iter
+      (fun prop ->
+        checkb
+          (Printf.sprintf "%s: first depth of %s not worse" name prop)
+          true
+          (min_depth new_pd prop <= min_depth old_pd prop))
+      pset_new
+
+  (* Reference steering: the decision procedure of Mc.Steering run
+     verbatim over the reference explorer, rendered comparably. *)
+  let veto_str (src, dst, kind) =
+    Printf.sprintf "%s:%d->%d" kind (Proto.Node_id.to_int src) (Proto.Node_id.to_int dst)
+
+  let ref_decide ?max_worlds ?include_drops ?generic_node ~depth (w : Ref.world) =
+    let explore w = Ref.explore ?max_worlds ?include_drops ?generic_node ~depth w in
+    let pset (r : Ref.result) =
+      List.sort_uniq String.compare
+        (List.map (fun (v : Ref.violation) -> v.property) r.violations)
+    in
+    let base = explore w in
+    match base.Ref.violations with
+    | [] -> [ "no-violation" ]
+    | _ :: _ ->
+        let doomed = pset base in
+        let candidates =
+          List.filter_map
+            (function
+              | Ref.Deliver_step { src; dst; kind } -> Some (src, dst, kind)
+              | Ref.Drop_step _ | Ref.Timer_step _ | Ref.Generic_step _ -> None)
+            (Ref.first_steps_to_violation base)
+        in
+        let without (src, dst, kind) =
+          let dropped = ref false in
+          {
+            w with
+            Ref.pending =
+              List.filter
+                (fun (s, d, m) ->
+                  let matches =
+                    (not !dropped)
+                    && Proto.Node_id.equal s src && Proto.Node_id.equal d dst
+                    && String.equal (App.msg_kind m) kind
+                  in
+                  if matches then dropped := true;
+                  not matches)
+                w.Ref.pending;
+          }
+        in
+        let safe =
+          List.filter
+            (fun c ->
+              let steered = explore (without c) in
+              List.for_all (fun p -> List.mem p doomed) (pset steered))
+            candidates
+        in
+        (match safe with
+        | [] -> "cannot-steer" :: doomed
+        | _ :: _ -> "steer" :: List.sort compare (List.map veto_str safe))
+
+  let new_decide ?max_worlds ?include_drops ?generic_node ~depth (w : Ex.world) =
+    match Sn.decide ?max_worlds ?include_drops ?generic_node ~depth w with
+    | Sn.No_violation -> [ "no-violation" ]
+    | Sn.Steer vetoes ->
+        "steer"
+        :: List.sort compare
+             (List.map (fun (v : Sn.veto) -> veto_str (v.src, v.dst, v.kind)) vetoes)
+    | Sn.Cannot_steer doomed -> "cannot-steer" :: doomed
+
+  let check_steering name ?max_worlds ?include_drops ?generic_node ~depth (w : Ex.world) =
+    check_strings
+      (name ^ ": steering verdict")
+      (ref_decide ?max_worlds ?include_drops ?generic_node ~depth (ref_world_of w))
+      (new_decide ?max_worlds ?include_drops ?generic_node ~depth w)
+
+  let check_iterative ?(strict = true) name ?include_drops ?generic_node ~max_depth
+      (w : Ex.world) =
+    let d_new, r_new = Ex.iterative ?include_drops ?generic_node ~max_depth w in
+    let d_old, r_old = Ref.iterative ?include_drops ?generic_node ~max_depth (ref_world_of w) in
+    checki (name ^ ": stop depth") d_old d_new;
+    if strict then begin
+      checki (name ^ ": worlds_explored") r_old.Ref.worlds_explored r_new.Ex.worlds_explored;
+      checki (name ^ ": worlds_deduped") r_old.Ref.worlds_deduped r_new.Ex.worlds_deduped;
+      check_strings (name ^ ": violations") (ref_viols r_old) (new_viols r_new)
+    end
+    else
+      check_strings (name ^ ": violated properties")
+        (List.sort_uniq compare
+           (List.map (fun (v : Ref.violation) -> v.property) r_old.Ref.violations))
+        (List.sort_uniq compare
+           (List.map (fun (v : Ex.violation) -> v.property) r_new.Ex.violations))
+
+  (* Everything except outcomes_cached (a partition statistic) must be
+     invariant in [domains] — including representative paths. *)
+  let full_sig (r : Ex.result) =
+    List.map
+      (fun (v : Ex.violation) ->
+        Format.asprintf "%s@%d:%a" v.property v.at_depth
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") Ex.pp_step)
+          v.path)
+      r.violations
+
+  let check_domains name ?max_worlds ?include_drops ?generic_node ~depth (w : Ex.world) =
+    let r1 = Ex.explore ?max_worlds ?include_drops ?generic_node ~domains:1 ~depth w in
+    let r4 = Ex.explore ?max_worlds ?include_drops ?generic_node ~domains:4 ~depth w in
+    check_strings (name ^ ": violations") (full_sig r1) (full_sig r4);
+    checki (name ^ ": worlds_explored") r1.Ex.worlds_explored r4.Ex.worlds_explored;
+    checki (name ^ ": worlds_deduped") r1.Ex.worlds_deduped r4.Ex.worlds_deduped;
+    checki (name ^ ": collisions") r1.Ex.fingerprint_collisions r4.Ex.fingerprint_collisions;
+    checkb (name ^ ": truncated") r1.Ex.truncated r4.Ex.truncated;
+    check_strings (name ^ ": liveness_unmet") r1.Ex.liveness_unmet r4.Ex.liveness_unmet
+
+  let check_cache_reuse name ?include_drops ?generic_node ~depth (w : Ex.world) =
+    let cache = Ex.create_cache () in
+    let r1 = Ex.explore ?include_drops ?generic_node ~cache ~depth w in
+    let r2 = Ex.explore ?include_drops ?generic_node ~cache ~depth w in
+    check_strings (name ^ ": warm cache, same violations") (full_sig r1) (full_sig r2);
+    checki (name ^ ": warm cache, same worlds") r1.Ex.worlds_explored r2.Ex.worlds_explored;
+    checkb (name ^ ": second run hits the cache") true (r2.Ex.outcomes_cached > 0)
+end
+
+(* ---------- lock: handcrafted worlds covering every branch kind ---------- *)
+
+module Lock = Test_support.Lock_app
+module DL = Diff (Lock)
+
+let lock_world ?(timers = []) states pending : DL.Ex.world =
+  {
+    states =
+      List.fold_left
+        (fun m (i, holding) -> Proto.Node_id.Map.add (nid i) { Lock.self = nid i; holding } m)
+        Proto.Node_id.Map.empty states;
+    pending = List.map (fun (a, b, m) -> (nid a, nid b, m)) pending;
+    timers = List.map (fun (i, id) -> (nid i, id)) timers;
+  }
+
+let lock_worlds =
+  [
+    ("safe", lock_world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant) ]);
+    ( "double-grant",
+      lock_world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant); (1, 0, Lock.Grant) ] );
+    ("flip-choice", lock_world [ (0, true); (1, false) ] [ (0, 1, Lock.Flip) ]);
+    ( "timer-and-msgs",
+      lock_world ~timers:[ (1, "grab"); (0, "grab") ]
+        [ (0, true); (1, false) ]
+        [ (1, 0, Lock.Release); (0, 1, Lock.Flip) ] );
+  ]
+
+let test_lock_differential () =
+  List.iter
+    (fun (name, w) ->
+      (* Timer fires do not disarm the timer, so timer worlds contain
+         self-loops — length-divergent paths to the same world — and
+         only qualify for the semantic comparison beyond depth 1. *)
+      let strict = name <> "timer-and-msgs" in
+      if strict then begin
+        DL.check_same (name ^ "/plain") ~depth:3 w;
+        DL.check_same (name ^ "/drops") ~include_drops:true ~depth:3 w
+      end
+      else begin
+        DL.check_same (name ^ "/depth1") ~include_drops:true ~depth:1 w;
+        DL.check_verdict (name ^ "/plain") ~depth:3 w;
+        DL.check_verdict (name ^ "/drops") ~include_drops:true ~depth:3 w
+      end;
+      DL.check_verdict (name ^ "/generic") ~generic_node:true ~depth:3 w;
+      DL.check_verdict (name ^ "/drops+generic") ~include_drops:true ~generic_node:true ~depth:4
+        w;
+      DL.check_steering (name ^ "/steer") ~depth:3 w;
+      DL.check_steering (name ^ "/steer+generic") ~generic_node:true ~depth:3 w)
+    lock_worlds
+
+let test_lock_iterative () =
+  List.iter
+    (fun (name, w) ->
+      DL.check_iterative (name ^ "/iter") ~max_depth:3 w;
+      DL.check_iterative (name ^ "/iter+drops") ~include_drops:true ~max_depth:3 w)
+    lock_worlds
+
+(* ---------- paxos: worlds frozen out of a live engine run ---------- *)
+
+module P = Apps.Paxos
+
+module Paxos_params = struct
+  let population = 3
+  let client_period = 0.  (* tests inject commands themselves *)
+  let retry_timeout = 1.0
+end
+
+module PApp = P.Make (Paxos_params)
+module PE = Engine.Sim.Make (PApp)
+module DP = Diff (PApp)
+
+let paxos_world ~seed =
+  let topology =
+    Net.Topology.uniform ~n:3 (Net.Linkprop.v ~latency:0.01 ~bandwidth:1_000_000. ~loss:0.)
+  in
+  let eng = PE.create ~seed ~jitter:0. ~topology () in
+  PE.set_resolver eng P.self_resolver;
+  for i = 0 to 2 do
+    PE.spawn eng (nid i)
+  done;
+  PE.run_for eng 0.05;
+  PE.inject eng ~src:(nid 1) ~dst:(nid 0) (P.Submit { cmd = { P.origin = 1; seq = 0; born = 0. } });
+  PE.inject eng ~src:(nid 2) ~dst:(nid 1) (P.Submit { cmd = { P.origin = 2; seq = 1; born = 0. } });
+  PE.run_for eng 0.015;
+  let view = PE.global_view eng in
+  DP.Ex.world_of_view view
+
+let test_paxos_differential () =
+  List.iter
+    (fun seed ->
+      let w = paxos_world ~seed in
+      let name = Printf.sprintf "paxos/seed%d" seed in
+      DP.check_same (name ^ "/plain") ~depth:3 w;
+      DP.check_verdict (name ^ "/drops") ~include_drops:true ~depth:3 w;
+      DP.check_verdict (name ^ "/drops+generic") ~include_drops:true ~generic_node:true ~depth:2
+        w;
+      DP.check_steering (name ^ "/steer") ~depth:3 w;
+      DP.check_steering (name ^ "/steer+drops") ~include_drops:true ~depth:3 w)
+    [ 3; 11 ]
+
+let test_paxos_iterative () =
+  let w = paxos_world ~seed:3 in
+  DP.check_iterative "paxos/iter" ~max_depth:3 w;
+  DP.check_iterative ~strict:false "paxos/iter+drops" ~include_drops:true ~max_depth:2 w
+
+(* ---------- randtree: joins frozen mid-flight ---------- *)
+
+module RT = Apps.Randtree_choice.Default
+module RE = Engine.Sim.Make (RT)
+module DR = Diff (RT)
+
+let randtree_world ~seed ~n ~horizon =
+  let topology =
+    Net.Topology.uniform ~n (Net.Linkprop.v ~latency:0.01 ~bandwidth:1_000_000. ~loss:0.)
+  in
+  let eng = RE.create ~seed ~jitter:0. ~topology () in
+  for i = 0 to n - 1 do
+    RE.spawn eng ~after:(0.05 *. float_of_int i) (nid i)
+  done;
+  RE.run_for eng horizon;
+  DR.Ex.world_of_view (RE.global_view eng)
+
+let test_randtree_differential () =
+  let w = randtree_world ~seed:5 ~n:6 ~horizon:0.4 in
+  DR.check_same "randtree/plain" ~depth:2 w;
+  DR.check_same "randtree/drops" ~include_drops:true ~depth:2 w;
+  DR.check_verdict "randtree/generic" ~generic_node:true ~depth:2 w;
+  DR.check_steering "randtree/steer" ~depth:2 w
+
+(* ---------- domains and cache invariance ---------- *)
+
+let test_domains_determinism () =
+  List.iter
+    (fun (name, w) ->
+      DL.check_domains (name ^ "/domains") ~include_drops:true ~generic_node:true ~depth:4 w)
+    lock_worlds;
+  DP.check_domains "paxos/domains" ~include_drops:true ~depth:3 (paxos_world ~seed:3);
+  DR.check_domains "randtree/domains" ~depth:2 (randtree_world ~seed:5 ~n:6 ~horizon:0.4)
+
+let test_domains_iterative () =
+  let w = paxos_world ~seed:3 in
+  let d1, r1 = DP.Ex.iterative ~include_drops:true ~domains:1 ~max_depth:3 w in
+  let d4, r4 = DP.Ex.iterative ~include_drops:true ~domains:4 ~max_depth:3 w in
+  checki "iterative stop depth invariant in domains" d1 d4;
+  check_strings "iterative violations invariant in domains" (DP.full_sig r1) (DP.full_sig r4);
+  checki "iterative worlds invariant in domains" r1.DP.Ex.worlds_explored r4.DP.Ex.worlds_explored
+
+let test_cache_reuse () =
+  DL.check_cache_reuse "lock/cache"
+    ~include_drops:true ~depth:3
+    (lock_world [ (0, false); (1, false) ] [ (0, 1, Lock.Grant); (1, 0, Lock.Grant) ]);
+  DP.check_cache_reuse "paxos/cache" ~depth:3 (paxos_world ~seed:3)
+
+let () =
+  Alcotest.run "mc-diff"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "lock worlds" `Quick test_lock_differential;
+          Alcotest.test_case "lock iterative" `Quick test_lock_iterative;
+          Alcotest.test_case "paxos worlds" `Quick test_paxos_differential;
+          Alcotest.test_case "paxos iterative" `Quick test_paxos_iterative;
+          Alcotest.test_case "randtree worlds" `Quick test_randtree_differential;
+        ] );
+      ( "invariance",
+        [
+          Alcotest.test_case "domains determinism" `Quick test_domains_determinism;
+          Alcotest.test_case "domains iterative" `Quick test_domains_iterative;
+          Alcotest.test_case "cache reuse" `Quick test_cache_reuse;
+        ] );
+    ]
