@@ -530,6 +530,94 @@ let chaos_cmd =
           corruption and reordering over every application, asserting safety and recovery.")
     Term.(const run $ seed_arg $ rounds $ factor $ apps $ show_plans)
 
+(* ---------- obs ---------- *)
+
+let obs_cmd =
+  let run seed duration app metrics_out spans_out include_volatile no_check =
+    let sink = Obs.Sink.create () in
+    (match app with
+    | "paxos" ->
+        ignore
+          (Experiments.Paxos_exp.run ~seed ~duration ~obs:sink
+             ~scenario:Experiments.Paxos_exp.Balanced_wan Experiments.Paxos_exp.Local)
+    | "kvstore" ->
+        ignore
+          (Experiments.Kvstore_exp.run ~seed ~duration ~obs:sink
+             Experiments.Kvstore_exp.Nearest)
+    | "gossip" ->
+        let waves = Stdlib.max 1 (int_of_float (duration /. 10.)) in
+        ignore
+          (Experiments.Gossip_exp.run ~seed ~waves ~obs:sink
+             ~scenario:Experiments.Gossip_exp.Uniform Experiments.Gossip_exp.Random_peer)
+    | "steering" ->
+        ignore
+          (Experiments.Steering_exp.run ~seed ~duration ~obs:sink ~with_runtime:true ())
+    | other ->
+        Format.printf "unknown app %S (expected paxos|kvstore|gossip|steering)@." other;
+        exit 2);
+    let metrics_lines =
+      Obs.Sink.write_metrics ~include_volatile sink ~path:metrics_out
+    in
+    let span_lines = Obs.Sink.write_spans sink ~path:spans_out in
+    Format.printf "%s: %d metrics -> %s, %d spans -> %s (%d recorded, %d evicted)@." app
+      metrics_lines metrics_out span_lines spans_out
+      (Obs.Span.recorded sink.Obs.Sink.spans)
+      (Obs.Span.dropped sink.Obs.Sink.spans);
+    if not no_check then begin
+      let check label path =
+        match Obs.Sink.validate_file path with
+        | Ok n -> Format.printf "%s: %d valid JSON lines@." label n
+        | Error msg ->
+            Format.printf "%s: INVALID (%s)@." label msg;
+            exit 1
+      in
+      check "metrics" metrics_out;
+      check "spans" spans_out
+    end
+  in
+  let duration =
+    Arg.(value & opt float 10. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Virtual run time.")
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt string "paxos"
+      & info [ "app" ] ~docv:"APP"
+          ~doc:"Experiment to instrument (paxos|kvstore|gossip|steering).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt string "obs_metrics.jsonl"
+      & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Metrics JSON-lines output path.")
+  in
+  let spans_out =
+    Arg.(
+      value
+      & opt string "obs_spans.jsonl"
+      & info [ "spans-out" ] ~docv:"FILE" ~doc:"Spans JSON-lines output path.")
+  in
+  let include_volatile =
+    Arg.(
+      value & flag
+      & info [ "include-volatile" ]
+          ~doc:"Also export wall-clock-derived metrics (breaks per-seed determinism).")
+  in
+  let no_check =
+    Arg.(
+      value & flag
+      & info [ "no-check" ] ~doc:"Skip re-reading and validating the emitted files.")
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Run an experiment with the observability layer attached and export metrics and \
+          causal spans as JSON-lines; by default the files are re-read and validated \
+          (non-zero exit on empty or malformed output).")
+    Term.(
+      const run $ seed_arg $ duration $ app_arg $ metrics_out $ spans_out $ include_volatile
+      $ no_check)
+
 let () =
   let doc = "Reproduction of 'Simplifying Distributed System Development' (HotOS 2009)." in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
@@ -548,4 +636,5 @@ let () =
             metrics_cmd;
             overhead_cmd;
             explore_cmd;
+            obs_cmd;
           ]))

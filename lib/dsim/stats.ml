@@ -1,5 +1,16 @@
+(* Samples live in a growable array (or a fixed-size reservoir when
+   [capacity] is given).  Percentile queries sort once into [sorted] and
+   reuse that array until the next [add] invalidates it — [pp_summary]
+   asks for median, p99 and max back to back, which used to cost three
+   full sorts per call. *)
+
 type t = {
-  mutable samples : float list; (* reversed insertion order *)
+  mutable samples : float array;
+  mutable len : int;  (** live prefix of [samples] *)
+  mutable sorted : float array option;  (** cache; [None] after a mutation *)
+  mutable sorts : int;  (** number of sorts performed, for regression tests *)
+  capacity : int option;  (** reservoir bound; [None] = unbounded *)
+  rng : Rng.t option;  (** reservoir coin-flips; only with [capacity] *)
   mutable n : int;
   mutable total : float;
   mutable total_sq : float;
@@ -7,18 +18,65 @@ type t = {
   mutable hi : float;
 }
 
-let create () =
-  { samples = []; n = 0; total = 0.; total_sq = 0.; lo = infinity; hi = neg_infinity }
+let create ?capacity ?(seed = 0x5157) () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Stats.create: capacity must be positive"
+  | _ -> ());
+  {
+    samples = [||];
+    len = 0;
+    sorted = None;
+    sorts = 0;
+    capacity;
+    rng = Option.map (fun _ -> Rng.create seed) capacity;
+    n = 0;
+    total = 0.;
+    total_sq = 0.;
+    lo = infinity;
+    hi = neg_infinity;
+  }
+
+let ensure_room t =
+  let cap = Array.length t.samples in
+  if t.len >= cap then begin
+    let cap' = Stdlib.max 16 (2 * cap) in
+    let cap' = match t.capacity with Some c -> Stdlib.min c cap' | None -> cap' in
+    let bigger = Array.make cap' 0. in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end
 
 let add t x =
-  t.samples <- x :: t.samples;
   t.n <- t.n + 1;
   t.total <- t.total +. x;
   t.total_sq <- t.total_sq +. (x *. x);
   if x < t.lo then t.lo <- x;
-  if x > t.hi then t.hi <- x
+  if x > t.hi then t.hi <- x;
+  match t.capacity with
+  | None ->
+      ensure_room t;
+      t.samples.(t.len) <- x;
+      t.len <- t.len + 1;
+      t.sorted <- None
+  | Some cap ->
+      if t.len < cap then begin
+        ensure_room t;
+        t.samples.(t.len) <- x;
+        t.len <- t.len + 1;
+        t.sorted <- None
+      end
+      else begin
+        (* Algorithm R: sample i (0-based) replaces a random slot with
+           probability cap/(i+1); the retained set stays uniform. *)
+        let j = Rng.int (Option.get t.rng) t.n in
+        if j < cap then begin
+          t.samples.(j) <- x;
+          t.sorted <- None
+        end
+      end
 
 let count t = t.n
+let retained t = t.len
 let sum t = t.total
 let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
 
@@ -33,19 +91,31 @@ let stddev t = sqrt (variance t)
 let min t = if t.n = 0 then invalid_arg "Stats.min: empty" else t.lo
 let max t = if t.n = 0 then invalid_arg "Stats.max: empty" else t.hi
 
+let sorted_samples t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.sub t.samples 0 t.len in
+      Array.sort Float.compare a;
+      t.sorts <- t.sorts + 1;
+      t.sorted <- Some a;
+      a
+
+let sorts_performed t = t.sorts
+
 let percentile t p =
-  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  if t.len = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: out of range";
-  let sorted = List.sort Float.compare t.samples in
-  let a = Array.of_list sorted in
-  let rank = p /. 100. *. float_of_int (t.n - 1) in
+  let a = sorted_samples t in
+  let n = Array.length a in
+  let rank = p /. 100. *. float_of_int (n - 1) in
   let lo_idx = int_of_float (Float.floor rank) in
-  let hi_idx = Stdlib.min (t.n - 1) (lo_idx + 1) in
+  let hi_idx = Stdlib.min (n - 1) (lo_idx + 1) in
   let frac = rank -. float_of_int lo_idx in
   a.(lo_idx) +. (frac *. (a.(hi_idx) -. a.(lo_idx)))
 
 let median t = percentile t 50.
-let to_list t = List.rev t.samples
+let to_list t = Array.to_list (Array.sub t.samples 0 t.len)
 
 let merge a b =
   let t = create () in
@@ -60,24 +130,56 @@ let pp_summary ppf t =
       (median t) (percentile t 99.) (max t)
 
 module Histogram = struct
-  type h = { lo : float; hi : float; width : float; counts : int array }
+  type h = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+  }
 
   let create ~lo ~hi ~buckets =
     if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
     if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
-    { lo; hi; width = (hi -. lo) /. float_of_int buckets; counts = Array.make buckets 0 }
+    {
+      lo;
+      hi;
+      width = (hi -. lo) /. float_of_int buckets;
+      counts = Array.make buckets 0;
+      underflow = 0;
+      overflow = 0;
+    }
 
   let add h x =
-    let n = Array.length h.counts in
-    let i = int_of_float ((x -. h.lo) /. h.width) in
-    let i = Stdlib.max 0 (Stdlib.min (n - 1) i) in
-    h.counts.(i) <- h.counts.(i) + 1
+    (* NaN fails [x >= h.lo] and lands in underflow rather than
+       corrupting a bucket index. *)
+    if not (x >= h.lo) then h.underflow <- h.underflow + 1
+    else if x >= h.hi then h.overflow <- h.overflow + 1
+    else begin
+      let n = Array.length h.counts in
+      let i = Stdlib.min (n - 1) (int_of_float ((x -. h.lo) /. h.width)) in
+      h.counts.(i) <- h.counts.(i) + 1
+    end
 
   let counts h = Array.copy h.counts
+  let underflow h = h.underflow
+  let overflow h = h.overflow
 
   let bucket_bounds h i =
     let lo = h.lo +. (float_of_int i *. h.width) in
     (lo, lo +. h.width)
 
-  let total h = Array.fold_left ( + ) 0 h.counts
+  let total h = Array.fold_left ( + ) (h.underflow + h.overflow) h.counts
+
+  let pp ppf h =
+    Format.fprintf ppf "@[<v>";
+    if h.underflow > 0 then Format.fprintf ppf "underflow (-inf, %g): %d@," h.lo h.underflow;
+    Array.iteri
+      (fun i c ->
+        let blo, bhi = bucket_bounds h i in
+        Format.fprintf ppf "[%g, %g): %d@," blo bhi c)
+      h.counts;
+    if h.overflow > 0 then Format.fprintf ppf "overflow [%g, +inf): %d@," h.hi h.overflow;
+    Format.fprintf ppf "@]"
 end

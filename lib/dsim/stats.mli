@@ -1,16 +1,34 @@
 (** Streaming summary statistics and simple histograms.
 
-    Used by the benchmark harness and the network model to summarise
-    latency samples, dissemination times, and so on. *)
+    Used by the benchmark harness, the network model, and the
+    observability registry to summarise latency samples, dissemination
+    times, and so on.
+
+    Aggregates (count, mean, variance, min, max, sum) are exact over
+    every observation.  Percentiles are computed over the retained
+    samples: all of them when unbounded, or a uniform reservoir when
+    [?capacity] is given.  The sorted view is cached and invalidated on
+    [add], so repeated percentile queries (e.g. [pp_summary]) cost one
+    sort per mutation epoch rather than one per call. *)
 
 type t
 (** Mutable accumulator of float samples. *)
 
-val create : unit -> t
+val create : ?capacity:int -> ?seed:int -> unit -> t
+(** [create ()] retains every sample — exactly the historical behaviour.
+    [create ~capacity ()] retains at most [capacity] samples using
+    reservoir sampling (Algorithm R) driven by a private deterministic
+    generator seeded from [seed] (default fixed), so long soaks stop
+    accumulating O(events) memory and identical runs retain identical
+    samples.  @raise Invalid_argument if [capacity <= 0]. *)
 
 val add : t -> float -> unit
 
 val count : t -> int
+(** Total observations, including any evicted from a reservoir. *)
+
+val retained : t -> int
+(** Samples currently held; [= count] when unbounded. *)
 
 val mean : t -> float
 (** 0 if no samples. *)
@@ -29,21 +47,32 @@ val max : t -> float
 val sum : t -> float
 
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [\[0,100\]], linear interpolation.
+(** [percentile t p] with [p] in [\[0,100\]], linear interpolation over
+    the retained samples.
     @raise Invalid_argument if empty or [p] out of range. *)
 
 val median : t -> float
 
+val sorts_performed : t -> int
+(** Number of full sorts this accumulator has ever done.  Percentile
+    queries between two mutations share one sort; this counter lets
+    tests assert that. *)
+
 val to_list : t -> float list
-(** Samples in insertion order. *)
+(** Retained samples in insertion order (reservoir slots in slot
+    order once the capacity has been exceeded). *)
 
 val merge : t -> t -> t
-(** Fresh accumulator containing both sample sets. *)
+(** Fresh unbounded accumulator containing both retained sample sets. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line [n/mean/p50/p99/max] summary. *)
 
-(** Fixed-bucket histogram over a closed range. *)
+(** Fixed-bucket histogram over a closed-open range.
+
+    Out-of-range samples are never folded into the edge buckets — they
+    are counted separately as underflow/overflow so tail buckets keep
+    their true shape. *)
 module Histogram : sig
   type h
 
@@ -51,12 +80,21 @@ module Histogram : sig
   (** @raise Invalid_argument unless [lo < hi] and [buckets > 0]. *)
 
   val add : h -> float -> unit
-  (** Out-of-range samples clamp to the first or last bucket. *)
+  (** Samples below [lo] count as underflow, samples at or above [hi]
+      as overflow (NaN counts as underflow). *)
 
   val counts : h -> int array
+  (** In-range bucket counts only. *)
+
+  val underflow : h -> int
+  val overflow : h -> int
 
   val bucket_bounds : h -> int -> float * float
   (** Closed-open bounds of bucket [i]. *)
 
   val total : h -> int
+  (** In-range + underflow + overflow. *)
+
+  val pp : Format.formatter -> h -> unit
+  (** One line per non-empty boundary region and each bucket. *)
 end

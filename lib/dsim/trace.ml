@@ -1,30 +1,68 @@
 type level = Debug | Info | Warn | Error
 
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
 type record = { time : Vtime.t; level : level; component : string; message : string }
 
-type t = { capacity : int; q : record Queue.t; mutable total : int }
+type t = {
+  capacity : int;
+  q : record Queue.t;
+  mutable total : int;
+  mutable min_level : level;
+  mutable suppressed : int;
+}
 
-let create ?(capacity = 100_000) () =
+let create ?(capacity = 100_000) ?(min_level = Debug) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; q = Queue.create (); total = 0 }
+  { capacity; q = Queue.create (); total = 0; min_level; suppressed = 0 }
+
+let min_level t = t.min_level
+let set_min_level t level = t.min_level <- level
+let enabled t level = level_rank level >= level_rank t.min_level
+let suppressed t = t.suppressed
 
 let log t time level ~component message =
-  Queue.push { time; level; component; message } t.q;
-  t.total <- t.total + 1;
-  if Queue.length t.q > t.capacity then ignore (Queue.pop t.q)
+  if enabled t level then begin
+    Queue.push { time; level; component; message } t.q;
+    t.total <- t.total + 1;
+    if Queue.length t.q > t.capacity then ignore (Queue.pop t.q)
+  end
+  else t.suppressed <- t.suppressed + 1
 
 let logf t time level ~component fmt =
-  Format.kasprintf (fun message -> log t time level ~component message) fmt
+  if enabled t level then
+    Format.kasprintf (fun message -> log t time level ~component message) fmt
+  else begin
+    (* Below the gate: consume the format arguments without ever
+       formatting them.  [ikfprintf] ignores everything, so a gated
+       [logf t v Debug "%a" pp x] costs two branches and no
+       allocation — this is what makes Debug sites free on hot paths. *)
+    t.suppressed <- t.suppressed + 1;
+    Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  end
 
 let records t = List.of_seq (Queue.to_seq t.q)
 let count t = t.total
 
+(* Allocation-free substring search: compare characters in place
+   instead of carving a [String.sub] out of the haystack at every
+   candidate position. *)
 let contains_substring haystack needle =
   let lh = String.length haystack and ln = String.length needle in
   if ln = 0 then true
-  else
-    let rec at i = if i + ln > lh then false else String.sub haystack i ln = needle || at (i + 1) in
-    at 0
+  else if ln > lh then false
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= lh - ln do
+      let j = ref 0 in
+      while !j < ln && String.unsafe_get haystack (!i + !j) = String.unsafe_get needle !j do
+        incr j
+      done;
+      if !j = ln then found := true else incr i
+    done;
+    !found
+  end
 
 let find t ~component ~substring =
   List.filter

@@ -3,11 +3,26 @@ module Make (App : Proto.App_intf.APP) = struct
 
   type node = { state : App.state; alive : bool; timer_gens : int Smap.t; incarnation : int }
 
+  (* Every event carries the trace id of the causal chain it belongs
+     to: minted at each root (a boot, an injected message), inherited by
+     everything a handler does in response.  [Boot] needs none — the
+     trace is minted when it is processed. *)
   type ev =
     | Boot of Proto.Node_id.t
-    | Deliver of { src : Proto.Node_id.t; dst : Proto.Node_id.t; msg : App.msg; sent_at : Dsim.Vtime.t }
-    | Timer_fire of { node : Proto.Node_id.t; id : string; gen : int }
-    | Outbound of { node : Proto.Node_id.t; incarnation : int; actions : App.msg Proto.Action.t list }
+    | Deliver of {
+        src : Proto.Node_id.t;
+        dst : Proto.Node_id.t;
+        msg : App.msg;
+        sent_at : Dsim.Vtime.t;
+        trace : int;
+      }
+    | Timer_fire of { node : Proto.Node_id.t; id : string; gen : int; trace : int }
+    | Outbound of {
+        node : Proto.Node_id.t;
+        incarnation : int;
+        actions : App.msg Proto.Action.t list;
+        trace : int;
+      }
         (* sends withheld until the WAL record they depend on is durable
            (write-ahead discipline); dropped if the node crashed or was
            reborn in the interim — those messages were never sent *)
@@ -62,6 +77,19 @@ module Make (App : Proto.App_intf.APP) = struct
     | Replay of (int * int) list * Core.Resolver.t  (* (occurrence, index) forcings *)
 
   type filter = { f_name : string; drop : kind:string -> src:Proto.Node_id.t -> dst:Proto.Node_id.t -> bool }
+
+  (* Metric handles the hot path would otherwise re-intern per event.
+     Keys are raw endpoint ints; values are registry handles created on
+     first use. *)
+  type obs = {
+    o_sink : Obs.Sink.t;
+    o_queue_depth : Obs.Registry.gauge;
+    o_node_deliveries : (int, Obs.Registry.counter) Hashtbl.t;
+    o_link_deliveries : (int * int, Obs.Registry.counter) Hashtbl.t;
+    o_link_latency : (int * int, Obs.Registry.histogram) Hashtbl.t;
+    o_drops : (string * int * int, Obs.Registry.counter) Hashtbl.t;
+    o_timer_fires : (int, Obs.Registry.counter) Hashtbl.t;
+  }
 
   type pending_reward = {
     pr_site : Core.Choice.site;
@@ -121,6 +149,9 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable n_torn_recoveries : int;
     mutable n_amnesia_wipes : int;
     mutable n_torn_writes : int;
+    mutable obs : obs option;
+    mutable next_trace : int;
+    mutable current_trace : int;  (** trace id of the event being processed *)
   }
 
   let create ?(seed = 1) ?(jitter = 0.05) ?(check_properties = true) ?(trace_capacity = 100_000)
@@ -170,7 +201,43 @@ module Make (App : Proto.App_intf.APP) = struct
       n_torn_recoveries = 0;
       n_amnesia_wipes = 0;
       n_torn_writes = 0;
+      obs = None;
+      next_trace = 0;
+      current_trace = 0;
     }
+
+  let set_obs t sink =
+    match sink with
+    | None -> t.obs <- None
+    | Some o_sink ->
+        t.obs <-
+          Some
+            {
+              o_sink;
+              o_queue_depth =
+                Obs.Registry.gauge o_sink.Obs.Sink.registry ~name:"engine_queue_depth"
+                  ~labels:[];
+              o_node_deliveries = Hashtbl.create 32;
+              o_link_deliveries = Hashtbl.create 64;
+              o_link_latency = Hashtbl.create 64;
+              o_drops = Hashtbl.create 32;
+              o_timer_fires = Hashtbl.create 32;
+            }
+
+  let obs_sink t = Option.map (fun o -> o.o_sink) t.obs
+
+  let obs_handle tbl key mk =
+    match Hashtbl.find_opt tbl key with
+    | Some h -> h
+    | None ->
+        let h = mk () in
+        Hashtbl.add tbl key h;
+        h
+
+  let mint_trace t =
+    let id = t.next_trace in
+    t.next_trace <- id + 1;
+    id
 
   let now t = t.now
   let trace t = t.trace
@@ -297,6 +364,8 @@ module Make (App : Proto.App_intf.APP) = struct
       netmodel = Net.Netmodel.copy t.netmodel;
       trace = Dsim.Trace.create ~capacity:16 ();
       message_log = None;
+      obs = None;
+      (* speculative branches must not pollute the real world's metrics *)
       stores = Proto.Node_id.Map.map Store.copy t.stores;
       mode = Plain fallback;
       speculative = true;
@@ -390,22 +459,68 @@ module Make (App : Proto.App_intf.APP) = struct
     Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"net" "drop(%s) %a->%a %t" cause
       Proto.Node_id.pp src Proto.Node_id.pp dst pp_payload
 
+  let root_cause cause =
+    match String.index_opt cause ':' with
+    | Some i -> String.sub cause 0 i
+    | None -> cause
+
+  let obs_drop o ~cause ~se ~de =
+    Obs.Registry.incr
+      (obs_handle o.o_drops (cause, se, de) (fun () ->
+           Obs.Registry.counter o.o_sink.Obs.Sink.registry ~name:"engine_drops"
+             ~labels:
+               [ ("cause", cause); ("src", string_of_int se); ("dst", string_of_int de) ]))
+
   let route t ~src ~dst msg =
     let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+    let trace = t.current_trace in
+    let now_s = Dsim.Vtime.to_seconds t.now in
+    let span verdict ~deliver_at =
+      match t.obs with
+      | None -> ()
+      | Some o ->
+          Obs.Span.record o.o_sink.Obs.Sink.spans ~trace ~src:se ~dst:de
+            ~kind:(App.msg_kind msg) ~enqueue:now_s ~deliver:deliver_at ~verdict
+    in
     let deliver delay =
       Dsim.Heap.push t.queue
-        { at = Dsim.Vtime.add t.now delay; ev = Deliver { src; dst; msg; sent_at = t.now } }
+        { at = Dsim.Vtime.add t.now delay; ev = Deliver { src; dst; msg; sent_at = t.now; trace } }
     in
     let pp_msg out = App.pp_msg out msg in
+    let dropped cause =
+      drop t ~src ~dst ~cause pp_msg;
+      match t.obs with
+      | None -> ()
+      | Some o ->
+          let cause = root_cause cause in
+          obs_drop o ~cause ~se ~de;
+          span ("drop:" ^ cause) ~deliver_at:now_s
+    in
+    (* A reorder verdict is invisible in [judge]'s return value — it
+       only inflates the delivery delay and bumps the netem counter, so
+       detect it by the counter's delta. *)
+    let reorders0 = Net.Netem.reorders t.netem in
     match
-      Net.Netem.judge t.netem ~now:(Dsim.Vtime.to_seconds t.now) ~src:se ~dst:de
-        ~bytes:(App.msg_bytes msg)
+      Net.Netem.judge t.netem ~now:now_s ~src:se ~dst:de ~bytes:(App.msg_bytes msg)
     with
-    | Net.Netem.Drop cause -> drop t ~src ~dst ~cause pp_msg
-    | Net.Netem.Deliver delay -> deliver delay
+    | Net.Netem.Drop cause -> dropped cause
+    | Net.Netem.Deliver delay ->
+        deliver delay;
+        let verdict = if Net.Netem.reorders t.netem > reorders0 then "reorder" else "deliver" in
+        span verdict ~deliver_at:(now_s +. delay)
     | Net.Netem.Duplicate delays ->
         t.n_duplicated <- t.n_duplicated + Int.max 0 (List.length delays - 1);
-        List.iter deliver delays
+        List.iter deliver delays;
+        if t.obs <> None then begin
+          let reordered = Net.Netem.reorders t.netem > reorders0 in
+          List.iteri
+            (fun i d ->
+              let verdict =
+                if i > 0 then "duplicate" else if reordered then "reorder" else "deliver"
+              in
+              span verdict ~deliver_at:(now_s +. d))
+            delays
+        end
     | Net.Netem.Corrupt { delay; flip } -> (
         t.n_corrupted <- t.n_corrupted + 1;
         (* The fault acts on the wire form: encode, flip bytes, try to
@@ -415,21 +530,23 @@ module Make (App : Proto.App_intf.APP) = struct
            under, so it too surfaces as a drop — handlers never see a
            garbled payload, and nothing escapes the engine. *)
         match App.msg_codec with
-        | None -> drop t ~src ~dst ~cause:"corrupt" pp_msg
+        | None -> dropped "corrupt"
         | Some codec -> (
             ignore delay;
             let garbled = garble t ~flip (Wire.Codec.encode codec msg) in
             match Wire.Codec.decode codec garbled with
             | Error e | (exception Wire.Codec.Malformed e) ->
                 t.n_decode_failures <- t.n_decode_failures + 1;
-                drop t ~src ~dst ~cause:("corrupt: " ^ e) pp_msg
-            | Ok _ -> drop t ~src ~dst ~cause:"corrupt: checksum mismatch" pp_msg))
+                dropped ("corrupt: " ^ e)
+            | Ok _ -> dropped "corrupt: checksum mismatch"))
 
   let inject t ?(after = 0.) ~src ~dst msg =
     check_endpoint t src;
     check_endpoint t dst;
+    (* An injection is a root send: it starts a fresh causal chain. *)
+    t.current_trace <- mint_trace t;
     if after = 0. then route t ~src ~dst msg
-    else schedule t ~after (Deliver { src; dst; msg; sent_at = t.now })
+    else schedule t ~after (Deliver { src; dst; msg; sent_at = t.now; trace = t.current_trace })
 
   let add_filter t ~name drop = t.filters <- { f_name = name; drop } :: t.filters
   let clear_filters t = t.filters <- []
@@ -563,7 +680,7 @@ module Make (App : Proto.App_intf.APP) = struct
             let gen = 1 + Option.value ~default:0 (Smap.find_opt id n.timer_gens) in
             t.nodes <-
               Proto.Node_id.Map.add node { n with timer_gens = Smap.add id gen n.timer_gens } t.nodes;
-            schedule t ~after (Timer_fire { node; id; gen })
+            schedule t ~after (Timer_fire { node; id; gen; trace = t.current_trace })
         | Proto.Action.Cancel_timer id ->
             let n = Proto.Node_id.Map.find node t.nodes in
             let gen = 1 + Option.value ~default:0 (Smap.find_opt id n.timer_gens) in
@@ -590,7 +707,8 @@ module Make (App : Proto.App_intf.APP) = struct
       | [] -> ()
       | _ ->
           let incarnation = (Proto.Node_id.Map.find node t.nodes).incarnation in
-          schedule t ~after:delay (Outbound { node; incarnation; actions = sends })
+          schedule t ~after:delay
+            (Outbound { node; incarnation; actions = sends; trace = t.current_trace })
     end
 
   and store_of t node =
@@ -696,6 +814,16 @@ module Make (App : Proto.App_intf.APP) = struct
     t.event_decisions <- [];
     let saved_processing = t.processing in
     t.processing <- Some sched;
+    (* Everything a handler does while this event is in flight — sends,
+       timers, deferred outbound batches — inherits its trace id. *)
+    (match sched.ev with
+    | Boot _ -> t.current_trace <- mint_trace t
+    | Deliver { trace; _ } | Timer_fire { trace; _ } | Outbound { trace; _ } ->
+        t.current_trace <- trace);
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.Registry.set o.o_queue_depth (float_of_int (Dsim.Heap.length t.queue)));
     (match sched.ev with
     | Boot id -> (
         match Proto.Node_id.Map.find_opt id t.nodes with
@@ -725,12 +853,20 @@ module Make (App : Proto.App_intf.APP) = struct
             defer_sends t id ~delay actions;
             Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a booted"
               Proto.Node_id.pp id)
-    | Deliver { src; dst; msg; sent_at } -> (
+    | Deliver { src; dst; msg; sent_at; trace } -> (
         match Proto.Node_id.Map.find_opt dst t.nodes with
         | Some n when n.alive ->
             let kind = App.msg_kind msg in
             if List.exists (fun f -> f.drop ~kind ~src ~dst) t.filters then begin
               t.n_filtered <- t.n_filtered + 1;
+              (match t.obs with
+              | None -> ()
+              | Some o ->
+                  let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+                  obs_drop o ~cause:"filtered" ~se ~de;
+                  Obs.Span.record o.o_sink.Obs.Sink.spans ~trace ~src:se ~dst:de ~kind
+                    ~enqueue:(Dsim.Vtime.to_seconds sent_at)
+                    ~deliver:(Dsim.Vtime.to_seconds t.now) ~verdict:"drop:filtered");
               Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"steering"
                 "filtered %s %a->%a" kind Proto.Node_id.pp src Proto.Node_id.pp dst
             end
@@ -745,6 +881,24 @@ module Make (App : Proto.App_intf.APP) = struct
               t.n_delivered <- t.n_delivered + 1;
               Hashtbl.replace t.kind_counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt t.kind_counts kind));
               log_message t ~src ~dst kind;
+              (match t.obs with
+              | None -> ()
+              | Some o ->
+                  let reg = o.o_sink.Obs.Sink.registry in
+                  Obs.Registry.incr
+                    (obs_handle o.o_node_deliveries de (fun () ->
+                         Obs.Registry.counter reg ~name:"engine_deliveries"
+                           ~labels:[ ("node", string_of_int de) ]));
+                  Obs.Registry.incr
+                    (obs_handle o.o_link_deliveries (se, de) (fun () ->
+                         Obs.Registry.counter reg ~name:"engine_link_deliveries"
+                           ~labels:[ ("src", string_of_int se); ("dst", string_of_int de) ]));
+                  Obs.Registry.observe
+                    (obs_handle o.o_link_latency (se, de) (fun () ->
+                         Obs.Registry.histogram reg ~name:"engine_delivery_latency_ms"
+                           ~labels:[ ("src", string_of_int se); ("dst", string_of_int de) ]
+                           ~lo:0. ~hi:2000. ~buckets:20))
+                    (latency *. 1000.));
               let applicable = Proto.Handler.applicable App.receive n.state ~src msg in
               match applicable with
               | [] ->
@@ -767,15 +921,34 @@ module Make (App : Proto.App_intf.APP) = struct
             end
         | Some _ | None ->
             t.n_dropped <- t.n_dropped + 1;
+            (match t.obs with
+            | None -> ()
+            | Some o ->
+                let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+                obs_drop o ~cause:"dead" ~se ~de;
+                Obs.Span.record o.o_sink.Obs.Sink.spans ~trace ~src:se ~dst:de
+                  ~kind:(App.msg_kind msg) ~enqueue:(Dsim.Vtime.to_seconds sent_at)
+                  ~deliver:(Dsim.Vtime.to_seconds t.now) ~verdict:"drop:dead");
             Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"engine"
               "%a dead, dropping %a" Proto.Node_id.pp dst App.pp_msg msg)
-    | Timer_fire { node; id; gen } -> (
+    | Timer_fire { node; id; gen; trace } -> (
         match Proto.Node_id.Map.find_opt node t.nodes with
         | Some n when n.alive && Smap.find_opt id n.timer_gens = Some gen ->
+            (match t.obs with
+            | None -> ()
+            | Some o ->
+                let ni = Proto.Node_id.to_int node in
+                Obs.Registry.incr
+                  (obs_handle o.o_timer_fires ni (fun () ->
+                       Obs.Registry.counter o.o_sink.Obs.Sink.registry
+                         ~name:"engine_timer_fires" ~labels:[ ("node", string_of_int ni) ]));
+                let at = Dsim.Vtime.to_seconds t.now in
+                Obs.Span.record o.o_sink.Obs.Sink.spans ~trace ~src:ni ~dst:ni
+                  ~kind:("timer:" ^ id) ~enqueue:at ~deliver:at ~verdict:"fire");
             let ctx = make_ctx t node in
             apply_handler_result t node (App.on_timer ctx n.state id)
         | Some _ | None -> ())
-    | Outbound { node; incarnation; actions } -> (
+    | Outbound { node; incarnation; actions; trace = _ } -> (
         match Proto.Node_id.Map.find_opt node t.nodes with
         | Some n when n.alive && n.incarnation = incarnation -> perform_action t node actions
         | Some _ | None ->

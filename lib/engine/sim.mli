@@ -182,6 +182,20 @@ module Make (App : Proto.App_intf.APP) : sig
   val store : t -> Proto.Node_id.t -> Store.t option
 
   val trace : t -> Dsim.Trace.t
+
+  val set_obs : t -> Obs.Sink.t option -> unit
+  (** Attach (or detach) an observability sink.  While attached, the
+      engine exports per-node/per-link delivery counters, drops by
+      cause, a queue-depth gauge and delivery-latency histograms into
+      the sink's registry, and records one causal span per message hop
+      and timer fire: spans carry a trace id minted at each root send
+      (boot, {!inject}) and inherited by everything a handler does in
+      response — including duplicated, reordered and deferred
+      deliveries.  Speculative forks never observe: {!fork} detaches
+      the sink in the copy. *)
+
+  val obs_sink : t -> Obs.Sink.t option
+
   val netem : t -> Net.Netem.t
   val netmodel : t -> Net.Netmodel.t
   val decision_sites : t -> (Dsim.Vtime.t * Core.Choice.site * int) list

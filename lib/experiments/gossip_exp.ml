@@ -159,8 +159,9 @@ let measure eng ~policy ~scenario ~seed ~waves =
     cache = E.cache_stats eng;
   }
 
-let run ?(seed = 42) ?(waves = 5) ~scenario policy =
+let run ?(seed = 42) ?(waves = 5) ?obs ~scenario policy =
   let eng = make_engine ~seed ~scenario policy in
+  E.set_obs eng obs;
   measure eng ~policy ~scenario ~seed ~waves
 
 (* Train offline (distinct seeds), freeze, evaluate: the precomputation

@@ -59,8 +59,9 @@ let make_engine ~seed policy =
       E.enable_reward_feedback eng ~window:1.0);
   eng
 
-let run ?(seed = 42) ?(duration = 60.) policy =
+let run ?(seed = 42) ?(duration = 60.) ?obs policy =
   let eng = make_engine ~seed policy in
+  E.set_obs eng obs;
   let rng = Dsim.Rng.create (seed + 23) in
   for i = 0 to population - 1 do
     E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)

@@ -83,8 +83,9 @@ let make_engine ~seed ~scenario policy =
       E.enable_reward_feedback eng ~window:1.5);
   eng
 
-let run ?(seed = 42) ?(duration = 60.) ~scenario policy =
+let run ?(seed = 42) ?(duration = 60.) ?obs ~scenario policy =
   let eng = make_engine ~seed ~scenario policy in
+  E.set_obs eng obs;
   let rng = Dsim.Rng.create (seed + 11) in
   for i = 0 to population - 1 do
     E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)

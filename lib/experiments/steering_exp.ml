@@ -32,8 +32,9 @@ let topology =
 
 let neighbors (_ : App.state) = List.init population Proto.Node_id.of_int
 
-let run ?(seed = 42) ?(duration = 120.) ?(checkpoint_delay = 0.05) ~with_runtime () =
+let run ?(seed = 42) ?(duration = 120.) ?(checkpoint_delay = 0.05) ?obs ~with_runtime () =
   let eng = E.create ~seed ~jitter:0. ~topology () in
+  E.set_obs eng obs;
   E.set_resolver eng Core.Resolver.random;
   for i = 0 to population - 1 do
     E.spawn eng (Proto.Node_id.of_int i)
@@ -42,6 +43,7 @@ let run ?(seed = 42) ?(duration = 120.) ?(checkpoint_delay = 0.05) ~with_runtime
     if with_runtime then
       Some
         (R.attach
+           ?obs:(Option.map (fun (s : Obs.Sink.t) -> s.Obs.Sink.registry) obs)
            ~config:
              {
                Runtime.Config.default with

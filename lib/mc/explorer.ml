@@ -251,10 +251,11 @@ module Make (App : Proto.App_intf.APP) = struct
     c_deliver : outcome list Dcache.t;  (* [] encodes "no applicable handler" *)
     c_timer : outcome list Tcache.t;
     mutable c_hits : int;
+    mutable c_lookups : int;  (* hits + misses, for hit-rate profiling *)
   }
 
   let create_cache () =
-    { c_deliver = Dcache.create 4096; c_timer = Tcache.create 256; c_hits = 0 }
+    { c_deliver = Dcache.create 4096; c_timer = Tcache.create 256; c_hits = 0; c_lookups = 0 }
 
   (* Bound memory on pathological workloads; steering neighbourhoods
      stay far below this. *)
@@ -292,6 +293,7 @@ module Make (App : Proto.App_intf.APP) = struct
             dk_seed = seed;
           }
         in
+        cache.c_lookups <- cache.c_lookups + 1;
         match Dcache.find_opt cache.c_deliver key with
         | Some outs ->
             cache.c_hits <- cache.c_hits + 1;
@@ -317,6 +319,7 @@ module Make (App : Proto.App_intf.APP) = struct
     | Some state -> (
         let sfp = fst (Nm.find node iw.i_sfp) in
         let key = { tk_state = state; tk_sfp = sfp; tk_id = id; tk_seed = seed } in
+        cache.c_lookups <- cache.c_lookups + 1;
         match Tcache.find_opt cache.c_timer key with
         | Some outs ->
             cache.c_hits <- cache.c_hits + 1;
@@ -441,6 +444,7 @@ module Make (App : Proto.App_intf.APP) = struct
           else create_cache ())
     in
     let hits0 = Array.fold_left (fun a c -> a + c.c_hits) 0 caches in
+    let lookups0 = Array.fold_left (fun a c -> a + c.c_lookups) 0 caches in
     let visited : (int, int list ref) Hashtbl.t = Hashtbl.create 1024 in
     let collisions = ref 0 in
     let violations = ref [] in
@@ -531,6 +535,7 @@ module Make (App : Proto.App_intf.APP) = struct
         liveness
     in
     let hits = Array.fold_left (fun a c -> a + c.c_hits) 0 caches - hits0 in
+    let lookups = Array.fold_left (fun a c -> a + c.c_lookups) 0 caches - lookups0 in
     ( !stop_level,
       {
         violations = List.rev !violations;
@@ -540,25 +545,63 @@ module Make (App : Proto.App_intf.APP) = struct
         truncated = !truncated;
         outcomes_cached = hits;
         fingerprint_collisions = !collisions;
-      } )
+      },
+      lookups )
+
+  (* Per-call profiling into a metrics registry.  Counters are
+     deterministic per seed; anything derived from the wall clock
+     (phase timing, worlds/s) is registered volatile so it never leaks
+     into a deterministic export. *)
+  let record_obs reg ~phase ~wall (r : result) ~lookups =
+    let labels = [ ("phase", phase) ] in
+    let c name = Obs.Registry.counter reg ~name ~labels in
+    Obs.Registry.incr (c "mc_explores");
+    Obs.Registry.incr ~by:r.worlds_explored (c "mc_worlds_explored");
+    Obs.Registry.incr ~by:r.worlds_deduped (c "mc_worlds_deduped");
+    Obs.Registry.incr ~by:r.outcomes_cached (c "mc_outcomes_cached");
+    Obs.Registry.incr ~by:r.fingerprint_collisions (c "mc_fingerprint_collisions");
+    if lookups > 0 then
+      Obs.Registry.set
+        (Obs.Registry.gauge reg ~name:"mc_cache_hit_rate" ~labels)
+        (float_of_int r.outcomes_cached /. float_of_int lookups);
+    Obs.Registry.observe
+      (Obs.Registry.histogram ~volatile:true reg ~name:"mc_explore_wall_ms" ~labels ~lo:0.
+         ~hi:10_000. ~buckets:20)
+      (wall *. 1000.);
+    if wall > 0. then
+      Obs.Registry.set
+        (Obs.Registry.gauge ~volatile:true reg ~name:"mc_worlds_per_sec" ~labels)
+        (float_of_int r.worlds_explored /. wall)
 
   let explore ?(max_worlds = 20_000) ?(include_drops = false) ?(generic_node = false) ?(seed = 7)
-      ?cache ?(domains = 1) ~depth root =
-    snd
-      (explore_levels ~max_worlds ~include_drops ~generic_node ~seed ~cache ~domains ~depth
-         ~early_stop:false root)
+      ?cache ?(domains = 1) ?obs ?(obs_phase = "explore") ~depth root =
+    let t0 = if obs = None then 0. else Unix.gettimeofday () in
+    let _, result, lookups =
+      explore_levels ~max_worlds ~include_drops ~generic_node ~seed ~cache ~domains ~depth
+        ~early_stop:false root
+    in
+    (match obs with
+    | None -> ()
+    | Some reg ->
+        record_obs reg ~phase:obs_phase ~wall:(Unix.gettimeofday () -. t0) result ~lookups);
+    result
 
   (* Single-pass replacement for restart-per-depth iterative deepening:
      level-synchronous search stops at the end of the first level (>= 1)
      that has surfaced a violation, which is exactly the state the old
      implementation reached by re-exploring at depth 1, 2, … *)
   let iterative ?(max_worlds = 20_000) ?(include_drops = false) ?(generic_node = false)
-      ?(seed = 7) ?cache ?(domains = 1) ~max_depth world =
+      ?(seed = 7) ?cache ?(domains = 1) ?obs ?(obs_phase = "iterative") ~max_depth world =
     if max_depth < 1 then invalid_arg "Explorer.iterative: max_depth must be >= 1";
-    let stop_level, result =
+    let t0 = if obs = None then 0. else Unix.gettimeofday () in
+    let stop_level, result, lookups =
       explore_levels ~max_worlds ~include_drops ~generic_node ~seed ~cache ~domains
         ~depth:max_depth ~early_stop:true world
     in
+    (match obs with
+    | None -> ()
+    | Some reg ->
+        record_obs reg ~phase:obs_phase ~wall:(Unix.gettimeofday () -. t0) result ~lookups);
     let depth = if result.violations <> [] then max 1 stop_level else max_depth in
     (depth, result)
 

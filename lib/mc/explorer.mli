@@ -72,6 +72,8 @@ module Make (App : Proto.App_intf.APP) : sig
     ?seed:int ->
     ?cache:cache ->
     ?domains:int ->
+    ?obs:Obs.Registry.t ->
+    ?obs_phase:string ->
     depth:int ->
     world ->
     result
@@ -83,7 +85,10 @@ module Make (App : Proto.App_intf.APP) : sig
       memoized handler outcomes across calls. [domains] (default 1)
       fans each level's expansion out across that many Domains; any
       value yields identical results (only timing and
-      [outcomes_cached] change). *)
+      [outcomes_cached] change). [obs] records per-call profiling
+      (worlds explored/deduped, cache hit rate, wall time and worlds/s
+      — the latter two volatile) labelled with [obs_phase] (default
+      ["explore"]). *)
 
   val iterative :
     ?max_worlds:int ->
@@ -92,6 +97,8 @@ module Make (App : Proto.App_intf.APP) : sig
     ?seed:int ->
     ?cache:cache ->
     ?domains:int ->
+    ?obs:Obs.Registry.t ->
+    ?obs_phase:string ->
     max_depth:int ->
     world ->
     int * result

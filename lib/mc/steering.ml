@@ -36,19 +36,24 @@ module Make (App : Proto.App_intf.APP) = struct
     fingerprint_collisions : int;
   }
 
-  let decide_with_stats ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ~depth
-      world =
+  let decide_with_stats ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ?obs
+      ~depth world =
     (* One transposition cache spans the base explore and every
        candidate-veto re-explore: steered worlds differ from the base
        by a single removed delivery, so almost every handler outcome
        repeats. *)
     let cache = match cache with Some c -> c | None -> Ex.create_cache () in
+    let t0 = if obs = None then 0. else Unix.gettimeofday () in
+    let phase = ref "steer-base" in
     let stats =
       ref
         { worlds_explored = 0; worlds_deduped = 0; outcomes_cached = 0; fingerprint_collisions = 0 }
     in
     let explore w =
-      let r = Ex.explore ?max_worlds ?include_drops ?generic_node ?seed ~cache ?domains ~depth w in
+      let r =
+        Ex.explore ?max_worlds ?include_drops ?generic_node ?seed ~cache ?domains ?obs
+          ~obs_phase:!phase ~depth w
+      in
       stats :=
         {
           worlds_explored = !stats.worlds_explored + r.Ex.worlds_explored;
@@ -59,6 +64,7 @@ module Make (App : Proto.App_intf.APP) = struct
       r
     in
     let base = explore world in
+    phase := "steer-veto";
     let verdict =
       match base.Ex.violations with
       | [] -> No_violation
@@ -83,10 +89,26 @@ module Make (App : Proto.App_intf.APP) = struct
           in
           (match safe with [] -> Cannot_steer doomed | _ :: _ -> Steer safe)
     in
+    (match obs with
+    | None -> ()
+    | Some reg ->
+        Obs.Registry.incr (Obs.Registry.counter reg ~name:"mc_steer_rounds" ~labels:[]);
+        let name =
+          match verdict with
+          | No_violation -> "no_violation"
+          | Steer _ -> "steer"
+          | Cannot_steer _ -> "cannot_steer"
+        in
+        Obs.Registry.incr
+          (Obs.Registry.counter reg ~name:"mc_steer_verdicts" ~labels:[ ("verdict", name) ]);
+        Obs.Registry.observe
+          (Obs.Registry.histogram ~volatile:true reg ~name:"mc_steer_wall_ms" ~labels:[]
+             ~lo:0. ~hi:10_000. ~buckets:20)
+          ((Unix.gettimeofday () -. t0) *. 1000.));
     (verdict, !stats)
 
-  let decide ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ~depth world =
+  let decide ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ?obs ~depth world =
     fst
-      (decide_with_stats ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ~depth
-         world)
+      (decide_with_stats ?max_worlds ?include_drops ?generic_node ?seed ?cache ?domains ?obs
+         ~depth world)
 end

@@ -39,6 +39,7 @@ module Make (App : Proto.App_intf.APP) : sig
     ?seed:int ->
     ?cache:Ex.cache ->
     ?domains:int ->
+    ?obs:Obs.Registry.t ->
     depth:int ->
     Ex.world ->
     verdict
@@ -50,6 +51,7 @@ module Make (App : Proto.App_intf.APP) : sig
     ?seed:int ->
     ?cache:Ex.cache ->
     ?domains:int ->
+    ?obs:Obs.Registry.t ->
     depth:int ->
     Ex.world ->
     verdict * stats
@@ -57,7 +59,10 @@ module Make (App : Proto.App_intf.APP) : sig
       supplied [cache] (or one created internally) is shared across
       the base and per-veto explores; pass a persistent one to reuse
       outcomes across steering rounds. [domains] fans each explore's
-      levels out across Domains; verdicts never depend on it. *)
+      levels out across Domains; verdicts never depend on it. [obs]
+      profiles each underlying explore (phases ["steer-base"] /
+      ["steer-veto"]) plus per-round verdict counters and volatile
+      round wall time. *)
 
   val pp_veto : Format.formatter -> veto -> unit
 end

@@ -1,0 +1,33 @@
+(** Minimal JSON values for metrics/span export.
+
+    The observability layer emits JSON-lines files (one value per line)
+    and the test-suite and CI re-read them, so we need both a printer
+    and a parser.  Only what the exporter produces is supported — no
+    streaming, no exotic number forms — but the parser accepts any
+    well-formed JSON document so validation catches foreign garbage
+    rather than crashing on it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Floats that are exact integers
+    print with a trailing [.0] so they re-parse as [Float] — rendering
+    then re-parsing then re-rendering is byte-stable, which the
+    determinism tests rely on. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document.  Trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up a field; [None] on missing key or
+    non-object. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields are compared in order. *)

@@ -1,0 +1,44 @@
+type t = { registry : Registry.t; spans : Span.ring }
+
+let create ?span_capacity () =
+  { registry = Registry.create (); spans = Span.ring ?capacity:span_capacity () }
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        lines);
+  List.length lines
+
+let write_metrics ?include_volatile t ~path =
+  write_lines path (Registry.to_json_lines ?include_volatile t.registry)
+
+let write_spans t ~path = write_lines path (Span.to_json_lines t.spans)
+
+let validate_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go n =
+        match input_line ic with
+        | exception End_of_file -> if n = 0 then Error "empty file" else Ok n
+        | line -> (
+            match Json.of_string line with
+            | Error msg -> Error (Printf.sprintf "line %d: %s" (n + 1) msg)
+            | Ok j -> (
+                let tagged =
+                  match j with
+                  | Json.Obj _ ->
+                      Json.member "type" j <> None || Json.member "trace" j <> None
+                  | _ -> false
+                in
+                if tagged then go (n + 1)
+                else Error (Printf.sprintf "line %d: not a tagged object" (n + 1))))
+      in
+      go 0)

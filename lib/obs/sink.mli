@@ -1,0 +1,18 @@
+(** A metrics registry plus a span ring — the bundle instrumented
+    components write into and exporters read out of. *)
+
+type t = { registry : Registry.t; spans : Span.ring }
+
+val create : ?span_capacity:int -> unit -> t
+
+val write_metrics : ?include_volatile:bool -> t -> path:string -> int
+(** Write the registry as JSON-lines; returns the number of lines.
+    Volatile (wall-clock-derived) metrics are excluded by default so
+    the file is deterministic per seed. *)
+
+val write_spans : t -> path:string -> int
+
+val validate_file : string -> (int, string) result
+(** Re-read a JSON-lines file: every line must parse as a JSON object
+    with a ["type"] or ["trace"] field.  Returns the line count;
+    an empty file is an error.  This is what the CI smoke check runs. *)

@@ -1,0 +1,64 @@
+type span = {
+  trace : int;
+  seq : int;
+  src : int;
+  dst : int;
+  kind : string;
+  enqueue : float;
+  deliver : float;
+  verdict : string;
+}
+
+type ring = { cap : int; buf : span option array; mutable next : int }
+
+let ring ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Span.ring: capacity must be positive";
+  { cap = capacity; buf = Array.make capacity None; next = 0 }
+
+let record r ~trace ~src ~dst ~kind ~enqueue ~deliver ~verdict =
+  let seq = r.next in
+  r.buf.(seq mod r.cap) <- Some { trace; seq; src; dst; kind; enqueue; deliver; verdict };
+  r.next <- seq + 1
+
+let recorded r = r.next
+let dropped r = Stdlib.max 0 (r.next - r.cap)
+
+let spans r =
+  let first = dropped r in
+  List.init (r.next - first) (fun i ->
+      match r.buf.((first + i) mod r.cap) with
+      | Some s -> s
+      | None -> assert false)
+
+let to_json s =
+  Json.Obj
+    [
+      ("trace", Json.Int s.trace);
+      ("seq", Json.Int s.seq);
+      ("src", Json.Int s.src);
+      ("dst", Json.Int s.dst);
+      ("kind", Json.Str s.kind);
+      ("enqueue", Json.Float s.enqueue);
+      ("deliver", Json.Float s.deliver);
+      ("verdict", Json.Str s.verdict);
+    ]
+
+let of_json j =
+  let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  let str k = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None in
+  let flt k =
+    match Json.member k j with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match
+    (int "trace", int "seq", int "src", int "dst", str "kind", flt "enqueue",
+     flt "deliver", str "verdict")
+  with
+  | Some trace, Some seq, Some src, Some dst, Some kind, Some enqueue, Some deliver,
+    Some verdict ->
+      Ok { trace; seq; src; dst; kind; enqueue; deliver; verdict }
+  | _ -> Error "Span.of_json: missing or ill-typed field"
+
+let to_json_lines r = List.map (fun s -> Json.to_string (to_json s)) (spans r)

@@ -40,7 +40,27 @@ module Make (App : Proto.App_intf.APP) = struct
        near-identical neighbourhoods, which is the transposition
        cache's best case. *)
     cache : St.Ex.cache;
+    obs : Obs.Registry.t option;
   }
+
+  (* Mirror the report counters into the registry as gauges; called
+     wherever they move so an export mid-run is current. *)
+  let publish_obs t =
+    match t.obs with
+    | None -> ()
+    | Some reg ->
+        let g name v =
+          Obs.Registry.set (Obs.Registry.gauge reg ~name ~labels:[]) (float_of_int v)
+        in
+        g "crystal_checkpoints_taken" t.n_checkpoints;
+        g "crystal_steering_rounds" t.n_rounds;
+        g "crystal_vetoes_installed" t.n_vetoes;
+        g "crystal_cannot_steer" t.n_cannot;
+        g "crystal_worlds_explored" t.n_worlds;
+        g "crystal_outcomes_cached" t.n_cached;
+        g "crystal_fingerprint_collisions" t.n_collisions;
+        g "crystal_checkpoint_bytes" t.checkpoint_bytes;
+        g "crystal_live_vetoes" (List.length t.vetoes)
 
   let collect_checkpoint t =
     let view = E.global_view t.eng in
@@ -68,9 +88,10 @@ module Make (App : Proto.App_intf.APP) = struct
       | [] -> []
       | c :: rest -> if n = 0 then [] else c :: take (n - 1) rest
     in
-    t.checkpoints <- take t.cfg.history t.checkpoints
+    t.checkpoints <- take t.cfg.history t.checkpoints;
+    publish_obs t
 
-  let attach ?(config = Config.default) ?codec ~neighbors eng =
+  let attach ?(config = Config.default) ?codec ?obs ~neighbors eng =
     let cfg = Config.validate config in
     (* One codec path for both byte-accounting consumers: an app that
        declared how its state persists (App.durable) gets checkpoint
@@ -100,6 +121,7 @@ module Make (App : Proto.App_intf.APP) = struct
         n_cached = 0;
         n_collisions = 0;
         cache = St.Ex.create_cache ();
+        obs;
       }
     in
     (* The controller snapshots immediately on attach so a usable (if
@@ -181,7 +203,8 @@ module Make (App : Proto.App_intf.APP) = struct
             let verdict, stats =
               St.decide_with_stats ~max_worlds:t.cfg.max_worlds
                 ~include_drops:t.cfg.include_drops ~generic_node:t.cfg.generic_node
-                ~cache:t.cache ~domains:t.cfg.domains ~depth:t.cfg.steer_depth world
+                ~cache:t.cache ~domains:t.cfg.domains ?obs:t.obs ~depth:t.cfg.steer_depth
+                world
             in
             t.n_worlds <- t.n_worlds + stats.St.worlds_explored;
             t.n_cached <- t.n_cached + stats.St.outcomes_cached;
@@ -195,7 +218,8 @@ module Make (App : Proto.App_intf.APP) = struct
                 t.verdicts <- (E.now t.eng, verdict) :: t.verdicts;
                 t.n_cannot <- t.n_cannot + 1))
       nodes;
-    refresh_filters t
+    refresh_filters t;
+    publish_obs t
 
   let tick t =
     let now = E.now t.eng in

@@ -43,10 +43,16 @@ module Make (App : Proto.App_intf.APP) : sig
   val attach :
     ?config:Config.t ->
     ?codec:App.state Wire.Codec.t ->
+    ?obs:Obs.Registry.t ->
     neighbors:(App.state -> Proto.Node_id.t list) ->
     E.t ->
     t
-  (** [neighbors] extracts a node's protocol neighbourhood from its
+  (** [obs] mirrors the {!report} counters into the registry as
+      [crystal_*] gauges (refreshed at every checkpoint and steering
+      round) and threads through to {!Mc.Steering} for per-phase
+      profiling.
+
+      [neighbors] extracts a node's protocol neighbourhood from its
       state (e.g. parent and children for a tree) — the set whose
       checkpoints the controller collects. When [codec] is given, every
       collection serializes each node's state and charges

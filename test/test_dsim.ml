@@ -218,12 +218,72 @@ let test_histogram () =
   let h = Dsim.Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:5 in
   List.iter (Dsim.Stats.Histogram.add h) [ 0.5; 1.; 3.; 9.9; 42.; -1. ];
   let counts = Dsim.Stats.Histogram.counts h in
-  checki "bucket0 (incl. clamped -1)" 3 counts.(0);
-  checki "bucket4 (incl. clamped 42)" 2 counts.(4);
+  (* Out-of-range samples no longer pollute the edge buckets: they are
+     counted separately, and [total] still sees every observation. *)
+  checki "bucket0" 2 counts.(0);
+  checki "bucket4" 1 counts.(4);
+  checki "underflow" 1 (Dsim.Stats.Histogram.underflow h);
+  checki "overflow" 1 (Dsim.Stats.Histogram.overflow h);
   checki "total" 6 (Dsim.Stats.Histogram.total h);
   let lo, hi = Dsim.Stats.Histogram.bucket_bounds h 1 in
   checkf "bounds lo" 2. lo;
   checkf "bounds hi" 4. hi
+
+let test_histogram_pp_shows_outliers () =
+  let h = Dsim.Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:2 in
+  List.iter (Dsim.Stats.Histogram.add h) [ -1.; 5.; 99. ];
+  let s = Format.asprintf "%a" Dsim.Stats.Histogram.pp h in
+  checkb "pp mentions underflow" true (Dsim.Trace.contains_substring s "underflow");
+  checkb "pp mentions overflow" true (Dsim.Trace.contains_substring s "overflow")
+
+let test_stats_sort_cache () =
+  (* The regression this guards: percentile used to re-sort per query,
+     so summarising a 100k-sample series cost a sort per percentile.
+     The sorted view is now cached until the next mutation. *)
+  let s = Dsim.Stats.create () in
+  for i = 1 to 100_000 do
+    Dsim.Stats.add s (float_of_int (i * 7919 mod 100_000))
+  done;
+  checki "no sort before a query" 0 (Dsim.Stats.sorts_performed s);
+  ignore (Format.asprintf "%a" Dsim.Stats.pp_summary s);
+  checki "summary costs one sort" 1 (Dsim.Stats.sorts_performed s);
+  ignore (Dsim.Stats.percentile s 99.);
+  ignore (Dsim.Stats.median s);
+  checki "queries reuse the cache" 1 (Dsim.Stats.sorts_performed s);
+  Dsim.Stats.add s 1.;
+  ignore (Dsim.Stats.percentile s 50.);
+  checki "mutation invalidates" 2 (Dsim.Stats.sorts_performed s)
+
+let test_stats_reservoir () =
+  let s = Dsim.Stats.create ~capacity:100 () in
+  for i = 1 to 10_000 do
+    Dsim.Stats.add s (float_of_int i)
+  done;
+  checki "count sees everything" 10_000 (Dsim.Stats.count s);
+  checki "retention is bounded" 100 (Dsim.Stats.retained s);
+  (* Exact aggregates are unaffected by sampling. *)
+  checkf "sum exact" 50_005_000. (Dsim.Stats.sum s);
+  checkf "min exact" 1. (Dsim.Stats.min s);
+  checkf "max exact" 10_000. (Dsim.Stats.max s);
+  (* Without a capacity, nothing is ever evicted. *)
+  let u = Dsim.Stats.create () in
+  for i = 1 to 10_000 do
+    Dsim.Stats.add u (float_of_int i)
+  done;
+  checki "unbounded retains all" 10_000 (Dsim.Stats.retained u);
+  Alcotest.check (Alcotest.float 1e-6) "unbounded percentile exact" 9900.01
+    (Dsim.Stats.percentile u 99.)
+
+let test_stats_reservoir_deterministic () =
+  let fill seed =
+    let s = Dsim.Stats.create ~capacity:64 ~seed () in
+    for i = 1 to 5_000 do
+      Dsim.Stats.add s (float_of_int (i * 31 mod 5_000))
+    done;
+    Dsim.Stats.to_list s
+  in
+  check (Alcotest.list (Alcotest.float 0.)) "same seed, same reservoir" (fill 9) (fill 9);
+  checkb "different seed, different reservoir" true (fill 9 <> fill 10)
 
 let prop_stats_mean_bounded =
   QCheck.Test.make ~name:"mean lies between min and max" ~count:200
@@ -253,6 +313,41 @@ let test_trace_capacity () =
   let kept = Dsim.Trace.records t in
   checki "bounded" 3 (List.length kept);
   check Alcotest.string "oldest kept" "8" (List.hd kept).Dsim.Trace.message
+
+let test_trace_level_gate () =
+  let t = Dsim.Trace.create ~min_level:Dsim.Trace.Info () in
+  checkb "info enabled" true (Dsim.Trace.enabled t Dsim.Trace.Info);
+  checkb "debug gated" false (Dsim.Trace.enabled t Dsim.Trace.Debug);
+  (* The whole point of the gate: a suppressed logf must not run its
+     formatting.  %t takes a closure the formatter would call — if the
+     gate works, the closure never fires. *)
+  let formatted = ref false in
+  Dsim.Trace.logf t Dsim.Vtime.zero Dsim.Trace.Debug ~component:"c" "x=%t" (fun _ ->
+      formatted := true);
+  checkb "suppressed logf never formats" false !formatted;
+  checki "nothing recorded" 0 (Dsim.Trace.count t);
+  checki "suppression counted" 1 (Dsim.Trace.suppressed t);
+  Dsim.Trace.logf t Dsim.Vtime.zero Dsim.Trace.Info ~component:"c" "y=%t" (fun _ ->
+      formatted := true);
+  checkb "passing logf formats" true !formatted;
+  checki "recorded" 1 (Dsim.Trace.count t);
+  Dsim.Trace.set_min_level t Dsim.Trace.Debug;
+  checkb "gate is dynamic" true (Dsim.Trace.enabled t Dsim.Trace.Debug)
+
+let test_contains_substring () =
+  let c = Dsim.Trace.contains_substring in
+  checkb "empty needle always matches" true (c "" "");
+  checkb "empty needle in text" true (c "abc" "");
+  checkb "needle longer than text" false (c "ab" "abc");
+  checkb "simple hit" true (c "hello world" "o w");
+  checkb "prefix" true (c "hello" "he");
+  checkb "suffix" true (c "hello" "lo");
+  checkb "miss" false (c "hello" "z");
+  (* Overlapping candidate positions: a naive scan that advances past a
+     partial match would miss the real one starting inside it. *)
+  checkb "overlap" true (c "aaab" "aab");
+  checkb "overlap long" true (c "ababac" "abac");
+  checkb "repeated miss" false (c "aaaa" "ab")
 
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
@@ -292,10 +387,16 @@ let () =
         :: Alcotest.test_case "empty" `Quick test_stats_empty
         :: Alcotest.test_case "merge" `Quick test_stats_merge
         :: Alcotest.test_case "histogram" `Quick test_histogram
+        :: Alcotest.test_case "histogram outliers in pp" `Quick test_histogram_pp_shows_outliers
+        :: Alcotest.test_case "sort cache" `Quick test_stats_sort_cache
+        :: Alcotest.test_case "reservoir" `Quick test_stats_reservoir
+        :: Alcotest.test_case "reservoir determinism" `Quick test_stats_reservoir_deterministic
         :: qcheck [ prop_stats_mean_bounded ] );
       ( "trace",
         [
           Alcotest.test_case "basic" `Quick test_trace_basic;
           Alcotest.test_case "capacity" `Quick test_trace_capacity;
+          Alcotest.test_case "level gate" `Quick test_trace_level_gate;
+          Alcotest.test_case "contains_substring" `Quick test_contains_substring;
         ] );
     ]
