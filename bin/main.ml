@@ -430,13 +430,17 @@ let explore_cmd =
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
-  let run seed rounds factor apps show_plans =
+  let run seed rounds factor flaps apps show_plans =
     if factor <= 0. then begin
       Printf.eprintf "intensity must be positive (got %g)\n" factor;
       exit 2
     end;
     if rounds <= 0 then begin
       Printf.eprintf "rounds must be positive (got %d)\n" rounds;
+      exit 2
+    end;
+    if flaps < 0 then begin
+      Printf.eprintf "flaps must be non-negative (got %d)\n" flaps;
       exit 2
     end;
     let apps =
@@ -457,7 +461,7 @@ let chaos_cmd =
       List.concat_map
         (fun app ->
           List.map
-            (fun i -> Experiments.Chaos_exp.run ~factor ~seed:(seed + i) app)
+            (fun i -> Experiments.Chaos_exp.run ~factor ~flaps ~seed:(seed + i) app)
             (List.init rounds Fun.id))
         apps
     in
@@ -470,6 +474,7 @@ let chaos_cmd =
             (if r.Experiments.Chaos_exp.violations = 0 then "yes"
              else Printf.sprintf "NO (%d)" r.Experiments.Chaos_exp.violations);
             (if r.Experiments.Chaos_exp.recovered then "yes" else "NO");
+            (if r.Experiments.Chaos_exp.self_healed then "yes" else "NO");
             Metrics.Report.fint r.Experiments.Chaos_exp.plan_events;
             Metrics.Report.fint r.Experiments.Chaos_exp.delivered;
             Metrics.Report.fint r.Experiments.Chaos_exp.dropped;
@@ -484,7 +489,19 @@ let chaos_cmd =
         (Printf.sprintf "Chaos soak: %d storms/app, base seed %d, intensity x%.1f" rounds seed
            factor)
       ~header:
-        [ "app"; "seed"; "safe"; "recovered"; "events"; "dlv"; "drop"; "dup"; "corrupt"; "badwire" ]
+        [
+          "app";
+          "seed";
+          "safe";
+          "recovered";
+          "healed";
+          "events";
+          "dlv";
+          "drop";
+          "dup";
+          "corrupt";
+          "badwire";
+        ]
       rows;
     if show_plans then
       List.iter
@@ -513,6 +530,15 @@ let chaos_cmd =
       & info [ "intensity" ] ~docv:"X"
           ~doc:"Scale factor on storm length and fault counts (tests use 1).")
   in
+  let flaps =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "flaps" ] ~docv:"N"
+          ~doc:
+            "Add a flapping partition with N cut/heal cycles to every storm (stretches the \
+             storm so the failure detector can see each cycle).")
+  in
   let apps =
     Arg.(
       value
@@ -528,7 +554,7 @@ let chaos_cmd =
        ~doc:
          "Randomized adversarial soak: seeded storms of crashes, partitions, duplication, \
           corruption and reordering over every application, asserting safety and recovery.")
-    Term.(const run $ seed_arg $ rounds $ factor $ apps $ show_plans)
+    Term.(const run $ seed_arg $ rounds $ factor $ flaps $ apps $ show_plans)
 
 (* ---------- obs ---------- *)
 

@@ -26,6 +26,7 @@ module Work_sharing = struct
   let msg_bytes = function Job _ -> 256 | Done -> 16
   let msg_codec = None
   let durable = None
+  let degraded = None
 
   let pp_msg ppf = function
     | Job { cost } -> Format.fprintf ppf "job(%.1f)" cost

@@ -129,6 +129,7 @@ end = struct
   let pp_msg = pp_msg
   let msg_codec = Some msg_codec
   let durable = None
+  let degraded = None
 
   let pp_state ppf st =
     Format.fprintf ppf "{pos=%d done=%d}" st.pos (List.length st.completed)

@@ -314,6 +314,7 @@ end = struct
      re-downloading the file. [equal_state] (not polymorphic (=))
      suppresses no-op records — a decoded state's set shapes differ. *)
   let durable = Some (Proto.Durability.v ~equal:equal_state state_codec)
+  let degraded = None
 end
 
 module Default = Make (Default_params)

@@ -65,6 +65,12 @@ module Make (P : PARAMS) : sig
 
   val known : state -> Int_set.t
   val round_of : state -> int
+
+  val degraded_entries : state -> int
+  (** Times this node entered degraded mode (a majority of its peers
+      simultaneously suspected by the failure detector). *)
+
+  val degraded_exits : state -> int
   val seed_rumors : Proto.Node_id.t -> int list -> msg
   (** Build an injectable [Push] carrying fresh rumors (use with
       [Sim.inject] to originate content at a node). *)
@@ -76,6 +82,9 @@ end = struct
     known : Int_set.t;
     round : int;
     last_exchange : (Proto.Node_id.t * float) list;  (* peer, vtime seconds *)
+    degraded : bool;  (* a majority of peers is currently suspected *)
+    deg_entries : int;
+    deg_exits : int;
   }
 
   let name = "gossip"
@@ -94,6 +103,9 @@ end = struct
 
   let known st = st.known
   let round_of st = st.round
+  let degraded_entries st = st.deg_entries
+  let degraded_exits st = st.deg_exits
+  let degraded = Some (fun st -> st.degraded)
   let seed_rumors _origin rumors = Push { rumors; round = 0 }
 
   let peers st =
@@ -103,7 +115,15 @@ end = struct
       (List.init P.population Fun.id)
 
   let init (ctx : Proto.Ctx.t) =
-    ( { self = ctx.self; known = Int_set.empty; round = 0; last_exchange = [] },
+    ( {
+        self = ctx.self;
+        known = Int_set.empty;
+        round = 0;
+        last_exchange = [];
+        degraded = false;
+        deg_entries = 0;
+        deg_exits = 0;
+      },
       [ Proto.Action.set_timer ~id:"round" ~after:P.round_period ] )
 
   let touch st peer now =
@@ -149,6 +169,24 @@ end = struct
 
   let receive = [ h_push; h_push_back ]
 
+  (* Hysteresis on the failure-detector view: enter degraded mode when a
+     majority of peers has crossed the phi threshold (suspicion = 1),
+     leave only once a majority has dropped back below 0.5. Reads the
+     shared detector only — no RNG, so benign runs are untouched. *)
+  let suspicious_majority (ctx : Proto.Ctx.t) st ~cutoff =
+    let suspected =
+      List.length (List.filter (fun p -> Proto.Ctx.suspicion ctx p >= cutoff) (peers st))
+    in
+    2 * suspected > P.population - 1
+
+  let update_degraded ctx st =
+    if st.degraded then
+      if suspicious_majority ctx st ~cutoff:0.5 then st
+      else { st with degraded = false; deg_exits = st.deg_exits + 1 }
+    else if suspicious_majority ctx st ~cutoff:1.0 then
+      { st with degraded = true; deg_entries = st.deg_entries + 1 }
+    else st
+
   (* The gossip round: expose the peer choice with features the
      resolver families need — identity (for the restricted schedule),
      predicted rtt (for network-aware policies), staleness of the last
@@ -157,12 +195,20 @@ end = struct
     match id with
     | "round" ->
         let st = { st with round = st.round + 1 } in
+        let st = update_degraded ctx st in
         let rearm = Proto.Action.set_timer ~id:"round" ~after:P.round_period in
         if Int_set.is_empty st.known then (st, [ rearm ])
         else begin
           let now = Dsim.Vtime.to_seconds ctx.now in
           let candidates =
             Dsim.Rng.sample_without_replacement ctx.rng P.candidate_cap (peers st)
+          in
+          (* Skip peers the detector currently suspects: pushes to them
+             are wasted bandwidth while they are silent. The sample draw
+             above stays unconditional so the RNG stream is identical
+             whether or not anyone is suspected. *)
+          let candidates =
+            List.filter (fun peer -> not (Proto.Ctx.suspected ctx peer)) candidates
           in
           let alternative peer =
             Core.Choice.alt
@@ -177,15 +223,19 @@ end = struct
               ~describe:(Format.asprintf "%a" Proto.Node_id.pp peer)
               peer
           in
-          let target =
-            ctx.choose (Core.Choice.make ~label:peer_label (List.map alternative candidates))
-          in
-          ( st,
-            [
-              Proto.Action.send ~dst:target
-                (Push { rumors = Int_set.elements st.known; round = st.round });
-              rearm;
-            ] )
+          match candidates with
+          | [] -> (st, [ rearm ])  (* whole sample suspected: hold this round *)
+          | _ :: _ ->
+              let target =
+                ctx.choose
+                  (Core.Choice.make ~label:peer_label (List.map alternative candidates))
+              in
+              ( st,
+                [
+                  Proto.Action.send ~dst:target
+                    (Push { rumors = Int_set.elements st.known; round = st.round });
+                  rearm;
+                ] )
         end
     | _ -> (st, [])
 

@@ -18,6 +18,8 @@ let default_rtt = 0.05
 let explore_every = 8 (* every Nth round ignores the heuristic *)
 let freshness_weight = 0.5
 let proximity_weight = 1.0
+let suspect_enter = 1.0 (* suspicion level at which a peer is written off *)
+let suspect_exit = 0.5 (* level below which it is trusted again *)
 
 module type PARAMS = Gossip.PARAMS
 
@@ -29,6 +31,8 @@ module Make (P : PARAMS) : sig
   val known : state -> Int_set.t
   val round_of : state -> int
   val rtt_estimate : state -> Proto.Node_id.t -> float option
+  val degraded_entries : state -> int
+  val degraded_exits : state -> int
 end = struct
   type msg = C.msg
 
@@ -40,6 +44,10 @@ end = struct
     rtt_est : (Proto.Node_id.t * float) list;  (* hand-rolled EWMA *)
     push_sent : (Proto.Node_id.t * float) list;  (* outstanding probes *)
     last_target : Proto.Node_id.t option;
+    written_off : Proto.Node_id.t list;  (* peers currently avoided as dead *)
+    degraded : bool;  (* a majority of peers written off *)
+    deg_entries : int;
+    deg_exits : int;
   }
 
   let name = "gossip-baseline"
@@ -51,12 +59,17 @@ end = struct
     && a.rtt_est = b.rtt_est
     && a.push_sent = b.push_sent
     && a.last_target = b.last_target
+    && a.written_off = b.written_off
+    && a.degraded = b.degraded
+    && a.deg_entries = b.deg_entries
+    && a.deg_exits = b.deg_exits
 
   let msg_kind = C.msg_kind
   let msg_bytes = C.msg_bytes
   let pp_msg = C.pp_msg
   let msg_codec = Some C.msg_codec
   let durable = None
+  let degraded = Some (fun st -> st.degraded)
 
   let pp_state ppf st =
     Format.fprintf ppf "{r%d known=%d}" st.round (Int_set.cardinal st.known)
@@ -67,6 +80,8 @@ end = struct
   let known st = st.known
   let round_of st = st.round
   let rtt_estimate st peer = List.assoc_opt peer st.rtt_est
+  let degraded_entries st = st.deg_entries
+  let degraded_exits st = st.deg_exits
 
   let peers st =
     let self = Proto.Node_id.to_int st.self in
@@ -83,6 +98,10 @@ end = struct
         rtt_est = [];
         push_sent = [];
         last_target = None;
+        written_off = [];
+        degraded = false;
+        deg_entries = 0;
+        deg_exits = 0;
       },
       [ Proto.Action.set_timer ~id:"round" ~after:P.round_period ] )
 
@@ -152,10 +171,36 @@ end = struct
     | "round" ->
         let st = { st with round = st.round + 1 } in
         let rearm = Proto.Action.set_timer ~id:"round" ~after:P.round_period in
+        (* Inline failure handling, the accreted way: re-derive the
+           written-off list with its own two thresholds, then maintain
+           the degraded flag and its entry/exit counters by hand. *)
+        let written_off =
+          List.filter
+            (fun p ->
+              let s = Proto.Ctx.suspicion ctx p in
+              if List.exists (Proto.Node_id.equal p) st.written_off then s >= suspect_exit
+              else s >= suspect_enter)
+            (peers st)
+        in
+        let st = { st with written_off } in
+        let degraded_now = 2 * List.length written_off > P.population - 1 in
+        let st =
+          if degraded_now && not st.degraded then
+            { st with degraded = true; deg_entries = st.deg_entries + 1 }
+          else if (not degraded_now) && st.degraded then
+            { st with degraded = false; deg_exits = st.deg_exits + 1 }
+          else st
+        in
         if Int_set.is_empty st.known then (st, [ rearm ])
         else begin
           let now = Dsim.Vtime.to_seconds ctx.now in
-          let candidates = peers st in
+          let candidates =
+            List.filter
+              (fun p -> not (List.exists (Proto.Node_id.equal p) st.written_off))
+              (peers st)
+          in
+          if candidates = [] then (st, [ rearm ])
+          else begin
           let target =
             if st.round mod explore_every = 0 then begin
               (* Forced exploration so the estimator keeps learning. *)
@@ -209,6 +254,7 @@ end = struct
                 (C.Push { rumors = Int_set.elements st.known; round = st.round });
               rearm;
             ] )
+          end
         end
     | _ -> (st, [])
 

@@ -112,6 +112,12 @@ module Make (P : PARAMS) : sig
   val monotonic_violations : state -> int
   val reads_done : state -> int
   val staleness_sum : state -> int
+
+  val degraded_entries : state -> int
+  (** Times this node entered read-only degraded mode (a replica
+      suspecting the primary, or the primary suspecting quorum loss). *)
+
+  val degraded_exits : state -> int
 end = struct
   type nonrec msg = msg
 
@@ -133,6 +139,9 @@ end = struct
     write_lat : float list;
     mono_violations : int;
     reads : int;
+    degraded : bool;  (* read-only: writes are shed, reads keep working *)
+    deg_entries : int;
+    deg_exits : int;
   }
 
   let name = "kvstore"
@@ -155,6 +164,9 @@ end = struct
     && a.write_lat = b.write_lat
     && a.mono_violations = b.mono_violations
     && a.reads = b.reads
+    && a.degraded = b.degraded
+    && a.deg_entries = b.deg_entries
+    && a.deg_exits = b.deg_exits
 
   let msg_kind = msg_kind
   let msg_bytes = msg_bytes
@@ -202,6 +214,9 @@ end = struct
           write_lat = [];
           mono_violations = 0;
           reads = 0;
+          degraded = false;
+          deg_entries = 0;
+          deg_exits = 0;
         })
       durable_c
 
@@ -261,12 +276,17 @@ end = struct
   let monotonic_violations st = st.mono_violations
   let reads_done st = st.reads
   let staleness_sum st = st.staleness_sum
+  let degraded_entries st = st.deg_entries
+  let degraded_exits st = st.deg_exits
+  let degraded = Some (fun st -> st.degraded)
 
   let primary_id = Proto.Node_id.of_int 0
   let is_primary st = Proto.Node_id.equal st.self primary_id
 
   let replicas =
     List.init P.population Proto.Node_id.of_int
+
+  let majority = (P.population / 2) + 1
 
   (* Anti-entropy: every node periodically tells the primary how far it
      has applied; the primary re-sends what the channel ate. Without
@@ -307,6 +327,9 @@ end = struct
         write_lat = [];
         mono_violations = 0;
         reads = 0;
+        degraded = false;
+        deg_entries = 0;
+        deg_exits = 0;
       },
       timers )
 
@@ -323,9 +346,40 @@ end = struct
             store = Int_map.add key value st.store;
           }
 
+  (* Read-only degradation on the failure detector's word. The primary
+     goes read-only when it cannot see a majority of the replica group
+     (its sequenced writes could no longer reach a quorum); a replica
+     goes read-only when it suspects the primary (its submitted writes
+     would vanish into silence). Hysteresis — enter at suspicion 1.0,
+     leave below 0.5 — keeps a link hovering at the threshold from
+     flapping the mode every sync tick. Pure detector reads: no RNG, so
+     benign runs are bit-identical with the pre-degradation engine. *)
+  let update_degraded (ctx : Proto.Ctx.t) st =
+    let impaired ~cutoff =
+      if is_primary st then
+        let reachable =
+          1
+          + List.length
+              (List.filter
+                 (fun r ->
+                   (not (Proto.Node_id.equal r st.self))
+                   && Proto.Ctx.suspicion ctx r < cutoff)
+                 replicas)
+        in
+        reachable < majority
+      else Proto.Ctx.suspicion ctx primary_id >= cutoff
+    in
+    if st.degraded then
+      if impaired ~cutoff:0.5 then st
+      else { st with degraded = false; deg_exits = st.deg_exits + 1 }
+    else if impaired ~cutoff:1.0 then
+      { st with degraded = true; deg_entries = st.deg_entries + 1 }
+    else st
+
   let h_write =
     Proto.Handler.v ~name:"write"
-      ~guard:(fun st ~src:_ m -> (match m with Write _ -> true | _ -> false) && is_primary st)
+      ~guard:(fun st ~src:_ m ->
+        (match m with Write _ -> true | _ -> false) && is_primary st && not st.degraded)
       (fun ctx st ~src:_ m ->
         match m with
         | Write { key; origin } ->
@@ -496,12 +550,11 @@ end = struct
   let on_timer (ctx : Proto.Ctx.t) st id =
     match id with
     | "write" ->
-        let key = Dsim.Rng.int ctx.rng P.keys in
-        ( st,
-          [
-            Proto.Action.send ~dst:primary_id (Write { key; origin = st.self });
-            Proto.Action.set_timer ~id:"write" ~after:P.write_period;
-          ] )
+        let rearm = Proto.Action.set_timer ~id:"write" ~after:P.write_period in
+        if st.degraded then (st, [ rearm ])  (* read-only: shed the write *)
+        else
+          let key = Dsim.Rng.int ctx.rng P.keys in
+          (st, [ Proto.Action.send ~dst:primary_id (Write { key; origin = st.self }); rearm ])
     | "read" ->
         let key = Dsim.Rng.int ctx.rng P.keys in
         let born = Dsim.Vtime.to_seconds ctx.now in
@@ -513,6 +566,7 @@ end = struct
         ( { st with next_rid = rid },
           read_actions @ [ Proto.Action.set_timer ~id:"read" ~after:P.read_period ] )
     | "sync" ->
+        let st = update_degraded ctx st in
         let rearm = Proto.Action.set_timer ~id:"sync" ~after:sync_period in
         if is_primary st then (st, [ rearm ])
         else

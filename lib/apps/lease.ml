@@ -70,6 +70,7 @@ end = struct
   let pp_msg = pp_msg
   let msg_codec = None
   let durable = None
+  let degraded = None
 
   let pp_state ppf st =
     match st.role with

@@ -118,6 +118,12 @@ module Make (P : PARAMS) : sig
       newest first. *)
 
   val born_count : state -> int
+
+  val degraded_entries : state -> int
+  (** Times this replica stepped down (entered degraded mode) because
+      it suspected it could no longer reach a majority. *)
+
+  val degraded_exits : state -> int
 end = struct
   type nonrec msg = msg
 
@@ -142,6 +148,9 @@ end = struct
     decided : cmd Int_map.t;
     latencies : float list;
     born : int;
+    degraded : bool;  (* stepped down: suspected quorum unreachable *)
+    deg_entries : int;
+    deg_exits : int;
   }
 
   let name = "paxos"
@@ -165,6 +174,9 @@ end = struct
   let decided st = st.decided
   let latencies st = st.latencies
   let born_count st = st.born
+  let degraded_entries st = st.deg_entries
+  let degraded_exits st = st.deg_exits
+  let degraded = Some (fun st -> st.degraded)
 
   (* ---------- durability ----------
 
@@ -207,6 +219,9 @@ end = struct
           decided = Int_map.of_seq (List.to_seq dec);
           latencies = [];
           born = 0;
+          degraded = false;
+          deg_entries = 0;
+          deg_exits = 0;
         })
       durable_c
 
@@ -274,6 +289,9 @@ end = struct
         decided = Int_map.empty;
         latencies = [];
         born = 0;
+        degraded = false;
+        deg_entries = 0;
+        deg_exits = 0;
       }
     in
     let timers =
@@ -463,19 +481,64 @@ end = struct
     in
     ctx.choose (Core.Choice.make ~label:proposer_label (List.map alternative replicas))
 
+  (* Step-down rule: a proposer that suspects it cannot reach a
+     majority (itself included) stops proposing — broadcasting prepares
+     into a partition wins nothing and floods the minority side. Enter
+     when the unsuspected peers plus self no longer form a majority;
+     exit with hysteresis, once a majority of peers has dropped back
+     below half suspicion. By symmetry of a partition this is the
+     locally computable dual of "suspected by a majority": the nodes
+     the majority side suspects are exactly those that cannot see a
+     majority themselves. *)
+  let quorum_reachable (ctx : Proto.Ctx.t) st ~cutoff =
+    let reachable =
+      1 + List.length (List.filter (fun r -> Proto.Ctx.suspicion ctx r < cutoff) (others st))
+    in
+    reachable >= majority
+
+  let update_degraded ctx st =
+    if st.degraded then
+      if quorum_reachable ctx st ~cutoff:0.5 then
+        { st with degraded = false; deg_exits = st.deg_exits + 1 }
+      else st
+    else if not (quorum_reachable ctx st ~cutoff:1.0) then
+      { st with degraded = true; deg_entries = st.deg_entries + 1 }
+    else st
+
   let on_timer (ctx : Proto.Ctx.t) st id =
     match id with
     | "client" ->
         let now = Dsim.Vtime.to_seconds ctx.now in
         let cmd = { origin = self_int st; seq = st.next_seq; born = now } in
         let st = { st with next_seq = st.next_seq + 1; born = st.born + 1 } in
-        let proposer = assign_proposer ctx st cmd in
         let rearm = Proto.Action.set_timer ~id:"client" ~after:P.client_period in
-        if Proto.Node_id.equal proposer st.self then
-          let st, actions = propose_owned ctx st cmd in
-          (st, actions @ [ rearm ])
-        else (st, [ Proto.Action.send ~dst:proposer (Submit { cmd }); rearm ])
+        let st = update_degraded ctx st in
+        if st.degraded then
+          (* Stepped down: park the command instead of proposing into a
+             suspected partition; it is flushed on recovery. *)
+          ({ st with queue = cmd :: st.queue }, [ rearm ])
+        else begin
+          (* Flush anything parked while stepped down, oldest first. *)
+          let backlog = List.rev st.queue in
+          let st, flushed =
+            List.fold_left
+              (fun (st, acc) c ->
+                let st, actions = propose_owned ctx st c in
+                (st, acc @ actions))
+              ({ st with queue = [] }, [])
+              backlog
+          in
+          let proposer = assign_proposer ctx st cmd in
+          if Proto.Node_id.equal proposer st.self then
+            let st, actions = propose_owned ctx st cmd in
+            (st, flushed @ actions @ [ rearm ])
+          else (st, flushed @ [ Proto.Action.send ~dst:proposer (Submit { cmd }); rearm ])
+        end
     | "retry" ->
+        let st = update_degraded ctx st in
+        let rearm = Proto.Action.set_timer ~id:"retry" ~after:P.retry_timeout in
+        if st.degraded then (st, [ rearm ])
+        else begin
         (* Re-run full Paxos (phase 1, higher ballot) for stuck
            proposals — lost messages or contention. *)
         let now = Dsim.Vtime.to_seconds ctx.now in
@@ -500,7 +563,8 @@ end = struct
               end)
             st.proposals (st, [])
         in
-        (st, actions @ [ Proto.Action.set_timer ~id:"retry" ~after:P.retry_timeout ])
+        (st, actions @ [ rearm ])
+        end
     | _ -> (st, [])
 
   (* Agreement: no two replicas decide different commands for one

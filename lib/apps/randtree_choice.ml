@@ -42,6 +42,7 @@ end = struct
   let pp_msg = C.pp_msg
   let msg_codec = Some C.msg_codec
   let durable = None
+  let degraded = None
 
   let pp_state ppf st =
     Format.fprintf ppf "{p=%a d=%d c=[%a] j=%b}"

@@ -9,6 +9,10 @@ type profile = {
   corrupt_flip : float;
   reorder_rate : float;
   reorder_window : float;
+  flaps : int;  (* flapping-partition cycles; 0 = no flap *)
+  flap_period : float;  (* half-period of each cycle, seconds *)
+  gray_links : int;  (* asymmetric lossy links; 0 = none *)
+  gray_loss : float;  (* loss rate of each gray direction *)
   storm : float;
   grace : float;
   protect : int list;
@@ -26,6 +30,14 @@ let default_profile =
     corrupt_flip = 0.02;
     reorder_rate = 0.15;
     reorder_window = 0.3;
+    flaps = 0;
+    (* The default half-period gives the phi-accrual detector room to
+       react: suspicion needs ~18.4 s of silence to enter and ~9 s of
+       fresh heartbeats to drop back under the exit threshold, so
+       anything much shorter flaps faster than the detector can see. *)
+    flap_period = 30.;
+    gray_links = 0;
+    gray_loss = 0.3;
     storm = 6.;
     grace = 8.;
     protect = [];
@@ -39,10 +51,10 @@ let pp_profile ppf p =
     | Faultplan.Torn -> "(torn)"
   in
   Format.fprintf ppf
-    "{crashes=%d%s partitions=%d degrades=%d dup=%.2f corrupt=%.2f reorder=%.2f storm=%.1fs \
-     grace=%.1fs}"
+    "{crashes=%d%s partitions=%d degrades=%d dup=%.2f corrupt=%.2f reorder=%.2f \
+     flap=%dx%.0fs gray=%d@%.2f storm=%.1fs grace=%.1fs}"
     p.crashes mode p.partitions p.degrades p.duplicate_rate p.corrupt_rate p.reorder_rate
-    p.storm p.grace
+    p.flaps p.flap_period p.gray_links p.gray_loss p.storm p.grace
 
 (* Fault windows open in the first 60% of the storm and always close by
    95% of it, so the storm ends with every link healed, every victim
@@ -56,6 +68,11 @@ let window rng ~storm =
 let generate ~seed ~nodes profile =
   if nodes <= 0 then invalid_arg "Chaos.generate: no nodes";
   if profile.storm <= 0. then invalid_arg "Chaos.generate: non-positive storm";
+  if profile.flaps < 0 then invalid_arg "Chaos.generate: negative flap count";
+  if profile.flap_period <= 0. then invalid_arg "Chaos.generate: non-positive flap period";
+  if profile.gray_links < 0 then invalid_arg "Chaos.generate: negative gray link count";
+  if not (profile.gray_loss >= 0. && profile.gray_loss <= 1.) then
+    invalid_arg "Chaos.generate: gray loss outside [0,1]";
   let rng = Dsim.Rng.create seed in
   let storm = profile.storm in
   let events = ref [] in
@@ -90,16 +107,61 @@ let generate ~seed ~nodes profile =
       add opens (crash v);
       add closes (Faultplan.Restart v))
     victims;
+  (* Partition windows over the same normalized group pair must not
+     overlap in time — [Faultplan.plan] now rejects a re-cut of a pair
+     still open. All draws happen regardless so the schedule of every
+     other fault is byte-identical whether or not a window collides;
+     only colliding windows are dropped. *)
+  let emitted = ref [] in
+  let key a b =
+    let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
+    if a <= b then (a, b) else (b, a)
+  in
   for _ = 1 to profile.partitions do
     let k = 1 + Dsim.Rng.int rng (max 1 (nodes / 2)) in
     let a = Dsim.Rng.sample_without_replacement rng k all in
     let b = List.filter (fun i -> not (List.mem i a)) all in
     if b <> [] then begin
       let opens, closes = window rng ~storm in
-      add opens (Faultplan.Partition (a, b));
-      add closes (Faultplan.Heal_partition (a, b))
+      let kab = key a b in
+      let collides =
+        List.exists (fun (k', o, c) -> k' = kab && opens <= c && o <= closes) !emitted
+      in
+      if not collides then begin
+        emitted := (kab, opens, closes) :: !emitted;
+        add opens (Faultplan.Partition (a, b));
+        add closes (Faultplan.Heal_partition (a, b))
+      end
     end
   done;
+  (* Flapping partition: one event that cuts and heals [flaps] times on
+     a fixed cadence, starting at the head of the storm. The cycle
+     count is clamped so the flap prefers to fit inside the storm, but
+     a profile that asks for flapping always gets at least one cycle
+     (long-period flaps against a short storm simply outlive it; the
+     event still ends healed). *)
+  if profile.flaps > 0 && nodes > 1 then begin
+    let k = 1 + Dsim.Rng.int rng (max 1 (nodes / 2)) in
+    let a = Dsim.Rng.sample_without_replacement rng k all in
+    let b = List.filter (fun i -> not (List.mem i a)) all in
+    if b <> [] then begin
+      let fits = int_of_float (0.95 *. storm /. (2. *. profile.flap_period)) in
+      let cycles = max 1 (min profile.flaps fits) in
+      add 0. (Faultplan.Flap { a; b; period = profile.flap_period; cycles })
+    end
+  end;
+  (* Asymmetric gray failures: a directed link silently loses traffic
+     for a window; the reverse direction stays clean. The distinct
+     endpoint is derived from one draw, not rejection-sampled, so the
+     draw count per link is fixed. *)
+  if profile.gray_links > 0 && nodes > 1 then
+    for _ = 1 to profile.gray_links do
+      let src = Dsim.Rng.int rng nodes in
+      let dst = (src + 1 + Dsim.Rng.int rng (nodes - 1)) mod nodes in
+      let opens, closes = window rng ~storm in
+      add opens (Faultplan.Gray_link { src; dst; loss = profile.gray_loss });
+      add closes (Faultplan.Heal_gray { src; dst })
+    done;
   for _ = 1 to profile.degrades do
     let endpoint = Dsim.Rng.int rng nodes in
     let latency_factor = 2. +. Dsim.Rng.float rng 6. in
@@ -118,6 +180,8 @@ module Soak (App : Proto.App_intf.APP) = struct
     plan : Faultplan.t;
     violations : (Dsim.Vtime.t * string) list;
     recovered : bool;
+    self_healed : bool;  (* no node still degraded at the end of grace *)
+    heal_time : float option;  (* grace seconds until the last node undegraded *)
     stats : E.stats;
     elapsed : float;
   }
@@ -134,11 +198,30 @@ module Soak (App : Proto.App_intf.APP) = struct
     let spent = Dsim.Vtime.diff (E.now eng) start in
     if spent < profile.storm then E.run_for eng (profile.storm -. spent);
     let check = recovered eng in
-    E.run_for eng profile.grace;
+    (* The storm is over and every fault healed; the grace period now
+       doubles as the self-healing probe. Run it in slices and record
+       when the last degraded node recovers — [self_healed] demands it
+       stays that way to the end, not a momentary dip to zero. *)
+    let grace_start = E.now eng in
+    let heal_time = ref (if E.degraded_nodes eng = 0 then Some 0. else None) in
+    let remaining = ref profile.grace in
+    while !remaining > 0. do
+      let dt = Float.min 0.25 !remaining in
+      E.run_for eng dt;
+      remaining := !remaining -. dt;
+      match !heal_time with
+      | None when E.degraded_nodes eng = 0 ->
+          heal_time := Some (Dsim.Vtime.diff (E.now eng) grace_start)
+      | Some _ when E.degraded_nodes eng > 0 -> heal_time := None
+      | _ -> ()
+    done;
+    let self_healed = E.degraded_nodes eng = 0 in
     {
       plan;
       violations = E.violations eng;
       recovered = check ();
+      self_healed;
+      heal_time = (if self_healed then !heal_time else None);
       stats = E.stats eng;
       elapsed = Dsim.Vtime.to_seconds (E.now eng);
     }

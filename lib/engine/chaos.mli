@@ -24,6 +24,19 @@ type profile = {
   corrupt_flip : float;
   reorder_rate : float;
   reorder_window : float;
+  flaps : int;
+      (** cycles of one flapping partition (cut / heal on a cadence);
+          0 (default) disables it and draws nothing from the plan RNG *)
+  flap_period : float;
+      (** half-period of each flap cycle in seconds. The default (30s)
+          is sized to the failure detector: phi-accrual suspicion needs
+          ~18s of silence to trigger, so shorter periods flap beneath
+          the detector's reaction time *)
+  gray_links : int;
+      (** asymmetric gray failures — directed links that silently lose
+          [gray_loss] of their traffic for a window while the reverse
+          direction stays clean; 0 (default) disables *)
+  gray_loss : float;  (** loss rate of each gray direction *)
   storm : float;  (** seconds of active chaos *)
   grace : float;  (** seconds allowed for recovery after the storm *)
   protect : int list;
@@ -43,8 +56,14 @@ val generate : seed:int -> nodes:int -> profile -> Faultplan.t
     faults switch on at t=0 and off at [storm]; every kill is
     restarted, every partition healed and every degradation restored
     by 95% of the storm, so the plan ends with the system nominally
-    whole. @raise Invalid_argument on [nodes <= 0] or a non-positive
-    storm. *)
+    whole. Partition windows that would re-cut a pair still open (now
+    rejected by {!Faultplan.plan}) are skipped without consuming extra
+    randomness, so every other fault keeps its schedule. A flap always
+    gets at least one cycle even when [2 * flap_period] exceeds the
+    storm — the flap simply outlives it, still ending healed.
+    @raise Invalid_argument on [nodes <= 0], a non-positive storm or
+    flap period, a negative flap/gray count, or a gray loss outside
+    [0,1]. *)
 
 module Soak (App : Proto.App_intf.APP) : sig
   module E : module type of Sim.Make (App)
@@ -54,6 +73,14 @@ module Soak (App : Proto.App_intf.APP) : sig
     violations : (Dsim.Vtime.t * string) list;
         (** safety violations observed at any point (storm or grace) *)
     recovered : bool;  (** the caller's recovery check passed *)
+    self_healed : bool;
+        (** no live node was still reporting [App.degraded] at the end
+            of the grace period (vacuously true for apps without a
+            degraded mode) *)
+    heal_time : float option;
+        (** grace seconds until the last degraded node recovered —
+            and stayed recovered; [None] when the system never fully
+            un-degraded. Sampled on a 0.25s grid *)
     stats : E.stats;
     elapsed : float;  (** total virtual seconds simulated *)
   }

@@ -7,6 +7,9 @@ type event =
   | Restart of int
   | Partition of int list * int list
   | Heal_partition of int list * int list
+  | Flap of { a : int list; b : int list; period : float; cycles : int }
+  | Gray_link of { src : int; dst : int; loss : float }
+  | Heal_gray of { src : int; dst : int }
   | Degrade of { endpoint : int; latency_factor : float; bandwidth_factor : float }
   | Restore of int
   | Set_duplicate of { rate : float; copies : int }
@@ -21,10 +24,19 @@ let check_rate what r =
     invalid_arg (Printf.sprintf "Faultplan.plan: %s %g outside [0,1]" what r)
 
 let validate_event = function
-  | Kill _ | Kill_amnesia _ | Torn_write _ | Restart _ | Heal_partition _ | Restore _ -> ()
+  | Kill _ | Kill_amnesia _ | Torn_write _ | Restart _ | Heal_partition _ | Restore _
+  | Heal_gray _ -> ()
   | Partition (a, b) ->
       if List.exists (fun x -> List.mem x b) a then
         invalid_arg "Faultplan.plan: partition groups overlap"
+  | Flap { a; b; period; cycles } ->
+      if List.exists (fun x -> List.mem x b) a then
+        invalid_arg "Faultplan.plan: flap groups overlap";
+      if period <= 0. then invalid_arg "Faultplan.plan: non-positive flap period";
+      if cycles <= 0 then invalid_arg "Faultplan.plan: empty flap"
+  | Gray_link { src; dst; loss } ->
+      if src = dst then invalid_arg "Faultplan.plan: gray link to self";
+      check_rate "gray loss" loss
   | Degrade { latency_factor; bandwidth_factor; _ } ->
       if latency_factor <= 0. || bandwidth_factor <= 0. then
         invalid_arg "Faultplan.plan: non-positive degrade factor"
@@ -41,13 +53,50 @@ let validate_event = function
       if victims <= 0 || rounds <= 0 then invalid_arg "Faultplan.plan: empty crash storm";
       if period <= 0. then invalid_arg "Faultplan.plan: non-positive storm period"
 
+(* Partitions are identified by their normalized group pair so the
+   cross-event check matches a heal to its cut regardless of element
+   order inside the groups or which side was listed first. *)
+let partition_key a b =
+  let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
+  if a <= b then (a, b) else (b, a)
+
+(* Walk the time-sorted schedule tracking which partitions are open:
+   a second cut of an already-open pair would make the matching heal
+   ambiguous, and a heal of a pair that was never cut is a typo in the
+   plan (it silently did nothing before this check existed). *)
+let validate_schedule schedule =
+  ignore
+    (List.fold_left
+       (fun opened (_, e) ->
+         match e with
+         | Partition (a, b) ->
+             let k = partition_key a b in
+             if List.mem k opened then
+               invalid_arg "Faultplan.plan: overlapping partition windows";
+             k :: opened
+         | Flap { a; b; _ } ->
+             (* A flap ends healed, but while it runs the pair is cut,
+                so it may not share its groups with an open partition. *)
+             if List.mem (partition_key a b) opened then
+               invalid_arg "Faultplan.plan: overlapping partition windows";
+             opened
+         | Heal_partition (a, b) ->
+             let k = partition_key a b in
+             if not (List.mem k opened) then
+               invalid_arg "Faultplan.plan: heal of a partition never opened";
+             List.filter (fun k' -> k' <> k) opened
+         | _ -> opened)
+       [] schedule)
+
 let plan events =
   List.iter
     (fun (at, e) ->
       if at < 0. then invalid_arg "Faultplan.plan: negative time";
       validate_event e)
     events;
-  { schedule = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events }
+  let schedule = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events in
+  validate_schedule schedule;
+  { schedule }
 
 let events t = t.schedule
 let duration t = List.fold_left (fun acc (at, _) -> Float.max acc at) 0. t.schedule
@@ -69,6 +118,11 @@ let pp_event ppf = function
   | Restart n -> Format.fprintf ppf "restart(%d)" n
   | Partition (a, b) -> Format.fprintf ppf "partition(%a | %a)" pp_group a pp_group b
   | Heal_partition (a, b) -> Format.fprintf ppf "heal(%a | %a)" pp_group a pp_group b
+  | Flap { a; b; period; cycles } ->
+      Format.fprintf ppf "flap(%a | %a, %.1fs half-period, x%d)" pp_group a pp_group b period
+        cycles
+  | Gray_link { src; dst; loss } -> Format.fprintf ppf "gray(%d->%d, loss=%.2f)" src dst loss
+  | Heal_gray { src; dst } -> Format.fprintf ppf "heal_gray(%d->%d)" src dst
   | Degrade { endpoint; latency_factor; bandwidth_factor } ->
       Format.fprintf ppf "degrade(%d, lat x%.1f, bw /%.1f)" endpoint latency_factor
         (1. /. bandwidth_factor)
@@ -124,6 +178,31 @@ struct
             Net.Netem.heal (E.netem eng) ~src:x ~dst:y;
             Net.Netem.heal (E.netem eng) ~src:y ~dst:x)
           a b
+    | Flap { a; b; period; cycles } ->
+        (* A flapping partition: cut, run a half-period, heal, run a
+           half-period, [cycles] times over. The link is healthy when
+           the event completes; it occupies [2 * period * cycles]
+           seconds of the schedule. *)
+        for _ = 1 to cycles do
+          cross (fun x y -> Net.Netem.cut_bidirectional (E.netem eng) x y) a b;
+          E.run_for eng period;
+          cross
+            (fun x y ->
+              Net.Netem.heal (E.netem eng) ~src:x ~dst:y;
+              Net.Netem.heal (E.netem eng) ~src:y ~dst:x)
+            a b;
+          E.run_for eng period
+        done
+    | Gray_link { src; dst; loss } ->
+        (* Asymmetric gray failure: one direction of one link silently
+           loses [loss] of its traffic; latency and bandwidth keep
+           their current effective values so nothing else changes. *)
+        let nem = E.netem eng in
+        let p = Net.Netem.path nem ~src ~dst in
+        Net.Netem.set_override nem ~src ~dst
+          (Net.Linkprop.v ~latency:p.Net.Linkprop.latency ~bandwidth:p.Net.Linkprop.bandwidth
+             ~loss)
+    | Heal_gray { src; dst } -> Net.Netem.clear_override (E.netem eng) ~src ~dst
     | Degrade { endpoint; latency_factor; bandwidth_factor } ->
         let nem = E.netem eng in
         let n = Net.Topology.size (Net.Netem.topology nem) in

@@ -22,6 +22,18 @@ type event =
   | Partition of int list * int list
       (** cut every link between the two groups, both directions *)
   | Heal_partition of int list * int list
+  | Flap of { a : int list; b : int list; period : float; cycles : int }
+      (** flapping partition: cut every link between the groups, run
+          [period] seconds, heal, run [period] more — [cycles] times
+          over. Ends healed; occupies [2 * period * cycles] seconds of
+          the schedule, like {!Crash_storm} occupies its rounds. *)
+  | Gray_link of { src : int; dst : int; loss : float }
+      (** asymmetric gray failure: the [src -> dst] direction of one
+          link silently drops [loss] of its traffic (latency and
+          bandwidth keep their current effective values); the reverse
+          direction is untouched *)
+  | Heal_gray of { src : int; dst : int }
+      (** undo {!Gray_link} on the directed link *)
   | Degrade of { endpoint : int; latency_factor : float; bandwidth_factor : float }
       (** multiply every path touching [endpoint] *)
   | Restore of int  (** undo {!Degrade} on the endpoint *)
@@ -50,8 +62,13 @@ val plan : (float * event) list -> t
 (** [plan events] with times in virtual seconds relative to execution
     start; events fire in time order regardless of list order.
     @raise Invalid_argument on a negative time, a [Degrade] with a
-    non-positive factor, a [Partition] whose groups overlap, a fault
-    rate outside [0,1], or a degenerate [Crash_storm]. *)
+    non-positive factor, a [Partition] or [Flap] whose groups overlap,
+    a fault rate outside [0,1], or a degenerate [Crash_storm] or
+    [Flap]. Partition windows are also checked as a whole: a
+    [Heal_partition] whose group pair was not cut earlier in the plan,
+    or a second [Partition] (or [Flap]) of a pair still open, is
+    rejected — group pairs are compared up to ordering, so
+    [Heal_partition ([1;0], [2])] closes [Partition ([0;1], [2])]. *)
 
 val events : t -> (float * event) list
 (** The schedule, sorted by time. *)

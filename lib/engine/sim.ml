@@ -15,6 +15,11 @@ module Make (App : Proto.App_intf.APP) = struct
         msg : App.msg;
         sent_at : Dsim.Vtime.t;
         trace : int;
+        rel : int option;
+            (* reliable-delivery sequence number when the send is
+               tracked; shared by every retransmission and Netem
+               duplicate of the same logical send, so the receiver can
+               dedup both with one seen-set *)
       }
     | Timer_fire of { node : Proto.Node_id.t; id : string; gen : int; trace : int }
     | Outbound of {
@@ -26,8 +31,41 @@ module Make (App : Proto.App_intf.APP) = struct
         (* sends withheld until the WAL record they depend on is durable
            (write-ahead discipline); dropped if the node crashed or was
            reborn in the interim — those messages were never sent *)
+    | Rel_ack of { seq : int; trace : int }
+        (* acknowledgment travelling back to the sender; judged by the
+           same Netem the payload crossed, so a partition kills acks too *)
+    | Rel_retransmit of { seq : int; trace : int }
+        (* sender-side timeout: if [seq] is still unacked, send again *)
 
   type scheduled = { at : Dsim.Vtime.t; ev : ev }
+
+  (* ---------- reliable delivery ---------- *)
+
+  type reliable_config = {
+    base_timeout : float;  (** first retransmit fires after this *)
+    backoff : float;  (** timeout multiplier per retry (>= 1) *)
+    max_retries : int;  (** retransmissions before giving up *)
+    jitter : float;  (** fraction of random spread added to each timeout *)
+    ack_bytes : int;  (** wire size of an ack, for Netem's delay model *)
+  }
+
+  let default_reliable =
+    { base_timeout = 0.25; backoff = 2.0; max_retries = 5; jitter = 0.1; ack_bytes = 24 }
+
+  type rel_entry = {
+    re_src : Proto.Node_id.t;
+    re_dst : Proto.Node_id.t;
+    re_msg : App.msg;
+    re_tries : int;  (* retransmissions performed so far *)
+  }
+
+  type rel = {
+    r_cfg : reliable_config;
+    r_kinds : (string, unit) Hashtbl.t option;  (* [None] = every kind *)
+    mutable r_next_seq : int;
+    r_pending : (int, rel_entry) Hashtbl.t;  (* sender side: unacked sends *)
+    r_seen : (int, unit) Hashtbl.t;  (* receiver side: seqs already handled *)
+  }
 
   type stats = {
     events_processed : int;
@@ -47,6 +85,13 @@ module Make (App : Proto.App_intf.APP) = struct
     amnesia_wipes : int;
     torn_writes : int;
     store_bytes_written : int;
+    rel_retransmits : int;
+    rel_acked : int;
+    rel_dup_dropped : int;
+    rel_giveups : int;
+    fd_recoveries : int;
+    degraded_entries : int;
+    degraded_exits : int;
   }
 
   type lookahead = {
@@ -89,6 +134,12 @@ module Make (App : Proto.App_intf.APP) = struct
     o_link_latency : (int * int, Obs.Registry.histogram) Hashtbl.t;
     o_drops : (string * int * int, Obs.Registry.counter) Hashtbl.t;
     o_timer_fires : (int, Obs.Registry.counter) Hashtbl.t;
+    o_rel_retransmits : Obs.Registry.counter;
+    o_rel_acked : Obs.Registry.counter;
+    o_rel_dup_dropped : Obs.Registry.counter;
+    o_rel_giveups : Obs.Registry.counter;
+    o_degraded : (int * string, Obs.Registry.counter) Hashtbl.t;
+    o_fd_recoveries : (int, Obs.Registry.counter) Hashtbl.t;
   }
 
   type pending_reward = {
@@ -106,6 +157,9 @@ module Make (App : Proto.App_intf.APP) = struct
     rng : Dsim.Rng.t;
     netem : Net.Netem.t;
     netmodel : Net.Netmodel.t;
+    fd : Net.Failure_detector.t;
+    mutable fd_enabled : bool;
+    mutable rel : rel option;  (* [None] = reliable delivery off (default) *)
     trace : Dsim.Trace.t;
     check_properties : bool;
     mutable mode : mode;
@@ -149,6 +203,13 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable n_torn_recoveries : int;
     mutable n_amnesia_wipes : int;
     mutable n_torn_writes : int;
+    mutable n_rel_retransmits : int;
+    mutable n_rel_acked : int;
+    mutable n_rel_dup_dropped : int;
+    mutable n_rel_giveups : int;
+    mutable n_fd_recoveries : int;
+    mutable n_degraded_entries : int;
+    mutable n_degraded_exits : int;
     mutable obs : obs option;
     mutable next_trace : int;
     mutable current_trace : int;  (** trace id of the event being processed *)
@@ -165,6 +226,9 @@ module Make (App : Proto.App_intf.APP) = struct
       rng;
       netem = Net.Netem.create ~jitter ~rng:netem_rng topology;
       netmodel = Net.Netmodel.create ();
+      fd = Net.Failure_detector.create ();
+      fd_enabled = true;
+      rel = None;
       trace = Dsim.Trace.create ~capacity:trace_capacity ();
       check_properties;
       mode = Plain Core.Resolver.first;
@@ -201,6 +265,13 @@ module Make (App : Proto.App_intf.APP) = struct
       n_torn_recoveries = 0;
       n_amnesia_wipes = 0;
       n_torn_writes = 0;
+      n_rel_retransmits = 0;
+      n_rel_acked = 0;
+      n_rel_dup_dropped = 0;
+      n_rel_giveups = 0;
+      n_fd_recoveries = 0;
+      n_degraded_entries = 0;
+      n_degraded_exits = 0;
       obs = None;
       next_trace = 0;
       current_trace = 0;
@@ -210,18 +281,24 @@ module Make (App : Proto.App_intf.APP) = struct
     match sink with
     | None -> t.obs <- None
     | Some o_sink ->
+        let reg = o_sink.Obs.Sink.registry in
+        let c name = Obs.Registry.counter reg ~name ~labels:[] in
         t.obs <-
           Some
             {
               o_sink;
-              o_queue_depth =
-                Obs.Registry.gauge o_sink.Obs.Sink.registry ~name:"engine_queue_depth"
-                  ~labels:[];
+              o_queue_depth = Obs.Registry.gauge reg ~name:"engine_queue_depth" ~labels:[];
               o_node_deliveries = Hashtbl.create 32;
               o_link_deliveries = Hashtbl.create 64;
               o_link_latency = Hashtbl.create 64;
               o_drops = Hashtbl.create 32;
               o_timer_fires = Hashtbl.create 32;
+              o_rel_retransmits = c "engine_rel_retransmits";
+              o_rel_acked = c "engine_rel_acked";
+              o_rel_dup_dropped = c "engine_rel_dup_dropped";
+              o_rel_giveups = c "engine_rel_giveups";
+              o_degraded = Hashtbl.create 16;
+              o_fd_recoveries = Hashtbl.create 16;
             }
 
   let obs_sink t = Option.map (fun o -> o.o_sink) t.obs
@@ -266,6 +343,13 @@ module Make (App : Proto.App_intf.APP) = struct
       torn_writes = t.n_torn_writes;
       store_bytes_written =
         Proto.Node_id.Map.fold (fun _ s acc -> acc + Store.bytes_written s) t.stores 0;
+      rel_retransmits = t.n_rel_retransmits;
+      rel_acked = t.n_rel_acked;
+      rel_dup_dropped = t.n_rel_dup_dropped;
+      rel_giveups = t.n_rel_giveups;
+      fd_recoveries = t.n_fd_recoveries;
+      degraded_entries = t.n_degraded_entries;
+      degraded_exits = t.n_degraded_exits;
     }
 
   let set_resolver t r = t.mode <- Plain r
@@ -299,6 +383,45 @@ module Make (App : Proto.App_intf.APP) = struct
     if window <= 0. then invalid_arg "Sim.enable_reward_feedback: window must be positive";
     t.reward_window <- Some window
 
+  let failure_detector t = t.fd
+  let set_fd_enabled t on = t.fd_enabled <- on
+
+  let enable_reliable ?(config = default_reliable) ?kinds t =
+    if config.base_timeout <= 0. then
+      invalid_arg "Sim.enable_reliable: base_timeout must be positive";
+    if config.backoff < 1. then invalid_arg "Sim.enable_reliable: backoff must be >= 1";
+    if config.max_retries < 0 then invalid_arg "Sim.enable_reliable: negative max_retries";
+    if config.jitter < 0. then invalid_arg "Sim.enable_reliable: negative jitter";
+    if config.ack_bytes <= 0 then invalid_arg "Sim.enable_reliable: ack_bytes must be positive";
+    let r_kinds =
+      Option.map
+        (fun ks ->
+          let h = Hashtbl.create 8 in
+          List.iter (fun k -> Hashtbl.replace h k ()) ks;
+          h)
+        kinds
+    in
+    t.rel <-
+      Some
+        {
+          r_cfg = config;
+          r_kinds;
+          r_next_seq = 0;
+          r_pending = Hashtbl.create 64;
+          r_seen = Hashtbl.create 256;
+        }
+
+  let rel_tracked r kind =
+    match r.r_kinds with None -> true | Some h -> Hashtbl.mem h kind
+
+  let degraded_nodes t =
+    match App.degraded with
+    | None -> 0
+    | Some f ->
+        Proto.Node_id.Map.fold
+          (fun _ n acc -> if n.alive && f n.state then acc + 1 else acc)
+          t.nodes 0
+
   let alive t id =
     match Proto.Node_id.Map.find_opt id t.nodes with Some n -> n.alive | None -> false
 
@@ -316,7 +439,7 @@ module Make (App : Proto.App_intf.APP) = struct
       (fun s ->
         match s.ev with
         | Deliver { src; dst; msg; _ } -> Some (src, dst, msg)
-        | Boot _ | Timer_fire _ | Outbound _ -> None)
+        | Boot _ | Timer_fire _ | Outbound _ | Rel_ack _ | Rel_retransmit _ -> None)
       (Dsim.Heap.to_list t.queue)
 
   let global_view t : (App.state, App.msg) Proto.View.t =
@@ -362,6 +485,12 @@ module Make (App : Proto.App_intf.APP) = struct
       rng = Dsim.Rng.copy t.rng;
       netem = Net.Netem.copy t.netem;
       netmodel = Net.Netmodel.copy t.netmodel;
+      fd = Net.Failure_detector.copy t.fd;
+      rel =
+        Option.map
+          (fun r ->
+            { r with r_pending = Hashtbl.copy r.r_pending; r_seen = Hashtbl.copy r.r_seen })
+          t.rel;
       trace = Dsim.Trace.create ~capacity:16 ();
       message_log = None;
       obs = None;
@@ -471,7 +600,44 @@ module Make (App : Proto.App_intf.APP) = struct
              ~labels:
                [ ("cause", cause); ("src", string_of_int se); ("dst", string_of_int de) ]))
 
-  let route t ~src ~dst msg =
+  (* Edge-detect the app's self-reported degraded mode across a state
+     transition. Counted per incident (enter/exit), not per event spent
+     inside the mode; [None] before a first boot counts as healthy. *)
+  let note_degraded t node ~prev ~next =
+    match App.degraded with
+    | None -> ()
+    | Some f ->
+        let was = match prev with Some s -> f s | None -> false in
+        let is_now = f next in
+        if was <> is_now then begin
+          let dir = if is_now then "enter" else "exit" in
+          if is_now then t.n_degraded_entries <- t.n_degraded_entries + 1
+          else t.n_degraded_exits <- t.n_degraded_exits + 1;
+          (match t.obs with
+          | None -> ()
+          | Some o ->
+              let ni = Proto.Node_id.to_int node in
+              Obs.Registry.incr
+                (obs_handle o.o_degraded (ni, dir) (fun () ->
+                     Obs.Registry.counter o.o_sink.Obs.Sink.registry
+                       ~name:"engine_degraded_transitions"
+                       ~labels:[ ("node", string_of_int ni); ("dir", dir) ])));
+          Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine"
+            "%a %s degraded mode" Proto.Node_id.pp node
+            (if is_now then "entered" else "exited")
+        end
+
+  (* Retransmission timeout for a send on its [tries]-th retry:
+     exponential backoff, plus a random spread so a burst of sends lost
+     to one partition does not retransmit in lockstep. The draw happens
+     only when reliable delivery is enabled — disabled, the engine's
+     RNG stream is untouched. *)
+  let rel_timeout t (r : rel) ~tries =
+    let base = r.r_cfg.base_timeout *. (r.r_cfg.backoff ** float_of_int tries) in
+    if r.r_cfg.jitter > 0. then base *. (1. +. (r.r_cfg.jitter *. Dsim.Rng.uniform t.rng))
+    else base
+
+  let transmit t ~src ~dst ~rel msg =
     let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
     let trace = t.current_trace in
     let now_s = Dsim.Vtime.to_seconds t.now in
@@ -484,7 +650,10 @@ module Make (App : Proto.App_intf.APP) = struct
     in
     let deliver delay =
       Dsim.Heap.push t.queue
-        { at = Dsim.Vtime.add t.now delay; ev = Deliver { src; dst; msg; sent_at = t.now; trace } }
+        {
+          at = Dsim.Vtime.add t.now delay;
+          ev = Deliver { src; dst; msg; sent_at = t.now; trace; rel };
+        }
     in
     let pp_msg out = App.pp_msg out msg in
     let dropped cause =
@@ -540,13 +709,57 @@ module Make (App : Proto.App_intf.APP) = struct
                 dropped ("corrupt: " ^ e)
             | Ok _ -> dropped "corrupt: checksum mismatch"))
 
+  (* A send: when reliable delivery covers this message kind, register
+     it as pending and arm the first retransmit timer before handing the
+     payload to Netem — the tracking must survive whatever verdict the
+     network passes. *)
+  let route t ~src ~dst msg =
+    let rel =
+      match t.rel with
+      | Some r when rel_tracked r (App.msg_kind msg) ->
+          let seq = r.r_next_seq in
+          r.r_next_seq <- seq + 1;
+          Hashtbl.replace r.r_pending seq
+            { re_src = src; re_dst = dst; re_msg = msg; re_tries = 0 };
+          schedule t ~after:(rel_timeout t r ~tries:0)
+            (Rel_retransmit { seq; trace = t.current_trace });
+          Some seq
+      | Some _ | None -> None
+    in
+    transmit t ~src ~dst ~rel msg
+
+  (* The ack crosses the same emulated network as the payload — judged
+     for loss, latency and duplication — so a partition that eats the
+     payload's direction or the reverse one breaks the handshake
+     realistically. A lost ack is recovered by the retransmit timer and
+     absorbed by the receiver's seen-set. *)
+  let send_ack t ~receiver ~sender ~seq =
+    match t.rel with
+    | None -> ()
+    | Some r -> (
+        let se = Proto.Node_id.to_int receiver and de = Proto.Node_id.to_int sender in
+        let push delay =
+          Dsim.Heap.push t.queue
+            { at = Dsim.Vtime.add t.now delay; ev = Rel_ack { seq; trace = t.current_trace } }
+        in
+        match
+          Net.Netem.judge t.netem ~now:(Dsim.Vtime.to_seconds t.now) ~src:se ~dst:de
+            ~bytes:r.r_cfg.ack_bytes
+        with
+        | Net.Netem.Drop _ -> ()
+        | Net.Netem.Deliver delay -> push delay
+        | Net.Netem.Duplicate delays -> List.iter push delays
+        | Net.Netem.Corrupt _ -> ())
+
   let inject t ?(after = 0.) ~src ~dst msg =
     check_endpoint t src;
     check_endpoint t dst;
     (* An injection is a root send: it starts a fresh causal chain. *)
     t.current_trace <- mint_trace t;
     if after = 0. then route t ~src ~dst msg
-    else schedule t ~after (Deliver { src; dst; msg; sent_at = t.now; trace = t.current_trace })
+    else
+      schedule t ~after
+        (Deliver { src; dst; msg; sent_at = t.now; trace = t.current_trace; rel = None })
 
   let add_filter t ~name drop = t.filters <- { f_name = name; drop } :: t.filters
   let clear_filters t = t.filters <- []
@@ -662,6 +875,7 @@ module Make (App : Proto.App_intf.APP) = struct
       now = t.now;
       rng = t.rng;
       net = t.netmodel;
+      fd = t.fd;
       choose =
         (fun choice ->
           let i = resolve_index t node choice in
@@ -745,6 +959,7 @@ module Make (App : Proto.App_intf.APP) = struct
     match Proto.Node_id.Map.find_opt node t.nodes with
     | None -> perform_action t node actions
     | Some n ->
+        note_degraded t node ~prev:(Some n.state) ~next:state;
         let delay =
           match App.durable with
           | None -> 0.
@@ -818,7 +1033,11 @@ module Make (App : Proto.App_intf.APP) = struct
        timers, deferred outbound batches — inherits its trace id. *)
     (match sched.ev with
     | Boot _ -> t.current_trace <- mint_trace t
-    | Deliver { trace; _ } | Timer_fire { trace; _ } | Outbound { trace; _ } ->
+    | Deliver { trace; _ }
+    | Timer_fire { trace; _ }
+    | Outbound { trace; _ }
+    | Rel_ack { trace; _ }
+    | Rel_retransmit { trace; _ } ->
         t.current_trace <- trace);
     (match t.obs with
     | None -> ()
@@ -849,11 +1068,12 @@ module Make (App : Proto.App_intf.APP) = struct
             let state, delay =
               match App.durable with None -> (boot, 0.) | Some d -> recover t id d boot
             in
+            note_degraded t id ~prev:(Option.map (fun (p : node) -> p.state) prev) ~next:state;
             t.nodes <- Proto.Node_id.Map.add id { state; alive = true; timer_gens; incarnation } t.nodes;
             defer_sends t id ~delay actions;
             Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a booted"
               Proto.Node_id.pp id)
-    | Deliver { src; dst; msg; sent_at; trace } -> (
+    | Deliver { src; dst; msg; sent_at; trace; rel } -> (
         match Proto.Node_id.Map.find_opt dst t.nodes with
         | Some n when n.alive ->
             let kind = App.msg_kind msg in
@@ -872,6 +1092,52 @@ module Make (App : Proto.App_intf.APP) = struct
             end
             else begin
               let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+              (* Passive heartbeat: every arrival is evidence the sender
+                 is up, feeding the phi-accrual detector. Pure
+                 arithmetic — no RNG, no events — so benign runs are
+                 bit-identical with the detector on or off. *)
+              (if t.fd_enabled then
+                 let recovered =
+                   Net.Failure_detector.heartbeat t.fd ~observer:de ~peer:se ~now:t.now
+                 in
+                 if recovered then begin
+                   t.n_fd_recoveries <- t.n_fd_recoveries + 1;
+                   match t.obs with
+                   | None -> ()
+                   | Some o ->
+                       Obs.Registry.incr
+                         (obs_handle o.o_fd_recoveries de (fun () ->
+                              Obs.Registry.counter o.o_sink.Obs.Sink.registry
+                                ~name:"engine_fd_recoveries"
+                                ~labels:[ ("node", string_of_int de) ]))
+                 end);
+              let dup =
+                match (rel, t.rel) with
+                | Some seq, Some r ->
+                    if Hashtbl.mem r.r_seen seq then true
+                    else begin
+                      Hashtbl.replace r.r_seen seq ();
+                      false
+                    end
+                | (Some _ | None), _ -> false
+              in
+              (* Ack every tracked arrival, duplicates included — the
+                 sender may have missed the first ack. *)
+              (match (rel, t.rel) with
+              | Some seq, Some _ -> send_ack t ~receiver:dst ~sender:src ~seq
+              | (Some _ | None), _ -> ());
+              if dup then begin
+                (* A retransmission (or Netem duplicate) of a payload
+                   already handled: acked above, but the app must not
+                   see it twice. *)
+                t.n_rel_dup_dropped <- t.n_rel_dup_dropped + 1;
+                (match t.obs with
+                | None -> ()
+                | Some o -> Obs.Registry.incr o.o_rel_dup_dropped);
+                Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"net"
+                  "rel dedup %s %a->%a" kind Proto.Node_id.pp src Proto.Node_id.pp dst
+              end
+              else begin
               let latency = Dsim.Vtime.diff t.now sent_at in
               Net.Netmodel.observe_latency t.netmodel ~src:se ~dst:de t.now latency;
               Net.Netmodel.observe_loss t.netmodel ~src:se ~dst:de t.now ~delivered:true;
@@ -918,6 +1184,7 @@ module Make (App : Proto.App_intf.APP) = struct
                   in
                   let h = ctx.choose choice in
                   apply_handler_result t dst (h.handle ctx n.state ~src msg)
+              end
             end
         | Some _ | None ->
             t.n_dropped <- t.n_dropped + 1;
@@ -954,7 +1221,58 @@ module Make (App : Proto.App_intf.APP) = struct
         | Some _ | None ->
             (* The node crashed (or was reborn) before its write
                completed: the withheld messages were never sent. *)
-            ()));
+            ())
+    | Rel_ack { seq; trace = _ } -> (
+        match t.rel with
+        | None -> ()
+        | Some r ->
+            if Hashtbl.mem r.r_pending seq then begin
+              Hashtbl.remove r.r_pending seq;
+              t.n_rel_acked <- t.n_rel_acked + 1;
+              match t.obs with None -> () | Some o -> Obs.Registry.incr o.o_rel_acked
+            end)
+    | Rel_retransmit { seq; trace = _ } -> (
+        match t.rel with
+        | None -> ()
+        | Some r -> (
+            match Hashtbl.find_opt r.r_pending seq with
+            | None -> ()  (* acked in the meantime: the common case *)
+            | Some e -> (
+                match Proto.Node_id.Map.find_opt e.re_src t.nodes with
+                | Some n when n.alive ->
+                    if e.re_tries >= r.r_cfg.max_retries then begin
+                      (* Retry budget exhausted: stop, and tell the
+                         sending app through a synthetic timer id so it
+                         can react (or ignore it — the default catch-all
+                         timer arm makes the notification opt-in). *)
+                      Hashtbl.remove r.r_pending seq;
+                      t.n_rel_giveups <- t.n_rel_giveups + 1;
+                      (match t.obs with
+                      | None -> ()
+                      | Some o -> Obs.Registry.incr o.o_rel_giveups);
+                      Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"net"
+                        "rel give-up %s %a->%a after %d retries"
+                        (App.msg_kind e.re_msg) Proto.Node_id.pp e.re_src Proto.Node_id.pp
+                        e.re_dst e.re_tries;
+                      let ctx = make_ctx t e.re_src in
+                      apply_handler_result t e.re_src
+                        (App.on_timer ctx n.state ("rel.giveup:" ^ App.msg_kind e.re_msg))
+                    end
+                    else begin
+                      let e = { e with re_tries = e.re_tries + 1 } in
+                      Hashtbl.replace r.r_pending seq e;
+                      t.n_rel_retransmits <- t.n_rel_retransmits + 1;
+                      (match t.obs with
+                      | None -> ()
+                      | Some o -> Obs.Registry.incr o.o_rel_retransmits);
+                      transmit t ~src:e.re_src ~dst:e.re_dst ~rel:(Some seq) e.re_msg;
+                      schedule t ~after:(rel_timeout t r ~tries:e.re_tries)
+                        (Rel_retransmit { seq; trace = t.current_trace })
+                    end
+                | Some _ | None ->
+                    (* Sender died with the send outstanding — nobody is
+                       left to retransmit. *)
+                    Hashtbl.remove r.r_pending seq))));
     t.processing <- saved_processing;
     t.event_decisions <- saved_decisions;
     if t.check_properties then begin

@@ -39,7 +39,39 @@ module Make (App : Proto.App_intf.APP) : sig
     amnesia_wipes : int;  (** {!kill_amnesia} crashes that erased a disk *)
     torn_writes : int;  (** {!torn_write} crashes that truncated a WAL *)
     store_bytes_written : int;  (** total bytes charged to all disks *)
+    rel_retransmits : int;  (** reliable-delivery retransmissions performed *)
+    rel_acked : int;  (** tracked sends confirmed by an ack *)
+    rel_dup_dropped : int;
+        (** arrivals suppressed by the receiver's seen-set — covers both
+            our own retransmissions and Netem's duplicate fault, which
+            share a sequence number *)
+    rel_giveups : int;  (** tracked sends abandoned after the retry budget *)
+    fd_recoveries : int;
+        (** heartbeats that un-suspected a peer — the failure detector's
+            count of observed recoveries *)
+    degraded_entries : int;  (** app-reported entries into degraded mode *)
+    degraded_exits : int;  (** app-reported exits from degraded mode *)
   }
+
+  (** Reliable-delivery tuning: retransmissions start after
+      [base_timeout] seconds, each retry multiplies the timeout by
+      [backoff] (plus up to [jitter] fraction of random spread so
+      retransmissions desynchronise), and after [max_retries]
+      unacknowledged attempts the send is abandoned and the sending app
+      is notified through [on_timer] with the synthetic id
+      ["rel.giveup:<kind>"]. Acks are [ack_bytes] on the emulated
+      wire. *)
+  type reliable_config = {
+    base_timeout : float;
+    backoff : float;
+    max_retries : int;
+    jitter : float;
+    ack_bytes : int;
+  }
+
+  val default_reliable : reliable_config
+  (** [{base_timeout = 0.25; backoff = 2.0; max_retries = 5;
+      jitter = 0.1; ack_bytes = 24}] *)
 
   (** Configuration of the predictive lookahead (paper §3.4): for each
       alternative the engine forks the simulation, forces that branch,
@@ -106,6 +138,37 @@ module Make (App : Proto.App_intf.APP) : sig
   (** After [window] virtual seconds, each decision is scored by the
       change in total objective since it was taken and reported to the
       resolver's [feedback] — this trains bandit resolvers online. *)
+
+  (** {1 Self-healing: failure detection, reliable delivery, degradation} *)
+
+  val failure_detector : t -> Net.Failure_detector.t
+  (** The shared phi-accrual detector, fed passively by every delivered
+      message (observer = receiver, peer = sender). Handlers read it
+      through {!Proto.Ctx.suspicion} / {!Proto.Ctx.suspected}. *)
+
+  val set_fd_enabled : t -> bool -> unit
+  (** Stops (or resumes) feeding the detector. On by default; the
+      detector consumes no randomness and schedules no events, so
+      toggling it never changes message behaviour — only what
+      [Ctx.suspicion] reports. *)
+
+  val enable_reliable : ?config:reliable_config -> ?kinds:string list -> t -> unit
+  (** Opt-in at-least-once delivery with receiver-side dedup: every
+      tracked send is retransmitted with exponential backoff until an
+      ack arrives or the retry budget runs out. [kinds] restricts
+      tracking to the listed [App.msg_kind]s (default: every kind).
+      Retransmissions and Netem duplicates share one sequence number,
+      so the receiver's seen-set suppresses both — apps observe
+      each logical send at most once even under the duplication fault.
+      Disabled (the default), the layer costs nothing and consumes no
+      randomness.
+      @raise Invalid_argument on non-positive [base_timeout] or
+      [ack_bytes], [backoff < 1], or negative [max_retries]/[jitter]. *)
+
+  val degraded_nodes : t -> int
+  (** Live nodes currently reporting [true] through [App.degraded];
+      [0] when the app has no degraded mode. The chaos soak polls this
+      to assert the system healed after the last fault cleared. *)
 
   (** {1 Deployment control} *)
 

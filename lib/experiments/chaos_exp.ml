@@ -12,6 +12,8 @@ type report = {
   seed : int;
   violations : int;
   recovered : bool;
+  self_healed : bool;  (** no node still degraded when grace ran out *)
+  heal_time : float option;  (** grace seconds until the last node un-degraded *)
   plan_events : int;
   plan_text : string;
       (** [Faultplan.pp] of the generated plan — the replay witness *)
@@ -21,15 +23,23 @@ type report = {
   corrupted : int;
   reordered : int;
   decode_failures : int;
+  degraded_entries : int;
+  degraded_exits : int;
+  retransmits : int;  (** reliable-delivery retransmissions (0 unless enabled) *)
+  giveups : int;  (** reliable sends abandoned after the retry budget *)
   elapsed : float;
 }
 
 let pp_report ppf r =
-  Format.fprintf ppf "%-8s seed=%-4d %s %s viol=%d dlv=%d drop=%d dup=%d corr=%d badwire=%d"
+  Format.fprintf ppf
+    "%-8s seed=%-4d %s %s %s viol=%d dlv=%d drop=%d dup=%d corr=%d badwire=%d deg=%d/%d \
+     rexmit=%d giveup=%d"
     r.app r.seed
     (if r.violations = 0 then "SAFE  " else "UNSAFE")
     (if r.recovered then "recovered" else "STUCK    ")
+    (if r.self_healed then "healed  " else "DEGRADED")
     r.violations r.delivered r.dropped r.duplicated r.corrupted r.decode_failures
+    r.degraded_entries r.degraded_exits r.retransmits r.giveups
 
 (* Every soak uses one flat LAN-ish topology: the storm supplies the
    adversity, the base network stays out of the way. *)
@@ -50,12 +60,14 @@ let paxos_decided eng =
     0
     (Paxos_soak.E.live_nodes eng)
 
-let soak_paxos ?(profile = paxos_profile) seed =
+let soak_paxos ?(profile = paxos_profile) ?(reliable = false) ?obs seed =
   let n = Apps.Paxos.Default_params.population in
   let o =
     Paxos_soak.run ~seed ~topology:(topology ~n) profile
       ~setup:(fun eng ->
         Paxos_soak.E.set_resolver eng (Apps.Paxos.round_robin_resolver ~population:n);
+        if reliable then Paxos_soak.E.enable_reliable eng;
+        Option.iter (fun sink -> Paxos_soak.E.set_obs eng (Some sink)) obs;
         let rng = Dsim.Rng.create (seed + 77) in
         for i = 0 to n - 1 do
           Paxos_soak.E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
@@ -71,6 +83,8 @@ let soak_paxos ?(profile = paxos_profile) seed =
     seed;
     violations = List.length o.Paxos_soak.violations;
     recovered = o.Paxos_soak.recovered;
+    self_healed = o.Paxos_soak.self_healed;
+    heal_time = o.Paxos_soak.heal_time;
     plan_events = List.length (Engine.Faultplan.events o.Paxos_soak.plan);
     plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Paxos_soak.plan;
     delivered = s.Paxos_soak.E.messages_delivered;
@@ -79,6 +93,10 @@ let soak_paxos ?(profile = paxos_profile) seed =
     corrupted = s.Paxos_soak.E.messages_corrupted;
     reordered = s.Paxos_soak.E.messages_reordered;
     decode_failures = s.Paxos_soak.E.decode_failures;
+    degraded_entries = s.Paxos_soak.E.degraded_entries;
+    degraded_exits = s.Paxos_soak.E.degraded_exits;
+    retransmits = s.Paxos_soak.E.rel_retransmits;
+    giveups = s.Paxos_soak.E.rel_giveups;
     elapsed = o.Paxos_soak.elapsed;
   }
 
@@ -95,12 +113,14 @@ let kvstore_profile =
      sequencing window is still the system's only copy. *)
   { Engine.Chaos.default_profile with crashes = 2; protect = [ 0 ] }
 
-let soak_kvstore ?(profile = kvstore_profile) seed =
+let soak_kvstore ?(profile = kvstore_profile) ?(reliable = false) ?obs seed =
   let n = Apps.Kvstore.Default_params.population in
   let o =
     Kv_soak.run ~seed ~topology:(topology ~n) profile
       ~setup:(fun eng ->
         Kv_soak.E.set_resolver eng Apps.Kvstore.session_resolver;
+        if reliable then Kv_soak.E.enable_reliable eng;
+        Option.iter (fun sink -> Kv_soak.E.set_obs eng (Some sink)) obs;
         let rng = Dsim.Rng.create (seed + 77) in
         for i = 0 to n - 1 do
           Kv_soak.E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
@@ -124,6 +144,8 @@ let soak_kvstore ?(profile = kvstore_profile) seed =
     seed;
     violations = List.length o.Kv_soak.violations;
     recovered = o.Kv_soak.recovered;
+    self_healed = o.Kv_soak.self_healed;
+    heal_time = o.Kv_soak.heal_time;
     plan_events = List.length (Engine.Faultplan.events o.Kv_soak.plan);
     plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Kv_soak.plan;
     delivered = s.Kv_soak.E.messages_delivered;
@@ -132,8 +154,45 @@ let soak_kvstore ?(profile = kvstore_profile) seed =
     corrupted = s.Kv_soak.E.messages_corrupted;
     reordered = s.Kv_soak.E.messages_reordered;
     decode_failures = s.Kv_soak.E.decode_failures;
+    degraded_entries = s.Kv_soak.E.degraded_entries;
+    degraded_exits = s.Kv_soak.E.degraded_exits;
+    retransmits = s.Kv_soak.E.rel_retransmits;
+    giveups = s.Kv_soak.E.rel_giveups;
     elapsed = o.Kv_soak.elapsed;
   }
+
+(* ---------- flapping partitions: the self-healing storm ---------- *)
+
+(* A pure flap storm sized to the failure detector: each cut must
+   outlast the ~18s of silence phi-accrual suspicion needs to enter
+   degraded mode, and each heal the ~9s of fresh heartbeats it needs
+   to leave it, so a 30s half-period lets every cycle be seen. The
+   channel faults stay off — the flapping link is the whole adversity,
+   reliable delivery rides along (retransmissions across the cut, acks
+   judged through the same emulator), and [self_healed] judges whether
+   everyone left degraded mode after the final heal. *)
+let flap_profile =
+  {
+    Engine.Chaos.default_profile with
+    crashes = 0;
+    partitions = 0;
+    degrades = 0;
+    duplicate_rate = 0.;
+    corrupt_rate = 0.;
+    corrupt_flip = 0.;
+    reorder_rate = 0.;
+    reorder_window = 0.;
+    flaps = 2;
+    flap_period = 30.;
+    storm = 130.;
+    grace = 30.;
+  }
+
+let soak_paxos_flap ?(profile = flap_profile) ?obs seed =
+  { (soak_paxos ~profile ~reliable:true ?obs seed) with app = "paxos-flap" }
+
+let soak_kvstore_flap ?(profile = flap_profile) ?obs seed =
+  { (soak_kvstore ~profile ~reliable:true ?obs seed) with app = "kvstore-flap" }
 
 (* ---------- gossip: 12 nodes, rumors survive and respread ---------- *)
 
@@ -176,6 +235,8 @@ let soak_gossip ?(profile = gossip_profile) seed =
     seed;
     violations = List.length o.Gossip_soak.violations;
     recovered = o.Gossip_soak.recovered;
+    self_healed = o.Gossip_soak.self_healed;
+    heal_time = o.Gossip_soak.heal_time;
     plan_events = List.length (Engine.Faultplan.events o.Gossip_soak.plan);
     plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Gossip_soak.plan;
     delivered = s.Gossip_soak.E.messages_delivered;
@@ -184,6 +245,10 @@ let soak_gossip ?(profile = gossip_profile) seed =
     corrupted = s.Gossip_soak.E.messages_corrupted;
     reordered = s.Gossip_soak.E.messages_reordered;
     decode_failures = s.Gossip_soak.E.decode_failures;
+    degraded_entries = s.Gossip_soak.E.degraded_entries;
+    degraded_exits = s.Gossip_soak.E.degraded_exits;
+    retransmits = s.Gossip_soak.E.rel_retransmits;
+    giveups = s.Gossip_soak.E.rel_giveups;
     elapsed = o.Gossip_soak.elapsed;
   }
 
@@ -224,6 +289,8 @@ let soak_dht ?(profile = dht_profile) seed =
     seed;
     violations = List.length o.Dht_soak.violations;
     recovered = o.Dht_soak.recovered;
+    self_healed = o.Dht_soak.self_healed;
+    heal_time = o.Dht_soak.heal_time;
     plan_events = List.length (Engine.Faultplan.events o.Dht_soak.plan);
     plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Dht_soak.plan;
     delivered = s.Dht_soak.E.messages_delivered;
@@ -232,6 +299,10 @@ let soak_dht ?(profile = dht_profile) seed =
     corrupted = s.Dht_soak.E.messages_corrupted;
     reordered = s.Dht_soak.E.messages_reordered;
     decode_failures = s.Dht_soak.E.decode_failures;
+    degraded_entries = s.Dht_soak.E.degraded_entries;
+    degraded_exits = s.Dht_soak.E.degraded_exits;
+    retransmits = s.Dht_soak.E.rel_retransmits;
+    giveups = s.Dht_soak.E.rel_giveups;
     elapsed = o.Dht_soak.elapsed;
   }
 
@@ -270,6 +341,8 @@ let soak_randtree ?(profile = randtree_profile) seed =
     seed;
     violations = List.length o.Tree_soak.violations;
     recovered = o.Tree_soak.recovered;
+    self_healed = o.Tree_soak.self_healed;
+    heal_time = o.Tree_soak.heal_time;
     plan_events = List.length (Engine.Faultplan.events o.Tree_soak.plan);
     plan_text = Format.asprintf "%a" Engine.Faultplan.pp o.Tree_soak.plan;
     delivered = s.Tree_soak.E.messages_delivered;
@@ -278,6 +351,10 @@ let soak_randtree ?(profile = randtree_profile) seed =
     corrupted = s.Tree_soak.E.messages_corrupted;
     reordered = s.Tree_soak.E.messages_reordered;
     decode_failures = s.Tree_soak.E.decode_failures;
+    degraded_entries = s.Tree_soak.E.degraded_entries;
+    degraded_exits = s.Tree_soak.E.degraded_exits;
+    retransmits = s.Tree_soak.E.rel_retransmits;
+    giveups = s.Tree_soak.E.rel_giveups;
     elapsed = o.Tree_soak.elapsed;
   }
 
@@ -300,12 +377,28 @@ let scale factor (p : Engine.Chaos.profile) =
     grace = p.Engine.Chaos.grace *. factor;
   }
 
-let run ?(factor = 1.) ~seed app =
-  let pick base soak = soak ?profile:(Some (scale factor base)) seed in
+(* [with_flaps n] grafts a flapping partition onto any profile,
+   stretching the storm so [n] full cycles (sized for the failure
+   detector, see {!flap_profile}) fit inside it and leaving a grace
+   long enough for the last exit from degraded mode to be observed. *)
+let with_flaps flaps (p : Engine.Chaos.profile) =
+  if flaps < 0 then invalid_arg "Chaos_exp.with_flaps: negative flap count";
+  if flaps = 0 then p
+  else
+    let needed = 2. *. p.Engine.Chaos.flap_period *. float_of_int flaps /. 0.95 in
+    {
+      p with
+      Engine.Chaos.flaps;
+      storm = Float.max p.Engine.Chaos.storm (Float.ceil needed);
+      grace = Float.max p.Engine.Chaos.grace 30.;
+    }
+
+let run ?(factor = 1.) ?(flaps = 0) ~seed app =
+  let profile base = with_flaps flaps (scale factor base) in
   match app with
-  | "paxos" -> pick paxos_profile soak_paxos
-  | "kvstore" -> pick kvstore_profile soak_kvstore
-  | "gossip" -> pick gossip_profile soak_gossip
-  | "dht" -> pick dht_profile soak_dht
-  | "randtree" -> pick randtree_profile soak_randtree
+  | "paxos" -> soak_paxos ~profile:(profile paxos_profile) seed
+  | "kvstore" -> soak_kvstore ~profile:(profile kvstore_profile) seed
+  | "gossip" -> soak_gossip ~profile:(profile gossip_profile) seed
+  | "dht" -> soak_dht ~profile:(profile dht_profile) seed
+  | "randtree" -> soak_randtree ~profile:(profile randtree_profile) seed
   | other -> invalid_arg ("Chaos_exp.run: unknown app " ^ other)

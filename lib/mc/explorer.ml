@@ -169,6 +169,7 @@ module Make (App : Proto.App_intf.APP) = struct
         now = Dsim.Vtime.zero;
         rng = Dsim.Rng.create seed;
         net = Net.Netmodel.create ();
+        fd = Net.Failure_detector.create ();
         choose;
       }
     in

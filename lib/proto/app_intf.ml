@@ -56,6 +56,16 @@ module type APP = sig
       restart — the engine then reboots the node through [init] alone,
       exactly as before the persistence layer existed, at zero cost. *)
 
+  val degraded : (state -> bool) option
+  (** Self-reported degraded mode: [Some f] when the protocol can enter
+      a reduced-service mode under suspected failures (a kv store going
+      read-only, a paxos proposer stepping down). The engine
+      edge-detects transitions of [f] across every state change and
+      counts them ([stats.degraded_entries] / [degraded_exits], plus
+      per-node [Obs.Registry] counters), and the chaos soak asserts
+      every node has exited the mode after the final heal. [None] means
+      the protocol has no such mode — nothing is tracked. *)
+
   val init : Ctx.t -> state * msg Action.t list
   (** Boot: runs once when the node joins the system. *)
 

@@ -12,6 +12,9 @@ type t = {
   now : Dsim.Vtime.t;
   rng : Dsim.Rng.t;
   net : Net.Netmodel.t;
+  fd : Net.Failure_detector.t;
+      (** shared failure detector (read-only): suspicion levels the
+          engine has accrued from passive heartbeats *)
   choose : 'a. 'a Core.Choice.t -> 'a;
 }
 
@@ -32,3 +35,17 @@ let link_confidence t dst =
   (Net.Netmodel.latency t.net ~src:(Node_id.to_int t.self) ~dst:(Node_id.to_int dst)
      ~now:t.now)
     .Net.Netmodel.confidence
+
+(** Suspicion level for [peer] in [0,1]: 0 = freshly heard (or no
+    evidence yet), 1 = the silence has crossed the detector's phi
+    threshold. The dual of {!link_confidence}: confidence decays with
+    the age of what we know, suspicion accrues with the age of what we
+    miss. *)
+let suspicion t peer =
+  Net.Failure_detector.suspicion t.fd ~observer:(Node_id.to_int t.self)
+    ~peer:(Node_id.to_int peer) ~now:t.now
+
+(** [suspicion >= 1], i.e. phi has crossed the detector threshold. *)
+let suspected t peer =
+  Net.Failure_detector.suspected t.fd ~observer:(Node_id.to_int t.self)
+    ~peer:(Node_id.to_int peer) ~now:t.now

@@ -60,7 +60,8 @@ module Make (App : Proto.App_intf.APP) = struct
         g "crystal_outcomes_cached" t.n_cached;
         g "crystal_fingerprint_collisions" t.n_collisions;
         g "crystal_checkpoint_bytes" t.checkpoint_bytes;
-        g "crystal_live_vetoes" (List.length t.vetoes)
+        g "crystal_live_vetoes" (List.length t.vetoes);
+        g "crystal_degraded_nodes" (E.degraded_nodes t.eng)
 
   let collect_checkpoint t =
     let view = E.global_view t.eng in

@@ -12,6 +12,7 @@ let msg_kind = function Grant -> "grant" | Release -> "release" | Flip -> "flip"
 let msg_bytes _ = 16
 let msg_codec = None
 let durable = None
+let degraded = None
 
 let pp_msg ppf m =
   Format.fprintf ppf "%s" (match m with Grant -> "grant" | Release -> "release" | Flip -> "flip")

@@ -53,6 +53,50 @@ let test_reordering_exercised () =
   in
   checkb "some message was reordered" true (total > 0)
 
+(* ---------- self-healing under flapping partitions ---------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+(* Two 30s-half-period flap cycles against seed 1 cut off a 2-node
+   minority twice; each cut lasts long enough for phi-accrual suspicion
+   to fire (~18s of silence) and each heal long enough to clear it, so
+   the expected degraded-mode trajectory is exact: both minority nodes
+   enter and exit twice — 4 entries, 4 exits — and nobody is left
+   degraded after the final heal. *)
+let flap_soak name soak =
+  Alcotest.test_case (name ^ " flap storm self-heals") `Slow (fun () ->
+      let r : X.report = soak 1 in
+      checki (name ^ ": safe through the flaps") 0 r.X.violations;
+      checkb (name ^ ": recovered") true r.X.recovered;
+      checkb (name ^ ": self-healed") true r.X.self_healed;
+      checkb (name ^ ": heal observed") true (r.X.heal_time <> None);
+      checki (name ^ ": degraded entries") 4 r.X.degraded_entries;
+      checki (name ^ ": every entry exited") r.X.degraded_entries r.X.degraded_exits;
+      checkb (name ^ ": reliable layer exercised") true (r.X.retransmits > 0);
+      checkb (name ^ ": some sends exhausted their budget") true (r.X.giveups > 0))
+
+(* The whole self-healing trajectory is a replayable witness: same
+   seed, same suspicion counters, same retransmissions, byte-identical
+   observability export. *)
+let test_flap_obs_export_reproducible () =
+  let export () =
+    let sink = Obs.Sink.create () in
+    let r = X.soak_paxos_flap ~obs:sink 2 in
+    (r, String.concat "\n" (Obs.Registry.to_json_lines sink.Obs.Sink.registry))
+  in
+  let ra, ea = export () in
+  let rb, eb = export () in
+  checks "byte-identical obs export" ea eb;
+  checki "same retransmit count" ra.X.retransmits rb.X.retransmits;
+  checki "same degradation trajectory" ra.X.degraded_entries rb.X.degraded_entries;
+  checkb "export carries retransmit counters" true (contains ea "engine_rel_retransmits");
+  checkb "export carries degradation transitions" true
+    (contains ea "engine_degraded_transitions");
+  checkb "export carries detector recoveries" true (contains ea "engine_fd_recoveries")
+
 (* ---------- determinism ---------- *)
 
 let test_generate_deterministic () =
@@ -81,7 +125,54 @@ let test_generate_validation () =
       ignore (C.generate ~seed:1 ~nodes:0 C.default_profile));
   Alcotest.check_raises "bad storm" (Invalid_argument "Chaos.generate: non-positive storm")
     (fun () ->
-      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.storm = 0. }))
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.storm = 0. }));
+  Alcotest.check_raises "negative flaps"
+    (Invalid_argument "Chaos.generate: negative flap count") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.flaps = -1 }));
+  Alcotest.check_raises "bad flap period"
+    (Invalid_argument "Chaos.generate: non-positive flap period") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.flap_period = 0. }));
+  Alcotest.check_raises "negative gray links"
+    (Invalid_argument "Chaos.generate: negative gray link count") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.gray_links = -1 }));
+  Alcotest.check_raises "bad gray loss"
+    (Invalid_argument "Chaos.generate: gray loss outside [0,1]") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.gray_loss = 1.5 }))
+
+let test_generate_flap_and_gray () =
+  let p =
+    {
+      C.default_profile with
+      C.flaps = 2;
+      flap_period = 10.;
+      gray_links = 2;
+      gray_loss = 0.4;
+      storm = 60.;
+    }
+  in
+  let evs = List.map snd (Engine.Faultplan.events (C.generate ~seed:5 ~nodes:6 p)) in
+  let count f = List.length (List.filter f evs) in
+  checki "one flap event" 1
+    (count (function Engine.Faultplan.Flap _ -> true | _ -> false));
+  List.iter
+    (function
+      | Engine.Faultplan.Flap { period; cycles; _ } ->
+          Alcotest.check (Alcotest.float 0.) "period as configured" 10. period;
+          checkb "cycles clamped to fit the storm" true (cycles >= 1 && cycles <= 2)
+      | Engine.Faultplan.Gray_link { loss; _ } ->
+          Alcotest.check (Alcotest.float 0.) "gray loss as configured" 0.4 loss
+      | _ -> ())
+    evs;
+  checki "every gray link opened" 2
+    (count (function Engine.Faultplan.Gray_link _ -> true | _ -> false));
+  checki "every gray link healed" 2
+    (count (function Engine.Faultplan.Heal_gray _ -> true | _ -> false))
+
+let test_pp_profile_shows_new_knobs () =
+  let p = { C.default_profile with C.flaps = 3; gray_links = 1 } in
+  let s = Format.asprintf "%a" C.pp_profile p in
+  checkb "flap knob printed" true (contains s "flap=3");
+  checkb "gray knob printed" true (contains s "gray=1")
 
 (* Same seed + profile -> the identical storm, the identical verdict,
    the identical traffic: the whole soak is a replayable witness. *)
@@ -105,6 +196,13 @@ let () =
   Alcotest.run "chaos"
     [
       ("soak", List.map soak_case X.apps);
+      ( "self-healing",
+        [
+          flap_soak "paxos" (fun seed -> X.soak_paxos_flap seed);
+          flap_soak "kvstore" (fun seed -> X.soak_kvstore_flap seed);
+          Alcotest.test_case "obs export is reproducible" `Slow
+            test_flap_obs_export_reproducible;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "decode failures exercised" `Slow test_decode_failures_exercised;
@@ -115,6 +213,9 @@ let () =
           Alcotest.test_case "generate is seed-deterministic" `Quick test_generate_deterministic;
           Alcotest.test_case "protect respected" `Quick test_generate_respects_protect;
           Alcotest.test_case "generate validation" `Quick test_generate_validation;
+          Alcotest.test_case "flap and gray generation" `Quick test_generate_flap_and_gray;
+          Alcotest.test_case "profile pp shows new knobs" `Quick
+            test_pp_profile_shows_new_knobs;
           Alcotest.test_case "replay is bit-identical" `Slow test_replay_bit_identical;
           Alcotest.test_case "profile scaling" `Quick test_scale_grows_profile;
         ] );

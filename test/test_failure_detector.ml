@@ -1,0 +1,164 @@
+(* Unit tests for the phi-accrual failure detector: pure arithmetic
+   over virtual-time arrivals, so every trajectory here is exact. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+
+module Fd = Net.Failure_detector
+
+let at = Dsim.Vtime.of_seconds
+
+(* Feed [n] arrivals on a fixed cadence starting at [start]. *)
+let feed ?(observer = 0) ?(peer = 1) ?(start = 0.) ~cadence fd n =
+  for i = 0 to n - 1 do
+    ignore (Fd.heartbeat fd ~observer ~peer ~now:(at (start +. (cadence *. float_of_int i))))
+  done
+
+(* ---------- bootstrap and basic accrual ---------- *)
+
+let test_under_sampled_is_silent () =
+  let fd = Fd.create () in
+  checkf "no evidence, no phi" 0. (Fd.phi fd ~observer:0 ~peer:1 ~now:(at 100.));
+  feed fd ~cadence:1. 2;
+  (* Two arrivals are below min_samples: even a huge silence reports
+     nothing — sparse contact is not evidence of failure. *)
+  checkf "under-sampled" 0. (Fd.suspicion fd ~observer:0 ~peer:1 ~now:(at 1000.));
+  checki "samples counted" 2 (Fd.samples fd ~observer:0 ~peer:1)
+
+let test_suspicion_accrues_with_silence () =
+  let fd = Fd.create () in
+  feed fd ~cadence:1. 5 (* last arrival at t=4, learned interval 1s *);
+  let s t = Fd.suspicion fd ~observer:0 ~peer:1 ~now:(at t) in
+  checkf "fresh arrival, zero suspicion" 0. (s 4.);
+  checkb "suspicion grows" true (s 10. > s 6. && s 6. > s 4.);
+  checkb "not yet suspected at 10s" false (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at 10.));
+  (* With a 1s rhythm and threshold 8, suspicion needs
+     8 / log10(e) ~= 18.42s of silence. *)
+  checkb "suspected after 18.5s" true (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at (4. +. 18.5)));
+  checkf "suspicion clamps at 1" 1. (s 1000.)
+
+let test_heartbeat_collapses_suspicion () =
+  let fd = Fd.create () in
+  feed fd ~cadence:1. 5;
+  checkb "suspected" true (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at 40.));
+  (* The arrival at t=40 is the recovery edge, and afterwards the pair
+     reads fresh again. *)
+  checkb "recovery edge reported" true (Fd.heartbeat fd ~observer:0 ~peer:1 ~now:(at 40.));
+  checkf "collapsed" 0. (Fd.suspicion fd ~observer:0 ~peer:1 ~now:(at 40.));
+  checkb "no second edge" false (Fd.heartbeat fd ~observer:0 ~peer:1 ~now:(at 41.))
+
+(* ---------- the interval floor ---------- *)
+
+let test_bursty_traffic_does_not_teach_fast_rhythm () =
+  let fd = Fd.create () in
+  (* A paxos-style burst: 50 messages 1ms apart. Unfloored, the learned
+     mean would be ~1ms and a 150ms pause would look like phi ~65. *)
+  feed fd ~cadence:0.001 50;
+  let last = 49. *. 0.001 in
+  checkb "150ms pause, phi well under threshold" true
+    (Fd.phi fd ~observer:0 ~peer:1 ~now:(at (last +. 0.15)) < 0.1);
+  checkb "still needs ~18.4s absolute silence" false
+    (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at (last +. 18.0)));
+  checkb "suspected at 18.5s" true (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at (last +. 18.5)))
+
+let test_slow_rhythm_is_respected () =
+  let fd = Fd.create () in
+  (* A genuinely slow peer (5s cadence) gets a proportionally longer
+     leash: the floor only ever raises the interval, never lowers it. *)
+  feed fd ~cadence:5. 6;
+  let last = 25. in
+  checkb "20s silence fine for a 5s rhythm" false
+    (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at (last +. 20.)));
+  checkb "suspected once silence dwarfs the rhythm" true
+    (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at (last +. 5. *. 19.)))
+
+let test_outage_sample_is_capped () =
+  let fd = Fd.create () in
+  feed fd ~cadence:1. 5;
+  (* A 60s outage ends with one arrival; the 60s sample is capped at
+     3x the learned interval, so the detector still re-suspects the
+     peer on the old timescale instead of having learned that minute
+     silences are normal. *)
+  ignore (Fd.heartbeat fd ~observer:0 ~peer:1 ~now:(at 64.));
+  checkb "re-suspects well before 60s" true
+    (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at (64. +. 40.)))
+
+(* ---------- bookkeeping ---------- *)
+
+let test_pairs_are_directed_and_independent () =
+  let fd = Fd.create () in
+  feed fd ~observer:0 ~peer:1 ~cadence:1. 5;
+  feed fd ~observer:2 ~peer:3 ~cadence:1. 5;
+  checkb "0 suspects 1" true (Fd.suspected fd ~observer:0 ~peer:1 ~now:(at 30.));
+  checkf "1 never observed 0" 0. (Fd.suspicion fd ~observer:1 ~peer:0 ~now:(at 30.));
+  Alcotest.check (Alcotest.list Alcotest.int) "known peers" [ 1 ]
+    (Fd.known_peers fd ~observer:0);
+  Alcotest.check (Alcotest.list Alcotest.int) "no peers for 5" [] (Fd.known_peers fd ~observer:5)
+
+let test_copy_is_independent () =
+  let fd = Fd.create () in
+  feed fd ~cadence:1. 5;
+  let snap = Fd.copy fd in
+  ignore (Fd.heartbeat fd ~observer:0 ~peer:1 ~now:(at 30.));
+  checkf "original collapsed" 0. (Fd.suspicion fd ~observer:0 ~peer:1 ~now:(at 30.));
+  checkb "copy still suspicious" true (Fd.suspected snap ~observer:0 ~peer:1 ~now:(at 30.))
+
+let test_create_validation () =
+  let raises msg f =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () -> ignore (f ()))
+  in
+  raises "Failure_detector.create: alpha out of (0,1]" (fun () -> Fd.create ~alpha:0. ());
+  raises "Failure_detector.create: non-positive threshold" (fun () ->
+      Fd.create ~threshold:0. ());
+  raises "Failure_detector.create: non-positive bootstrap interval" (fun () ->
+      Fd.create ~bootstrap_interval:0. ());
+  raises "Failure_detector.create: min_samples < 1" (fun () -> Fd.create ~min_samples:0 ())
+
+(* ---------- determinism ---------- *)
+
+(* The detector is pure arithmetic: replaying the same arrival schedule
+   must reproduce the suspicion trajectory byte for byte. *)
+let trajectory () =
+  let fd = Fd.create () in
+  let buf = Buffer.create 256 in
+  let arrivals = [ 0.; 1.1; 1.9; 3.0; 4.2; 5.0; 30.; 31.; 32.; 60. ] in
+  List.iter
+    (fun t ->
+      let edge = Fd.heartbeat fd ~observer:0 ~peer:1 ~now:(at t) in
+      Buffer.add_string buf
+        (Printf.sprintf "%.3f:%b:%.17g\n" t edge
+           (Fd.suspicion fd ~observer:0 ~peer:1 ~now:(at (t +. 10.)))))
+    arrivals;
+  Buffer.contents buf
+
+let test_trajectory_byte_identical () =
+  Alcotest.check Alcotest.string "same schedule, same bytes" (trajectory ()) (trajectory ())
+
+let () =
+  Alcotest.run "failure_detector"
+    [
+      ( "accrual",
+        [
+          Alcotest.test_case "under-sampled pairs are silent" `Quick test_under_sampled_is_silent;
+          Alcotest.test_case "suspicion accrues with silence" `Quick
+            test_suspicion_accrues_with_silence;
+          Alcotest.test_case "heartbeat collapses suspicion" `Quick
+            test_heartbeat_collapses_suspicion;
+        ] );
+      ( "interval floor",
+        [
+          Alcotest.test_case "bursts don't teach a fast rhythm" `Quick
+            test_bursty_traffic_does_not_teach_fast_rhythm;
+          Alcotest.test_case "slow rhythms keep their leash" `Quick test_slow_rhythm_is_respected;
+          Alcotest.test_case "outage samples are capped" `Quick test_outage_sample_is_capped;
+        ] );
+      ( "bookkeeping",
+        [
+          Alcotest.test_case "pairs are directed" `Quick test_pairs_are_directed_and_independent;
+          Alcotest.test_case "copy is independent" `Quick test_copy_is_independent;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "byte-identical trajectory" `Quick test_trajectory_byte_identical ] );
+    ]

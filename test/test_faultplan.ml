@@ -65,7 +65,53 @@ let validation_cases =
         [ (0., F.Crash_storm { victims = 0; period = 1.; rounds = 2; mode = F.Clean }) ]);
     invalid "zero-period crash storm" "Faultplan.plan: non-positive storm period" (fun () ->
         [ (0., F.Crash_storm { victims = 1; period = 0.; rounds = 2; mode = F.Clean }) ]);
+    invalid "overlapping flap groups" "Faultplan.plan: flap groups overlap" (fun () ->
+        [ (0., F.Flap { a = [ 0; 1 ]; b = [ 1; 2 ]; period = 1.; cycles = 1 }) ]);
+    invalid "zero-period flap" "Faultplan.plan: non-positive flap period" (fun () ->
+        [ (0., F.Flap { a = [ 0 ]; b = [ 1 ]; period = 0.; cycles = 1 }) ]);
+    invalid "zero-cycle flap" "Faultplan.plan: empty flap" (fun () ->
+        [ (0., F.Flap { a = [ 0 ]; b = [ 1 ]; period = 1.; cycles = 0 }) ]);
+    invalid "gray link to self" "Faultplan.plan: gray link to self" (fun () ->
+        [ (0., F.Gray_link { src = 1; dst = 1; loss = 0.5 }) ]);
+    invalid "gray loss above 1" "Faultplan.plan: gray loss 1.5 outside [0,1]" (fun () ->
+        [ (0., F.Gray_link { src = 0; dst = 1; loss = 1.5 }) ]);
+    invalid "bare heal" "Faultplan.plan: heal of a partition never opened" (fun () ->
+        [ (1., F.Heal_partition ([ 0; 1 ], [ 2; 3 ])) ]);
+    invalid "heal after heal" "Faultplan.plan: heal of a partition never opened" (fun () ->
+        [
+          (0., F.Partition ([ 0 ], [ 1 ]));
+          (1., F.Heal_partition ([ 0 ], [ 1 ]));
+          (2., F.Heal_partition ([ 0 ], [ 1 ]));
+        ]);
+    invalid "overlapping partition windows" "Faultplan.plan: overlapping partition windows"
+      (fun () ->
+        [
+          (0., F.Partition ([ 0; 1 ], [ 2; 3 ]));
+          (1., F.Partition ([ 1; 0 ], [ 3; 2 ]));
+          (2., F.Heal_partition ([ 0; 1 ], [ 2; 3 ]));
+        ]);
+    invalid "flap inside open partition" "Faultplan.plan: overlapping partition windows"
+      (fun () ->
+        [
+          (0., F.Partition ([ 0 ], [ 1 ]));
+          (1., F.Flap { a = [ 0 ]; b = [ 1 ]; period = 1.; cycles = 1 });
+          (5., F.Heal_partition ([ 0 ], [ 1 ]));
+        ]);
   ]
+
+let test_heal_matches_up_to_ordering () =
+  (* Group pairs are normalized: scrambled element order and swapped
+     sides still close the window they opened. *)
+  let p =
+    F.plan
+      [
+        (0., F.Partition ([ 0; 1 ], [ 2; 3 ]));
+        (1., F.Heal_partition ([ 3; 2 ], [ 1; 0 ]));
+        (2., F.Partition ([ 0; 1 ], [ 2; 3 ]));
+        (3., F.Heal_partition ([ 0; 1 ], [ 2; 3 ]));
+      ]
+  in
+  checki "sequential windows accepted" 4 (List.length (F.events p))
 
 let test_valid_plan_accepted () =
   let p =
@@ -100,7 +146,11 @@ let test_partition_blocks_and_heals () =
   E.run_for eng 1.;
   checkb "cut blocks" true
     (match E.state_of eng (nid 2) with Some st -> not st.Lock.holding | None -> false);
-  Run.execute eng (F.plan [ (0.1, F.Heal_partition ([ 0; 1 ], [ 2; 3 ])) ]);
+  (* A bare heal no longer validates; the healing plan re-cuts the
+     (already cut, so it's a no-op) pair to own its whole window. *)
+  Run.execute eng
+    (F.plan
+       [ (0., F.Partition ([ 0; 1 ], [ 2; 3 ])); (0.1, F.Heal_partition ([ 0; 1 ], [ 2; 3 ])) ]);
   E.inject eng ~src:(nid 0) ~dst:(nid 2) Lock.Grant;
   E.run_for eng 1.;
   checkb "heal restores" true
@@ -150,6 +200,36 @@ let test_crash_storm_revives_everyone () =
   checkb "storm consumed its window" true
     (Dsim.Vtime.to_seconds (E.now eng) -. before >= 3. *. 0.4 -. 1e-9)
 
+let test_flap_consumes_window_and_heals () =
+  let eng = make () in
+  let before = Dsim.Vtime.to_seconds (E.now eng) in
+  Run.execute eng
+    (F.plan [ (0., F.Flap { a = [ 0; 1 ]; b = [ 2; 3 ]; period = 0.5; cycles = 3 }) ]);
+  (* Each cycle is cut + heal, a half-period apiece. *)
+  checkb "flap consumed its window" true
+    (Dsim.Vtime.to_seconds (E.now eng) -. before >= 3. *. 2. *. 0.5 -. 1e-9);
+  E.inject eng ~src:(nid 0) ~dst:(nid 2) Lock.Grant;
+  E.run_for eng 1.;
+  checkb "link healthy after flap" true
+    (match E.state_of eng (nid 2) with Some st -> st.Lock.holding | None -> false)
+
+let test_gray_link_is_asymmetric () =
+  let eng = make () in
+  Run.execute eng (F.plan [ (0., F.Gray_link { src = 0; dst = 2; loss = 1. }) ]);
+  E.inject eng ~src:(nid 0) ~dst:(nid 2) Lock.Grant;
+  E.run_for eng 1.;
+  checkb "lossy direction drops" true
+    (match E.state_of eng (nid 2) with Some st -> not st.Lock.holding | None -> false);
+  E.inject eng ~src:(nid 2) ~dst:(nid 0) Lock.Grant;
+  E.run_for eng 1.;
+  checkb "reverse direction clean" true
+    (match E.state_of eng (nid 0) with Some st -> st.Lock.holding | None -> false);
+  Run.execute eng (F.plan [ (0., F.Heal_gray { src = 0; dst = 2 }) ]);
+  E.inject eng ~src:(nid 0) ~dst:(nid 2) Lock.Grant;
+  E.run_for eng 1.;
+  checkb "healed direction delivers" true
+    (match E.state_of eng (nid 2) with Some st -> st.Lock.holding | None -> false)
+
 let test_restart_idempotent () =
   let eng = make () in
   (* A restart of a node that is already alive must be a no-op, so
@@ -176,6 +256,8 @@ let () =
         ] );
       ( "validation",
         Alcotest.test_case "valid plan accepted" `Quick test_valid_plan_accepted
+        :: Alcotest.test_case "heal matches up to ordering" `Quick
+             test_heal_matches_up_to_ordering
         :: validation_cases );
       ( "execution",
         [
@@ -185,6 +267,8 @@ let () =
           Alcotest.test_case "degrade/restore" `Quick test_degrade_and_restore;
           Alcotest.test_case "channel fault events" `Quick test_set_faults_events;
           Alcotest.test_case "crash storm" `Quick test_crash_storm_revives_everyone;
+          Alcotest.test_case "flap" `Quick test_flap_consumes_window_and_heals;
+          Alcotest.test_case "gray link" `Quick test_gray_link_is_asymmetric;
           Alcotest.test_case "idempotent restart" `Quick test_restart_idempotent;
           Alcotest.test_case "empty plan" `Quick test_empty_plan_is_noop;
         ] );

@@ -132,6 +132,7 @@ module Toy = struct
   let msg_codec = None
   let fingerprint = None
   let durable = None
+  let degraded = None
 
   let pp_msg ppf = function
     | Ping n -> Format.fprintf ppf "ping(%d)" n

@@ -100,6 +100,7 @@ let test_ctx_predicted_ms () =
       now = Dsim.Vtime.of_seconds 1.;
       rng = Dsim.Rng.create 1;
       net;
+      fd = Net.Failure_detector.create ();
       choose = (fun c -> Core.Choice.nth c 0);
     }
   in
@@ -118,6 +119,7 @@ let test_ctx_choose_dispatches () =
       now = Dsim.Vtime.zero;
       rng = Dsim.Rng.create 1;
       net = Net.Netmodel.create ();
+      fd = Net.Failure_detector.create ();
       choose = (fun c -> Core.Choice.nth c (Core.Choice.arity c - 1));
     }
   in
