@@ -430,7 +430,7 @@ let explore_cmd =
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
-  let run seed rounds factor flaps apps show_plans =
+  let run seed rounds factor flaps overload apps show_plans =
     if factor <= 0. then begin
       Printf.eprintf "intensity must be positive (got %g)\n" factor;
       exit 2
@@ -441,6 +441,10 @@ let chaos_cmd =
     end;
     if flaps < 0 then begin
       Printf.eprintf "flaps must be non-negative (got %d)\n" flaps;
+      exit 2
+    end;
+    if overload < 0 then begin
+      Printf.eprintf "overload must be non-negative (got %d)\n" overload;
       exit 2
     end;
     let apps =
@@ -461,7 +465,7 @@ let chaos_cmd =
       List.concat_map
         (fun app ->
           List.map
-            (fun i -> Experiments.Chaos_exp.run ~factor ~flaps ~seed:(seed + i) app)
+            (fun i -> Experiments.Chaos_exp.run ~factor ~flaps ~overload ~seed:(seed + i) app)
             (List.init rounds Fun.id))
         apps
     in
@@ -481,6 +485,11 @@ let chaos_cmd =
             Metrics.Report.fint r.Experiments.Chaos_exp.duplicated;
             Metrics.Report.fint r.Experiments.Chaos_exp.corrupted;
             Metrics.Report.fint r.Experiments.Chaos_exp.decode_failures;
+            Metrics.Report.fint r.Experiments.Chaos_exp.sheds;
+            (if r.Experiments.Chaos_exp.shed_bounded then
+               Metrics.Report.fint r.Experiments.Chaos_exp.max_depth
+             else Printf.sprintf "OVER (%d)" r.Experiments.Chaos_exp.max_depth);
+            (if r.Experiments.Chaos_exp.overload_recovered then "yes" else "NO");
           ])
         reports
     in
@@ -501,6 +510,9 @@ let chaos_cmd =
           "dup";
           "corrupt";
           "badwire";
+          "shed";
+          "depth";
+          "drained";
         ]
       rows;
     if show_plans then
@@ -512,7 +524,10 @@ let chaos_cmd =
     let bad =
       List.filter
         (fun (r : Experiments.Chaos_exp.report) ->
-          r.Experiments.Chaos_exp.violations > 0 || not r.Experiments.Chaos_exp.recovered)
+          r.Experiments.Chaos_exp.violations > 0
+          || (not r.Experiments.Chaos_exp.recovered)
+          || (not r.Experiments.Chaos_exp.shed_bounded)
+          || not r.Experiments.Chaos_exp.overload_recovered)
         reports
     in
     if bad <> [] then begin
@@ -539,6 +554,16 @@ let chaos_cmd =
             "Add a flapping partition with N cut/heal cycles to every storm (stretches the \
              storm so the failure detector can see each cycle).")
   in
+  let overload =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "overload" ] ~docv:"N"
+          ~doc:
+            "Add N targeted injection bursts to every storm; the soak bounds mailboxes, sheds \
+             by priority and turns on the circuit breaker, then asserts the queues never \
+             overran and drained by the end of grace.")
+  in
   let apps =
     Arg.(
       value
@@ -554,7 +579,7 @@ let chaos_cmd =
        ~doc:
          "Randomized adversarial soak: seeded storms of crashes, partitions, duplication, \
           corruption and reordering over every application, asserting safety and recovery.")
-    Term.(const run $ seed_arg $ rounds $ factor $ flaps $ apps $ show_plans)
+    Term.(const run $ seed_arg $ rounds $ factor $ flaps $ overload $ apps $ show_plans)
 
 (* ---------- obs ---------- *)
 

@@ -39,6 +39,7 @@ module Edge_cache = struct
   let msg_codec = None
   let durable = None
   let degraded = None
+  let priority = None
 
   let pp_msg ppf = function
     | Doc d -> Format.fprintf ppf "doc(%d)" d

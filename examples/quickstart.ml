@@ -27,6 +27,7 @@ module Work_sharing = struct
   let msg_codec = None
   let durable = None
   let degraded = None
+  let priority = None
 
   let pp_msg ppf = function
     | Job { cost } -> Format.fprintf ppf "job(%.1f)" cost

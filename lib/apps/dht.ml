@@ -130,6 +130,7 @@ end = struct
   let msg_codec = Some msg_codec
   let durable = None
   let degraded = None
+  let priority = None
 
   let pp_state ppf st =
     Format.fprintf ppf "{pos=%d done=%d}" st.pos (List.length st.completed)

@@ -315,6 +315,7 @@ end = struct
      suppresses no-op records — a decoded state's set shapes differ. *)
   let durable = Some (Proto.Durability.v ~equal:equal_state state_codec)
   let degraded = None
+  let priority = None
 end
 
 module Default = Make (Default_params)

@@ -106,6 +106,7 @@ end = struct
   let degraded_entries st = st.deg_entries
   let degraded_exits st = st.deg_exits
   let degraded = Some (fun st -> st.degraded)
+  let priority = None
   let seed_rumors _origin rumors = Push { rumors; round = 0 }
 
   let peers st =
@@ -210,6 +211,21 @@ end = struct
           let candidates =
             List.filter (fun peer -> not (Proto.Ctx.suspected ctx peer)) candidates
           in
+          (* Halve fanout under queue pressure: gossip is the most
+             redundant traffic in the system, so it backs off first —
+             every other round is skipped outright and the surviving
+             rounds consider half the sampled peers. Pressure is 0
+             under unbounded queues, keeping the sample/filter RNG
+             stream untouched on default configurations. *)
+          let pressured = Proto.Ctx.pressure ctx >= 0.5 in
+          if pressured && st.round mod 2 = 1 then (st, [ rearm ])
+          else begin
+          let candidates =
+            if pressured then
+              let keep = max 1 ((List.length candidates + 1) / 2) in
+              List.filteri (fun i _ -> i < keep) candidates
+            else candidates
+          in
           let alternative peer =
             Core.Choice.alt
               ~features:
@@ -236,6 +252,7 @@ end = struct
                     (Push { rumors = Int_set.elements st.known; round = st.round });
                   rearm;
                 ] )
+          end
         end
     | _ -> (st, [])
 

@@ -70,6 +70,7 @@ end = struct
   let msg_codec = Some C.msg_codec
   let durable = None
   let degraded = Some (fun st -> st.degraded)
+  let priority = None
 
   let pp_state ppf st =
     Format.fprintf ppf "{r%d known=%d}" st.round (Int_set.cardinal st.known)

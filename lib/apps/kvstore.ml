@@ -25,6 +25,9 @@ type msg =
   | Sync_req of { have : int }
       (** replica -> primary anti-entropy: "my applied_seq is [have],
           re-send what I'm missing" *)
+  | Read_reject of { rid : int; retryable : bool }
+      (** replica -> session: the read was shed under queue pressure;
+          [retryable] says the session may re-issue it elsewhere *)
 
 let msg_kind = function
   | Write _ -> "write"
@@ -33,6 +36,7 @@ let msg_kind = function
   | Read_req _ -> "read_req"
   | Read_reply _ -> "read_reply"
   | Sync_req _ -> "sync"
+  | Read_reject _ -> "read_reject"
 
 let msg_bytes = function
   | Write _ -> 96
@@ -41,6 +45,7 @@ let msg_bytes = function
   | Read_req _ -> 64
   | Read_reply _ -> 128
   | Sync_req _ -> 32
+  | Read_reject _ -> 40
 
 let pp_msg ppf = function
   | Write { key; _ } -> Format.fprintf ppf "write(k%d)" key
@@ -49,6 +54,7 @@ let pp_msg ppf = function
   | Read_req { key; _ } -> Format.fprintf ppf "read(k%d)" key
   | Read_reply { key; applied_seq; _ } -> Format.fprintf ppf "reply(k%d s%d)" key applied_seq
   | Sync_req { have } -> Format.fprintf ppf "sync(s%d)" have
+  | Read_reject { rid; _ } -> Format.fprintf ppf "reject(r%d)" rid
 
 let msg_codec =
   let open Wire.Codec in
@@ -62,7 +68,8 @@ let msg_codec =
           (3, encode (pair (pair int int) (pair node float)) ((rid, key), (origin, born)))
       | Read_reply { rid; key; value; applied_seq; born } ->
           (4, encode (pair (triple int int int) (pair int float)) ((rid, key, value), (applied_seq, born)))
-      | Sync_req { have } -> (5, encode int have))
+      | Sync_req { have } -> (5, encode int have)
+      | Read_reject { rid; retryable } -> (6, encode (pair int bool) (rid, retryable)))
     (fun tag payload ->
       match tag with
       | 0 -> Result.map (fun (key, origin) -> Write { key; origin }) (decode (pair int node) payload)
@@ -81,6 +88,10 @@ let msg_codec =
               Read_reply { rid; key; value; applied_seq; born })
             (decode (pair (triple int int int) (pair int float)) payload)
       | 5 -> Result.map (fun have -> Sync_req { have }) (decode int payload)
+      | 6 ->
+          Result.map
+            (fun (rid, retryable) -> Read_reject { rid; retryable })
+            (decode (pair int bool) payload)
       | t -> Error (Printf.sprintf "unknown kvstore tag %d" t))
 
 let read_label = "read.replica"
@@ -118,6 +129,10 @@ module Make (P : PARAMS) : sig
       suspecting the primary, or the primary suspecting quorum loss). *)
 
   val degraded_exits : state -> int
+
+  val reads_rejected : state -> int
+  (** Reads this session saw shed under queue pressure (retryable
+      {!Read_reject} replies). *)
 end = struct
   type nonrec msg = msg
 
@@ -142,6 +157,7 @@ end = struct
     degraded : bool;  (* read-only: writes are shed, reads keep working *)
     deg_entries : int;
     deg_exits : int;
+    reads_rejected : int;  (* replies shed under pressure, seen by this session *)
   }
 
   let name = "kvstore"
@@ -167,6 +183,7 @@ end = struct
     && a.degraded = b.degraded
     && a.deg_entries = b.deg_entries
     && a.deg_exits = b.deg_exits
+    && a.reads_rejected = b.reads_rejected
 
   let msg_kind = msg_kind
   let msg_bytes = msg_bytes
@@ -217,6 +234,7 @@ end = struct
           degraded = false;
           deg_entries = 0;
           deg_exits = 0;
+          reads_rejected = 0;
         })
       durable_c
 
@@ -278,7 +296,18 @@ end = struct
   let staleness_sum st = st.staleness_sum
   let degraded_entries st = st.deg_entries
   let degraded_exits st = st.deg_exits
+  let reads_rejected st = st.reads_rejected
   let degraded = Some (fun st -> st.degraded)
+
+  (* Shed reads before writes: replication traffic (writes and their
+     acks/apply fan-out, anti-entropy) outranks the read path, so a
+     By_priority overflow sacrifices read service, not durability. *)
+  let priority =
+    Some
+      (function
+      | Write _ | Write_done _ | Apply _ -> 2
+      | Sync_req _ -> 1
+      | Read_req _ | Read_reply _ | Read_reject _ -> 0)
 
   let primary_id = Proto.Node_id.of_int 0
   let is_primary st = Proto.Node_id.equal st.self primary_id
@@ -330,6 +359,7 @@ end = struct
         degraded = false;
         deg_entries = 0;
         deg_exits = 0;
+        reads_rejected = 0;
       },
       timers )
 
@@ -464,15 +494,34 @@ end = struct
   let h_read_req =
     Proto.Handler.v ~name:"read_req"
       ~guard:(fun _ ~src:_ m -> match m with Read_req _ -> true | _ -> false)
-      (fun _ctx st ~src:_ m ->
+      (fun ctx st ~src:_ m ->
         match m with
         | Read_req { rid; key; origin; born } ->
-            let value = Option.value ~default:0 (Int_map.find_opt key st.store) in
-            ( st,
-              [
-                Proto.Action.send ~dst:origin
-                  (Read_reply { rid; key; value; applied_seq = st.applied_seq; born });
-              ] )
+            (* Under queue pressure the read path is shed first (reads
+               are retryable elsewhere, replication is not): answer with
+               a cheap retryable rejection instead of a full reply.
+               [pressure] is 0 unless the engine runs bounded mailboxes,
+               so the branch is dead on default configurations. *)
+            if Proto.Ctx.pressure ctx >= 0.5 then
+              (st, [ Proto.Action.send ~dst:origin (Read_reject { rid; retryable = true }) ])
+            else
+              let value = Option.value ~default:0 (Int_map.find_opt key st.store) in
+              ( st,
+                [
+                  Proto.Action.send ~dst:origin
+                    (Read_reply { rid; key; value; applied_seq = st.applied_seq; born });
+                ] )
+        | _ -> (st, []))
+
+  let h_read_reject =
+    Proto.Handler.v ~name:"read_reject"
+      ~guard:(fun _ ~src:_ m -> match m with Read_reject _ -> true | _ -> false)
+      (fun _ctx st ~src:_ m ->
+        match m with
+        | Read_reject { rid; _ } when rid > st.last_rid ->
+            (* Count the shed and retire the rid; the periodic read
+               timer is the retry loop, so no immediate re-issue. *)
+            ({ st with last_rid = rid; reads_rejected = st.reads_rejected + 1 }, [])
         | _ -> (st, []))
 
   let h_read_reply =
@@ -521,7 +570,8 @@ end = struct
             (st, !resend)
         | _ -> (st, []))
 
-  let receive = [ h_write; h_apply; h_write_done; h_read_req; h_read_reply; h_sync ]
+  let receive =
+    [ h_write; h_apply; h_write_done; h_read_req; h_read_reply; h_sync; h_read_reject ]
 
   (* The exposed choice: which *other* replica serves this read? (The
      local store is a cache, not a quorum member; sessions consult the
@@ -556,15 +606,20 @@ end = struct
           let key = Dsim.Rng.int ctx.rng P.keys in
           (st, [ Proto.Action.send ~dst:primary_id (Write { key; origin = st.self }); rearm ])
     | "read" ->
-        let key = Dsim.Rng.int ctx.rng P.keys in
-        let born = Dsim.Vtime.to_seconds ctx.now in
-        let target = choose_replica ctx st in
-        let rid = st.next_rid + 1 in
-        let read_actions =
-          [ Proto.Action.send ~dst:target (Read_req { rid; key; origin = st.self; born }) ]
-        in
-        ( { st with next_rid = rid },
-          read_actions @ [ Proto.Action.set_timer ~id:"read" ~after:P.read_period ] )
+        let rearm = Proto.Action.set_timer ~id:"read" ~after:P.read_period in
+        (* Self-throttle: when our own mailbox is nearly full, issuing
+           more reads only feeds the overload. Shed at the source and
+           try again next period. Dead branch under unbounded queues. *)
+        if Proto.Ctx.pressure ctx >= 0.75 then (st, [ rearm ])
+        else
+          let key = Dsim.Rng.int ctx.rng P.keys in
+          let born = Dsim.Vtime.to_seconds ctx.now in
+          let target = choose_replica ctx st in
+          let rid = st.next_rid + 1 in
+          let read_actions =
+            [ Proto.Action.send ~dst:target (Read_req { rid; key; origin = st.self; born }) ]
+          in
+          ({ st with next_rid = rid }, read_actions @ [ rearm ])
     | "sync" ->
         let st = update_degraded ctx st in
         let rearm = Proto.Action.set_timer ~id:"sync" ~after:sync_period in

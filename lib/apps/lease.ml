@@ -71,6 +71,7 @@ end = struct
   let msg_codec = None
   let durable = None
   let degraded = None
+  let priority = None
 
   let pp_state ppf st =
     match st.role with

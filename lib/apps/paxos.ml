@@ -178,6 +178,17 @@ end = struct
   let degraded_exits st = st.deg_exits
   let degraded = Some (fun st -> st.degraded)
 
+  (* Prioritise accepts over client proposals: phase-2 traffic commits
+     in-flight instances, new Submits only add load, so under overflow
+     the consensus core keeps making progress while intake is shed. *)
+  let priority =
+    Some
+      (function
+      | Accept_req _ | Accepted _ -> 3
+      | Prepare _ | Promise _ -> 2
+      | Decided _ -> 1
+      | Submit _ -> 0)
+
   (* ---------- durability ----------
 
      What Paxos must never forget is exactly what the acceptor and
@@ -513,9 +524,12 @@ end = struct
         let st = { st with next_seq = st.next_seq + 1; born = st.born + 1 } in
         let rearm = Proto.Action.set_timer ~id:"client" ~after:P.client_period in
         let st = update_degraded ctx st in
-        if st.degraded then
-          (* Stepped down: park the command instead of proposing into a
-             suspected partition; it is flushed on recovery. *)
+        if st.degraded || Proto.Ctx.pressure ctx >= 0.75 then
+          (* Stepped down, or our own mailbox is nearly full: park the
+             command instead of proposing — new client intake only adds
+             load while phase-2 traffic is what commits instances. The
+             backlog is flushed once healthy. (Pressure is 0 under
+             unbounded queues, so only the step-down case fires then.) *)
           ({ st with queue = cmd :: st.queue }, [ rearm ])
         else begin
           (* Flush anything parked while stepped down, oldest first. *)

@@ -43,6 +43,7 @@ end = struct
   let msg_codec = Some C.msg_codec
   let durable = None
   let degraded = None
+  let priority = None
 
   let pp_state ppf st =
     Format.fprintf ppf "{p=%a d=%d c=[%a] j=%b}"

@@ -13,6 +13,9 @@ type profile = {
   flap_period : float;  (* half-period of each cycle, seconds *)
   gray_links : int;  (* asymmetric lossy links; 0 = none *)
   gray_loss : float;  (* loss rate of each gray direction *)
+  overload_nodes : int;  (* targeted injection bursts; 0 = none *)
+  overload_rate : float;  (* chaff msgs per virtual second per burst *)
+  overload_period : float;  (* burst duration, seconds *)
   storm : float;
   grace : float;
   protect : int list;
@@ -38,6 +41,13 @@ let default_profile =
     flap_period = 30.;
     gray_links = 0;
     gray_loss = 0.3;
+    overload_nodes = 0;
+    (* Sized to actually saturate: at the soak's default service time
+       (0.5 ms/queued message) the drain rate tops out well below
+       2000/s, so a burst pins the mailbox at capacity and the shed
+       policy — not luck — is what keeps the depth bounded. *)
+    overload_rate = 2000.;
+    overload_period = 2.0;
     storm = 6.;
     grace = 8.;
     protect = [];
@@ -52,9 +62,10 @@ let pp_profile ppf p =
   in
   Format.fprintf ppf
     "{crashes=%d%s partitions=%d degrades=%d dup=%.2f corrupt=%.2f reorder=%.2f \
-     flap=%dx%.0fs gray=%d@%.2f storm=%.1fs grace=%.1fs}"
+     flap=%dx%.0fs gray=%d@%.2f overload=%d@%.0f/s for %.1fs storm=%.1fs grace=%.1fs}"
     p.crashes mode p.partitions p.degrades p.duplicate_rate p.corrupt_rate p.reorder_rate
-    p.flaps p.flap_period p.gray_links p.gray_loss p.storm p.grace
+    p.flaps p.flap_period p.gray_links p.gray_loss p.overload_nodes p.overload_rate
+    p.overload_period p.storm p.grace
 
 (* Fault windows open in the first 60% of the storm and always close by
    95% of it, so the storm ends with every link healed, every victim
@@ -65,6 +76,13 @@ let window rng ~storm =
   let closes = Float.min (opens +. ((0.1 +. Dsim.Rng.float rng 0.25) *. storm)) (0.95 *. storm) in
   (opens, closes)
 
+(* A NaN rate slips through plain [< 0.] comparisons (every comparison
+   with NaN is false) and would otherwise surface as a baffling error
+   deep inside [Faultplan.plan] — reject it here, by name. *)
+let check_finite_rate what r =
+  if Float.is_nan r then invalid_arg (Printf.sprintf "Chaos.generate: %s is NaN" what);
+  if r < 0. then invalid_arg (Printf.sprintf "Chaos.generate: negative %s" what)
+
 let generate ~seed ~nodes profile =
   if nodes <= 0 then invalid_arg "Chaos.generate: no nodes";
   if profile.storm <= 0. then invalid_arg "Chaos.generate: non-positive storm";
@@ -73,6 +91,15 @@ let generate ~seed ~nodes profile =
   if profile.gray_links < 0 then invalid_arg "Chaos.generate: negative gray link count";
   if not (profile.gray_loss >= 0. && profile.gray_loss <= 1.) then
     invalid_arg "Chaos.generate: gray loss outside [0,1]";
+  check_finite_rate "duplicate rate" profile.duplicate_rate;
+  check_finite_rate "corrupt rate" profile.corrupt_rate;
+  check_finite_rate "corrupt flip rate" profile.corrupt_flip;
+  check_finite_rate "reorder rate" profile.reorder_rate;
+  check_finite_rate "overload rate" profile.overload_rate;
+  if profile.overload_nodes < 0 then
+    invalid_arg "Chaos.generate: negative overload node count";
+  if not (profile.overload_period > 0.) then
+    invalid_arg "Chaos.generate: overload period must be positive";
   let rng = Dsim.Rng.create seed in
   let storm = profile.storm in
   let events = ref [] in
@@ -162,6 +189,25 @@ let generate ~seed ~nodes profile =
       add opens (Faultplan.Gray_link { src; dst; loss = profile.gray_loss });
       add closes (Faultplan.Heal_gray { src; dst })
     done;
+  (* Targeted injection bursts: distinct victims, each flooded for
+     [overload_period] seconds (clipped to end inside the storm like
+     every other window). Draws happen only when the knob is on, so a
+     profile with [overload_nodes = 0] keeps the RNG stream of every
+     pre-existing plan byte-identical. *)
+  if profile.overload_nodes > 0 then begin
+    if not (profile.overload_rate > 0.) then
+      invalid_arg "Chaos.generate: overload rate must be positive";
+    let victims =
+      Dsim.Rng.sample_without_replacement rng (min profile.overload_nodes nodes) all
+    in
+    List.iter
+      (fun v ->
+        let opens = Dsim.Rng.float rng (0.6 *. storm) in
+        let closes = Float.min (opens +. profile.overload_period) (0.95 *. storm) in
+        add opens (Faultplan.Overload { node = v; rate = profile.overload_rate });
+        add closes (Faultplan.Heal_overload { node = v }))
+      victims
+  end;
   for _ = 1 to profile.degrades do
     let endpoint = Dsim.Rng.int rng nodes in
     let latency_factor = 2. +. Dsim.Rng.float rng 6. in
@@ -182,6 +228,8 @@ module Soak (App : Proto.App_intf.APP) = struct
     recovered : bool;
     self_healed : bool;  (* no node still degraded at the end of grace *)
     heal_time : float option;  (* grace seconds until the last node undegraded *)
+    shed_bounded : bool;  (* no mailbox ever exceeded its configured capacity *)
+    overload_recovered : bool;  (* every queue drained by the end of grace *)
     stats : E.stats;
     elapsed : float;
   }
@@ -190,6 +238,10 @@ module Soak (App : Proto.App_intf.APP) = struct
     let eng = E.create ~seed ~topology () in
     setup eng;
     E.run_for eng warmup;
+    (* Steady-state queue depth before any fault: the recovery verdict
+       compares against this, not against zero — a busy system always
+       has a few messages in flight. *)
+    let baseline_backlog = E.mailbox_backlog eng in
     let plan = generate ~seed ~nodes:(Net.Topology.size topology) profile in
     let start = E.now eng in
     Exec.execute eng plan;
@@ -216,12 +268,27 @@ module Soak (App : Proto.App_intf.APP) = struct
       | _ -> ()
     done;
     let self_healed = E.degraded_nodes eng = 0 in
+    (* Overload verdicts. [shed_bounded]: the shed policy held the line
+       — the high-water mark never broke the configured capacity
+       (vacuously true while mailboxes are unbounded). [overload_recovered]:
+       the burst backlog has drained back to the neighbourhood of the
+       pre-storm steady state (double it, to absorb timing jitter), so
+       post-burst latency is baseline again — nothing still waits
+       behind a pile of chaff. *)
+    let shed_bounded =
+      match E.overload_limits eng with
+      | Some cfg when cfg.E.mailbox_capacity > 0 ->
+          (E.stats eng).E.max_mailbox_depth <= cfg.E.mailbox_capacity
+      | Some _ | None -> true
+    in
     {
       plan;
       violations = E.violations eng;
       recovered = check ();
       self_healed;
       heal_time = (if self_healed then !heal_time else None);
+      shed_bounded;
+      overload_recovered = E.mailbox_backlog eng <= Int.max 2 (2 * baseline_backlog);
       stats = E.stats eng;
       elapsed = Dsim.Vtime.to_seconds (E.now eng);
     }

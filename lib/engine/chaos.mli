@@ -37,6 +37,14 @@ type profile = {
           [gray_loss] of their traffic for a window while the reverse
           direction stays clean; 0 (default) disables *)
   gray_loss : float;  (** loss rate of each gray direction *)
+  overload_nodes : int;
+      (** targeted injection bursts — distinct victim nodes flooded
+          with synthetic chaff through the engine's bounded queues;
+          0 (default) disables and draws nothing from the plan RNG *)
+  overload_rate : float;  (** chaff messages per virtual second per burst *)
+  overload_period : float;
+      (** duration of each burst in seconds (clipped to end inside the
+          storm, like every other fault window) *)
   storm : float;  (** seconds of active chaos *)
   grace : float;  (** seconds allowed for recovery after the storm *)
   protect : int list;
@@ -62,8 +70,11 @@ val generate : seed:int -> nodes:int -> profile -> Faultplan.t
     gets at least one cycle even when [2 * flap_period] exceeds the
     storm — the flap simply outlives it, still ending healed.
     @raise Invalid_argument on [nodes <= 0], a non-positive storm or
-    flap period, a negative flap/gray count, or a gray loss outside
-    [0,1]. *)
+    flap period, a negative flap/gray/overload count, a gray loss
+    outside [0,1], a negative or NaN channel-fault rate
+    (duplicate/corrupt/flip/reorder) or overload rate, a non-positive
+    overload period, or an overload burst asked for at zero rate —
+    each with an error naming the offending knob. *)
 
 module Soak (App : Proto.App_intf.APP) : sig
   module E : module type of Sim.Make (App)
@@ -81,6 +92,15 @@ module Soak (App : Proto.App_intf.APP) : sig
         (** grace seconds until the last degraded node recovered —
             and stayed recovered; [None] when the system never fully
             un-degraded. Sampled on a 0.25s grid *)
+    shed_bounded : bool;
+        (** the mailbox high-water mark never exceeded the configured
+            [mailbox_capacity] — the shed policy held under the bursts
+            (vacuously true while mailboxes are unbounded) *)
+    overload_recovered : bool;
+        (** by the end of grace the deepest queue was back within the
+            backlog measured after warmup (a busy system always has a
+            few messages in flight — "drained" means back to baseline,
+            not empty) *)
     stats : E.stats;
     elapsed : float;  (** total virtual seconds simulated *)
   }

@@ -16,6 +16,8 @@ type event =
   | Set_corrupt of { rate : float; flip : float }
   | Set_reorder of { rate : float; window : float }
   | Crash_storm of { victims : int; period : float; rounds : int; mode : crash_mode }
+  | Overload of { node : int; rate : float }
+  | Heal_overload of { node : int }
 
 type t = { schedule : (float * event) list }
 
@@ -52,6 +54,10 @@ let validate_event = function
   | Crash_storm { victims; period; rounds; mode = _ } ->
       if victims <= 0 || rounds <= 0 then invalid_arg "Faultplan.plan: empty crash storm";
       if period <= 0. then invalid_arg "Faultplan.plan: non-positive storm period"
+  | Overload { node = _; rate } ->
+      if not (rate > 0. && Float.is_finite rate) then
+        invalid_arg "Faultplan.plan: overload rate must be positive and finite"
+  | Heal_overload _ -> ()
 
 (* Partitions are identified by their normalized group pair so the
    cross-event check matches a heal to its cut regardless of element
@@ -63,30 +69,39 @@ let partition_key a b =
 (* Walk the time-sorted schedule tracking which partitions are open:
    a second cut of an already-open pair would make the matching heal
    ambiguous, and a heal of a pair that was never cut is a typo in the
-   plan (it silently did nothing before this check existed). *)
+   plan (it silently did nothing before this check existed). Overload
+   bursts get the same window discipline, keyed by target node. *)
 let validate_schedule schedule =
   ignore
     (List.fold_left
-       (fun opened (_, e) ->
+       (fun (opened, bursting) (_, e) ->
          match e with
          | Partition (a, b) ->
              let k = partition_key a b in
              if List.mem k opened then
                invalid_arg "Faultplan.plan: overlapping partition windows";
-             k :: opened
+             (k :: opened, bursting)
          | Flap { a; b; _ } ->
              (* A flap ends healed, but while it runs the pair is cut,
                 so it may not share its groups with an open partition. *)
              if List.mem (partition_key a b) opened then
                invalid_arg "Faultplan.plan: overlapping partition windows";
-             opened
+             (opened, bursting)
          | Heal_partition (a, b) ->
              let k = partition_key a b in
              if not (List.mem k opened) then
                invalid_arg "Faultplan.plan: heal of a partition never opened";
-             List.filter (fun k' -> k' <> k) opened
-         | _ -> opened)
-       [] schedule)
+             (List.filter (fun k' -> k' <> k) opened, bursting)
+         | Overload { node; _ } ->
+             if List.mem node bursting then
+               invalid_arg "Faultplan.plan: overlapping overload windows";
+             (opened, node :: bursting)
+         | Heal_overload { node } ->
+             if not (List.mem node bursting) then
+               invalid_arg "Faultplan.plan: heal of an overload never started";
+             (opened, List.filter (fun n -> n <> node) bursting)
+         | _ -> (opened, bursting))
+       ([], []) schedule)
 
 let plan events =
   List.iter
@@ -133,6 +148,8 @@ let pp_event ppf = function
   | Crash_storm { victims; period; rounds; mode } ->
       Format.fprintf ppf "crash_storm(%d victims, %.2fs period, %d rounds%a)" victims period
         rounds pp_mode mode
+  | Overload { node; rate } -> Format.fprintf ppf "overload(%d, %.0f/s)" node rate
+  | Heal_overload { node } -> Format.fprintf ppf "heal_overload(%d)" node
 
 let pp ppf t =
   Format.pp_print_list
@@ -151,6 +168,8 @@ module Run (E : sig
   val restart : t -> ?after:float -> Proto.Node_id.t -> unit
   val alive : t -> Proto.Node_id.t -> bool
   val netem : t -> Net.Netem.t
+  val overload : t -> ?rate:float -> Proto.Node_id.t -> unit
+  val heal_overload : t -> Proto.Node_id.t -> unit
 end) =
 struct
   let cross f a b =
@@ -265,6 +284,8 @@ struct
              round decides who is alive. *)
           E.run_for eng 0.
         done
+    | Overload { node; rate } -> E.overload eng ~rate (Proto.Node_id.of_int node)
+    | Heal_overload { node } -> E.heal_overload eng (Proto.Node_id.of_int node)
 
   let execute ?(and_then = 0.) eng t =
     let start = E.now eng in

@@ -54,6 +54,12 @@ type event =
           nodes (in [mode]), run [period] seconds, revive them, move
           to the next rotation. Occupies [rounds * period] seconds of
           the schedule. *)
+  | Overload of { node : int; rate : float }
+      (** start a targeted injection burst: synthetic chaff arrives at
+          [node] at [rate] messages per virtual second until the
+          matching {!Heal_overload} — the engine's bounded queues and
+          shed policy absorb it *)
+  | Heal_overload of { node : int }  (** stop the node's injection burst *)
 
 type t
 (** A finite schedule of timed fault events. *)
@@ -63,12 +69,16 @@ val plan : (float * event) list -> t
     start; events fire in time order regardless of list order.
     @raise Invalid_argument on a negative time, a [Degrade] with a
     non-positive factor, a [Partition] or [Flap] whose groups overlap,
-    a fault rate outside [0,1], or a degenerate [Crash_storm] or
+    a fault rate outside [0,1], an [Overload] whose rate is not
+    positive and finite, or a degenerate [Crash_storm] or
     [Flap]. Partition windows are also checked as a whole: a
     [Heal_partition] whose group pair was not cut earlier in the plan,
     or a second [Partition] (or [Flap]) of a pair still open, is
     rejected — group pairs are compared up to ordering, so
-    [Heal_partition ([1;0], [2])] closes [Partition ([0;1], [2])]. *)
+    [Heal_partition ([1;0], [2])] closes [Partition ([0;1], [2])].
+    Overload windows get the same discipline per target node: no
+    second [Overload] of a node still bursting, no [Heal_overload] of
+    a node never overloaded. *)
 
 val events : t -> (float * event) list
 (** The schedule, sorted by time. *)
@@ -92,6 +102,8 @@ module Run (E : sig
   val restart : t -> ?after:float -> Proto.Node_id.t -> unit
   val alive : t -> Proto.Node_id.t -> bool
   val netem : t -> Net.Netem.t
+  val overload : t -> ?rate:float -> Proto.Node_id.t -> unit
+  val heal_overload : t -> Proto.Node_id.t -> unit
 end) : sig
   val execute : ?and_then:float -> E.t -> t -> unit
   (** Runs the engine through the whole plan, firing each event at its

@@ -20,6 +20,11 @@ module Make (App : Proto.App_intf.APP) = struct
                tracked; shared by every retransmission and Netem
                duplicate of the same logical send, so the receiver can
                dedup both with one seen-set *)
+        did : int;
+            (* queue ticket under bounded mailboxes: a key into the
+               overload layer's live-set so a message shed while queued
+               is skipped when its Deliver fires. -1 = untracked (the
+               unbounded default — zero bookkeeping) *)
       }
     | Timer_fire of { node : Proto.Node_id.t; id : string; gen : int; trace : int }
     | Outbound of {
@@ -36,6 +41,14 @@ module Make (App : Proto.App_intf.APP) = struct
            same Netem the payload crossed, so a partition kills acks too *)
     | Rel_retransmit of { seq : int; trace : int }
         (* sender-side timeout: if [seq] is still unacked, send again *)
+    | Chaff of { dst : Proto.Node_id.t; did : int }
+        (* synthetic overload-burst arrival: occupies queue bookkeeping
+           like a real message but carries no payload and wakes no
+           handler — modelling external offered load converging on a
+           victim without touching any application's message type *)
+    | Overload_tick of { dst : Proto.Node_id.t; gen : int }
+        (* generator heartbeat of an active overload burst; a stale
+           generation (the burst was healed) dies silently *)
 
   type scheduled = { at : Dsim.Vtime.t; ev : ev }
 
@@ -47,10 +60,23 @@ module Make (App : Proto.App_intf.APP) = struct
     max_retries : int;  (** retransmissions before giving up *)
     jitter : float;  (** fraction of random spread added to each timeout *)
     ack_bytes : int;  (** wire size of an ack, for Netem's delay model *)
+    suspect_cap : int;
+        (** while the failure detector suspects the destination, at most
+            this many sends may sit pending per directed pair — the
+            excess is shed (with a ["rel.shed:<kind>"] notification)
+            instead of growing an unbounded retransmit queue toward a
+            silent peer. 0 = unbounded (the historical behaviour). *)
   }
 
   let default_reliable =
-    { base_timeout = 0.25; backoff = 2.0; max_retries = 5; jitter = 0.1; ack_bytes = 24 }
+    {
+      base_timeout = 0.25;
+      backoff = 2.0;
+      max_retries = 5;
+      jitter = 0.1;
+      ack_bytes = 24;
+      suspect_cap = 0;
+    }
 
   type rel_entry = {
     re_src : Proto.Node_id.t;
@@ -65,7 +91,101 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable r_next_seq : int;
     r_pending : (int, rel_entry) Hashtbl.t;  (* sender side: unacked sends *)
     r_seen : (int, unit) Hashtbl.t;  (* receiver side: seqs already handled *)
+    r_pair : (int * int, int) Hashtbl.t;
+        (* pending count per directed pair, for the suspect cap and the
+           circuit breaker's pressure signal *)
   }
+
+  (* ---------- overload layer ---------- *)
+
+  type shed_policy =
+    | Drop_newest  (** refuse the incoming message *)
+    | Drop_oldest  (** evict the oldest queued message to make room *)
+    | By_priority
+        (** evict the lowest-[App.priority] queued message (ties broken
+            oldest-first); the incoming message is refused instead when
+            it ranks strictly below everything queued *)
+
+  type overload_config = {
+    mailbox_capacity : int;  (** in-flight bound per destination node; 0 = unbounded *)
+    link_capacity : int;  (** in-flight bound per directed pair; 0 = unbounded *)
+    shed : shed_policy;
+    service_time : float;
+        (** seconds of extra delivery delay per message already queued
+            at the destination — the backlog model that makes queues
+            cost latency; 0 = free (historical behaviour) *)
+    admit_rate : float;  (** token-bucket injects/second at the inject boundary; 0 = unlimited *)
+    admit_burst : int;  (** token-bucket depth *)
+    sojourn_threshold : float;
+        (** CoDel-style admission gate: refuse injects while the oldest
+            message queued at the destination has waited longer than
+            this; 0 = off *)
+  }
+
+  let default_overload =
+    {
+      mailbox_capacity = 0;
+      link_capacity = 0;
+      shed = Drop_newest;
+      service_time = 0.;
+      admit_rate = 0.;
+      admit_burst = 1;
+      sojourn_threshold = 0.;
+    }
+
+  type ov_entry = { oe_src : int; oe_dst : int; oe_prio : int; oe_at : Dsim.Vtime.t }
+
+  type ov = {
+    ov_cfg : overload_config;
+    ov_live : (int, ov_entry) Hashtbl.t;  (* did -> queued arrival *)
+    ov_mbox : (int, int) Hashtbl.t;  (* dst -> live depth *)
+    ov_link : (int * int, int) Hashtbl.t;  (* (src, dst) -> live depth *)
+    ov_by_dst : (int, int list ref) Hashtbl.t;
+        (* dst -> dids newest-first; compacted lazily on victim scans *)
+    ov_shed_set : (int, unit) Hashtbl.t;
+        (* tombstones: dids shed while queued, consumed when their
+           Deliver fires (the heap has no keyed removal) *)
+    ov_bursts : (int, int * float) Hashtbl.t;  (* dst -> (generation, rate) *)
+    mutable ov_next_did : int;
+    mutable ov_next_gen : int;
+    mutable ov_tokens : float;
+    mutable ov_refill_at : Dsim.Vtime.t;
+    mutable ov_max_depth : int;  (* high-water mailbox depth ever seen *)
+  }
+
+  let ov_copy ov =
+    let by_dst = Hashtbl.create (Int.max 16 (Hashtbl.length ov.ov_by_dst)) in
+    Hashtbl.iter (fun k l -> Hashtbl.add by_dst k (ref !l)) ov.ov_by_dst;
+    {
+      ov with
+      ov_live = Hashtbl.copy ov.ov_live;
+      ov_mbox = Hashtbl.copy ov.ov_mbox;
+      ov_link = Hashtbl.copy ov.ov_link;
+      ov_by_dst = by_dst;
+      ov_shed_set = Hashtbl.copy ov.ov_shed_set;
+      ov_bursts = Hashtbl.copy ov.ov_bursts;
+    }
+
+  (* Synthetic burst arrivals: fixed transfer latency (no RNG — the
+     burst machinery must not perturb seeded streams) and the lowest
+     possible priority, so [By_priority] sheds chaff before anything
+     an application actually sent. *)
+  let chaff_latency = 0.02
+  let chaff_prio = min_int
+
+  let ov_prio = match App.priority with Some f -> f | None -> fun _ -> 0
+
+  let tbl_incr tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+  let tbl_decr tbl k =
+    match Hashtbl.find_opt tbl k with
+    | Some n when n > 1 -> Hashtbl.replace tbl k (n - 1)
+    | Some _ -> Hashtbl.remove tbl k
+    | None -> ()
+
+  let ov_depth ov de = Option.value ~default:0 (Hashtbl.find_opt ov.ov_mbox de)
+  let ov_link_depth ov se de = Option.value ~default:0 (Hashtbl.find_opt ov.ov_link (se, de))
 
   type stats = {
     events_processed : int;
@@ -92,6 +212,14 @@ module Make (App : Proto.App_intf.APP) = struct
     fd_recoveries : int;
     degraded_entries : int;
     degraded_exits : int;
+    sheds_mailbox : int;
+    sheds_link : int;
+    sheds_admission : int;
+    sheds_sojourn : int;
+    rel_sheds : int;
+    breaker_skips : int;
+    chaff_sent : int;
+    max_mailbox_depth : int;
   }
 
   type lookahead = {
@@ -140,6 +268,8 @@ module Make (App : Proto.App_intf.APP) = struct
     o_rel_giveups : Obs.Registry.counter;
     o_degraded : (int * string, Obs.Registry.counter) Hashtbl.t;
     o_fd_recoveries : (int, Obs.Registry.counter) Hashtbl.t;
+    o_sheds : (string, Obs.Registry.counter) Hashtbl.t;
+    o_mailbox_depth : (int, Obs.Registry.gauge) Hashtbl.t;
   }
 
   type pending_reward = {
@@ -160,6 +290,11 @@ module Make (App : Proto.App_intf.APP) = struct
     fd : Net.Failure_detector.t;
     mutable fd_enabled : bool;
     mutable rel : rel option;  (* [None] = reliable delivery off (default) *)
+    mutable ov : ov option;  (* [None] = unbounded queues (default) *)
+    mutable cb : Net.Circuit_breaker.t;
+    mutable breaker_enabled : bool;
+        (* when off (default) the breaker is never consulted nor fed, so
+           existing reliable-delivery runs stay byte-identical *)
     trace : Dsim.Trace.t;
     check_properties : bool;
     mutable mode : mode;
@@ -207,6 +342,13 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable n_rel_acked : int;
     mutable n_rel_dup_dropped : int;
     mutable n_rel_giveups : int;
+    mutable n_sheds_mailbox : int;
+    mutable n_sheds_link : int;
+    mutable n_sheds_admission : int;
+    mutable n_sheds_sojourn : int;
+    mutable n_rel_sheds : int;
+    mutable n_breaker_skips : int;
+    mutable n_chaff : int;
     mutable n_fd_recoveries : int;
     mutable n_degraded_entries : int;
     mutable n_degraded_exits : int;
@@ -229,6 +371,9 @@ module Make (App : Proto.App_intf.APP) = struct
       fd = Net.Failure_detector.create ();
       fd_enabled = true;
       rel = None;
+      ov = None;
+      cb = Net.Circuit_breaker.create ();
+      breaker_enabled = false;
       trace = Dsim.Trace.create ~capacity:trace_capacity ();
       check_properties;
       mode = Plain Core.Resolver.first;
@@ -269,6 +414,13 @@ module Make (App : Proto.App_intf.APP) = struct
       n_rel_acked = 0;
       n_rel_dup_dropped = 0;
       n_rel_giveups = 0;
+      n_sheds_mailbox = 0;
+      n_sheds_link = 0;
+      n_sheds_admission = 0;
+      n_sheds_sojourn = 0;
+      n_rel_sheds = 0;
+      n_breaker_skips = 0;
+      n_chaff = 0;
       n_fd_recoveries = 0;
       n_degraded_entries = 0;
       n_degraded_exits = 0;
@@ -299,6 +451,8 @@ module Make (App : Proto.App_intf.APP) = struct
               o_rel_giveups = c "engine_rel_giveups";
               o_degraded = Hashtbl.create 16;
               o_fd_recoveries = Hashtbl.create 16;
+              o_sheds = Hashtbl.create 8;
+              o_mailbox_depth = Hashtbl.create 16;
             }
 
   let obs_sink t = Option.map (fun o -> o.o_sink) t.obs
@@ -350,6 +504,14 @@ module Make (App : Proto.App_intf.APP) = struct
       fd_recoveries = t.n_fd_recoveries;
       degraded_entries = t.n_degraded_entries;
       degraded_exits = t.n_degraded_exits;
+      sheds_mailbox = t.n_sheds_mailbox;
+      sheds_link = t.n_sheds_link;
+      sheds_admission = t.n_sheds_admission;
+      sheds_sojourn = t.n_sheds_sojourn;
+      rel_sheds = t.n_rel_sheds;
+      breaker_skips = t.n_breaker_skips;
+      chaff_sent = t.n_chaff;
+      max_mailbox_depth = (match t.ov with None -> 0 | Some ov -> ov.ov_max_depth);
     }
 
   let set_resolver t r = t.mode <- Plain r
@@ -393,6 +555,7 @@ module Make (App : Proto.App_intf.APP) = struct
     if config.max_retries < 0 then invalid_arg "Sim.enable_reliable: negative max_retries";
     if config.jitter < 0. then invalid_arg "Sim.enable_reliable: negative jitter";
     if config.ack_bytes <= 0 then invalid_arg "Sim.enable_reliable: ack_bytes must be positive";
+    if config.suspect_cap < 0 then invalid_arg "Sim.enable_reliable: negative suspect_cap";
     let r_kinds =
       Option.map
         (fun ks ->
@@ -409,10 +572,84 @@ module Make (App : Proto.App_intf.APP) = struct
           r_next_seq = 0;
           r_pending = Hashtbl.create 64;
           r_seen = Hashtbl.create 256;
+          r_pair = Hashtbl.create 64;
         }
 
   let rel_tracked r kind =
     match r.r_kinds with None -> true | Some h -> Hashtbl.mem h kind
+
+  (* Remove a pending reliable send, keeping the per-pair count honest.
+     Every removal path (ack, give-up, shed, dead sender) goes through
+     here. *)
+  let rel_remove (r : rel) seq (e : rel_entry) =
+    Hashtbl.remove r.r_pending seq;
+    tbl_decr r.r_pair (Proto.Node_id.to_int e.re_src, Proto.Node_id.to_int e.re_dst)
+
+  (* ---------- overload API ---------- *)
+
+  let set_overload ?(config = default_overload) t =
+    if config.mailbox_capacity < 0 then
+      invalid_arg "Sim.set_overload: negative mailbox_capacity";
+    if config.link_capacity < 0 then invalid_arg "Sim.set_overload: negative link_capacity";
+    if Float.is_nan config.service_time || config.service_time < 0. then
+      invalid_arg "Sim.set_overload: service_time must be >= 0";
+    if Float.is_nan config.admit_rate || config.admit_rate < 0. then
+      invalid_arg "Sim.set_overload: admit_rate must be >= 0";
+    if config.admit_burst <= 0 then invalid_arg "Sim.set_overload: admit_burst must be positive";
+    if Float.is_nan config.sojourn_threshold || config.sojourn_threshold < 0. then
+      invalid_arg "Sim.set_overload: sojourn_threshold must be >= 0";
+    t.ov <-
+      Some
+        {
+          ov_cfg = config;
+          ov_live = Hashtbl.create 256;
+          ov_mbox = Hashtbl.create 16;
+          ov_link = Hashtbl.create 64;
+          ov_by_dst = Hashtbl.create 16;
+          ov_shed_set = Hashtbl.create 64;
+          ov_bursts = Hashtbl.create 4;
+          ov_next_did = 0;
+          ov_next_gen = 0;
+          ov_tokens = float_of_int config.admit_burst;
+          ov_refill_at = t.now;
+          ov_max_depth = 0;
+        }
+
+  let ensure_ov t =
+    match t.ov with
+    | Some ov -> ov
+    | None ->
+        set_overload t;
+        Option.get t.ov
+
+  let overload_limits t = Option.map (fun ov -> ov.ov_cfg) t.ov
+
+  let mailbox_depth t node =
+    match t.ov with None -> 0 | Some ov -> ov_depth ov (Proto.Node_id.to_int node)
+
+  let mailbox_backlog t =
+    match t.ov with
+    | None -> 0
+    | Some ov -> Hashtbl.fold (fun _ d acc -> Int.max d acc) ov.ov_mbox 0
+
+  (* Queue pressure in [0,1]: depth over capacity. Identically 0 under
+     unbounded mailboxes, so pressure-reactive protocol code is inert on
+     default configurations. *)
+  let pressure t node =
+    match t.ov with
+    | None -> 0.
+    | Some ov ->
+        let cap = ov.ov_cfg.mailbox_capacity in
+        if cap <= 0 then 0.
+        else
+          Float.min 1.
+            (float_of_int (ov_depth ov (Proto.Node_id.to_int node)) /. float_of_int cap)
+
+  let enable_breaker ?failure_threshold ?cooldown ?half_open_probes t =
+    t.cb <- Net.Circuit_breaker.create ?failure_threshold ?cooldown ?half_open_probes ();
+    t.breaker_enabled <- true
+
+  let circuit_breaker t = t.cb
 
   let degraded_nodes t =
     match App.degraded with
@@ -438,7 +675,13 @@ module Make (App : Proto.App_intf.APP) = struct
     List.filter_map
       (fun s ->
         match s.ev with
-        | Deliver { src; dst; msg; _ } -> Some (src, dst, msg)
+        | Deliver { src; dst; msg; did; _ } -> (
+            (* A shed-while-queued delivery is a tombstone: still in the
+               heap, but no longer part of the observable world. *)
+            match t.ov with
+            | Some ov when did >= 0 && Hashtbl.mem ov.ov_shed_set did -> None
+            | Some _ | None -> Some (src, dst, msg))
+        | Chaff _ | Overload_tick _ -> None
         | Boot _ | Timer_fire _ | Outbound _ | Rel_ack _ | Rel_retransmit _ -> None)
       (Dsim.Heap.to_list t.queue)
 
@@ -489,8 +732,15 @@ module Make (App : Proto.App_intf.APP) = struct
       rel =
         Option.map
           (fun r ->
-            { r with r_pending = Hashtbl.copy r.r_pending; r_seen = Hashtbl.copy r.r_seen })
+            {
+              r with
+              r_pending = Hashtbl.copy r.r_pending;
+              r_seen = Hashtbl.copy r.r_seen;
+              r_pair = Hashtbl.copy r.r_pair;
+            })
           t.rel;
+      ov = Option.map ov_copy t.ov;
+      cb = Net.Circuit_breaker.copy t.cb;
       trace = Dsim.Trace.create ~capacity:16 ();
       message_log = None;
       obs = None;
@@ -561,6 +811,36 @@ module Make (App : Proto.App_intf.APP) = struct
     match Proto.Node_id.Map.find_opt id t.nodes with
     | Some n when n.alive -> ()
     | Some _ | None -> schedule t ~after (Boot id)
+
+  (* Start an overload burst at [node]: [rate] synthetic arrivals per
+     second converge on its mailbox until [heal_overload]. Creates the
+     overload layer in its tracking-only default configuration if none
+     was set, so depth gauges and pressure work even without bounds.
+     Draws no randomness — chaff timing is fully deterministic. *)
+  let overload t ?(rate = 200.) node =
+    check_endpoint t node;
+    if Float.is_nan rate || rate <= 0. then invalid_arg "Sim.overload: rate must be positive";
+    let ov = ensure_ov t in
+    let de = Proto.Node_id.to_int node in
+    let gen = ov.ov_next_gen in
+    ov.ov_next_gen <- gen + 1;
+    Hashtbl.replace ov.ov_bursts de (gen, rate);
+    schedule t ~after:0. (Overload_tick { dst = node; gen });
+    Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine"
+      "%a overload burst started (%.0f/s)" Proto.Node_id.pp node rate
+
+  (* Stop the burst; a stale generator tick dies when it fires. Chaff
+     already queued drains normally. Idempotent. *)
+  let heal_overload t node =
+    match t.ov with
+    | None -> ()
+    | Some ov ->
+        let de = Proto.Node_id.to_int node in
+        if Hashtbl.mem ov.ov_bursts de then begin
+          Hashtbl.remove ov.ov_bursts de;
+          Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine"
+            "%a overload burst healed" Proto.Node_id.pp node
+        end
 
   (* Garbles a wire encoding: each byte has one bit flipped with
      probability [flip]; if the dice spare every byte, one byte is
@@ -637,6 +917,226 @@ module Make (App : Proto.App_intf.APP) = struct
     if r.r_cfg.jitter > 0. then base *. (1. +. (r.r_cfg.jitter *. Dsim.Rng.uniform t.rng))
     else base
 
+  (* ---------- overload machinery ---------- *)
+
+  let shed_cause_label = function
+    | `Mailbox -> "mailbox"
+    | `Link -> "link"
+    | `Admission -> "admission"
+    | `Sojourn -> "sojourn"
+    | `Rel -> "rel"
+    | `Breaker -> "breaker"
+
+  let note_shed t ~cause ~se ~de =
+    (match cause with
+    | `Mailbox -> t.n_sheds_mailbox <- t.n_sheds_mailbox + 1
+    | `Link -> t.n_sheds_link <- t.n_sheds_link + 1
+    | `Admission -> t.n_sheds_admission <- t.n_sheds_admission + 1
+    | `Sojourn -> t.n_sheds_sojourn <- t.n_sheds_sojourn + 1
+    | `Rel -> t.n_rel_sheds <- t.n_rel_sheds + 1
+    | `Breaker -> t.n_breaker_skips <- t.n_breaker_skips + 1);
+    let label = shed_cause_label cause in
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.Registry.incr
+          (obs_handle o.o_sheds label (fun () ->
+               Obs.Registry.counter o.o_sink.Obs.Sink.registry ~name:"engine_sheds"
+                 ~labels:[ ("cause", label) ])));
+    Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"engine" "shed(%s) %d->%d" label
+      se de
+
+  let ov_set_depth_gauge t ov de =
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.Registry.set
+          (obs_handle o.o_mailbox_depth de (fun () ->
+               Obs.Registry.gauge o.o_sink.Obs.Sink.registry ~name:"engine_mailbox_depth"
+                 ~labels:[ ("node", string_of_int de) ]))
+          (float_of_int (ov_depth ov de))
+
+  (* Victim search over the destination's queue, newest-first list: the
+     last live element is the oldest, so a plain replace-on-match fold
+     finds the oldest ([by_prio:false]) or the oldest among the
+     lowest-priority entries ([by_prio:true]). The list is compacted of
+     dead dids on the way — sheds only happen at capacity, so the O(n)
+     walk is bounded by the configured capacity. *)
+  let ov_scan_victim ov ~de ~restrict_src ~by_prio =
+    match Hashtbl.find_opt ov.ov_by_dst de with
+    | None -> None
+    | Some l ->
+        l := List.filter (fun did -> Hashtbl.mem ov.ov_live did) !l;
+        let best = ref None in
+        List.iter
+          (fun did ->
+            match Hashtbl.find_opt ov.ov_live did with
+            | None -> ()
+            | Some e ->
+                let considered =
+                  match restrict_src with None -> true | Some s -> e.oe_src = s
+                in
+                if considered then
+                  match !best with
+                  | None -> best := Some (did, e)
+                  | Some (_, b) ->
+                      if (not by_prio) || e.oe_prio <= b.oe_prio then best := Some (did, e))
+          !l;
+        !best
+
+  let ov_tombstone t ov did (v : ov_entry) ~cause =
+    Hashtbl.remove ov.ov_live did;
+    tbl_decr ov.ov_mbox v.oe_dst;
+    tbl_decr ov.ov_link (v.oe_src, v.oe_dst);
+    Hashtbl.replace ov.ov_shed_set did ();
+    ov_set_depth_gauge t ov v.oe_dst;
+    note_shed t ~cause ~se:v.oe_src ~de:v.oe_dst
+
+  (* Enforce one bound: true = the incoming message may be enqueued
+     (possibly after evicting a queued victim), false = it was shed. *)
+  let ov_check_bound t ov ~se ~de ~prio ~cap ~depth ~restrict_src ~cause =
+    if cap <= 0 || depth < cap then true
+    else
+      match ov.ov_cfg.shed with
+      | Drop_newest ->
+          note_shed t ~cause ~se ~de;
+          false
+      | Drop_oldest -> (
+          match ov_scan_victim ov ~de ~restrict_src ~by_prio:false with
+          | Some (did, v) ->
+              ov_tombstone t ov did v ~cause;
+              true
+          | None ->
+              note_shed t ~cause ~se ~de;
+              false)
+      | By_priority -> (
+          match ov_scan_victim ov ~de ~restrict_src ~by_prio:true with
+          | Some (did, v) when v.oe_prio <= prio ->
+              ov_tombstone t ov did v ~cause;
+              true
+          | Some _ | None ->
+              (* everything queued outranks the newcomer *)
+              note_shed t ~cause ~se ~de;
+              false)
+
+  let ov_make_room t ov ~se ~de ~prio =
+    ov_check_bound t ov ~se ~de ~prio ~cap:ov.ov_cfg.link_capacity
+      ~depth:(ov_link_depth ov se de) ~restrict_src:(Some se) ~cause:`Link
+    && ov_check_bound t ov ~se ~de ~prio ~cap:ov.ov_cfg.mailbox_capacity
+         ~depth:(ov_depth ov de) ~restrict_src:None ~cause:`Mailbox
+
+  let ov_register t ov ~se ~de ~prio =
+    let did = ov.ov_next_did in
+    ov.ov_next_did <- did + 1;
+    Hashtbl.replace ov.ov_live did { oe_src = se; oe_dst = de; oe_prio = prio; oe_at = t.now };
+    tbl_incr ov.ov_mbox de;
+    tbl_incr ov.ov_link (se, de);
+    (match Hashtbl.find_opt ov.ov_by_dst de with
+    | Some l -> l := did :: !l
+    | None -> Hashtbl.add ov.ov_by_dst de (ref [ did ]));
+    let depth = ov_depth ov de in
+    if depth > ov.ov_max_depth then ov.ov_max_depth <- depth;
+    ov_set_depth_gauge t ov de;
+    did
+
+  (* A queued arrival reached its Deliver (or Chaff) event: release the
+     bookkeeping. Returns false when the message was shed while queued —
+     the event is then a tombstone and must not touch the node. *)
+  let ov_note_processed t ov did =
+    if Hashtbl.mem ov.ov_shed_set did then begin
+      Hashtbl.remove ov.ov_shed_set did;
+      false
+    end
+    else begin
+      (match Hashtbl.find_opt ov.ov_live did with
+      | Some e ->
+          Hashtbl.remove ov.ov_live did;
+          tbl_decr ov.ov_mbox e.oe_dst;
+          tbl_decr ov.ov_link (e.oe_src, e.oe_dst);
+          ov_set_depth_gauge t ov e.oe_dst
+      | None -> ());
+      true
+    end
+
+  let ov_oldest_age ov ~de now =
+    match Hashtbl.find_opt ov.ov_by_dst de with
+    | None -> 0.
+    | Some l ->
+        let oldest =
+          List.fold_left
+            (fun acc did ->
+              match Hashtbl.find_opt ov.ov_live did with Some e -> Some e | None -> acc)
+            None !l
+        in
+        (match oldest with None -> 0. | Some e -> Dsim.Vtime.diff now e.oe_at)
+
+  (* Admission control at the inject boundary: a deterministic token
+     bucket, then the CoDel-style sojourn gate — refuse new work while
+     the destination's oldest queued message has already waited longer
+     than the threshold, shedding *before* the queue saturates. *)
+  let admit t ~src ~dst =
+    match t.ov with
+    | None -> true
+    | Some ov ->
+        let cfg = ov.ov_cfg in
+        let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+        let rate_ok =
+          if cfg.admit_rate <= 0. then true
+          else begin
+            let dt = Dsim.Vtime.diff t.now ov.ov_refill_at in
+            if dt > 0. then begin
+              ov.ov_tokens <-
+                Float.min
+                  (float_of_int cfg.admit_burst)
+                  (ov.ov_tokens +. (dt *. cfg.admit_rate));
+              ov.ov_refill_at <- t.now
+            end;
+            if ov.ov_tokens >= 1. then begin
+              ov.ov_tokens <- ov.ov_tokens -. 1.;
+              true
+            end
+            else false
+          end
+        in
+        if not rate_ok then begin
+          note_shed t ~cause:`Admission ~se ~de;
+          false
+        end
+        else if
+          cfg.sojourn_threshold > 0. && ov_oldest_age ov ~de t.now > cfg.sojourn_threshold
+        then begin
+          note_shed t ~cause:`Sojourn ~se ~de;
+          false
+        end
+        else true
+
+  (* Every Deliver push funnels through here. Unbounded (the default):
+     one option check, then exactly the historical push. Bounded: the
+     arrival must clear the link and mailbox bounds, takes a queue
+     ticket, and pays the backlog's service delay — the model that
+     makes deep queues cost latency, which a discrete-event delivery
+     otherwise would not. *)
+  let push_deliver t ~src ~dst ~sent_at ~trace ~rel ~delay msg =
+    match t.ov with
+    | None ->
+        Dsim.Heap.push t.queue
+          {
+            at = Dsim.Vtime.add t.now delay;
+            ev = Deliver { src; dst; msg; sent_at; trace; rel; did = -1 };
+          }
+    | Some ov ->
+        let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
+        let prio = ov_prio msg in
+        if ov_make_room t ov ~se ~de ~prio then begin
+          let extra = float_of_int (ov_depth ov de) *. ov.ov_cfg.service_time in
+          let did = ov_register t ov ~se ~de ~prio in
+          Dsim.Heap.push t.queue
+            {
+              at = Dsim.Vtime.add t.now (delay +. extra);
+              ev = Deliver { src; dst; msg; sent_at; trace; rel; did };
+            }
+        end
+
   let transmit t ~src ~dst ~rel msg =
     let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
     let trace = t.current_trace in
@@ -648,13 +1148,7 @@ module Make (App : Proto.App_intf.APP) = struct
           Obs.Span.record o.o_sink.Obs.Sink.spans ~trace ~src:se ~dst:de
             ~kind:(App.msg_kind msg) ~enqueue:now_s ~deliver:deliver_at ~verdict
     in
-    let deliver delay =
-      Dsim.Heap.push t.queue
-        {
-          at = Dsim.Vtime.add t.now delay;
-          ev = Deliver { src; dst; msg; sent_at = t.now; trace; rel };
-        }
-    in
+    let deliver delay = push_deliver t ~src ~dst ~sent_at:t.now ~trace ~rel ~delay msg in
     let pp_msg out = App.pp_msg out msg in
     let dropped cause =
       drop t ~src ~dst ~cause pp_msg;
@@ -721,6 +1215,7 @@ module Make (App : Proto.App_intf.APP) = struct
           r.r_next_seq <- seq + 1;
           Hashtbl.replace r.r_pending seq
             { re_src = src; re_dst = dst; re_msg = msg; re_tries = 0 };
+          tbl_incr r.r_pair (Proto.Node_id.to_int src, Proto.Node_id.to_int dst);
           schedule t ~after:(rel_timeout t r ~tries:0)
             (Rel_retransmit { seq; trace = t.current_trace });
           Some seq
@@ -752,14 +1247,19 @@ module Make (App : Proto.App_intf.APP) = struct
         | Net.Netem.Corrupt _ -> ())
 
   let inject t ?(after = 0.) ~src ~dst msg =
+    (* same guard (and message) the pre-overload [schedule] path gave *)
+    if after < 0. then invalid_arg "Sim.schedule: negative delay";
     check_endpoint t src;
     check_endpoint t dst;
-    (* An injection is a root send: it starts a fresh causal chain. *)
+    (* An injection is a root send: it starts a fresh causal chain. It
+       is also the admission boundary — the token bucket and the
+       sojourn gate shed offered load here, before it costs anything. *)
     t.current_trace <- mint_trace t;
-    if after = 0. then route t ~src ~dst msg
-    else
-      schedule t ~after
-        (Deliver { src; dst; msg; sent_at = t.now; trace = t.current_trace; rel = None })
+    if admit t ~src ~dst then
+      if after = 0. then route t ~src ~dst msg
+      else
+        push_deliver t ~src ~dst ~sent_at:t.now ~trace:t.current_trace ~rel:None ~delay:after
+          msg
 
   let add_filter t ~name drop = t.filters <- { f_name = name; drop } :: t.filters
   let clear_filters t = t.filters <- []
@@ -876,6 +1376,8 @@ module Make (App : Proto.App_intf.APP) = struct
       rng = t.rng;
       net = t.netmodel;
       fd = t.fd;
+      cb = t.cb;
+      pressure = (fun () -> pressure t node);
       choose =
         (fun choice ->
           let i = resolve_index t node choice in
@@ -1033,6 +1535,7 @@ module Make (App : Proto.App_intf.APP) = struct
        timers, deferred outbound batches — inherits its trace id. *)
     (match sched.ev with
     | Boot _ -> t.current_trace <- mint_trace t
+    | Chaff _ | Overload_tick _ -> t.current_trace <- mint_trace t
     | Deliver { trace; _ }
     | Timer_fire { trace; _ }
     | Outbound { trace; _ }
@@ -1073,7 +1576,18 @@ module Make (App : Proto.App_intf.APP) = struct
             defer_sends t id ~delay actions;
             Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a booted"
               Proto.Node_id.pp id)
-    | Deliver { src; dst; msg; sent_at; trace; rel } -> (
+    | Deliver { src; dst; msg; sent_at; trace; rel; did } -> (
+        let shed_in_queue =
+          match t.ov with
+          | Some ov when did >= 0 -> not (ov_note_processed t ov did)
+          | Some _ | None -> false
+        in
+        if shed_in_queue then
+          (* Evicted from a bounded queue while in flight — counted (by
+             cause) at shed time; the node never sees it. *)
+          Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"engine"
+            "delivery shed while queued %a->%a" Proto.Node_id.pp src Proto.Node_id.pp dst
+        else
         match Proto.Node_id.Map.find_opt dst t.nodes with
         | Some n when n.alive ->
             let kind = App.msg_kind msg in
@@ -1225,12 +1739,18 @@ module Make (App : Proto.App_intf.APP) = struct
     | Rel_ack { seq; trace = _ } -> (
         match t.rel with
         | None -> ()
-        | Some r ->
-            if Hashtbl.mem r.r_pending seq then begin
-              Hashtbl.remove r.r_pending seq;
-              t.n_rel_acked <- t.n_rel_acked + 1;
-              match t.obs with None -> () | Some o -> Obs.Registry.incr o.o_rel_acked
-            end)
+        | Some r -> (
+            match Hashtbl.find_opt r.r_pending seq with
+            | None -> ()
+            | Some e ->
+                rel_remove r seq e;
+                t.n_rel_acked <- t.n_rel_acked + 1;
+                (* an ack is the strongest health evidence the sending
+                   side gets: it closes the breaker toward the pair *)
+                if t.breaker_enabled then
+                  Net.Circuit_breaker.record_success t.cb
+                    ~src:(Proto.Node_id.to_int e.re_src) ~dst:(Proto.Node_id.to_int e.re_dst);
+                (match t.obs with None -> () | Some o -> Obs.Registry.incr o.o_rel_acked)))
     | Rel_retransmit { seq; trace = _ } -> (
         match t.rel with
         | None -> ()
@@ -1240,39 +1760,122 @@ module Make (App : Proto.App_intf.APP) = struct
             | Some e -> (
                 match Proto.Node_id.Map.find_opt e.re_src t.nodes with
                 | Some n when n.alive ->
-                    if e.re_tries >= r.r_cfg.max_retries then begin
-                      (* Retry budget exhausted: stop, and tell the
-                         sending app through a synthetic timer id so it
-                         can react (or ignore it — the default catch-all
-                         timer arm makes the notification opt-in). *)
-                      Hashtbl.remove r.r_pending seq;
-                      t.n_rel_giveups <- t.n_rel_giveups + 1;
-                      (match t.obs with
-                      | None -> ()
-                      | Some o -> Obs.Registry.incr o.o_rel_giveups);
+                    let se = Proto.Node_id.to_int e.re_src
+                    and de = Proto.Node_id.to_int e.re_dst in
+                    let suspected_dst () =
+                      t.fd_enabled
+                      && Net.Failure_detector.suspected t.fd ~observer:se ~peer:de ~now:t.now
+                    in
+                    (* Bounded retransmit queue toward a suspected peer:
+                       past the cap, shed instead of growing without
+                       limit — the peer is silent, every pending send
+                       is already being retried, and the app is told
+                       through the same synthetic-timer channel as
+                       give-ups so it can react. *)
+                    if
+                      r.r_cfg.suspect_cap > 0
+                      && Option.value ~default:0 (Hashtbl.find_opt r.r_pair (se, de))
+                         > r.r_cfg.suspect_cap
+                      && suspected_dst ()
+                    then begin
+                      rel_remove r seq e;
+                      note_shed t ~cause:`Rel ~se ~de;
                       Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"net"
-                        "rel give-up %s %a->%a after %d retries"
+                        "rel shed %s %a->%a (suspected peer, %d pending)"
                         (App.msg_kind e.re_msg) Proto.Node_id.pp e.re_src Proto.Node_id.pp
-                        e.re_dst e.re_tries;
+                        e.re_dst
+                        (Option.value ~default:0 (Hashtbl.find_opt r.r_pair (se, de)));
                       let ctx = make_ctx t e.re_src in
                       apply_handler_result t e.re_src
-                        (App.on_timer ctx n.state ("rel.giveup:" ^ App.msg_kind e.re_msg))
+                        (App.on_timer ctx n.state ("rel.shed:" ^ App.msg_kind e.re_msg))
                     end
                     else begin
-                      let e = { e with re_tries = e.re_tries + 1 } in
-                      Hashtbl.replace r.r_pending seq e;
-                      t.n_rel_retransmits <- t.n_rel_retransmits + 1;
-                      (match t.obs with
-                      | None -> ()
-                      | Some o -> Obs.Registry.incr o.o_rel_retransmits);
-                      transmit t ~src:e.re_src ~dst:e.re_dst ~rel:(Some seq) e.re_msg;
-                      schedule t ~after:(rel_timeout t r ~tries:e.re_tries)
-                        (Rel_retransmit { seq; trace = t.current_trace })
+                      (* The timeout itself is failure evidence; the
+                         detector's word upgrades it to an instant trip. *)
+                      (if t.breaker_enabled then begin
+                         Net.Circuit_breaker.record_failure t.cb ~src:se ~dst:de ~now:t.now;
+                         if suspected_dst () then
+                           Net.Circuit_breaker.trip t.cb ~src:se ~dst:de ~now:t.now
+                       end);
+                      (* Adaptive retry budget: halve it while the
+                         breaker refuses the pair or the sender's own
+                         mailbox is under pressure; it recovers to the
+                         full budget the moment the breaker closes. *)
+                      let budget =
+                        if
+                          t.breaker_enabled
+                          && (not (Net.Circuit_breaker.allow t.cb ~src:se ~dst:de ~now:t.now)
+                             || pressure t e.re_src >= 0.5)
+                        then Int.max 1 (r.r_cfg.max_retries / 2)
+                        else r.r_cfg.max_retries
+                      in
+                      if e.re_tries >= budget then begin
+                        (* Retry budget exhausted: stop, and tell the
+                           sending app through a synthetic timer id so it
+                           can react (or ignore it — the default catch-all
+                           timer arm makes the notification opt-in). *)
+                        rel_remove r seq e;
+                        t.n_rel_giveups <- t.n_rel_giveups + 1;
+                        (match t.obs with
+                        | None -> ()
+                        | Some o -> Obs.Registry.incr o.o_rel_giveups);
+                        Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"net"
+                          "rel give-up %s %a->%a after %d retries"
+                          (App.msg_kind e.re_msg) Proto.Node_id.pp e.re_src Proto.Node_id.pp
+                          e.re_dst e.re_tries;
+                        let ctx = make_ctx t e.re_src in
+                        apply_handler_result t e.re_src
+                          (App.on_timer ctx n.state ("rel.giveup:" ^ App.msg_kind e.re_msg))
+                      end
+                      else begin
+                        let e = { e with re_tries = e.re_tries + 1 } in
+                        Hashtbl.replace r.r_pending seq e;
+                        (* Consult the breaker before putting bytes on
+                           the wire. A refused attempt still re-arms the
+                           timer, so the pending entry resolves one way
+                           or the other (ack of an earlier copy, a probe
+                           getting through, or give-up). *)
+                        if
+                          (not t.breaker_enabled)
+                          || Net.Circuit_breaker.acquire t.cb ~src:se ~dst:de ~now:t.now
+                        then begin
+                          t.n_rel_retransmits <- t.n_rel_retransmits + 1;
+                          (match t.obs with
+                          | None -> ()
+                          | Some o -> Obs.Registry.incr o.o_rel_retransmits);
+                          transmit t ~src:e.re_src ~dst:e.re_dst ~rel:(Some seq) e.re_msg
+                        end
+                        else note_shed t ~cause:`Breaker ~se ~de;
+                        schedule t ~after:(rel_timeout t r ~tries:e.re_tries)
+                          (Rel_retransmit { seq; trace = t.current_trace })
+                      end
                     end
                 | Some _ | None ->
                     (* Sender died with the send outstanding — nobody is
                        left to retransmit. *)
-                    Hashtbl.remove r.r_pending seq))));
+                    rel_remove r seq e)))
+    | Overload_tick { dst; gen } -> (
+        match t.ov with
+        | None -> ()
+        | Some ov -> (
+            let de = Proto.Node_id.to_int dst in
+            match Hashtbl.find_opt ov.ov_bursts de with
+            | Some (g, rate) when g = gen ->
+                t.n_chaff <- t.n_chaff + 1;
+                (* chaff source -1: a fictitious external client, so it
+                   never pollutes a real link's accounting *)
+                (if ov_make_room t ov ~se:(-1) ~de ~prio:chaff_prio then begin
+                   let extra = float_of_int (ov_depth ov de) *. ov.ov_cfg.service_time in
+                   let did = ov_register t ov ~se:(-1) ~de ~prio:chaff_prio in
+                   Dsim.Heap.push t.queue
+                     { at = Dsim.Vtime.add t.now (chaff_latency +. extra); ev = Chaff { dst; did } }
+                 end);
+                schedule t ~after:(1. /. rate) (Overload_tick { dst; gen })
+            | Some _ | None -> ()  (* healed, or superseded by a newer burst *)))
+    | Chaff { dst = _; did } -> (
+        match t.ov with
+        | None -> ()
+        | Some ov -> ignore (ov_note_processed t ov did)));
     t.processing <- saved_processing;
     t.event_decisions <- saved_decisions;
     if t.check_properties then begin

@@ -51,6 +51,20 @@ module Make (App : Proto.App_intf.APP) : sig
             count of observed recoveries *)
     degraded_entries : int;  (** app-reported entries into degraded mode *)
     degraded_exits : int;  (** app-reported exits from degraded mode *)
+    sheds_mailbox : int;  (** messages shed by a full bounded mailbox *)
+    sheds_link : int;  (** messages shed by a full bounded link queue *)
+    sheds_admission : int;  (** injects refused by the token bucket *)
+    sheds_sojourn : int;
+        (** injects refused by the CoDel-style sojourn gate — the oldest
+            queued message had waited past the threshold *)
+    rel_sheds : int;
+        (** pending retransmissions shed by the suspected-peer cap
+            ([reliable_config.suspect_cap]) *)
+    breaker_skips : int;  (** retransmission attempts refused by an open breaker *)
+    chaff_sent : int;  (** synthetic messages injected by {!overload} bursts *)
+    max_mailbox_depth : int;
+        (** high-water mark of any node's mailbox since creation
+            (0 until {!set_overload}) *)
   }
 
   (** Reliable-delivery tuning: retransmissions start after
@@ -60,18 +74,27 @@ module Make (App : Proto.App_intf.APP) : sig
       unacknowledged attempts the send is abandoned and the sending app
       is notified through [on_timer] with the synthetic id
       ["rel.giveup:<kind>"]. Acks are [ack_bytes] on the emulated
-      wire. *)
+      wire.
+
+      [suspect_cap] bounds the retransmit queue toward a {e suspected}
+      peer: when the failure detector suspects the destination and more
+      than [suspect_cap] sends are already pending on that directed
+      pair, further retransmission timers shed their send instead of
+      retrying (counted in [stats.rel_sheds]) and notify the sender via
+      the synthetic timer id ["rel.shed:<kind>"]. [0] (the default)
+      disables the cap. *)
   type reliable_config = {
     base_timeout : float;
     backoff : float;
     max_retries : int;
     jitter : float;
     ack_bytes : int;
+    suspect_cap : int;
   }
 
   val default_reliable : reliable_config
   (** [{base_timeout = 0.25; backoff = 2.0; max_retries = 5;
-      jitter = 0.1; ack_bytes = 24}] *)
+      jitter = 0.1; ack_bytes = 24; suspect_cap = 0}] *)
 
   (** Configuration of the predictive lookahead (paper §3.4): for each
       alternative the engine forks the simulation, forces that branch,
@@ -163,12 +186,114 @@ module Make (App : Proto.App_intf.APP) : sig
       Disabled (the default), the layer costs nothing and consumes no
       randomness.
       @raise Invalid_argument on non-positive [base_timeout] or
-      [ack_bytes], [backoff < 1], or negative [max_retries]/[jitter]. *)
+      [ack_bytes], [backoff < 1], or negative
+      [max_retries]/[jitter]/[suspect_cap]. *)
 
   val degraded_nodes : t -> int
   (** Live nodes currently reporting [true] through [App.degraded];
       [0] when the app has no degraded mode. The chaos soak polls this
       to assert the system healed after the last fault cleared. *)
+
+  (** {1 Overload robustness: bounded queues, shedding, admission} *)
+
+  (** What to evict when a bounded queue is full. [By_priority] sheds
+      the lowest [App.priority] message first (ties oldest-first, so an
+      incoming message displaces the oldest queued victim of equal rank
+      and is refused only when everything queued ranks strictly
+      higher); with [App.priority = None] it behaves as
+      [Drop_oldest]. *)
+  type shed_policy = Drop_newest | Drop_oldest | By_priority
+
+  (** Overload configuration, all knobs off by default:
+
+      - [mailbox_capacity]: max in-flight deliveries per destination
+        node (0 = unbounded). Overflow invokes [shed].
+      - [link_capacity]: max in-flight deliveries per directed (src,
+        dst) pair (0 = unbounded). Checked before the mailbox bound.
+      - [shed]: eviction policy for both bounds.
+      - [service_time]: per-queued-message processing delay in seconds;
+        an admitted arrival is delayed by [depth * service_time] beyond
+        its network latency, modelling a backlogged receiver (0 = free).
+      - [admit_rate] / [admit_burst]: token-bucket admission control at
+        the {!inject} boundary — at most [admit_rate] injects per
+        virtual second sustained, bursts up to [admit_burst]
+        ([admit_rate = 0.] disables the bucket).
+      - [sojourn_threshold]: CoDel-style gate, also at the inject
+        boundary — when the oldest message queued at the destination has
+        already waited longer than this many seconds, the inject is
+        shed before the queue saturates (0. disables).
+
+      Every shed is counted by cause in {!stats} and, when a sink is
+      attached, in the [engine_sheds] Obs counter labelled by cause. *)
+  type overload_config = {
+    mailbox_capacity : int;
+    link_capacity : int;
+    shed : shed_policy;
+    service_time : float;
+    admit_rate : float;
+    admit_burst : int;
+    sojourn_threshold : float;
+  }
+
+  val default_overload : overload_config
+  (** [{mailbox_capacity = 0; link_capacity = 0; shed = Drop_newest;
+      service_time = 0.; admit_rate = 0.; admit_burst = 1;
+      sojourn_threshold = 0.}] — everything off; with this value the
+      layer allocates bookkeeping but changes no behaviour and draws no
+      randomness, so seeded runs stay byte-identical. *)
+
+  val set_overload : ?config:overload_config -> t -> unit
+  (** Installs (or reconfigures) the overload layer.
+      @raise Invalid_argument on negative capacities, negative or NaN
+      [service_time]/[admit_rate]/[sojourn_threshold], or non-positive
+      [admit_burst]. *)
+
+  val overload_limits : t -> overload_config option
+  (** The installed configuration, when the layer is on. *)
+
+  val mailbox_depth : t -> Proto.Node_id.t -> int
+  (** Current queued (in-flight toward) count for one node; [0] when the
+      overload layer is off. *)
+
+  val mailbox_backlog : t -> int
+  (** Max {!mailbox_depth} over all nodes right now — the soak's
+      "has the system drained?" probe. [0] when the layer is off. *)
+
+  val pressure : t -> Proto.Node_id.t -> float
+  (** Queue pressure in [0, 1]: mailbox depth over capacity, clamped.
+      [0.] while the layer is off or the mailbox unbounded. This is what
+      handlers read through [Proto.Ctx.pressure]. *)
+
+  val overload : t -> ?rate:float -> Proto.Node_id.t -> unit
+  (** Starts a targeted injection burst: synthetic chaff messages
+      arrive at the node at [rate] per virtual second (default 200.)
+      until {!heal_overload}. Chaff flows through the same bounded
+      queues as real traffic (at the lowest possible priority) but is
+      never handed to the app. A second call replaces the running
+      burst. Draws no randomness — chaff spacing and latency are
+      deterministic. Installs the overload layer if missing.
+      @raise Invalid_argument on a non-positive or non-finite rate. *)
+
+  val heal_overload : t -> Proto.Node_id.t -> unit
+  (** Stops the node's injection burst; idempotent. *)
+
+  (** {1 Circuit breaker} *)
+
+  val enable_breaker :
+    ?failure_threshold:int -> ?cooldown:float -> ?half_open_probes:int -> t -> unit
+  (** Turns on the per-directed-pair circuit breaker (see
+      {!Net.Circuit_breaker}): retransmission timeouts record failures,
+      acks record successes, and a failure-detector suspicion trips the
+      pair open instantly. While a pair is open, reliable delivery
+      skips the wire (counted in [stats.breaker_skips], the pending
+      entry kept alive for the next timer), the retry budget halves,
+      and apps can consult {!Proto.Ctx.send_allowed}. Off by default at
+      zero cost. Parameters are forwarded to
+      {!Net.Circuit_breaker.create}. *)
+
+  val circuit_breaker : t -> Net.Circuit_breaker.t
+  (** The engine's breaker instance (meaningful once {!enable_breaker}
+      ran — before that it exists but receives no evidence). *)
 
   (** {1 Deployment control} *)
 

@@ -27,19 +27,27 @@ type report = {
   degraded_exits : int;
   retransmits : int;  (** reliable-delivery retransmissions (0 unless enabled) *)
   giveups : int;  (** reliable sends abandoned after the retry budget *)
+  sheds : int;
+      (** messages shed by the overload layer, all causes (0 unless the
+          profile runs injection bursts) *)
+  max_depth : int;  (** mailbox high-water mark over the whole soak *)
+  shed_bounded : bool;  (** queues never exceeded their configured capacity *)
+  overload_recovered : bool;  (** every queue drained by the end of grace *)
   elapsed : float;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "%-8s seed=%-4d %s %s %s viol=%d dlv=%d drop=%d dup=%d corr=%d badwire=%d deg=%d/%d \
-     rexmit=%d giveup=%d"
+     rexmit=%d giveup=%d shed=%d depth<=%d %s %s"
     r.app r.seed
     (if r.violations = 0 then "SAFE  " else "UNSAFE")
     (if r.recovered then "recovered" else "STUCK    ")
     (if r.self_healed then "healed  " else "DEGRADED")
     r.violations r.delivered r.dropped r.duplicated r.corrupted r.decode_failures
-    r.degraded_entries r.degraded_exits r.retransmits r.giveups
+    r.degraded_entries r.degraded_exits r.retransmits r.giveups r.sheds r.max_depth
+    (if r.shed_bounded then "bounded" else "OVERRUN")
+    (if r.overload_recovered then "drained" else "BACKLOGGED")
 
 (* Every soak uses one flat LAN-ish topology: the storm supplies the
    adversity, the base network stays out of the way. *)
@@ -66,6 +74,20 @@ let soak_paxos ?(profile = paxos_profile) ?(reliable = false) ?obs seed =
     Paxos_soak.run ~seed ~topology:(topology ~n) profile
       ~setup:(fun eng ->
         Paxos_soak.E.set_resolver eng (Apps.Paxos.round_robin_resolver ~population:n);
+        (* Bursting profiles get bounded mailboxes, priority shedding
+           and the circuit breaker; all off otherwise so seeded runs
+           stay byte-identical. *)
+        (if profile.Engine.Chaos.overload_nodes > 0 then begin
+           Paxos_soak.E.set_overload eng
+             ~config:
+               {
+                 Paxos_soak.E.default_overload with
+                 Paxos_soak.E.mailbox_capacity = 64;
+                 shed = Paxos_soak.E.By_priority;
+                 service_time = 5e-4;
+               };
+           Paxos_soak.E.enable_breaker eng
+         end);
         if reliable then Paxos_soak.E.enable_reliable eng;
         Option.iter (fun sink -> Paxos_soak.E.set_obs eng (Some sink)) obs;
         let rng = Dsim.Rng.create (seed + 77) in
@@ -97,6 +119,12 @@ let soak_paxos ?(profile = paxos_profile) ?(reliable = false) ?obs seed =
     degraded_exits = s.Paxos_soak.E.degraded_exits;
     retransmits = s.Paxos_soak.E.rel_retransmits;
     giveups = s.Paxos_soak.E.rel_giveups;
+    sheds =
+      s.Paxos_soak.E.sheds_mailbox + s.Paxos_soak.E.sheds_link + s.Paxos_soak.E.sheds_admission
+      + s.Paxos_soak.E.sheds_sojourn;
+    max_depth = s.Paxos_soak.E.max_mailbox_depth;
+    shed_bounded = o.Paxos_soak.shed_bounded;
+    overload_recovered = o.Paxos_soak.overload_recovered;
     elapsed = o.Paxos_soak.elapsed;
   }
 
@@ -119,6 +147,20 @@ let soak_kvstore ?(profile = kvstore_profile) ?(reliable = false) ?obs seed =
     Kv_soak.run ~seed ~topology:(topology ~n) profile
       ~setup:(fun eng ->
         Kv_soak.E.set_resolver eng Apps.Kvstore.session_resolver;
+        (* Bursting profiles get bounded mailboxes, priority shedding
+           and the circuit breaker; all off otherwise so seeded runs
+           stay byte-identical. *)
+        (if profile.Engine.Chaos.overload_nodes > 0 then begin
+           Kv_soak.E.set_overload eng
+             ~config:
+               {
+                 Kv_soak.E.default_overload with
+                 Kv_soak.E.mailbox_capacity = 64;
+                 shed = Kv_soak.E.By_priority;
+                 service_time = 5e-4;
+               };
+           Kv_soak.E.enable_breaker eng
+         end);
         if reliable then Kv_soak.E.enable_reliable eng;
         Option.iter (fun sink -> Kv_soak.E.set_obs eng (Some sink)) obs;
         let rng = Dsim.Rng.create (seed + 77) in
@@ -158,6 +200,12 @@ let soak_kvstore ?(profile = kvstore_profile) ?(reliable = false) ?obs seed =
     degraded_exits = s.Kv_soak.E.degraded_exits;
     retransmits = s.Kv_soak.E.rel_retransmits;
     giveups = s.Kv_soak.E.rel_giveups;
+    sheds =
+      s.Kv_soak.E.sheds_mailbox + s.Kv_soak.E.sheds_link + s.Kv_soak.E.sheds_admission
+      + s.Kv_soak.E.sheds_sojourn;
+    max_depth = s.Kv_soak.E.max_mailbox_depth;
+    shed_bounded = o.Kv_soak.shed_bounded;
+    overload_recovered = o.Kv_soak.overload_recovered;
     elapsed = o.Kv_soak.elapsed;
   }
 
@@ -214,6 +262,20 @@ let soak_gossip ?(profile = gossip_profile) seed =
     Gossip_soak.run ~seed ~topology:(topology ~n) profile
       ~setup:(fun eng ->
         Gossip_soak.E.set_resolver eng Core.Resolver.random;
+        (* Bursting profiles get bounded mailboxes, priority shedding
+           and the circuit breaker; all off otherwise so seeded runs
+           stay byte-identical. *)
+        (if profile.Engine.Chaos.overload_nodes > 0 then begin
+           Gossip_soak.E.set_overload eng
+             ~config:
+               {
+                 Gossip_soak.E.default_overload with
+                 Gossip_soak.E.mailbox_capacity = 64;
+                 shed = Gossip_soak.E.By_priority;
+                 service_time = 5e-4;
+               };
+           Gossip_soak.E.enable_breaker eng
+         end);
         let rng = Dsim.Rng.create (seed + 77) in
         for i = 0 to n - 1 do
           Gossip_soak.E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
@@ -249,6 +311,12 @@ let soak_gossip ?(profile = gossip_profile) seed =
     degraded_exits = s.Gossip_soak.E.degraded_exits;
     retransmits = s.Gossip_soak.E.rel_retransmits;
     giveups = s.Gossip_soak.E.rel_giveups;
+    sheds =
+      s.Gossip_soak.E.sheds_mailbox + s.Gossip_soak.E.sheds_link + s.Gossip_soak.E.sheds_admission
+      + s.Gossip_soak.E.sheds_sojourn;
+    max_depth = s.Gossip_soak.E.max_mailbox_depth;
+    shed_bounded = o.Gossip_soak.shed_bounded;
+    overload_recovered = o.Gossip_soak.overload_recovered;
     elapsed = o.Gossip_soak.elapsed;
   }
 
@@ -275,6 +343,20 @@ let soak_dht ?(profile = dht_profile) seed =
     Dht_soak.run ~seed ~topology:(topology ~n) profile
       ~setup:(fun eng ->
         Dht_soak.E.set_resolver eng Core.Resolver.random;
+        (* Bursting profiles get bounded mailboxes, priority shedding
+           and the circuit breaker; all off otherwise so seeded runs
+           stay byte-identical. *)
+        (if profile.Engine.Chaos.overload_nodes > 0 then begin
+           Dht_soak.E.set_overload eng
+             ~config:
+               {
+                 Dht_soak.E.default_overload with
+                 Dht_soak.E.mailbox_capacity = 64;
+                 shed = Dht_soak.E.By_priority;
+                 service_time = 5e-4;
+               };
+           Dht_soak.E.enable_breaker eng
+         end);
         let rng = Dsim.Rng.create (seed + 77) in
         for i = 0 to n - 1 do
           Dht_soak.E.spawn eng ~after:(Dsim.Rng.float rng 0.3) (Proto.Node_id.of_int i)
@@ -303,6 +385,12 @@ let soak_dht ?(profile = dht_profile) seed =
     degraded_exits = s.Dht_soak.E.degraded_exits;
     retransmits = s.Dht_soak.E.rel_retransmits;
     giveups = s.Dht_soak.E.rel_giveups;
+    sheds =
+      s.Dht_soak.E.sheds_mailbox + s.Dht_soak.E.sheds_link + s.Dht_soak.E.sheds_admission
+      + s.Dht_soak.E.sheds_sojourn;
+    max_depth = s.Dht_soak.E.max_mailbox_depth;
+    shed_bounded = o.Dht_soak.shed_bounded;
+    overload_recovered = o.Dht_soak.overload_recovered;
     elapsed = o.Dht_soak.elapsed;
   }
 
@@ -322,6 +410,20 @@ let soak_randtree ?(profile = randtree_profile) seed =
     Tree_soak.run ~seed ~topology:(topology ~n) profile
       ~setup:(fun eng ->
         Tree_soak.E.set_resolver eng Core.Resolver.random;
+        (* Bursting profiles get bounded mailboxes, priority shedding
+           and the circuit breaker; all off otherwise so seeded runs
+           stay byte-identical. *)
+        (if profile.Engine.Chaos.overload_nodes > 0 then begin
+           Tree_soak.E.set_overload eng
+             ~config:
+               {
+                 Tree_soak.E.default_overload with
+                 Tree_soak.E.mailbox_capacity = 64;
+                 shed = Tree_soak.E.By_priority;
+                 service_time = 5e-4;
+               };
+           Tree_soak.E.enable_breaker eng
+         end);
         let rng = Dsim.Rng.create (seed + 77) in
         Tree_soak.E.spawn eng (Proto.Node_id.of_int 0);
         for i = 1 to n - 1 do
@@ -355,6 +457,12 @@ let soak_randtree ?(profile = randtree_profile) seed =
     degraded_exits = s.Tree_soak.E.degraded_exits;
     retransmits = s.Tree_soak.E.rel_retransmits;
     giveups = s.Tree_soak.E.rel_giveups;
+    sheds =
+      s.Tree_soak.E.sheds_mailbox + s.Tree_soak.E.sheds_link + s.Tree_soak.E.sheds_admission
+      + s.Tree_soak.E.sheds_sojourn;
+    max_depth = s.Tree_soak.E.max_mailbox_depth;
+    shed_bounded = o.Tree_soak.shed_bounded;
+    overload_recovered = o.Tree_soak.overload_recovered;
     elapsed = o.Tree_soak.elapsed;
   }
 
@@ -393,8 +501,15 @@ let with_flaps flaps (p : Engine.Chaos.profile) =
       grace = Float.max p.Engine.Chaos.grace 30.;
     }
 
-let run ?(factor = 1.) ?(flaps = 0) ~seed app =
-  let profile base = with_flaps flaps (scale factor base) in
+(* [with_overload n] asks the plan for [n] targeted injection bursts;
+   the soak setups react to the knob by bounding mailboxes and turning
+   on priority shedding and the circuit breaker. *)
+let with_overload overload (p : Engine.Chaos.profile) =
+  if overload < 0 then invalid_arg "Chaos_exp.with_overload: negative overload count";
+  if overload = 0 then p else { p with Engine.Chaos.overload_nodes = overload }
+
+let run ?(factor = 1.) ?(flaps = 0) ?(overload = 0) ~seed app =
+  let profile base = with_overload overload (with_flaps flaps (scale factor base)) in
   match app with
   | "paxos" -> soak_paxos ~profile:(profile paxos_profile) seed
   | "kvstore" -> soak_kvstore ~profile:(profile kvstore_profile) seed

@@ -94,6 +94,8 @@ module Make (App : Proto.App_intf.APP) = struct
         rng = Dsim.Rng.create seed;
         net = Net.Netmodel.create ();
         fd = Net.Failure_detector.create ();
+        cb = Net.Circuit_breaker.create ();
+        pressure = (fun () -> 0.);
         choose;
       }
     in

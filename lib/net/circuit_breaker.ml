@@ -1,0 +1,106 @@
+(* Per-directed-pair circuit breakers: Closed / Open / Half_open over
+   the caller's (virtual) clock. Pure arithmetic — no RNG, no events —
+   so state transitions are deterministic and copyable. *)
+
+type state = Closed | Open | Half_open
+
+type pair = {
+  mutable failures : int;    (* consecutive failures while closed *)
+  mutable opened_at : float; (* trip time; meaningful when is_open *)
+  mutable is_open : bool;
+  mutable probes : int;      (* probes handed out this half-open round *)
+}
+
+type t = {
+  failure_threshold : int;
+  cooldown : float;
+  half_open_probes : int;
+  pairs : (int * int, pair) Hashtbl.t;
+}
+
+let create ?(failure_threshold = 3) ?(cooldown = 5.0) ?(half_open_probes = 1) () =
+  if failure_threshold <= 0 then
+    invalid_arg "Circuit_breaker.create: failure_threshold must be positive";
+  if not (cooldown > 0.) then
+    invalid_arg "Circuit_breaker.create: cooldown must be positive";
+  if half_open_probes <= 0 then
+    invalid_arg "Circuit_breaker.create: half_open_probes must be positive";
+  { failure_threshold; cooldown; half_open_probes; pairs = Hashtbl.create 16 }
+
+let copy t =
+  let pairs = Hashtbl.create (Hashtbl.length t.pairs) in
+  Hashtbl.iter (fun k p -> Hashtbl.add pairs k { p with failures = p.failures }) t.pairs;
+  { t with pairs }
+
+let get t ~src ~dst =
+  match Hashtbl.find_opt t.pairs (src, dst) with
+  | Some p -> p
+  | None ->
+      let p = { failures = 0; opened_at = 0.; is_open = false; probes = 0 } in
+      Hashtbl.add t.pairs (src, dst) p;
+      p
+
+let half_open t p ~now =
+  p.is_open && Dsim.Vtime.to_seconds now -. p.opened_at >= t.cooldown
+
+let state t ~src ~dst ~now =
+  match Hashtbl.find_opt t.pairs (src, dst) with
+  | None -> Closed
+  | Some p ->
+      if not p.is_open then Closed
+      else if half_open t p ~now then Half_open
+      else Open
+
+let do_open p ~now =
+  p.is_open <- true;
+  p.opened_at <- Dsim.Vtime.to_seconds now;
+  p.probes <- 0;
+  p.failures <- 0
+
+let record_failure t ~src ~dst ~now =
+  let p = get t ~src ~dst in
+  if p.is_open then begin
+    (* A failure during half-open re-opens and restarts the cooldown;
+       while still cooling down the trip time is left alone so the
+       probe schedule stays anchored to the original trip. *)
+    if half_open t p ~now then do_open p ~now
+  end
+  else begin
+    p.failures <- p.failures + 1;
+    if p.failures >= t.failure_threshold then do_open p ~now
+  end
+
+let record_success t ~src ~dst =
+  match Hashtbl.find_opt t.pairs (src, dst) with
+  | None -> ()
+  | Some p ->
+      p.failures <- 0;
+      p.is_open <- false;
+      p.probes <- 0
+
+let trip t ~src ~dst ~now =
+  let p = get t ~src ~dst in
+  if not p.is_open then do_open p ~now
+
+let allow t ~src ~dst ~now =
+  match state t ~src ~dst ~now with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+      let p = get t ~src ~dst in
+      p.probes < t.half_open_probes
+
+let acquire t ~src ~dst ~now =
+  match state t ~src ~dst ~now with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+      let p = get t ~src ~dst in
+      if p.probes < t.half_open_probes then begin
+        p.probes <- p.probes + 1;
+        true
+      end
+      else false
+
+let open_pairs t ~now:_ =
+  Hashtbl.fold (fun _ p acc -> if p.is_open then acc + 1 else acc) t.pairs 0

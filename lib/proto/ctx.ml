@@ -15,6 +15,13 @@ type t = {
   fd : Net.Failure_detector.t;
       (** shared failure detector (read-only): suspicion levels the
           engine has accrued from passive heartbeats *)
+  cb : Net.Circuit_breaker.t;
+      (** shared per-pair circuit breakers (read-only): outbound-path
+          health the engine has accrued from acks, retransmission
+          timeouts and sheds *)
+  pressure : unit -> float;
+      (** queue pressure at this node in [0,1]: current mailbox depth
+          over its capacity; 0 when queues are unbounded *)
   choose : 'a. 'a Core.Choice.t -> 'a;
 }
 
@@ -49,3 +56,17 @@ let suspicion t peer =
 let suspected t peer =
   Net.Failure_detector.suspected t.fd ~observer:(Node_id.to_int t.self)
     ~peer:(Node_id.to_int peer) ~now:t.now
+
+(** Queue pressure at this node in [0,1]: current in-flight mailbox
+    depth over the configured capacity. 0 when the engine runs with
+    unbounded queues, so pressure-reactive protocol branches are dead
+    code on the default configuration. *)
+let pressure t = t.pressure ()
+
+(** Would the circuit breaker admit a send from this node to [dst] right
+    now? [true] when the breaker towards [dst] is closed, or half-open
+    with probe budget remaining. Read-only: consulting it never consumes
+    a half-open probe (the engine's reliable-delivery path does that). *)
+let send_allowed t dst =
+  Net.Circuit_breaker.allow t.cb ~src:(Node_id.to_int t.self)
+    ~dst:(Node_id.to_int dst) ~now:t.now

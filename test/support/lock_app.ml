@@ -13,6 +13,7 @@ let msg_bytes _ = 16
 let msg_codec = None
 let durable = None
 let degraded = None
+let priority = None
 
 let pp_msg ppf m =
   Format.fprintf ppf "%s" (match m with Grant -> "grant" | Release -> "release" | Flip -> "flip")

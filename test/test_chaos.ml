@@ -137,7 +137,56 @@ let test_generate_validation () =
       ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.gray_links = -1 }));
   Alcotest.check_raises "bad gray loss"
     (Invalid_argument "Chaos.generate: gray loss outside [0,1]") (fun () ->
-      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.gray_loss = 1.5 }))
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.gray_loss = 1.5 }));
+  (* Channel-fault rates are rejected by name: a NaN rate silently
+     disables the fault (every comparison with NaN is false), a negative
+     one would surface as a baffling error deep inside Faultplan. *)
+  Alcotest.check_raises "NaN duplicate rate"
+    (Invalid_argument "Chaos.generate: duplicate rate is NaN") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.duplicate_rate = Float.nan }));
+  Alcotest.check_raises "negative corrupt rate"
+    (Invalid_argument "Chaos.generate: negative corrupt rate") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.corrupt_rate = -0.1 }));
+  Alcotest.check_raises "negative reorder rate"
+    (Invalid_argument "Chaos.generate: negative reorder rate") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.reorder_rate = -1. }));
+  Alcotest.check_raises "NaN overload rate"
+    (Invalid_argument "Chaos.generate: overload rate is NaN") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.overload_rate = Float.nan }));
+  Alcotest.check_raises "negative overload nodes"
+    (Invalid_argument "Chaos.generate: negative overload node count") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.overload_nodes = -1 }));
+  Alcotest.check_raises "bad overload period"
+    (Invalid_argument "Chaos.generate: overload period must be positive") (fun () ->
+      ignore (C.generate ~seed:1 ~nodes:4 { C.default_profile with C.overload_period = 0. }));
+  Alcotest.check_raises "overload burst at zero rate"
+    (Invalid_argument "Chaos.generate: overload rate must be positive") (fun () ->
+      ignore
+        (C.generate ~seed:1 ~nodes:4
+           { C.default_profile with C.overload_nodes = 1; overload_rate = 0. }))
+
+let test_generate_overload_bursts () =
+  let p =
+    { C.default_profile with C.overload_nodes = 2; overload_rate = 800.; overload_period = 1.5 }
+  in
+  let evs = List.map snd (Engine.Faultplan.events (C.generate ~seed:5 ~nodes:6 p)) in
+  let count f = List.length (List.filter f evs) in
+  checki "every burst opened" 2
+    (count (function Engine.Faultplan.Overload _ -> true | _ -> false));
+  checki "every burst healed" 2
+    (count (function Engine.Faultplan.Heal_overload _ -> true | _ -> false));
+  List.iter
+    (function
+      | Engine.Faultplan.Overload { rate; _ } ->
+          Alcotest.check (Alcotest.float 0.) "rate as configured" 800. rate
+      | _ -> ())
+    evs;
+  (* Bursts off: not a single overload event, and the rest of the plan
+     is untouched (the knob draws no randomness when disabled). *)
+  let off = List.map snd (Engine.Faultplan.events (C.generate ~seed:5 ~nodes:6 C.default_profile)) in
+  checki "no bursts when disabled" 0
+    (List.length
+       (List.filter (function Engine.Faultplan.Overload _ -> true | _ -> false) off))
 
 let test_generate_flap_and_gray () =
   let p =
@@ -169,10 +218,22 @@ let test_generate_flap_and_gray () =
     (count (function Engine.Faultplan.Heal_gray _ -> true | _ -> false))
 
 let test_pp_profile_shows_new_knobs () =
-  let p = { C.default_profile with C.flaps = 3; gray_links = 1 } in
+  let p = { C.default_profile with C.flaps = 3; gray_links = 1; overload_nodes = 2 } in
   let s = Format.asprintf "%a" C.pp_profile p in
   checkb "flap knob printed" true (contains s "flap=3");
-  checkb "gray knob printed" true (contains s "gray=1")
+  checkb "gray knob printed" true (contains s "gray=1");
+  checkb "overload knob printed" true (contains s "overload=2")
+
+(* A soak with injection bursts: the bounded queues installed by the
+   harness must hold their high-water mark at capacity, and the backlog
+   must be gone by the end of grace. *)
+let overload_soak name run_it =
+  Alcotest.test_case (name ^ " overload soak sheds bounded and recovers") `Slow (fun () ->
+      let r = run_it 11 in
+      checki (name ^ " safe under overload") 0 r.X.violations;
+      checkb (name ^ " shed something") true (r.X.sheds > 0);
+      checkb (name ^ " never exceeded capacity") true r.X.shed_bounded;
+      checkb (name ^ " drained after the bursts") true r.X.overload_recovered)
 
 (* Same seed + profile -> the identical storm, the identical verdict,
    the identical traffic: the whole soak is a replayable witness. *)
@@ -203,6 +264,11 @@ let () =
           Alcotest.test_case "obs export is reproducible" `Slow
             test_flap_obs_export_reproducible;
         ] );
+      ( "overload",
+        [
+          overload_soak "kvstore" (fun seed -> X.run ~overload:2 ~seed "kvstore");
+          overload_soak "paxos" (fun seed -> X.run ~overload:2 ~seed "paxos");
+        ] );
       ( "engine",
         [
           Alcotest.test_case "decode failures exercised" `Slow test_decode_failures_exercised;
@@ -214,6 +280,7 @@ let () =
           Alcotest.test_case "protect respected" `Quick test_generate_respects_protect;
           Alcotest.test_case "generate validation" `Quick test_generate_validation;
           Alcotest.test_case "flap and gray generation" `Quick test_generate_flap_and_gray;
+          Alcotest.test_case "overload burst generation" `Quick test_generate_overload_bursts;
           Alcotest.test_case "profile pp shows new knobs" `Quick
             test_pp_profile_shows_new_knobs;
           Alcotest.test_case "replay is bit-identical" `Slow test_replay_bit_identical;

@@ -19,6 +19,7 @@ module Toy = struct
   let fingerprint = None
   let durable = None
   let degraded = None
+  let priority = None
 
   let pp_msg ppf = function
     | Ping n -> Format.fprintf ppf "ping(%d)" n
@@ -363,6 +364,7 @@ module Nfa = struct
   let fingerprint = None
   let durable = None
   let degraded = None
+  let priority = None
   let pp_msg ppf Datum = Format.fprintf ppf "datum"
   let pp_state ppf st = Format.fprintf ppf "{s=%d f=%d}" st.stored st.forwarded
   let init (ctx : Proto.Ctx.t) = ({ self = ctx.self; stored = 0; forwarded = 0 }, [])

@@ -97,7 +97,55 @@ let validation_cases =
           (1., F.Flap { a = [ 0 ]; b = [ 1 ]; period = 1.; cycles = 1 });
           (5., F.Heal_partition ([ 0 ], [ 1 ]));
         ]);
+    invalid "zero overload rate" "Faultplan.plan: overload rate must be positive and finite"
+      (fun () -> [ (0., F.Overload { node = 1; rate = 0. }) ]);
+    invalid "infinite overload rate" "Faultplan.plan: overload rate must be positive and finite"
+      (fun () -> [ (0., F.Overload { node = 1; rate = Float.infinity }) ]);
+    invalid "overlapping overload windows" "Faultplan.plan: overlapping overload windows"
+      (fun () ->
+        [
+          (0., F.Overload { node = 1; rate = 100. });
+          (1., F.Overload { node = 1; rate = 200. });
+          (2., F.Heal_overload { node = 1 });
+        ]);
+    invalid "bare heal_overload" "Faultplan.plan: heal of an overload never started" (fun () ->
+        [ (1., F.Heal_overload { node = 1 }) ]);
   ]
+
+let test_overload_plan_accepted () =
+  (* Sequential windows on one node, concurrent windows on distinct
+     nodes: both legal; pp names every event. *)
+  let p =
+    F.plan
+      [
+        (0., F.Overload { node = 1; rate = 500. });
+        (1., F.Heal_overload { node = 1 });
+        (2., F.Overload { node = 1; rate = 800. });
+        (2., F.Overload { node = 2; rate = 300. });
+        (4., F.Heal_overload { node = 1 });
+        (4., F.Heal_overload { node = 2 });
+      ]
+  in
+  checki "all six events kept" 6 (List.length (F.events p));
+  let s = Format.asprintf "%a" F.pp p in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "pp shows the burst" true (contains s "overload(1, 500/s)");
+  checkb "pp shows the heal" true (contains s "heal_overload(2)")
+
+let test_overload_runs_against_engine () =
+  let eng = make () in
+  let p =
+    F.plan [ (0.5, F.Overload { node = 2; rate = 400. }); (2., F.Heal_overload { node = 2 }) ]
+  in
+  Run.execute eng p;
+  E.run_for eng 4.;
+  let s = E.stats eng in
+  checkb "chaff flowed through the engine" true (s.E.chaff_sent > 0);
+  checkb "burst stopped at the heal" true (s.E.chaff_sent < 1000)
 
 let test_heal_matches_up_to_ordering () =
   (* Group pairs are normalized: scrambled element order and swapped
@@ -258,6 +306,7 @@ let () =
         Alcotest.test_case "valid plan accepted" `Quick test_valid_plan_accepted
         :: Alcotest.test_case "heal matches up to ordering" `Quick
              test_heal_matches_up_to_ordering
+        :: Alcotest.test_case "overload plan accepted" `Quick test_overload_plan_accepted
         :: validation_cases );
       ( "execution",
         [
@@ -270,6 +319,7 @@ let () =
           Alcotest.test_case "flap" `Quick test_flap_consumes_window_and_heals;
           Alcotest.test_case "gray link" `Quick test_gray_link_is_asymmetric;
           Alcotest.test_case "idempotent restart" `Quick test_restart_idempotent;
+          Alcotest.test_case "overload burst" `Quick test_overload_runs_against_engine;
           Alcotest.test_case "empty plan" `Quick test_empty_plan_is_noop;
         ] );
     ]

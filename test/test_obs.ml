@@ -133,6 +133,7 @@ module Toy = struct
   let fingerprint = None
   let durable = None
   let degraded = None
+  let priority = None
 
   let pp_msg ppf = function
     | Ping n -> Format.fprintf ppf "ping(%d)" n

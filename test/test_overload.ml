@@ -1,0 +1,398 @@
+(* The overload layer: bounded mailboxes and link queues with pluggable
+   shed policies, queue pressure visible to handlers, token-bucket and
+   sojourn admission control at the inject boundary, targeted chaff
+   bursts, and the per-pair circuit breaker — all off by default at zero
+   behavioural cost. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let nid = Proto.Node_id.of_int
+
+(* Two message classes with distinct shed priorities, so [By_priority]
+   eviction is observable; receivers also sample [Ctx.pressure] on
+   every arrival. *)
+module Prio_app = struct
+  type msg = Lo of int | Hi of int
+
+  type state = { self : Proto.Node_id.t; lo : int list; hi : int list; max_pressure : float }
+
+  let name = "prio"
+  let equal_state (a : state) b = a = b
+  let msg_kind = function Lo _ -> "lo" | Hi _ -> "hi"
+  let msg_bytes _ = 64
+  let msg_codec = None
+  let durable = None
+  let degraded = None
+  let priority = Some (function Lo _ -> 0 | Hi _ -> 10)
+
+  let pp_msg ppf = function
+    | Lo n -> Format.fprintf ppf "lo(%d)" n
+    | Hi n -> Format.fprintf ppf "hi(%d)" n
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{lo=%d hi=%d}" (List.length st.lo) (List.length st.hi)
+
+  let fingerprint = None
+  let init (ctx : Proto.Ctx.t) = ({ self = ctx.self; lo = []; hi = []; max_pressure = 0. }, [])
+
+  let receive =
+    [
+      Proto.Handler.v ~name:"any"
+        ~guard:(fun _ ~src:_ _ -> true)
+        (fun ctx st ~src:_ m ->
+          let st = { st with max_pressure = Float.max st.max_pressure (Proto.Ctx.pressure ctx) } in
+          match m with
+          | Lo n -> ({ st with lo = n :: st.lo }, [])
+          | Hi n -> ({ st with hi = n :: st.hi }, []));
+    ]
+
+  let on_timer _ st _ : state * msg Proto.Action.t list = (st, [])
+  let properties : (state, msg) Proto.View.t Core.Property.t list = []
+  let objectives : (state, msg) Proto.View.t Core.Objective.t list = []
+  let generic_msgs _ : (Proto.Node_id.t * msg) list = []
+end
+
+module E = Engine.Sim.Make (Prio_app)
+
+let topology n =
+  Net.Topology.uniform ~n (Net.Linkprop.v ~latency:0.02 ~bandwidth:1_000_000. ~loss:0.)
+
+let make ?(seed = 3) ?(n = 2) () =
+  let eng = E.create ~seed ~jitter:0. ~topology:(topology n) () in
+  E.set_resolver eng Core.Resolver.random;
+  for i = 0 to n - 1 do
+    E.spawn eng (nid i)
+  done;
+  E.run_for eng 0.1;
+  eng
+
+let lo_of eng node =
+  match E.state_of eng (nid node) with Some st -> List.rev st.Prio_app.lo | None -> []
+
+let hi_of eng node =
+  match E.state_of eng (nid node) with Some st -> List.rev st.Prio_app.hi | None -> []
+
+let max_pressure_of eng node =
+  match E.state_of eng (nid node) with Some st -> st.Prio_app.max_pressure | None -> 0.
+
+(* ---------- configuration validation ---------- *)
+
+let test_config_validation () =
+  let eng = make () in
+  let raises msg cfg =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () -> E.set_overload eng ~config:cfg)
+  in
+  raises "Sim.set_overload: negative mailbox_capacity"
+    { E.default_overload with E.mailbox_capacity = -1 };
+  raises "Sim.set_overload: negative link_capacity" { E.default_overload with E.link_capacity = -1 };
+  raises "Sim.set_overload: service_time must be >= 0"
+    { E.default_overload with E.service_time = -0.1 };
+  raises "Sim.set_overload: admit_rate must be >= 0" { E.default_overload with E.admit_rate = -1. };
+  raises "Sim.set_overload: admit_burst must be positive"
+    { E.default_overload with E.admit_burst = 0 };
+  raises "Sim.set_overload: sojourn_threshold must be >= 0"
+    { E.default_overload with E.sojourn_threshold = -1. };
+  Alcotest.check_raises "Sim.overload: rate must be positive"
+    (Invalid_argument "Sim.overload: rate must be positive") (fun () ->
+      E.overload eng ~rate:0. (nid 1))
+
+let test_limits_reported () =
+  let eng = make () in
+  checkb "off by default" true (E.overload_limits eng = None);
+  E.set_overload eng;
+  checkb "default config installed" true (E.overload_limits eng = Some E.default_overload)
+
+(* ---------- bounded mailboxes and shed policies ---------- *)
+
+(* A burst of simultaneous sends into a capacity-4 mailbox: which four
+   survive depends only on the policy. *)
+let burst_under ?(cap = 4) policy msgs =
+  let eng = make () in
+  E.set_overload eng
+    ~config:{ E.default_overload with E.mailbox_capacity = cap; shed = policy };
+  List.iter (fun m -> E.inject eng ~src:(nid 0) ~dst:(nid 1) m) msgs;
+  E.run_for eng 5.;
+  eng
+
+let test_drop_newest () =
+  let eng = burst_under E.Drop_newest (List.init 10 (fun i -> Prio_app.Lo (i + 1))) in
+  checkb "first four admitted, the rest refused" true (lo_of eng 1 = [ 1; 2; 3; 4 ]);
+  checki "six sheds counted against the mailbox" 6 (E.stats eng).E.sheds_mailbox;
+  checki "high-water mark is the capacity" 4 (E.stats eng).E.max_mailbox_depth
+
+let test_drop_oldest () =
+  let eng = burst_under E.Drop_oldest (List.init 10 (fun i -> Prio_app.Lo (i + 1))) in
+  checkb "each arrival evicted the oldest: last four survive" true (lo_of eng 1 = [ 7; 8; 9; 10 ]);
+  checki "six sheds" 6 (E.stats eng).E.sheds_mailbox
+
+let test_by_priority () =
+  (* Five low-priority sends fill the queue, then five high-priority
+     ones arrive: every Hi displaces the lowest-ranked victim (ties
+     oldest-first), so the Los are wiped out one by one — including by
+     the tie-breaking Lo 5 — and finally Hi 5 displaces its own
+     eldest sibling. *)
+  let msgs =
+    List.init 5 (fun i -> Prio_app.Lo (i + 1)) @ List.init 5 (fun i -> Prio_app.Hi (i + 1))
+  in
+  let eng = burst_under E.By_priority msgs in
+  Alcotest.check (Alcotest.list Alcotest.int) "every surviving message is high-priority" []
+    (lo_of eng 1);
+  Alcotest.check (Alcotest.list Alcotest.int) "the newest four his survive" [ 2; 3; 4; 5 ]
+    (hi_of eng 1);
+  checki "six messages shed along the way" 6 (E.stats eng).E.sheds_mailbox
+
+let test_link_capacity () =
+  (* Per-pair bound tighter than the mailbox: a 3-node fan-in where each
+     sender may hold two in flight. *)
+  let eng = make ~n:3 () in
+  E.set_overload eng ~config:{ E.default_overload with E.link_capacity = 2 };
+  for i = 1 to 6 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 2) (Prio_app.Lo i);
+    E.inject eng ~src:(nid 1) ~dst:(nid 2) (Prio_app.Hi i)
+  done;
+  E.run_for eng 5.;
+  checki "two per directed pair" 2 (List.length (lo_of eng 2));
+  checki "the other pair is bounded independently" 2 (List.length (hi_of eng 2));
+  checki "eight sheds against link queues" 8 (E.stats eng).E.sheds_link;
+  checki "none against the (unbounded) mailbox" 0 (E.stats eng).E.sheds_mailbox
+
+(* ---------- pressure ---------- *)
+
+let test_pressure_visible () =
+  let eng = make () in
+  E.set_overload eng ~config:{ E.default_overload with E.mailbox_capacity = 4 };
+  checkb "empty mailbox, zero pressure" true (E.pressure eng (nid 1) = 0.);
+  for i = 1 to 4 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 1) (Prio_app.Lo i)
+  done;
+  checki "four queued" 4 (E.mailbox_depth eng (nid 1));
+  checkb "pressure saturates at 1" true (E.pressure eng (nid 1) = 1.);
+  E.run_for eng 5.;
+  checki "drained" 0 (E.mailbox_depth eng (nid 1));
+  checkb "handlers saw non-zero Ctx.pressure during the burst" true (max_pressure_of eng 1 > 0.)
+
+let test_pressure_zero_when_unbounded () =
+  let eng = make () in
+  E.set_overload eng;
+  for i = 1 to 8 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 1) (Prio_app.Lo i)
+  done;
+  checkb "unbounded mailbox never reports pressure" true (E.pressure eng (nid 1) = 0.);
+  checkb "depth is still tracked" true (E.mailbox_depth eng (nid 1) = 8)
+
+(* ---------- admission control at the inject boundary ---------- *)
+
+let test_token_bucket () =
+  let eng = make () in
+  E.set_overload eng
+    ~config:{ E.default_overload with E.admit_rate = 1.0; admit_burst = 2 };
+  for i = 1 to 5 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 1) (Prio_app.Lo i)
+  done;
+  E.run_for eng 0.5;
+  checki "burst budget admits two, refuses three" 3 (E.stats eng).E.sheds_admission;
+  checki "the two admitted arrive" 2 (List.length (lo_of eng 1));
+  (* A virtual second refills one token. *)
+  E.run_for eng 1.0;
+  E.inject eng ~src:(nid 0) ~dst:(nid 1) (Prio_app.Lo 6);
+  E.run_for eng 0.5;
+  checki "refill admits one more" 3 (List.length (lo_of eng 1));
+  checki "no further admission sheds" 3 (E.stats eng).E.sheds_admission
+
+let test_sojourn_gate () =
+  (* A slow receiver (service_time delays each arrival by the backlog):
+     once the oldest queued message has waited past the threshold, new
+     injects are refused before the queue saturates. *)
+  let eng = make () in
+  E.set_overload eng
+    ~config:{ E.default_overload with E.service_time = 0.2; sojourn_threshold = 0.1 };
+  for i = 1 to 5 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 1) (Prio_app.Lo i)
+  done;
+  E.run_for eng 0.15;
+  (* The head of the queue has now waited 0.15s > 0.1s. *)
+  E.inject eng ~src:(nid 0) ~dst:(nid 1) (Prio_app.Lo 6);
+  checkb "late inject refused by the sojourn gate" true ((E.stats eng).E.sheds_sojourn > 0);
+  E.run_for eng 5.;
+  checki "only the pre-gate messages arrived" 5 (List.length (lo_of eng 1))
+
+(* ---------- chaff bursts ---------- *)
+
+let test_overload_burst_bounded () =
+  let eng = make () in
+  E.set_overload eng ~config:{ E.default_overload with E.mailbox_capacity = 8 };
+  E.overload eng ~rate:1000. (nid 1);
+  E.run_for eng 2.;
+  let s = E.stats eng in
+  checkb "chaff flowed" true (s.E.chaff_sent > 500);
+  checkb "mailbox never exceeded its bound" true (s.E.max_mailbox_depth <= 8);
+  checkb "the bound actually bit" true (s.E.sheds_mailbox > 0);
+  checkb "chaff is never handed to the app" true (lo_of eng 1 = [] && hi_of eng 1 = []);
+  E.heal_overload eng (nid 1);
+  let sent_at_heal = (E.stats eng).E.chaff_sent in
+  E.run_for eng 2.;
+  checki "healing stops the generator" sent_at_heal (E.stats eng).E.chaff_sent;
+  checki "the queue drains" 0 (E.mailbox_depth eng (nid 1))
+
+let test_heal_idempotent () =
+  let eng = make () in
+  E.overload eng (nid 1);
+  E.heal_overload eng (nid 1);
+  E.heal_overload eng (nid 1);
+  E.run_for eng 1.;
+  checkb "overload installs the layer on demand" true (E.overload_limits eng <> None)
+
+(* ---------- circuit breaker ---------- *)
+
+module Cb = Net.Circuit_breaker
+
+let vt = Dsim.Vtime.of_seconds
+
+let test_breaker_state_machine () =
+  let cb = Cb.create ~failure_threshold:2 ~cooldown:5.0 ~half_open_probes:1 () in
+  let st at = Cb.state cb ~src:0 ~dst:1 ~now:(vt at) in
+  checkb "unknown pairs are closed" true (st 0. = Cb.Closed);
+  Cb.record_failure cb ~src:0 ~dst:1 ~now:(vt 1.);
+  checkb "one failure below threshold stays closed" true (st 1. = Cb.Closed);
+  Cb.record_failure cb ~src:0 ~dst:1 ~now:(vt 2.);
+  checkb "threshold trips open" true (st 2. = Cb.Open);
+  checkb "open refuses sends" false (Cb.allow cb ~src:0 ~dst:1 ~now:(vt 3.));
+  checkb "other pairs unaffected" true (Cb.allow cb ~src:1 ~dst:0 ~now:(vt 3.));
+  checkb "cooldown elapses into half-open" true (st 7.5 = Cb.Half_open);
+  checkb "half-open admits one probe" true (Cb.acquire cb ~src:0 ~dst:1 ~now:(vt 7.5));
+  checkb "probe budget exhausted" false (Cb.acquire cb ~src:0 ~dst:1 ~now:(vt 7.6));
+  Cb.record_failure cb ~src:0 ~dst:1 ~now:(vt 8.);
+  checkb "probe failure re-opens" true (st 8. = Cb.Open);
+  checkb "and restarts the cooldown" true (st 12. = Cb.Open);
+  Cb.record_success cb ~src:0 ~dst:1;
+  checkb "success closes from any state" true (st 12. = Cb.Closed);
+  checki "nothing open afterwards" 0 (Cb.open_pairs cb ~now:(vt 12.))
+
+let test_breaker_trip () =
+  let cb = Cb.create () in
+  Cb.trip cb ~src:0 ~dst:1 ~now:(vt 1.);
+  checkb "external evidence opens instantly" true (Cb.state cb ~src:0 ~dst:1 ~now:(vt 1.) = Cb.Open);
+  Cb.trip cb ~src:0 ~dst:1 ~now:(vt 2.);
+  checkb "idempotent while open" true (Cb.state cb ~src:0 ~dst:1 ~now:(vt 2.) = Cb.Open)
+
+let test_breaker_validation () =
+  let raises msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  raises "Circuit_breaker.create: failure_threshold must be positive" (fun () ->
+      ignore (Cb.create ~failure_threshold:0 ()));
+  raises "Circuit_breaker.create: cooldown must be positive" (fun () ->
+      ignore (Cb.create ~cooldown:0. ()));
+  raises "Circuit_breaker.create: half_open_probes must be positive" (fun () ->
+      ignore (Cb.create ~half_open_probes:0 ()))
+
+let test_breaker_in_engine () =
+  (* Reliable delivery into a severed link with the breaker on: the
+     first timeouts trip the pair open, after which retransmission
+     attempts are refused on the sender side instead of hitting the
+     wire. *)
+  let eng = make () in
+  E.enable_reliable eng ~config:{ E.default_reliable with E.jitter = 0.; max_retries = 8 };
+  E.enable_breaker ~failure_threshold:2 ~cooldown:1000. eng;
+  Net.Netem.cut_bidirectional (E.netem eng) 0 1;
+  for i = 1 to 3 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 1) (Prio_app.Lo i)
+  done;
+  E.run_for eng 30.;
+  let s = E.stats eng in
+  checkb "retransmission attempts were refused" true (s.E.breaker_skips > 0);
+  checkb "the pair is open" true
+    (Cb.state (E.circuit_breaker eng) ~src:0 ~dst:1 ~now:(E.now eng) = Cb.Open)
+
+(* ---------- determinism ---------- *)
+
+let chaffed_run () =
+  let eng = make ~seed:17 ~n:3 () in
+  E.set_overload eng
+    ~config:{ E.default_overload with E.mailbox_capacity = 6; shed = E.By_priority };
+  for i = 1 to 20 do
+    E.inject eng ~after:(0.05 *. float_of_int i) ~src:(nid 0) ~dst:(nid 2)
+      (if i mod 2 = 0 then Prio_app.Hi i else Prio_app.Lo i)
+  done;
+  E.overload eng ~rate:400. (nid 2);
+  E.run_for eng 2.;
+  E.heal_overload eng (nid 2);
+  E.run_for eng 3.;
+  let s = E.stats eng in
+  (lo_of eng 2, hi_of eng 2, s.E.sheds_mailbox, s.E.chaff_sent, s.E.max_mailbox_depth)
+
+let test_deterministic_replay () =
+  checkb "same seed, same shed trajectory" true (chaffed_run () = chaffed_run ())
+
+(* The acceptance bar for the whole layer: installing it with every knob
+   off changes nothing — same app trajectory, same message counters — so
+   seeded runs predating the layer stay byte-identical. *)
+let plain_run ~overload () =
+  let eng = make ~seed:23 ~n:3 () in
+  if overload then E.set_overload eng ~config:E.default_overload;
+  Net.Netem.set_faults (E.netem eng)
+    {
+      (Net.Netem.global_faults (E.netem eng)) with
+      Net.Netem.duplicate_rate = 0.2;
+      duplicate_copies = 1;
+    };
+  for i = 1 to 15 do
+    E.inject eng ~after:(0.03 *. float_of_int i) ~src:(nid 0)
+      ~dst:(nid (1 + (i mod 2)))
+      (if i mod 3 = 0 then Prio_app.Hi i else Prio_app.Lo i)
+  done;
+  E.run_for eng 10.;
+  let s = E.stats eng in
+  ( lo_of eng 1,
+    hi_of eng 1,
+    lo_of eng 2,
+    hi_of eng 2,
+    s.E.messages_delivered,
+    s.E.messages_duplicated,
+    s.E.events_processed )
+
+let test_knobs_off_byte_identical () =
+  checkb "default overload config changes no behaviour" true
+    (plain_run ~overload:false () = plain_run ~overload:true ())
+
+let () =
+  Alcotest.run "overload"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "limits reported" `Quick test_limits_reported;
+        ] );
+      ( "shedding",
+        [
+          Alcotest.test_case "drop newest" `Quick test_drop_newest;
+          Alcotest.test_case "drop oldest" `Quick test_drop_oldest;
+          Alcotest.test_case "by priority" `Quick test_by_priority;
+          Alcotest.test_case "link capacity" `Quick test_link_capacity;
+        ] );
+      ( "pressure",
+        [
+          Alcotest.test_case "visible to engine and handlers" `Quick test_pressure_visible;
+          Alcotest.test_case "zero when unbounded" `Quick test_pressure_zero_when_unbounded;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "token bucket" `Quick test_token_bucket;
+          Alcotest.test_case "sojourn gate" `Quick test_sojourn_gate;
+        ] );
+      ( "bursts",
+        [
+          Alcotest.test_case "bounded chaff burst" `Quick test_overload_burst_bounded;
+          Alcotest.test_case "heal is idempotent" `Quick test_heal_idempotent;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "state machine" `Quick test_breaker_state_machine;
+          Alcotest.test_case "trip" `Quick test_breaker_trip;
+          Alcotest.test_case "validation" `Quick test_breaker_validation;
+          Alcotest.test_case "engine integration" `Quick test_breaker_in_engine;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "bit-identical replay" `Quick test_deterministic_replay;
+          Alcotest.test_case "knobs off, byte-identical" `Quick test_knobs_off_byte_identical;
+        ] );
+    ]

@@ -101,6 +101,8 @@ let test_ctx_predicted_ms () =
       rng = Dsim.Rng.create 1;
       net;
       fd = Net.Failure_detector.create ();
+      cb = Net.Circuit_breaker.create ();
+      pressure = (fun () -> 0.);
       choose = (fun c -> Core.Choice.nth c 0);
     }
   in
@@ -120,6 +122,8 @@ let test_ctx_choose_dispatches () =
       rng = Dsim.Rng.create 1;
       net = Net.Netmodel.create ();
       fd = Net.Failure_detector.create ();
+      cb = Net.Circuit_breaker.create ();
+      pressure = (fun () -> 0.);
       choose = (fun c -> Core.Choice.nth c (Core.Choice.arity c - 1));
     }
   in

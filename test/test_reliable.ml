@@ -13,7 +13,13 @@ let nid = Proto.Node_id.of_int
 module Count_app = struct
   type msg = Ping of int | Pong of int
 
-  type state = { self : Proto.Node_id.t; got : int list; pongs : int list; giveups : int }
+  type state = {
+    self : Proto.Node_id.t;
+    got : int list;
+    pongs : int list;
+    giveups : int;
+    sheds : int;
+  }
 
   let name = "counter"
   let equal_state (a : state) b = a = b
@@ -22,6 +28,7 @@ module Count_app = struct
   let msg_codec = None
   let durable = None
   let degraded = None
+  let priority = None
 
   let pp_msg ppf = function
     | Ping n -> Format.fprintf ppf "ping(%d)" n
@@ -29,7 +36,8 @@ module Count_app = struct
 
   let pp_state ppf st = Format.fprintf ppf "{got=%d}" (List.length st.got)
   let fingerprint = None
-  let init (ctx : Proto.Ctx.t) = ({ self = ctx.self; got = []; pongs = []; giveups = 0 }, [])
+  let init (ctx : Proto.Ctx.t) =
+    ({ self = ctx.self; got = []; pongs = []; giveups = 0; sheds = 0 }, [])
 
   let receive =
     [
@@ -46,6 +54,7 @@ module Count_app = struct
   let on_timer _ st id : state * msg Proto.Action.t list =
     if String.starts_with ~prefix:"rel.giveup:" id then
       ({ st with giveups = st.giveups + 1 }, [])
+    else if String.starts_with ~prefix:"rel.shed:" id then ({ st with sheds = st.sheds + 1 }, [])
     else (st, [])
 
   let properties : (state, msg) Proto.View.t Core.Property.t list = []
@@ -72,6 +81,9 @@ let got eng node =
 
 let giveups_of eng node =
   match E.state_of eng (nid node) with Some st -> st.Count_app.giveups | None -> 0
+
+let sheds_of eng node =
+  match E.state_of eng (nid node) with Some st -> st.Count_app.sheds | None -> 0
 
 (* ---------- recovery from loss ---------- *)
 
@@ -187,7 +199,85 @@ let test_config_validation () =
   raises "Sim.enable_reliable: negative max_retries" { E.default_reliable with E.max_retries = -1 };
   raises "Sim.enable_reliable: negative jitter" { E.default_reliable with E.jitter = -0.1 };
   raises "Sim.enable_reliable: ack_bytes must be positive"
-    { E.default_reliable with E.ack_bytes = 0 }
+    { E.default_reliable with E.ack_bytes = 0 };
+  raises "Sim.enable_reliable: negative suspect_cap"
+    { E.default_reliable with E.suspect_cap = -1 }
+
+(* ---------- suspected-peer retransmit cap ---------- *)
+
+let test_suspect_cap_sheds_pending () =
+  (* A long ping exchange teaches the failure detector the peer's
+     cadence; then the link is severed and ten more sends pile up as
+     pending retransmissions. Once phi-accrual suspicion fires (~18s of
+     silence) the cap of 3 takes effect: retransmission timers past the
+     cap shed their send instead of retrying, the sender hears
+     "rel.shed:ping" for each, and exactly cap entries stay alive to
+     burn the rest of their budget. *)
+  let eng = make ~seed:7 () in
+  E.enable_reliable eng
+    ~config:{ E.default_reliable with E.max_retries = 12; jitter = 0.; suspect_cap = 3 };
+  (* The detector is fed by app deliveries (observer = receiver), so
+     node 0's picture of node 1 is built from traffic arriving 1 -> 0. *)
+  for i = 1 to 20 do
+    E.inject eng ~src:(nid 1) ~dst:(nid 0) (Count_app.Ping i);
+    E.run_for eng 0.25
+  done;
+  Net.Netem.cut_bidirectional (E.netem eng) 0 1;
+  for i = 100 to 109 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 1) (Count_app.Ping i)
+  done;
+  E.run_for eng 60.;
+  let s = E.stats eng in
+  checki "pending above the cap was shed, the cap kept alive" 7 s.E.rel_sheds;
+  checki "each shed notified the sender" s.E.rel_sheds (sheds_of eng 0);
+  checki "survivors are still inside their budget, not given up" 0 s.E.rel_giveups
+
+let test_suspect_cap_off_by_default () =
+  (* Same scenario, default config: nothing sheds, every pending send
+     burns its full budget and gives up. *)
+  let eng = make ~seed:7 () in
+  E.enable_reliable eng ~config:{ E.default_reliable with E.jitter = 0. };
+  Net.Netem.cut_bidirectional (E.netem eng) 0 1;
+  for i = 100 to 109 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 1) (Count_app.Ping i)
+  done;
+  E.run_for eng 60.;
+  let s = E.stats eng in
+  checki "no sheds without a cap" 0 s.E.rel_sheds;
+  checki "all ten give up instead" 10 s.E.rel_giveups
+
+(* ---------- crash during the retry window ---------- *)
+
+let crash_mid_retry_run () =
+  (* The receiver dies while retransmissions toward it are still in
+     flight, then comes back inside the retry budget. Pending sends keep
+     retrying across the outage, late retransmissions of pre-crash
+     deliveries race the restart, and dedup must still hold. *)
+  let eng = make ~loss:0.3 ~seed:13 () in
+  E.enable_reliable eng ~config:{ E.default_reliable with E.max_retries = 8 };
+  for i = 1 to 10 do
+    E.inject eng ~src:(nid 0) ~dst:(nid 1) (Count_app.Ping i)
+  done;
+  E.run_for eng 0.6;
+  E.kill eng (nid 1);
+  E.run_for eng 1.5;
+  E.restart eng (nid 1);
+  E.run_for eng 60.;
+  let s = E.stats eng in
+  ( got eng 1,
+    s.E.rel_retransmits,
+    s.E.rel_acked,
+    s.E.rel_giveups,
+    s.E.rel_dup_dropped,
+    s.E.messages_delivered )
+
+let test_crash_during_retransmit () =
+  let ((arrived, retransmits, acked, _, _, _) as a) = crash_mid_retry_run () in
+  checkb "retransmissions spanned the crash" true (retransmits > 0);
+  checkb "sends completed after the restart" true (acked > 0);
+  checki "at most once despite the outage" (List.length arrived)
+    (List.length (List.sort_uniq compare arrived));
+  checkb "crash-recovery replay is bit-identical" true (a = crash_mid_retry_run ())
 
 (* ---------- determinism ---------- *)
 
@@ -236,6 +326,14 @@ let () =
           Alcotest.test_case "kinds filter" `Quick test_kinds_filter;
           Alcotest.test_case "config validation" `Quick test_config_validation;
         ] );
+      ( "suspect cap",
+        [
+          Alcotest.test_case "sheds pending toward a suspected peer" `Quick
+            test_suspect_cap_sheds_pending;
+          Alcotest.test_case "off by default" `Quick test_suspect_cap_off_by_default;
+        ] );
+      ( "crash",
+        [ Alcotest.test_case "crash during retransmit" `Quick test_crash_during_retransmit ] );
       ( "determinism",
         [ Alcotest.test_case "bit-identical replay" `Quick test_deterministic_replay ] );
     ]
