@@ -713,9 +713,16 @@ module Ex_bench (App : Proto.App_intf.APP) = struct
     let ms_old = time_ms ~min_time (fun () -> Ref.explore ~include_drops ~max_worlds ~depth refw) in
     let ms_new = time_ms ~min_time (fun () -> Ex.explore ~include_drops ~max_worlds ~depth w) in
     let par_domains = max 2 (min 8 (Domain.recommended_domain_count ())) in
+    (* One persistent pool across every timed run — the deployment
+       shape (Crystal spawns its pool once per attach), and the whole
+       point of the pool: domain spawn/join never lands in the timed
+       region. *)
+    let pool = Core.Pool.create ~domains:par_domains in
     let ms_par =
-      time_ms ~min_time (fun () ->
-          Ex.explore ~include_drops ~domains:par_domains ~max_worlds ~depth w)
+      Fun.protect
+        ~finally:(fun () -> Core.Pool.shutdown pool)
+        (fun () ->
+          time_ms ~min_time (fun () -> Ex.explore ~include_drops ~pool ~max_worlds ~depth w))
     in
     let steer_before_ms =
       time_ms ~min_time (fun () -> ref_steer_round ~include_drops ~max_worlds ~depth refw)
@@ -808,6 +815,7 @@ let ex_emit_json rows =
   p "  \"bench\": \"explorer-engine\",\n";
   p "  \"units\": { \"throughput\": \"worlds/second\", \"latency\": \"ms/steering round\" },\n";
   p "  \"fast\": %b,\n" fast;
+  p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"scenarios\": [\n";
   List.iteri
     (fun i r ->
@@ -821,7 +829,9 @@ let ex_emit_json rows =
       p "        \"after_parallel\": { \"domains\": %d, %s },\n" r.par_domains
         (let s = measure_json "fingerprint-worklist" r.after_par in
          String.sub s 2 (String.length s - 4));
-      p "        \"speedup\": %.2f\n" (r.after.worlds_per_sec /. r.before.worlds_per_sec);
+      p "        \"speedup\": %.2f,\n" (r.after.worlds_per_sec /. r.before.worlds_per_sec);
+      p "        \"parallel_speedup\": %.2f\n"
+        (r.after_par.worlds_per_sec /. r.after.worlds_per_sec);
       p "      },\n";
       p "      \"steering_round\": {\n";
       p "        \"before_ms\": %.4f,\n" r.steer_before_ms;
@@ -879,7 +889,39 @@ let ex () =
         r.deduped r.cached_warm r.collisions)
     rows;
   ex_emit_json rows;
-  Printf.printf "  wrote %s\n" ex_json_path
+  Printf.printf "  wrote %s\n" ex_json_path;
+  (* Regression guard: a parallel explore must never be slower than the
+     sequential one (0.95 leaves room for timer noise). Only meaningful
+     with at least two real cores: on a single-core host every minor GC
+     must synchronise the idle worker domain's backup thread over the
+     one CPU, which alone costs 2-10x on this allocation-heavy loop —
+     a healthy pool and a broken one are indistinguishable there. *)
+  let cores = Domain.recommended_domain_count () in
+  if cores < 2 then
+    Printf.printf
+      "  parallel guard skipped: single-core host (parallel throughput is GC-sync noise here)\n"
+  else begin
+    let tolerance = 0.95 in
+    let failures =
+      List.filter_map
+        (fun r ->
+          let ratio = r.after_par.worlds_per_sec /. r.after.worlds_per_sec in
+          if ratio < tolerance then Some (r.scenario, ratio) else None)
+        rows
+    in
+    if failures <> [] then begin
+      List.iter
+        (fun (scenario, ratio) ->
+          Printf.eprintf
+            "PARALLEL REGRESSION: scenario %S runs at %.2fx sequential throughput with %d \
+             domains (tolerance %.2f on %d cores) — the domain pool is slower than one thread\n"
+            scenario ratio
+            (max 2 (min 8 cores))
+            tolerance cores)
+        failures;
+      exit 1
+    end
+  end
 
 (* ---------- OBS: observability layer (trace gate + metrics overhead) ----------
 

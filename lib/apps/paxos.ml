@@ -583,7 +583,7 @@ end = struct
 
   (* Agreement: no two replicas decide different commands for one
      instance — the safety property Paxos exists to provide. *)
-  let agreement view =
+  let agreement_uncached view =
     let decisions = Hashtbl.create 64 in
     Proto.View.fold
       (fun ok _ st ->
@@ -596,6 +596,33 @@ end = struct
             | Some cmd' -> ok && cmd = cmd')
           st.decided ok)
       true view
+
+  (* The engine checks agreement after every event and the explorer
+     after every expanded world, but [decided] maps are immutable and
+     only ever replaced when a decision lands — most checks see the
+     exact same maps as the previous one. Memoize on the physical
+     identity of each node's [decided] (plus its id), which is sound
+     because the fold above reads nothing else. One cache per domain
+     (DLS): explorer workers check properties concurrently, and a
+     shared cell would race; a per-domain miss just recomputes. *)
+  let agreement_memo = Domain.DLS.new_key (fun () -> ref ([], true))
+
+  let agreement view =
+    let key = Proto.View.fold (fun acc id st -> (id, st.decided) :: acc) [] view in
+    let memo = Domain.DLS.get agreement_memo in
+    let prev_key, prev_result = !memo in
+    let rec same a b =
+      match (a, b) with
+      | [], [] -> true
+      | (id1, d1) :: ra, (id2, d2) :: rb -> Proto.Node_id.equal id1 id2 && d1 == d2 && same ra rb
+      | ([], _ :: _ | _ :: _, []) -> false
+    in
+    if same prev_key key then prev_result
+    else begin
+      let result = agreement_uncached view in
+      memo := (key, result);
+      result
+    end
 
   let properties =
     [

@@ -1,0 +1,125 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* owner -> workers: new job, or shutdown *)
+  finished : Condition.t;  (* workers -> owner: last worker done *)
+  mutable job : (int -> unit) option;
+  mutable gen : int;  (* bumped once per job; workers latch on it *)
+  mutable pending : int;  (* workers still inside the current job *)
+  mutable failures : (int * exn) list;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Worker [k]: sleep until the generation moves (a new job) or the pool
+   closes; run the job with exceptions captured, never escaping into
+   the domain (an escaped exception would kill the domain and hang
+   every later join); report completion under the lock. *)
+let worker_loop t k =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.closed) && t.gen = !seen do
+      Condition.wait t.work t.mutex
+    done;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen := t.gen;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      let failure = try job k; None with e -> Some e in
+      Mutex.lock t.mutex;
+      (match failure with None -> () | Some e -> t.failures <- (k, e) :: t.failures);
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      gen = 0;
+      pending = 0;
+      failures = [];
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun j -> Domain.spawn (fun () -> worker_loop t (j + 1)));
+  t
+
+let size t = t.size
+
+let run t f =
+  if t.closed then invalid_arg "Pool.run: pool is shut down";
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some f;
+    t.failures <- [];
+    t.pending <- t.size - 1;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    let own = try f 0; None with e -> Some e in
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- None;
+    let failures = t.failures in
+    t.failures <- [];
+    Mutex.unlock t.mutex;
+    (* Re-raise deterministically: the owner's own failure (worker 0)
+       outranks, then the lowest failing worker id. *)
+    match own with
+    | Some e -> raise e
+    | None -> (
+        match List.sort (fun (a, _) (b, _) -> Int.compare a b) failures with
+        | (_, e) :: _ -> raise e
+        | [] -> ())
+  end
+
+let run_chunks t ~n ?chunk f =
+  if n < 0 then invalid_arg "Pool.run_chunks: negative n";
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c -> if c < 1 then invalid_arg "Pool.run_chunks: chunk must be >= 1" else c
+      | None -> max 1 ((n + (4 * t.size) - 1) / (4 * t.size))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    if nchunks <= 1 then begin
+      if t.closed then invalid_arg "Pool.run: pool is shut down";
+      f ~worker:0 ~lo:0 ~hi:n
+    end
+    else
+      run t (fun k ->
+          let c = ref k in
+          while !c < nchunks do
+            let lo = !c * chunk in
+            f ~worker:k ~lo ~hi:(min n (lo + chunk));
+            c := !c + t.size
+          done)
+  end
+
+let shutdown t =
+  if not t.closed then begin
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end

@@ -1,0 +1,45 @@
+(** A persistent domain pool for data-parallel loops.
+
+    [Domain.spawn] costs around a millisecond — far more than a typical
+    exploration level's worth of work — so spawning per loop is a net
+    slowdown (the regression recorded by the first BENCH_explorer.json).
+    A pool spawns its worker domains once and reuses them for every
+    subsequent [run]/[run_chunks], so the per-loop cost is one
+    mutex/condvar handshake.
+
+    Discipline: one owner. [run], [run_chunks] and [shutdown] must be
+    called from the thread that created the pool, never concurrently,
+    and never from inside a running job. Worker bodies may share state
+    only at disjoint indices (e.g. each worker writes its own slots of
+    an output array); the handshake around each job provides the
+    happens-before edges that make those writes visible to the owner. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawns [domains - 1] worker domains (the owner is worker [0]).
+    [domains = 1] spawns nothing and makes [run] a plain call.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** Total workers, including the owner. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f k] once per worker [k] in [0 .. size-1] ([f 0]
+    on the owner) and returns when all have finished. If any [f k]
+    raised, the exception of the lowest such [k] is re-raised here —
+    deterministically — and the pool remains usable.
+    @raise Invalid_argument after [shutdown]. *)
+
+val run_chunks : t -> n:int -> ?chunk:int -> (worker:int -> lo:int -> hi:int -> unit) -> unit
+(** [run_chunks t ~n f] covers indices [0 .. n-1] with contiguous chunks
+    of [chunk] indices (default: [n] split into about 4 chunks per
+    worker, so a straggler chunk costs at most a quarter of one
+    worker's share), dealt block-strided: worker [k] processes chunks
+    [k, k+size, k+2*size, …] in order. The assignment is a pure
+    function of [(n, chunk, size)] — never of timing — so any
+    per-worker state (e.g. a cache shard) sees a deterministic item
+    sequence. Exceptions propagate as in [run]. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent; [run] afterwards raises. *)

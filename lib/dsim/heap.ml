@@ -91,6 +91,25 @@ let to_list t =
   in
   loop (t.size - 1) []
 
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.data.(i).value
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i).value
+  done;
+  !acc
+
+let rev_fold t ~init ~f =
+  let acc = ref init in
+  for i = t.size - 1 downto 0 do
+    acc := f !acc t.data.(i).value
+  done;
+  !acc
+
 let filter_in_place t keep =
   let survivors =
     List.filter (fun e -> keep e.value) (Array.to_list (Array.sub t.data 0 t.size))

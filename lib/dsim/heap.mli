@@ -30,6 +30,19 @@ val drain : 'a t -> 'a list
 val to_list : 'a t -> 'a list
 (** All elements in unspecified order; the heap is unchanged. *)
 
+val iter : 'a t -> ('a -> unit) -> unit
+(** Applies the function to every element in [to_list]'s order, without
+    materialising the list. The heap must not be modified during
+    iteration. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+(** Folds over every element in [to_list]'s order, without
+    materialising the list. *)
+
+val rev_fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+(** Like {!fold} but in the reverse of [to_list]'s order — consing in a
+    [rev_fold] rebuilds [to_list]'s order directly. *)
+
 val filter_in_place : 'a t -> ('a -> bool) -> unit
 (** Keeps only the elements satisfying the predicate, preserving the
     FIFO tie-break among survivors. *)

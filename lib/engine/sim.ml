@@ -254,9 +254,18 @@ module Make (App : Proto.App_intf.APP) = struct
   (* Metric handles the hot path would otherwise re-intern per event.
      Keys are raw endpoint ints; values are registry handles created on
      first use. *)
+  (* The three handles every successful delivery touches, bundled so
+     the hot path pays one cache lookup instead of three. *)
+  type link_obs = {
+    lo_node_deliveries : Obs.Registry.counter;
+    lo_link_deliveries : Obs.Registry.counter;
+    lo_link_latency : Obs.Registry.histogram;
+  }
+
   type obs = {
     o_sink : Obs.Sink.t;
     o_queue_depth : Obs.Registry.gauge;
+    o_deliver : (int * int, link_obs) Hashtbl.t;
     o_node_deliveries : (int, Obs.Registry.counter) Hashtbl.t;
     o_link_deliveries : (int * int, Obs.Registry.counter) Hashtbl.t;
     o_link_latency : (int * int, Obs.Registry.histogram) Hashtbl.t;
@@ -287,6 +296,10 @@ module Make (App : Proto.App_intf.APP) = struct
     rng : Dsim.Rng.t;
     netem : Net.Netem.t;
     netmodel : Net.Netmodel.t;
+    nm_links : (int * int, Net.Netmodel.link) Hashtbl.t;
+        (* per-(src,dst) netmodel handles so each delivery does one
+           lookup here instead of three inside the model; bound to
+           [netmodel]'s cells, so forks get a fresh empty table *)
     fd : Net.Failure_detector.t;
     mutable fd_enabled : bool;
     mutable rel : rel option;  (* [None] = reliable delivery off (default) *)
@@ -300,6 +313,9 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable mode : mode;
     mutable speculative : bool;
     mutable violations : (Dsim.Vtime.t * string) list;
+    mutable n_violations : int;
+        (* = List.length violations, maintained so lookahead forks can
+           diff violation counts without O(n) walks per branch *)
     mutable violated_now : string list;  (* properties currently violated *)
     mutable filters : filter list;
     mutable decision_log : (Dsim.Vtime.t * Core.Choice.site * int) list;
@@ -368,6 +384,7 @@ module Make (App : Proto.App_intf.APP) = struct
       rng;
       netem = Net.Netem.create ~jitter ~rng:netem_rng topology;
       netmodel = Net.Netmodel.create ();
+      nm_links = Hashtbl.create 64;
       fd = Net.Failure_detector.create ();
       fd_enabled = true;
       rel = None;
@@ -379,6 +396,7 @@ module Make (App : Proto.App_intf.APP) = struct
       mode = Plain Core.Resolver.first;
       speculative = false;
       violations = [];
+      n_violations = 0;
       violated_now = [];
       filters = [];
       decision_log = [];
@@ -440,6 +458,7 @@ module Make (App : Proto.App_intf.APP) = struct
             {
               o_sink;
               o_queue_depth = Obs.Registry.gauge reg ~name:"engine_queue_depth" ~labels:[];
+              o_deliver = Hashtbl.create 64;
               o_node_deliveries = Hashtbl.create 32;
               o_link_deliveries = Hashtbl.create 64;
               o_link_latency = Hashtbl.create 64;
@@ -672,18 +691,23 @@ module Make (App : Proto.App_intf.APP) = struct
     |> List.rev
 
   let inflight t =
-    List.filter_map
-      (fun s ->
+    (* A shed-while-queued delivery is a tombstone: still in the heap,
+       but no longer part of the observable world. This runs once per
+       property check, so it folds over the heap's backing array
+       directly (consing in a rev_fold yields [to_list]'s order)
+       rather than materialising the scheduled list first, and the
+       [t.ov] dispatch is hoisted out of the per-entry loop. *)
+    let keep =
+      match t.ov with
+      | Some ov -> fun did -> did < 0 || not (Hashtbl.mem ov.ov_shed_set did)
+      | None -> fun _ -> true
+    in
+    Dsim.Heap.rev_fold t.queue ~init:[] ~f:(fun acc s ->
         match s.ev with
-        | Deliver { src; dst; msg; did; _ } -> (
-            (* A shed-while-queued delivery is a tombstone: still in the
-               heap, but no longer part of the observable world. *)
-            match t.ov with
-            | Some ov when did >= 0 && Hashtbl.mem ov.ov_shed_set did -> None
-            | Some _ | None -> Some (src, dst, msg))
-        | Chaff _ | Overload_tick _ -> None
-        | Boot _ | Timer_fire _ | Outbound _ | Rel_ack _ | Rel_retransmit _ -> None)
-      (Dsim.Heap.to_list t.queue)
+        | Deliver { src; dst; msg; did; _ } when keep did -> (src, dst, msg) :: acc
+        | Deliver _ | Chaff _ | Overload_tick _ | Boot _ | Timer_fire _ | Outbound _
+        | Rel_ack _ | Rel_retransmit _ ->
+            acc)
 
   let global_view t : (App.state, App.msg) Proto.View.t =
     { time = t.now; nodes = live_nodes t; inflight = inflight t }
@@ -728,6 +752,9 @@ module Make (App : Proto.App_intf.APP) = struct
       rng = Dsim.Rng.copy t.rng;
       netem = Net.Netem.copy t.netem;
       netmodel = Net.Netmodel.copy t.netmodel;
+      (* the copy has its own cells; inherited handles would silently
+         mutate the parent's model *)
+      nm_links = Hashtbl.create 16;
       fd = Net.Failure_detector.copy t.fd;
       rel =
         Option.map
@@ -861,10 +888,19 @@ module Make (App : Proto.App_intf.APP) = struct
     if (not !flipped) && len > 0 then flip_at (Dsim.Rng.int t.rng len);
     Bytes.to_string b
 
+  let nm_link t ~se ~de =
+    let key = (se, de) in
+    match Hashtbl.find_opt t.nm_links key with
+    | Some l -> l
+    | None ->
+        let l = Net.Netmodel.link t.netmodel ~src:se ~dst:de in
+        Hashtbl.replace t.nm_links key l;
+        l
+
   let drop t ~src ~dst ~cause pp_payload =
     let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
     t.n_dropped <- t.n_dropped + 1;
-    Net.Netmodel.observe_loss t.netmodel ~src:se ~dst:de t.now ~delivered:false;
+    Net.Netmodel.observe_link_loss t.netmodel (nm_link t ~se ~de) t.now ~delivered:false;
     Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"net" "drop(%s) %a->%a %t" cause
       Proto.Node_id.pp src Proto.Node_id.pp dst pp_payload
 
@@ -966,22 +1002,26 @@ module Make (App : Proto.App_intf.APP) = struct
     match Hashtbl.find_opt ov.ov_by_dst de with
     | None -> None
     | Some l ->
-        l := List.filter (fun did -> Hashtbl.mem ov.ov_live did) !l;
+        (* Compaction and victim selection share one pass: the filter
+           visits dids left-to-right exactly as the old separate scan
+           did, so replace-on-match picks the same victim. *)
         let best = ref None in
-        List.iter
-          (fun did ->
-            match Hashtbl.find_opt ov.ov_live did with
-            | None -> ()
-            | Some e ->
-                let considered =
-                  match restrict_src with None -> true | Some s -> e.oe_src = s
-                in
-                if considered then
-                  match !best with
-                  | None -> best := Some (did, e)
-                  | Some (_, b) ->
-                      if (not by_prio) || e.oe_prio <= b.oe_prio then best := Some (did, e))
-          !l;
+        l :=
+          List.filter
+            (fun did ->
+              match Hashtbl.find_opt ov.ov_live did with
+              | None -> false
+              | Some e ->
+                  let considered =
+                    match restrict_src with None -> true | Some s -> e.oe_src = s
+                  in
+                  (if considered then
+                     match !best with
+                     | None -> best := Some (did, e)
+                     | Some (_, b) ->
+                         if (not by_prio) || e.oe_prio <= b.oe_prio then best := Some (did, e));
+                  true)
+            !l;
         !best
 
   let ov_tombstone t ov did (v : ov_entry) ~cause =
@@ -1172,8 +1212,9 @@ module Make (App : Proto.App_intf.APP) = struct
         let verdict = if Net.Netem.reorders t.netem > reorders0 then "reorder" else "deliver" in
         span verdict ~deliver_at:(now_s +. delay)
     | Net.Netem.Duplicate delays ->
-        t.n_duplicated <- t.n_duplicated + Int.max 0 (List.length delays - 1);
-        List.iter deliver delays;
+        (* Count the extra copies while scheduling them — one walk of
+           [delays], not a [List.length] plus a [List.iter]. *)
+        List.iteri (fun i d -> (if i > 0 then t.n_duplicated <- t.n_duplicated + 1); deliver d) delays;
         if t.obs <> None then begin
           let reordered = Net.Netem.reorders t.netem > reorders0 in
           List.iteri
@@ -1274,11 +1315,11 @@ module Make (App : Proto.App_intf.APP) = struct
     let f = fork_with t fallback in
     f.mode <- Replay (forced, fallback);
     t.n_forks <- t.n_forks + 1;
-    let before_violations = List.length f.violations in
+    let before_violations = f.n_violations in
     process_scheduled f sched;
     f.mode <- Plain fallback;
     run_budgeted f ~until:(Dsim.Vtime.add t.now cfg.horizon) ~budget:cfg.max_events;
-    let fresh_violations = List.length f.violations - before_violations in
+    let fresh_violations = f.n_violations - before_violations in
     let view =
       match cfg.scope with None -> global_view f | Some scope -> scope node (global_view f)
     in
@@ -1653,10 +1694,11 @@ module Make (App : Proto.App_intf.APP) = struct
               end
               else begin
               let latency = Dsim.Vtime.diff t.now sent_at in
-              Net.Netmodel.observe_latency t.netmodel ~src:se ~dst:de t.now latency;
-              Net.Netmodel.observe_loss t.netmodel ~src:se ~dst:de t.now ~delivered:true;
+              let nml = nm_link t ~se ~de in
+              Net.Netmodel.observe_link_latency t.netmodel nml t.now latency;
+              Net.Netmodel.observe_link_loss t.netmodel nml t.now ~delivered:true;
               if latency > 0. then
-                Net.Netmodel.observe_bandwidth t.netmodel ~src:se ~dst:de t.now
+                Net.Netmodel.observe_link_bandwidth t.netmodel nml t.now
                   (float_of_int (App.msg_bytes msg) /. latency);
               t.n_delivered <- t.n_delivered + 1;
               Hashtbl.replace t.kind_counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt t.kind_counts kind));
@@ -1664,21 +1706,30 @@ module Make (App : Proto.App_intf.APP) = struct
               (match t.obs with
               | None -> ()
               | Some o ->
-                  let reg = o.o_sink.Obs.Sink.registry in
-                  Obs.Registry.incr
-                    (obs_handle o.o_node_deliveries de (fun () ->
-                         Obs.Registry.counter reg ~name:"engine_deliveries"
-                           ~labels:[ ("node", string_of_int de) ]));
-                  Obs.Registry.incr
-                    (obs_handle o.o_link_deliveries (se, de) (fun () ->
-                         Obs.Registry.counter reg ~name:"engine_link_deliveries"
-                           ~labels:[ ("src", string_of_int se); ("dst", string_of_int de) ]));
-                  Obs.Registry.observe
-                    (obs_handle o.o_link_latency (se, de) (fun () ->
-                         Obs.Registry.histogram reg ~name:"engine_delivery_latency_ms"
-                           ~labels:[ ("src", string_of_int se); ("dst", string_of_int de) ]
-                           ~lo:0. ~hi:2000. ~buckets:20))
-                    (latency *. 1000.));
+                  let lh =
+                    obs_handle o.o_deliver (se, de) (fun () ->
+                        let reg = o.o_sink.Obs.Sink.registry in
+                        {
+                          lo_node_deliveries =
+                            obs_handle o.o_node_deliveries de (fun () ->
+                                Obs.Registry.counter reg ~name:"engine_deliveries"
+                                  ~labels:[ ("node", string_of_int de) ]);
+                          lo_link_deliveries =
+                            obs_handle o.o_link_deliveries (se, de) (fun () ->
+                                Obs.Registry.counter reg ~name:"engine_link_deliveries"
+                                  ~labels:
+                                    [ ("src", string_of_int se); ("dst", string_of_int de) ]);
+                          lo_link_latency =
+                            obs_handle o.o_link_latency (se, de) (fun () ->
+                                Obs.Registry.histogram reg ~name:"engine_delivery_latency_ms"
+                                  ~labels:
+                                    [ ("src", string_of_int se); ("dst", string_of_int de) ]
+                                  ~lo:0. ~hi:2000. ~buckets:20);
+                        })
+                  in
+                  Obs.Registry.incr lh.lo_node_deliveries;
+                  Obs.Registry.incr lh.lo_link_deliveries;
+                  Obs.Registry.observe lh.lo_link_latency (latency *. 1000.));
               let applicable = Proto.Handler.applicable App.receive n.state ~src msg in
               match applicable with
               | [] ->
@@ -1889,6 +1940,7 @@ module Make (App : Proto.App_intf.APP) = struct
         (fun name ->
           if not (List.mem name t.violated_now) then begin
             t.violations <- (t.now, name) :: t.violations;
+            t.n_violations <- t.n_violations + 1;
             Dsim.Trace.logf t.trace t.now Dsim.Trace.Error ~component:"property" "violated: %s"
               name
           end)

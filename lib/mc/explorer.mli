@@ -56,8 +56,11 @@ module Make (App : Proto.App_intf.APP) : sig
       {!explore} calls (steering re-explores near-identical
       neighbourhoods every round). Entries are exact — keyed on real
       state/message equality — so sharing one never changes verdicts,
-      only [outcomes_cached]. Not thread-safe: share at most with the
-      sequential caller; parallel strides use internal caches. *)
+      only [outcomes_cached]. Internally sharded: worker [k] of a
+      parallel phase owns shard [k] exclusively, and the shards persist
+      inside this value, so every worker's memoized outcomes survive
+      across calls — not just the sequential caller's. Share one cache
+      with at most one explore at a time. *)
   type cache
 
   val create_cache : unit -> cache
@@ -71,6 +74,7 @@ module Make (App : Proto.App_intf.APP) : sig
     ?generic_node:bool ->
     ?seed:int ->
     ?cache:cache ->
+    ?pool:Core.Pool.t ->
     ?domains:int ->
     ?obs:Obs.Registry.t ->
     ?obs_phase:string ->
@@ -82,13 +86,16 @@ module Make (App : Proto.App_intf.APP) : sig
       [generic_node] (default false) injects [App.generic_msgs].
       [seed] feeds the context RNG handlers see (default 7) — handler
       randomness is explored as-is, not branched. [cache] carries
-      memoized handler outcomes across calls. [domains] (default 1)
-      fans each level's expansion out across that many Domains; any
-      value yields identical results (only timing and
-      [outcomes_cached] change). [obs] records per-call profiling
-      (worlds explored/deduped, cache hit rate, wall time and worlds/s
-      — the latter two volatile) labelled with [obs_phase] (default
-      ["explore"]). *)
+      memoized handler outcomes across calls. [pool] fans each large
+      level out across the pool's persistent worker domains (small
+      levels stay on the caller's thread); without it, [domains]
+      (default 1) > 1 spawns a transient pool for this one call. Either
+      way, any worker count yields identical results — verdicts,
+      counters and representative paths — only timing and
+      [outcomes_cached] (a partition statistic) change. [obs] records
+      per-call profiling (worlds explored/deduped, cache hit rate, wall
+      time and worlds/s — the latter two volatile) labelled with
+      [obs_phase] (default ["explore"]). *)
 
   val iterative :
     ?max_worlds:int ->
@@ -96,6 +103,7 @@ module Make (App : Proto.App_intf.APP) : sig
     ?generic_node:bool ->
     ?seed:int ->
     ?cache:cache ->
+    ?pool:Core.Pool.t ->
     ?domains:int ->
     ?obs:Obs.Registry.t ->
     ?obs_phase:string ->

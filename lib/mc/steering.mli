@@ -38,6 +38,7 @@ module Make (App : Proto.App_intf.APP) : sig
     ?generic_node:bool ->
     ?seed:int ->
     ?cache:Ex.cache ->
+    ?pool:Core.Pool.t ->
     ?domains:int ->
     ?obs:Obs.Registry.t ->
     depth:int ->
@@ -50,6 +51,7 @@ module Make (App : Proto.App_intf.APP) : sig
     ?generic_node:bool ->
     ?seed:int ->
     ?cache:Ex.cache ->
+    ?pool:Core.Pool.t ->
     ?domains:int ->
     ?obs:Obs.Registry.t ->
     depth:int ->
@@ -58,11 +60,12 @@ module Make (App : Proto.App_intf.APP) : sig
   (** Like {!decide}, also reporting the exploration work done. A
       supplied [cache] (or one created internally) is shared across
       the base and per-veto explores; pass a persistent one to reuse
-      outcomes across steering rounds. [domains] fans each explore's
-      levels out across Domains; verdicts never depend on it. [obs]
-      profiles each underlying explore (phases ["steer-base"] /
-      ["steer-veto"]) plus per-round verdict counters and volatile
-      round wall time. *)
+      outcomes across steering rounds. [pool] (or, without one,
+      [domains] > 1 with a transient pool) fans each explore's large
+      levels out across persistent worker domains; verdicts never
+      depend on either. [obs] profiles each underlying explore (phases
+      ["steer-base"] / ["steer-veto"]) plus per-round verdict counters
+      and volatile round wall time. *)
 
   val pp_veto : Format.formatter -> veto -> unit
 end

@@ -39,14 +39,32 @@ let copy t =
     losses = deep t.losses;
   }
 
-let observe t table ~src ~dst now x =
-  let key = (src, dst) in
+(* A cell with [n = 0] is a pre-created blank (see {!link}): every
+   reader below treats it exactly like an absent key, so blanks are
+   observationally invisible. *)
+let blank_cell () = { ewma = 0.; n = 0; at = Dsim.Vtime.zero }
+
+let observe_cell t (c : cell) now x =
+  if c.n = 0 then begin
+    c.ewma <- x;
+    c.n <- 1;
+    c.at <- now
+  end
+  else begin
+    c.ewma <- ((1. -. t.alpha) *. c.ewma) +. (t.alpha *. x);
+    c.n <- c.n + 1;
+    c.at <- now
+  end
+
+let cell_of table key =
   match Hashtbl.find_opt table key with
-  | None -> Hashtbl.replace table key { ewma = x; n = 1; at = now }
-  | Some c ->
-      c.ewma <- ((1. -. t.alpha) *. c.ewma) +. (t.alpha *. x);
-      c.n <- c.n + 1;
-      c.at <- now
+  | Some c -> c
+  | None ->
+      let c = blank_cell () in
+      Hashtbl.replace table key c;
+      c
+
+let observe t table ~src ~dst now x = observe_cell t (cell_of table (src, dst)) now x
 
 let observe_latency t ~src ~dst now x = observe t t.latencies ~src ~dst now x
 let observe_bandwidth t ~src ~dst now x = observe t t.bandwidths ~src ~dst now x
@@ -54,11 +72,28 @@ let observe_bandwidth t ~src ~dst now x = observe t t.bandwidths ~src ~dst now x
 let observe_loss t ~src ~dst now ~delivered =
   observe t t.losses ~src ~dst now (if delivered then 0. else 1.)
 
+type link = { l_latency : cell; l_bandwidth : cell; l_loss : cell }
+
+let link t ~src ~dst =
+  let key = (src, dst) in
+  {
+    l_latency = cell_of t.latencies key;
+    l_bandwidth = cell_of t.bandwidths key;
+    l_loss = cell_of t.losses key;
+  }
+
+let observe_link_latency t l now x = observe_cell t l.l_latency now x
+let observe_link_bandwidth t l now x = observe_cell t l.l_bandwidth now x
+
+let observe_link_loss t l now ~delivered =
+  observe_cell t l.l_loss now (if delivered then 0. else 1.)
+
 let no_estimate = { value = 0.; confidence = 0.; samples = 0; last_update = None }
 
 let read t table ~src ~dst ~now =
   match Hashtbl.find_opt table (src, dst) with
   | None -> no_estimate
+  | Some c when c.n = 0 -> no_estimate
   | Some c ->
       let age = Float.max 0. (Dsim.Vtime.diff now c.at) in
       let confidence = exp (-.age *. log 2. /. t.half_life) in
@@ -92,15 +127,22 @@ let predict_transfer_time t ~src ~dst ~now ~bytes =
       Some (once *. retries)
 
 let known_pairs t =
-  let keys table = Hashtbl.fold (fun k _ acc -> k :: acc) table [] in
+  let keys table = Hashtbl.fold (fun k c acc -> if c.n > 0 then k :: acc else acc) table [] in
   List.sort_uniq compare (keys t.latencies @ keys t.bandwidths @ keys t.losses)
 
 let forget_before t cutoff =
+  (* Reset in place rather than remove: a removed key and a blank cell
+     are indistinguishable to every reader, and resetting keeps
+     outstanding {!link} handles wired to the cell the table holds. *)
   let prune table =
-    let stale =
-      Hashtbl.fold (fun k c acc -> if Dsim.Vtime.(c.at < cutoff) then k :: acc else acc) table []
-    in
-    List.iter (Hashtbl.remove table) stale
+    Hashtbl.iter
+      (fun _ c ->
+        if c.n > 0 && Dsim.Vtime.(c.at < cutoff) then begin
+          c.ewma <- 0.;
+          c.n <- 0;
+          c.at <- Dsim.Vtime.zero
+        end)
+      table
   in
   prune t.latencies;
   prune t.bandwidths;
@@ -110,15 +152,23 @@ let merge_from dst src ~now =
   let merge_table mine theirs =
     Hashtbl.iter
       (fun key (c : cell) ->
-        let import () = Hashtbl.replace mine key { ewma = c.ewma; n = c.n; at = c.at } in
-        match Hashtbl.find_opt mine key with
-        | None -> import ()
-        | Some existing ->
-            let conf (cell : cell) =
-              let age = Float.max 0. (Dsim.Vtime.diff now cell.at) in
-              exp (-.age *. log 2. /. dst.half_life)
-            in
-            if conf c > conf existing then import ())
+        if c.n > 0 then
+          (* Imports overwrite the existing cell in place (when there is
+             one) so [dst]'s link handles stay valid. *)
+          let import (d : cell) =
+            d.ewma <- c.ewma;
+            d.n <- c.n;
+            d.at <- c.at
+          in
+          match Hashtbl.find_opt mine key with
+          | None -> Hashtbl.replace mine key { ewma = c.ewma; n = c.n; at = c.at }
+          | Some existing when existing.n = 0 -> import existing
+          | Some existing ->
+              let conf (cell : cell) =
+                let age = Float.max 0. (Dsim.Vtime.diff now cell.at) in
+                exp (-.age *. log 2. /. dst.half_life)
+              in
+              if conf c > conf existing then import existing)
       theirs
   in
   merge_table dst.latencies src.latencies;

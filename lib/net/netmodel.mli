@@ -36,6 +36,23 @@ val observe_loss : t -> src:int -> dst:int -> Dsim.Vtime.t -> delivered:bool -> 
 (** Records a delivery outcome; the loss estimate is an EWMA of the
     0/1 drop indicator. *)
 
+type link
+(** Pre-resolved handle on one directed pair's three estimate cells.
+    Observing through a link skips the per-sample table lookups — the
+    hot-path form for a simulator recording every delivery. A link is
+    bound to the [t] that made it: {!copy} deep-copies cells, so links
+    made against the original must not be used on the copy. *)
+
+val link : t -> src:int -> dst:int -> link
+(** Resolves (creating blank cells as needed — invisible until first
+    observation) the pair's cells once. *)
+
+val observe_link_latency : t -> link -> Dsim.Vtime.t -> float -> unit
+val observe_link_bandwidth : t -> link -> Dsim.Vtime.t -> float -> unit
+val observe_link_loss : t -> link -> Dsim.Vtime.t -> delivered:bool -> unit
+(** Exactly {!observe_latency} / {!observe_bandwidth} / {!observe_loss}
+    on the link's pair, without the lookups. *)
+
 val latency : t -> src:int -> dst:int -> now:Dsim.Vtime.t -> estimate
 val bandwidth : t -> src:int -> dst:int -> now:Dsim.Vtime.t -> estimate
 val loss : t -> src:int -> dst:int -> now:Dsim.Vtime.t -> estimate

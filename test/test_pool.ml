@@ -1,0 +1,234 @@
+(* The persistent domain pool (Core.Pool) and its contract with the
+   explorer: fan-out covers exactly the requested work, exceptions
+   propagate deterministically without wedging the pool, teardown is
+   idempotent — and, the property everything else leans on, explorer
+   results are byte-identical for every pool size, including the
+   representative violation paths, with only [outcomes_cached] (a
+   partition statistic) allowed to move. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let check_strings = Alcotest.(check (list string))
+let nid = Proto.Node_id.of_int
+
+(* ---------- pool mechanics ---------- *)
+
+let test_run_covers () =
+  List.iter
+    (fun domains ->
+      let pool = Core.Pool.create ~domains in
+      Fun.protect
+        ~finally:(fun () -> Core.Pool.shutdown pool)
+        (fun () ->
+          checki "size" domains (Core.Pool.size pool);
+          let hit = Array.make domains 0 in
+          Core.Pool.run pool (fun k -> hit.(k) <- hit.(k) + 1);
+          Array.iteri
+            (fun k n -> checki (Printf.sprintf "worker %d ran once (pool %d)" k domains) 1 n)
+            hit))
+    [ 1; 2; 4 ]
+
+let test_run_chunks_covers () =
+  List.iter
+    (fun domains ->
+      let pool = Core.Pool.create ~domains in
+      Fun.protect
+        ~finally:(fun () -> Core.Pool.shutdown pool)
+        (fun () ->
+          List.iter
+            (fun n ->
+              let seen = Array.make (max n 1) 0 in
+              Core.Pool.run_chunks pool ~n (fun ~worker:_ ~lo ~hi ->
+                  for i = lo to hi - 1 do
+                    seen.(i) <- seen.(i) + 1
+                  done);
+              for i = 0 to n - 1 do
+                checki (Printf.sprintf "index %d covered once (n=%d pool %d)" i n domains) 1
+                  seen.(i)
+              done)
+            [ 0; 1; 7; 128; 1000 ]))
+    [ 1; 2; 4 ]
+
+let test_run_chunks_deterministic () =
+  (* The chunk -> worker assignment is a pure function of (n, chunk,
+     size): two identical calls must partition identically. This is
+     what keeps per-worker cache shards — and so [outcomes_cached] —
+     reproducible for a fixed pool size. *)
+  let pool = Core.Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      let owner n =
+        let o = Array.make n (-1) in
+        Core.Pool.run_chunks pool ~n (fun ~worker ~lo ~hi ->
+            for i = lo to hi - 1 do
+              o.(i) <- worker
+            done);
+        o
+      in
+      let a = owner 1000 and b = owner 1000 in
+      checkb "same partitioning both calls" true (a = b))
+
+let test_exception_propagates () =
+  let pool = Core.Pool.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      (* Two workers fail: the lowest failing id wins, deterministically. *)
+      let raised =
+        try
+          Core.Pool.run pool (fun k -> if k >= 1 then failwith (Printf.sprintf "boom%d" k));
+          "no-exception"
+        with Failure m -> m
+      in
+      checkb "lowest failing worker wins" true (raised = "boom1");
+      (* The owner's own failure outranks any worker's. *)
+      let raised =
+        try
+          Core.Pool.run pool (fun k -> failwith (Printf.sprintf "boom%d" k));
+          "no-exception"
+        with Failure m -> m
+      in
+      checkb "owner failure outranks" true (raised = "boom0");
+      (* The pool survives: the failed jobs' workers went back to
+         waiting, and a normal job still fans out to all of them. *)
+      let hit = Array.make 3 0 in
+      Core.Pool.run pool (fun k -> hit.(k) <- 1);
+      checki "all workers alive after failures" 3 (Array.fold_left ( + ) 0 hit))
+
+let test_shutdown_idempotent () =
+  let pool = Core.Pool.create ~domains:3 in
+  Core.Pool.shutdown pool;
+  Core.Pool.shutdown pool;
+  (* A shut-down pool refuses work rather than hanging on dead domains. *)
+  checkb "run after shutdown raises" true
+    (try
+       Core.Pool.run pool (fun _ -> ());
+       false
+     with Invalid_argument _ -> true);
+  (* Churn: repeated create/shutdown leaks no wedged domain (a leak
+     would deadlock [Domain.join] in some later iteration). *)
+  for _ = 1 to 20 do
+    let p = Core.Pool.create ~domains:2 in
+    Core.Pool.run p (fun _ -> ());
+    Core.Pool.shutdown p
+  done
+
+(* ---------- explorer invariance across pool sizes ---------- *)
+
+module P = Apps.Paxos
+
+module Paxos_params = struct
+  let population = 3
+  let client_period = 0. (* the test injects commands itself *)
+  let retry_timeout = 1.0
+end
+
+module PApp = P.Make (Paxos_params)
+module PE = Engine.Sim.Make (PApp)
+module Ex = Mc.Explorer.Make (PApp)
+
+let paxos_world ~seed =
+  let topology =
+    Net.Topology.uniform ~n:3 (Net.Linkprop.v ~latency:0.01 ~bandwidth:1_000_000. ~loss:0.)
+  in
+  let eng = PE.create ~seed ~jitter:0. ~topology () in
+  PE.set_resolver eng P.self_resolver;
+  for i = 0 to 2 do
+    PE.spawn eng (nid i)
+  done;
+  PE.run_for eng 0.05;
+  PE.inject eng ~src:(nid 1) ~dst:(nid 0) (P.Submit { cmd = { P.origin = 1; seq = 0; born = 0. } });
+  PE.inject eng ~src:(nid 2) ~dst:(nid 1) (P.Submit { cmd = { P.origin = 2; seq = 1; born = 0. } });
+  PE.run_for eng 0.015;
+  Ex.world_of_view (PE.global_view eng)
+
+(* Everything except outcomes_cached, including representative paths. *)
+let full_sig (r : Ex.result) =
+  List.map
+    (fun (v : Ex.violation) ->
+      Format.asprintf "%s@%d:%a" v.property v.at_depth
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") Ex.pp_step)
+        v.path)
+    r.violations
+
+let check_result_equal name (a : Ex.result) (b : Ex.result) =
+  check_strings (name ^ ": violations") (full_sig a) (full_sig b);
+  checki (name ^ ": worlds_explored") a.Ex.worlds_explored b.Ex.worlds_explored;
+  checki (name ^ ": worlds_deduped") a.Ex.worlds_deduped b.Ex.worlds_deduped;
+  checki (name ^ ": collisions") a.Ex.fingerprint_collisions b.Ex.fingerprint_collisions;
+  checkb (name ^ ": truncated") a.Ex.truncated b.Ex.truncated;
+  check_strings (name ^ ": liveness_unmet") a.Ex.liveness_unmet b.Ex.liveness_unmet
+
+(* Depth 4 with drops pushes the deepest frontiers past the explorer's
+   sequential threshold, so pools of size > 1 really fan out. *)
+let explore_cfg ~pool w = Ex.explore ~include_drops:true ?pool ~max_worlds:100_000 ~depth:4 w
+
+let test_pool_sizes_identical () =
+  let w = paxos_world ~seed:3 in
+  let base = explore_cfg ~pool:None w in
+  checkb "scenario explores enough to fan out" true (base.Ex.worlds_explored > 200);
+  List.iter
+    (fun domains ->
+      let pool = Core.Pool.create ~domains in
+      Fun.protect
+        ~finally:(fun () -> Core.Pool.shutdown pool)
+        (fun () ->
+          let r = explore_cfg ~pool:(Some pool) w in
+          check_result_equal (Printf.sprintf "pool %d vs sequential" domains) base r))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_warm_cache_rounds () =
+  (* The steering shape: one pool and one cache, reused across rounds.
+     Results must not drift between rounds, and the second round must
+     actually hit the cache — including outcomes memoized by workers
+     other than the owner, which persist in their shards. *)
+  let w = paxos_world ~seed:3 in
+  let pool = Core.Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      let cache = Ex.create_cache () in
+      let r1 = Ex.explore ~include_drops:true ~pool ~cache ~max_worlds:100_000 ~depth:4 w in
+      let r2 = Ex.explore ~include_drops:true ~pool ~cache ~max_worlds:100_000 ~depth:4 w in
+      check_result_equal "round 2 vs round 1" r1 r2;
+      checkb "round 2 hits the warm cache" true (r2.Ex.outcomes_cached > 0);
+      (* And a sequential explore agrees with both. *)
+      let seq = Ex.explore ~include_drops:true ~max_worlds:100_000 ~depth:4 w in
+      check_result_equal "pooled vs sequential" seq r1)
+
+let test_pool_survives_raising_explore () =
+  (* An explore that dies (here: an invalid argument) must not wedge
+     the pool it was handed. *)
+  let pool = Core.Pool.create ~domains:2 in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      let w = paxos_world ~seed:3 in
+      checkb "bad explore raises" true
+        (try
+           ignore (Ex.explore ~pool ~depth:(-1) w);
+           false
+         with Invalid_argument _ -> true);
+      let r = explore_cfg ~pool:(Some pool) w in
+      let base = explore_cfg ~pool:None w in
+      check_result_equal "pool usable after raising explore" base r)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "run covers all workers" `Quick test_run_covers;
+          Alcotest.test_case "run_chunks covers indices" `Quick test_run_chunks_covers;
+          Alcotest.test_case "run_chunks deterministic" `Quick test_run_chunks_deterministic;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "pool sizes byte-identical" `Quick test_pool_sizes_identical;
+          Alcotest.test_case "warm cache across rounds" `Quick test_pool_warm_cache_rounds;
+          Alcotest.test_case "survives raising explore" `Quick test_pool_survives_raising_explore;
+        ] );
+    ]
