@@ -22,6 +22,9 @@ let fd_only = Array.exists (String.equal "--fd-only") Sys.argv
    BENCH_overload.json) *)
 let overload_only = Array.exists (String.equal "--overload-only") Sys.argv
 
+(* Run only the per-node clock section (and emit BENCH_clock.json) *)
+let clock_only = Array.exists (String.equal "--clock-only") Sys.argv
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -1358,6 +1361,143 @@ let ov_bench () =
     ~max_depth:stats_bounded.Obs_pe.max_mailbox_depth;
   Printf.printf "  wrote %s\n" ov_json_path
 
+(* ---------- CLOCK: per-node clock layer overhead ----------
+
+   The budgeted quantity is the instrumented-but-inert path: every node
+   given an identity clock entry (rate 1, zero offset — created via
+   [set_clock_rate ~rate:1.0], which stays in the table where a heal
+   would delete it), so every timer schedule and [Ctx.now] read goes
+   through the clock conversions while producing byte-identical
+   behaviour. That is what a run that never injects skew pays once the
+   table exists; with no table at all the layer is a single [None]
+   check. Same paired-slice protocol as the overload bench: the two
+   configs differ by well under machine drift over a few seconds, so
+   each rep advances both engines in alternating 1-virtual-second
+   slices and contributes one throughput ratio; the budget is judged
+   against the median ratio. Results go to stdout and
+   BENCH_clock.json. *)
+
+let clock_engine ~instrument ~seed =
+  let topology =
+    Net.Topology.uniform ~n:5
+      (Net.Linkprop.v ~latency:0.02 ~bandwidth:1_000_000. ~loss:0.)
+  in
+  let eng = Obs_pe.create ~seed ~jitter:0. ~topology () in
+  Dsim.Trace.set_min_level (Obs_pe.trace eng) Dsim.Trace.Info;
+  Obs_pe.set_resolver eng Apps.Paxos.self_resolver;
+  for i = 0 to 4 do
+    Obs_pe.spawn eng (Proto.Node_id.of_int i)
+  done;
+  if instrument then
+    for i = 0 to 4 do
+      Obs_pe.set_clock_rate eng (Proto.Node_id.of_int i) ~rate:1.0
+    done;
+  eng
+
+let clock_overhead_rep ~duration ~seed =
+  let e_base = clock_engine ~instrument:false ~seed
+  and e_inst = clock_engine ~instrument:true ~seed in
+  let wall_base = ref 0.
+  and wall_inst = ref 0. in
+  let timed wall eng =
+    let t0 = Unix.gettimeofday () in
+    Obs_pe.run_for eng 1.;
+    wall := !wall +. (Unix.gettimeofday () -. t0)
+  in
+  for slice = 0 to int_of_float duration - 1 do
+    if slice mod 2 = 0 then begin
+      timed wall_base e_base;
+      timed wall_inst e_inst
+    end
+    else begin
+      timed wall_inst e_inst;
+      timed wall_base e_base
+    end
+  done;
+  let evps wall eng = float_of_int (Obs_pe.stats eng).Obs_pe.events_processed /. !wall in
+  (evps wall_base e_base, evps wall_inst e_inst)
+
+let clock_overhead_sweep ~duration ~reps =
+  ignore (clock_overhead_rep ~duration:2. ~seed:7) (* warmup *);
+  let base = ref [] and inst = ref [] and ratios = ref [] in
+  for r = 0 to reps - 1 do
+    let b, i = clock_overhead_rep ~duration ~seed:(7 + r) in
+    base := b :: !base;
+    inst := i :: !inst;
+    ratios := (i /. b) :: !ratios
+  done;
+  let median l =
+    let s = List.sort compare l in
+    List.nth s (List.length s / 2)
+  in
+  (median !base, median !inst, (1. -. median !ratios) *. 100.)
+
+(* Deterministic skew sanity check (virtual time, no wall clock): the
+   same seeded paxos run with one replica's clock 25% fast must stay
+   byte-equal on delivery counts to a run where that replica's timers
+   genuinely fire early — i.e. the drift run must differ from the sync
+   run, while two identical drift runs agree. *)
+let clock_drift_determinism () =
+  let run drift seed =
+    let eng = clock_engine ~instrument:false ~seed in
+    if drift then Obs_pe.set_clock_rate eng (Proto.Node_id.of_int 0) ~rate:1.25;
+    Obs_pe.run_for eng 10.;
+    (Obs_pe.stats eng).Obs_pe.messages_delivered
+  in
+  let sync = run false 11 in
+  let d1 = run true 11 and d2 = run true 11 in
+  (sync, d1, d1 = d2)
+
+let clock_json_path = "BENCH_clock.json"
+
+let clock_emit_json ~ev_base ~ev_inst ~overhead_pct ~sync_dlv ~drift_dlv ~drift_deterministic =
+  let oc = open_out clock_json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"clock\",\n";
+  p "  \"fast\": %b,\n" fast;
+  p
+    "  \"clock_overhead\": { \"base_events_per_sec\": %.0f, \"instrumented_events_per_sec\": \
+     %.0f, \"overhead_pct\": %.2f, \"budget_pct\": 5.0 },\n"
+    ev_base ev_inst overhead_pct;
+  p
+    "  \"drift_determinism\": { \"sync_delivered\": %d, \"drift_delivered\": %d, \
+     \"drift_changes_schedule\": %b, \"repeat_runs_agree\": %b }\n"
+    sync_dlv drift_dlv (sync_dlv <> drift_dlv) drift_deterministic;
+  p "}\n";
+  close_out oc
+
+let clock_bench () =
+  section "CLK Per-node clocks: identity-entry overhead and drift determinism";
+  let duration = if fast then 20. else 60. in
+  let reps = if fast then 5 else 9 in
+  let ev_base, ev_inst, overhead_pct = clock_overhead_sweep ~duration ~reps in
+  let sync_dlv, drift_dlv, drift_deterministic = clock_drift_determinism () in
+  Metrics.Report.print
+    ~title:
+      (Printf.sprintf "paxos engine throughput, %.0fs virtual, median of %d paired ratios"
+         duration reps)
+    ~header:[ "config"; "events/s"; "vs base" ]
+    [
+      [ "no clock table"; Printf.sprintf "%.0f" ev_base; "baseline" ];
+      [ "identity clocks, all nodes"; Printf.sprintf "%.0f" ev_inst;
+        Printf.sprintf "%+.1f%%" (-.overhead_pct) ];
+    ];
+  Metrics.Report.print ~title:"10s seeded paxos run, replica 0 at rate x1.25"
+    ~header:[ "config"; "delivered"; "note" ]
+    [
+      [ "all clocks sync"; Metrics.Report.fint sync_dlv; "baseline schedule" ];
+      [ "replica 0 fast"; Metrics.Report.fint drift_dlv;
+        (if sync_dlv <> drift_dlv then "schedule shifted" else "** DRIFT HAD NO EFFECT **") ];
+    ];
+  Printf.printf "  clock layer overhead (identity entries): %.2f%% (budget 5%%)%s\n"
+    overhead_pct
+    (if overhead_pct < 5. then "" else "  ** OVER BUDGET **");
+  Printf.printf "  drift determinism: repeat runs %s\n"
+    (if drift_deterministic then "agree" else "DISAGREE  ** NOT DETERMINISTIC **");
+  clock_emit_json ~ev_base ~ev_inst ~overhead_pct ~sync_dlv ~drift_dlv ~drift_deterministic;
+  Printf.printf "  wrote %s\n" clock_json_path
+
 let () =
   Printf.printf
     "Reproduction benches: Yabandeh et al., Simplifying Distributed System Development (HotOS 2009)\n";
@@ -1378,6 +1518,10 @@ let () =
     ov_bench ();
     exit 0
   end;
+  if clock_only then begin
+    clock_bench ();
+    exit 0
+  end;
   e1 ();
   e23 ();
   e3b ();
@@ -1396,5 +1540,6 @@ let () =
   obs_bench ();
   fd_bench ();
   ov_bench ();
+  clock_bench ();
   micro ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."

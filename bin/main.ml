@@ -430,7 +430,7 @@ let explore_cmd =
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
-  let run seed rounds factor flaps overload apps show_plans =
+  let run seed rounds factor flaps overload drift apps show_plans =
     if factor <= 0. then begin
       Printf.eprintf "intensity must be positive (got %g)\n" factor;
       exit 2
@@ -445,6 +445,10 @@ let chaos_cmd =
     end;
     if overload < 0 then begin
       Printf.eprintf "overload must be non-negative (got %d)\n" overload;
+      exit 2
+    end;
+    if drift < 0 then begin
+      Printf.eprintf "drift must be non-negative (got %d)\n" drift;
       exit 2
     end;
     let apps =
@@ -465,7 +469,8 @@ let chaos_cmd =
       List.concat_map
         (fun app ->
           List.map
-            (fun i -> Experiments.Chaos_exp.run ~factor ~flaps ~overload ~seed:(seed + i) app)
+            (fun i ->
+              Experiments.Chaos_exp.run ~factor ~flaps ~overload ~drift ~seed:(seed + i) app)
             (List.init rounds Fun.id))
         apps
     in
@@ -564,6 +569,15 @@ let chaos_cmd =
              by priority and turns on the circuit breaker, then asserts the queues never \
              overran and drained by the end of grace.")
   in
+  let drift =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "drift" ] ~docv:"N"
+          ~doc:
+            "Skew N nodes' local clocks per storm (rate drift plus one NTP-style step \
+             excursion); all clocks heal before the storm ends.")
+  in
   let apps =
     Arg.(
       value
@@ -579,7 +593,7 @@ let chaos_cmd =
        ~doc:
          "Randomized adversarial soak: seeded storms of crashes, partitions, duplication, \
           corruption and reordering over every application, asserting safety and recovery.")
-    Term.(const run $ seed_arg $ rounds $ factor $ flaps $ overload $ apps $ show_plans)
+    Term.(const run $ seed_arg $ rounds $ factor $ flaps $ overload $ drift $ apps $ show_plans)
 
 (* ---------- obs ---------- *)
 

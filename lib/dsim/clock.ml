@@ -1,0 +1,84 @@
+(* Per-node local clock: local time as a piecewise-linear function of
+   global virtual time. Only the current segment is stored — the engine
+   processes events in non-decreasing global order and every conversion
+   looks forward from the segment start, so earlier segments are never
+   consulted again. *)
+
+type t = {
+  mutable rate : float;  (* local seconds per global second; > 0, finite *)
+  mutable g0 : float;  (* global start of the current segment, seconds *)
+  mutable l0 : float;  (* local time at [g0], seconds *)
+  monotonic : bool;
+  mutable watermark : float;  (* highest local reading handed out; only
+                                 maintained when [monotonic] *)
+}
+
+let create ?(monotonic = false) () =
+  { rate = 1.; g0 = 0.; l0 = 0.; monotonic; watermark = 0. }
+
+let copy t = { t with rate = t.rate }
+let rate t = t.rate
+let is_identity t = t.rate = 1. && t.l0 = t.g0
+
+(* Raw segment evaluation in float seconds; may be negative after a
+   large backwards step near the origin — callers clamp before minting
+   a Vtime. *)
+let raw_local t g = t.l0 +. (t.rate *. (g -. t.g0))
+
+let local_of_global t global =
+  Vtime.of_seconds (Float.max 0. (raw_local t (Vtime.to_seconds global)))
+
+let read t ~global =
+  let l = Float.max 0. (raw_local t (Vtime.to_seconds global)) in
+  if not t.monotonic then Vtime.of_seconds l
+  else begin
+    let l = Float.max l t.watermark in
+    t.watermark <- l;
+    Vtime.of_seconds l
+  end
+
+let global_of_local t local =
+  let l = Vtime.to_seconds local in
+  Vtime.of_seconds (Float.max 0. (t.g0 +. ((l -. t.l0) /. t.rate)))
+
+let skew t ~global = raw_local t (Vtime.to_seconds global) -. Vtime.to_seconds global
+
+let set_rate t ~global ~rate =
+  if not (Float.is_finite rate && rate > 0.) then
+    invalid_arg "Clock.set_rate: rate must be positive and finite";
+  let g = Vtime.to_seconds global in
+  t.l0 <- Float.max 0. (raw_local t g);
+  t.g0 <- g;
+  t.rate <- rate
+
+let step t ~global ~offset =
+  if not (Float.is_finite offset) then invalid_arg "Clock.step: offset not finite";
+  let g = Vtime.to_seconds global in
+  t.l0 <- Float.max 0. (raw_local t g +. offset);
+  t.g0 <- g
+
+let heal t ~global =
+  let g = Vtime.to_seconds global in
+  t.rate <- 1.;
+  t.g0 <- g;
+  t.l0 <- g
+
+let fingerprint t =
+  if is_identity t then 0
+  else begin
+    let h =
+      Hashtbl.hash
+        ( Int64.bits_of_float t.rate,
+          Int64.bits_of_float t.g0,
+          Int64.bits_of_float t.l0 )
+    in
+    let h =
+      if t.monotonic then Hashtbl.hash (h, Int64.bits_of_float t.watermark) else h
+    in
+    if h = 0 then 1 else h
+  end
+
+let pp ppf t =
+  if is_identity t then Format.fprintf ppf "clock(sync)"
+  else
+    Format.fprintf ppf "clock(x%g%+gs@%gs)" t.rate (t.l0 -. t.g0) t.g0

@@ -1,0 +1,81 @@
+(** Per-node local clocks for the simulator.
+
+    A clock maps global virtual time ({!Vtime.t}, the engine's event
+    order) to the node's own local reading as a piecewise-linear
+    function: each segment has a start instant and a rate (local
+    seconds per global second), and fault events — a rate change
+    (drift), a step (an NTP-style jump, either direction), a heal —
+    start a new segment. Only the current segment is stored: the
+    simulator advances global time monotonically and all conversions
+    look forward, so the segment extends indefinitely until the next
+    fault event.
+
+    Conversions are exact per segment. Local readings below the Vtime
+    origin (reachable through a large backwards step early in a run)
+    clamp to zero, as does the global preimage of a local instant the
+    clock has already jumped past — the caller decides what "fires in
+    the past" means (the engine clamps such timers to fire now).
+
+    A clock created with [~monotonic:true] additionally never reads
+    backwards: {!read} returns at least the highest reading it ever
+    handed out, modelling an OS-level monotonic clamp over a stepped
+    clock. Monotonicity applies to {!read} only; {!local_of_global}
+    stays the raw segment evaluation. *)
+
+type t
+
+val create : ?monotonic:bool -> unit -> t
+(** A fresh identity clock (rate 1, zero offset). [monotonic] defaults
+    to [false]. *)
+
+val copy : t -> t
+(** Independent copy, for speculative engine forks. *)
+
+val is_identity : t -> bool
+(** [true] when the current segment is exactly the global clock: rate 1
+    and zero offset. A healed clock is the identity. *)
+
+val rate : t -> float
+(** Current segment's rate (local seconds per global second). *)
+
+val local_of_global : t -> Vtime.t -> Vtime.t
+(** Evaluate the current segment at a global instant, clamped to the
+    Vtime origin. Pure — never consults or updates the monotonic
+    watermark. *)
+
+val read : t -> global:Vtime.t -> Vtime.t
+(** The node-local reading at global instant [global]. Equal to
+    {!local_of_global} unless the clock is monotonic, in which case the
+    result never decreases across calls (and the watermark advances). *)
+
+val global_of_local : t -> Vtime.t -> Vtime.t
+(** Inverse of {!local_of_global} on the current segment, clamped to
+    the Vtime origin. Used to place a node-local deadline on the global
+    event queue; a deadline the clock has already jumped past maps to a
+    global instant in the past, which the engine clamps to "now". *)
+
+val skew : t -> global:Vtime.t -> float
+(** [local - global] in seconds at the given global instant (negative
+    when the local clock lags). *)
+
+val set_rate : t -> global:Vtime.t -> rate:float -> unit
+(** Start a new segment at [global] with the given rate. Local time is
+    continuous across the boundary (drift changes speed, not value).
+    @raise Invalid_argument unless [rate] is positive and finite. *)
+
+val step : t -> global:Vtime.t -> offset:float -> unit
+(** Jump local time by [offset] seconds (either sign) at [global]; the
+    rate is kept. @raise Invalid_argument if [offset] is not finite. *)
+
+val heal : t -> global:Vtime.t -> unit
+(** Snap back to the global clock: rate 1, zero offset from [global]
+    on. A discontinuity, like the step that ends an NTP excursion. *)
+
+val fingerprint : t -> int
+(** Cheap structural fingerprint of the clock's forward behaviour,
+    for explorer world dedup: 0 iff {!is_identity} (so disabled and
+    healed clocks fingerprint alike and can be elided), never 0
+    otherwise. Monotonic clocks include the watermark — it shapes
+    future reads. *)
+
+val pp : Format.formatter -> t -> unit

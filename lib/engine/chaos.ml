@@ -16,6 +16,10 @@ type profile = {
   overload_nodes : int;  (* targeted injection bursts; 0 = none *)
   overload_rate : float;  (* chaff msgs per virtual second per burst *)
   overload_period : float;  (* burst duration, seconds *)
+  drift_nodes : int;  (* nodes whose clocks drift for a window; 0 = none *)
+  drift_rate : float;  (* max fractional drift, rate in [1-d, 1+d] *)
+  clock_steps : int;  (* NTP-style step excursions; 0 = none *)
+  clock_step_max : float;  (* max |offset| of each step, seconds *)
   storm : float;
   grace : float;
   protect : int list;
@@ -48,6 +52,13 @@ let default_profile =
        policy — not luck — is what keeps the depth bounded. *)
     overload_rate = 2000.;
     overload_period = 2.0;
+    drift_nodes = 0;
+    (* 20% drift is far beyond real quartz (ppm territory) but small
+       enough that timeouts misfire rather than everything detonating
+       at once — the interesting regime for timeout-sensitive logic. *)
+    drift_rate = 0.2;
+    clock_steps = 0;
+    clock_step_max = 1.0;
     storm = 6.;
     grace = 8.;
     protect = [];
@@ -62,10 +73,12 @@ let pp_profile ppf p =
   in
   Format.fprintf ppf
     "{crashes=%d%s partitions=%d degrades=%d dup=%.2f corrupt=%.2f reorder=%.2f \
-     flap=%dx%.0fs gray=%d@%.2f overload=%d@%.0f/s for %.1fs storm=%.1fs grace=%.1fs}"
+     flap=%dx%.0fs gray=%d@%.2f overload=%d@%.0f/s for %.1fs drift=%d@±%.0f%% \
+     steps=%d@±%.1fs storm=%.1fs grace=%.1fs}"
     p.crashes mode p.partitions p.degrades p.duplicate_rate p.corrupt_rate p.reorder_rate
     p.flaps p.flap_period p.gray_links p.gray_loss p.overload_nodes p.overload_rate
-    p.overload_period p.storm p.grace
+    p.overload_period p.drift_nodes (100. *. p.drift_rate) p.clock_steps p.clock_step_max
+    p.storm p.grace
 
 (* Fault windows open in the first 60% of the storm and always close by
    95% of it, so the storm ends with every link healed, every victim
@@ -100,6 +113,13 @@ let generate ~seed ~nodes profile =
     invalid_arg "Chaos.generate: negative overload node count";
   if not (profile.overload_period > 0.) then
     invalid_arg "Chaos.generate: overload period must be positive";
+  if profile.drift_nodes < 0 then invalid_arg "Chaos.generate: negative drift node count";
+  (* Drift below 100%: a rate of [1 - drift_rate] must stay positive. *)
+  if not (profile.drift_rate >= 0. && profile.drift_rate < 1.) then
+    invalid_arg "Chaos.generate: drift rate outside [0,1)";
+  if profile.clock_steps < 0 then invalid_arg "Chaos.generate: negative clock step count";
+  if not (Float.is_finite profile.clock_step_max && profile.clock_step_max >= 0.) then
+    invalid_arg "Chaos.generate: clock step max must be finite and non-negative";
   let rng = Dsim.Rng.create seed in
   let storm = profile.storm in
   let events = ref [] in
@@ -216,6 +236,48 @@ let generate ~seed ~nodes profile =
     add opens (Faultplan.Degrade { endpoint; latency_factor; bandwidth_factor });
     add closes (Faultplan.Restore endpoint)
   done;
+  (* Clock excursions: distinct drift victims each run fast or slow for
+     a window, then heal; step excursions are drawn from the remaining
+     nodes so every node has exactly one clock window and exactly one
+     matching [Heal_clock] — the plan validator's skew discipline holds
+     by construction. Draws happen only when a knob is on, so profiles
+     without clock faults keep every pre-existing RNG stream
+     byte-identical. *)
+  let drift_victims =
+    if profile.drift_nodes > 0 then begin
+      let victims =
+        Dsim.Rng.sample_without_replacement rng (min profile.drift_nodes nodes) all
+      in
+      List.iter
+        (fun v ->
+          let rate =
+            1. -. profile.drift_rate +. Dsim.Rng.float rng (2. *. profile.drift_rate)
+          in
+          let opens, closes = window rng ~storm in
+          add opens (Faultplan.Set_clock_rate { node = v; rate });
+          add closes (Faultplan.Heal_clock { node = v }))
+        victims;
+      victims
+    end
+    else []
+  in
+  if profile.clock_steps > 0 then begin
+    let steppable = List.filter (fun i -> not (List.mem i drift_victims)) all in
+    let victims =
+      Dsim.Rng.sample_without_replacement rng
+        (min profile.clock_steps (List.length steppable))
+        steppable
+    in
+    List.iter
+      (fun v ->
+        let offset =
+          Dsim.Rng.float rng (2. *. profile.clock_step_max) -. profile.clock_step_max
+        in
+        let opens, closes = window rng ~storm in
+        add opens (Faultplan.Clock_step { node = v; offset });
+        add closes (Faultplan.Heal_clock { node = v }))
+      victims
+  end;
   Faultplan.plan !events
 
 module Soak (App : Proto.App_intf.APP) = struct

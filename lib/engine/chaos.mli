@@ -45,6 +45,21 @@ type profile = {
   overload_period : float;
       (** duration of each burst in seconds (clipped to end inside the
           storm, like every other fault window) *)
+  drift_nodes : int;
+      (** distinct victim nodes whose local clocks run fast or slow
+          (rate drawn in [1 - drift_rate, 1 + drift_rate]) for a window
+          and then heal; 0 (default) disables and draws nothing from
+          the plan RNG *)
+  drift_rate : float;
+      (** maximum fractional drift; must lie in [0, 1) so a slow clock
+          still moves forward. Default 0.2 — absurd for real quartz but
+          right for exercising timeout-sensitive logic *)
+  clock_steps : int;
+      (** NTP-style step excursions — victim nodes (distinct from the
+          drift victims) whose clocks jump by a signed offset drawn in
+          [±clock_step_max] and later heal; 0 (default) disables and
+          draws nothing from the plan RNG *)
+  clock_step_max : float;  (** maximum |offset| of each step, seconds *)
   storm : float;  (** seconds of active chaos *)
   grace : float;  (** seconds allowed for recovery after the storm *)
   protect : int list;
@@ -70,10 +85,11 @@ val generate : seed:int -> nodes:int -> profile -> Faultplan.t
     gets at least one cycle even when [2 * flap_period] exceeds the
     storm — the flap simply outlives it, still ending healed.
     @raise Invalid_argument on [nodes <= 0], a non-positive storm or
-    flap period, a negative flap/gray/overload count, a gray loss
-    outside [0,1], a negative or NaN channel-fault rate
+    flap period, a negative flap/gray/overload/drift/step count, a
+    gray loss outside [0,1], a negative or NaN channel-fault rate
     (duplicate/corrupt/flip/reorder) or overload rate, a non-positive
-    overload period, or an overload burst asked for at zero rate —
+    overload period, an overload burst asked for at zero rate, a drift
+    rate outside [0,1), or a non-finite or negative clock step max —
     each with an error naming the offending knob. *)
 
 module Soak (App : Proto.App_intf.APP) : sig

@@ -18,6 +18,9 @@ type event =
   | Crash_storm of { victims : int; period : float; rounds : int; mode : crash_mode }
   | Overload of { node : int; rate : float }
   | Heal_overload of { node : int }
+  | Set_clock_rate of { node : int; rate : float }
+  | Clock_step of { node : int; offset : float }
+  | Heal_clock of { node : int }
 
 type t = { schedule : (float * event) list }
 
@@ -58,6 +61,13 @@ let validate_event = function
       if not (rate > 0. && Float.is_finite rate) then
         invalid_arg "Faultplan.plan: overload rate must be positive and finite"
   | Heal_overload _ -> ()
+  | Set_clock_rate { node = _; rate } ->
+      if not (rate > 0. && Float.is_finite rate) then
+        invalid_arg "Faultplan.plan: clock rate must be positive and finite"
+  | Clock_step { node = _; offset } ->
+      if not (Float.is_finite offset) then
+        invalid_arg "Faultplan.plan: clock step offset not finite"
+  | Heal_clock _ -> ()
 
 (* Partitions are identified by their normalized group pair so the
    cross-event check matches a heal to its cut regardless of element
@@ -70,38 +80,47 @@ let partition_key a b =
    a second cut of an already-open pair would make the matching heal
    ambiguous, and a heal of a pair that was never cut is a typo in the
    plan (it silently did nothing before this check existed). Overload
-   bursts get the same window discipline, keyed by target node. *)
+   bursts get the same window discipline, keyed by target node. Clock
+   faults track which nodes are currently skewed: re-skewing a skewed
+   node is fine (drift then step is a legitimate excursion), but a
+   [Heal_clock] of a node whose clock was never touched is a typo. *)
 let validate_schedule schedule =
   ignore
     (List.fold_left
-       (fun (opened, bursting) (_, e) ->
+       (fun (opened, bursting, skewed) (_, e) ->
          match e with
          | Partition (a, b) ->
              let k = partition_key a b in
              if List.mem k opened then
                invalid_arg "Faultplan.plan: overlapping partition windows";
-             (k :: opened, bursting)
+             (k :: opened, bursting, skewed)
          | Flap { a; b; _ } ->
              (* A flap ends healed, but while it runs the pair is cut,
                 so it may not share its groups with an open partition. *)
              if List.mem (partition_key a b) opened then
                invalid_arg "Faultplan.plan: overlapping partition windows";
-             (opened, bursting)
+             (opened, bursting, skewed)
          | Heal_partition (a, b) ->
              let k = partition_key a b in
              if not (List.mem k opened) then
                invalid_arg "Faultplan.plan: heal of a partition never opened";
-             (List.filter (fun k' -> k' <> k) opened, bursting)
+             (List.filter (fun k' -> k' <> k) opened, bursting, skewed)
          | Overload { node; _ } ->
              if List.mem node bursting then
                invalid_arg "Faultplan.plan: overlapping overload windows";
-             (opened, node :: bursting)
+             (opened, node :: bursting, skewed)
          | Heal_overload { node } ->
              if not (List.mem node bursting) then
                invalid_arg "Faultplan.plan: heal of an overload never started";
-             (opened, List.filter (fun n -> n <> node) bursting)
-         | _ -> (opened, bursting))
-       ([], []) schedule)
+             (opened, List.filter (fun n -> n <> node) bursting, skewed)
+         | Set_clock_rate { node; _ } | Clock_step { node; _ } ->
+             (opened, bursting, if List.mem node skewed then skewed else node :: skewed)
+         | Heal_clock { node } ->
+             if not (List.mem node skewed) then
+               invalid_arg "Faultplan.plan: heal of a clock never skewed";
+             (opened, bursting, List.filter (fun n -> n <> node) skewed)
+         | _ -> (opened, bursting, skewed))
+       ([], [], []) schedule)
 
 let plan events =
   List.iter
@@ -150,6 +169,9 @@ let pp_event ppf = function
         rounds pp_mode mode
   | Overload { node; rate } -> Format.fprintf ppf "overload(%d, %.0f/s)" node rate
   | Heal_overload { node } -> Format.fprintf ppf "heal_overload(%d)" node
+  | Set_clock_rate { node; rate } -> Format.fprintf ppf "clock_rate(%d, x%g)" node rate
+  | Clock_step { node; offset } -> Format.fprintf ppf "clock_step(%d, %+gs)" node offset
+  | Heal_clock { node } -> Format.fprintf ppf "heal_clock(%d)" node
 
 let pp ppf t =
   Format.pp_print_list
@@ -170,6 +192,9 @@ module Run (E : sig
   val netem : t -> Net.Netem.t
   val overload : t -> ?rate:float -> Proto.Node_id.t -> unit
   val heal_overload : t -> Proto.Node_id.t -> unit
+  val set_clock_rate : t -> Proto.Node_id.t -> rate:float -> unit
+  val clock_step : t -> Proto.Node_id.t -> offset:float -> unit
+  val heal_clock : t -> Proto.Node_id.t -> unit
 end) =
 struct
   let cross f a b =
@@ -286,6 +311,9 @@ struct
         done
     | Overload { node; rate } -> E.overload eng ~rate (Proto.Node_id.of_int node)
     | Heal_overload { node } -> E.heal_overload eng (Proto.Node_id.of_int node)
+    | Set_clock_rate { node; rate } -> E.set_clock_rate eng (Proto.Node_id.of_int node) ~rate
+    | Clock_step { node; offset } -> E.clock_step eng (Proto.Node_id.of_int node) ~offset
+    | Heal_clock { node } -> E.heal_clock eng (Proto.Node_id.of_int node)
 
   let execute ?(and_then = 0.) eng t =
     let start = E.now eng in

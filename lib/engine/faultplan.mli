@@ -60,6 +60,19 @@ type event =
           matching {!Heal_overload} — the engine's bounded queues and
           shed policy absorb it *)
   | Heal_overload of { node : int }  (** stop the node's injection burst *)
+  | Set_clock_rate of { node : int; rate : float }
+      (** from now on, [node]'s local clock runs at [rate] local
+          seconds per global second (1.0 is nominal; 1.05 drifts 50ms
+          ahead per second). Local time is continuous across the
+          change; pending timers on the node re-anchor to the new
+          rate. *)
+  | Clock_step of { node : int; offset : float }
+      (** jump [node]'s local clock by [offset] seconds, either
+          direction — an NTP-style step. The rate is kept; timers whose
+          local deadline the clock jumped past fire immediately. *)
+  | Heal_clock of { node : int }
+      (** snap [node]'s local clock back to global time (rate 1, zero
+          offset) — the excursion ends with a discontinuity *)
 
 type t
 (** A finite schedule of timed fault events. *)
@@ -78,7 +91,12 @@ val plan : (float * event) list -> t
     [Heal_partition ([1;0], [2])] closes [Partition ([0;1], [2])].
     Overload windows get the same discipline per target node: no
     second [Overload] of a node still bursting, no [Heal_overload] of
-    a node never overloaded. *)
+    a node never overloaded. Clock excursions are checked per node:
+    [Set_clock_rate] and [Clock_step] mark the node skewed (re-skewing
+    an already-skewed node is allowed — drift-then-step is one
+    excursion), and a [Heal_clock] of a node never skewed is rejected.
+    A [Set_clock_rate] with a non-positive or non-finite rate, or a
+    [Clock_step] with a non-finite offset, is rejected per event. *)
 
 val events : t -> (float * event) list
 (** The schedule, sorted by time. *)
@@ -104,6 +122,9 @@ module Run (E : sig
   val netem : t -> Net.Netem.t
   val overload : t -> ?rate:float -> Proto.Node_id.t -> unit
   val heal_overload : t -> Proto.Node_id.t -> unit
+  val set_clock_rate : t -> Proto.Node_id.t -> rate:float -> unit
+  val clock_step : t -> Proto.Node_id.t -> offset:float -> unit
+  val heal_clock : t -> Proto.Node_id.t -> unit
 end) : sig
   val execute : ?and_then:float -> E.t -> t -> unit
   (** Runs the engine through the whole plan, firing each event at its

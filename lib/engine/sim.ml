@@ -26,7 +26,17 @@ module Make (App : Proto.App_intf.APP) = struct
                is skipped when its Deliver fires. -1 = untracked (the
                unbounded default — zero bookkeeping) *)
       }
-    | Timer_fire of { node : Proto.Node_id.t; id : string; gen : int; trace : int }
+    | Timer_fire of {
+        node : Proto.Node_id.t;
+        id : string;
+        gen : int;
+        deadline : Dsim.Vtime.t;
+            (* the node-local instant the timer targets; equals the
+               global fire time while the node's clock is the identity.
+               Kept on the event so a clock fault landing mid-flight can
+               re-anchor the global fire time from the local deadline. *)
+        trace : int;
+      }
     | Outbound of {
         node : Proto.Node_id.t;
         incarnation : int;
@@ -220,6 +230,10 @@ module Make (App : Proto.App_intf.APP) = struct
     breaker_skips : int;
     chaff_sent : int;
     max_mailbox_depth : int;
+    clock_clamped : int;
+        (* timer deadlines whose global preimage fell in the past (a
+           forward clock step jumped over them) and were clamped to
+           fire immediately instead of raising *)
   }
 
   type lookahead = {
@@ -279,6 +293,7 @@ module Make (App : Proto.App_intf.APP) = struct
     o_fd_recoveries : (int, Obs.Registry.counter) Hashtbl.t;
     o_sheds : (string, Obs.Registry.counter) Hashtbl.t;
     o_mailbox_depth : (int, Obs.Registry.gauge) Hashtbl.t;
+    o_clock_clamped : Obs.Registry.counter;
   }
 
   type pending_reward = {
@@ -308,6 +323,11 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable breaker_enabled : bool;
         (* when off (default) the breaker is never consulted nor fed, so
            existing reliable-delivery runs stay byte-identical *)
+    mutable clocks : (int, Dsim.Clock.t) Hashtbl.t option;
+        (* per-node local clocks, keyed by node id; [None] (the
+           default) = every node reads the global clock and the whole
+           layer costs one option check per context — seeded runs stay
+           byte-identical. Created lazily by the first clock fault. *)
     trace : Dsim.Trace.t;
     check_properties : bool;
     mutable mode : mode;
@@ -368,6 +388,7 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable n_fd_recoveries : int;
     mutable n_degraded_entries : int;
     mutable n_degraded_exits : int;
+    mutable n_clock_clamped : int;
     mutable obs : obs option;
     mutable next_trace : int;
     mutable current_trace : int;  (** trace id of the event being processed *)
@@ -391,6 +412,7 @@ module Make (App : Proto.App_intf.APP) = struct
       ov = None;
       cb = Net.Circuit_breaker.create ();
       breaker_enabled = false;
+      clocks = None;
       trace = Dsim.Trace.create ~capacity:trace_capacity ();
       check_properties;
       mode = Plain Core.Resolver.first;
@@ -442,6 +464,7 @@ module Make (App : Proto.App_intf.APP) = struct
       n_fd_recoveries = 0;
       n_degraded_entries = 0;
       n_degraded_exits = 0;
+      n_clock_clamped = 0;
       obs = None;
       next_trace = 0;
       current_trace = 0;
@@ -472,6 +495,7 @@ module Make (App : Proto.App_intf.APP) = struct
               o_fd_recoveries = Hashtbl.create 16;
               o_sheds = Hashtbl.create 8;
               o_mailbox_depth = Hashtbl.create 16;
+              o_clock_clamped = c "clock.clamped";
             }
 
   let obs_sink t = Option.map (fun o -> o.o_sink) t.obs
@@ -531,6 +555,7 @@ module Make (App : Proto.App_intf.APP) = struct
       breaker_skips = t.n_breaker_skips;
       chaff_sent = t.n_chaff;
       max_mailbox_depth = (match t.ov with None -> 0 | Some ov -> ov.ov_max_depth);
+      clock_clamped = t.n_clock_clamped;
     }
 
   let set_resolver t r = t.mode <- Plain r
@@ -768,6 +793,13 @@ module Make (App : Proto.App_intf.APP) = struct
           t.rel;
       ov = Option.map ov_copy t.ov;
       cb = Net.Circuit_breaker.copy t.cb;
+      clocks =
+        Option.map
+          (fun tbl ->
+            let h = Hashtbl.create (Int.max 8 (Hashtbl.length tbl)) in
+            Hashtbl.iter (fun k ck -> Hashtbl.add h k (Dsim.Clock.copy ck)) tbl;
+            h)
+          t.clocks;
       trace = Dsim.Trace.create ~capacity:16 ();
       message_log = None;
       obs = None;
@@ -838,6 +870,124 @@ module Make (App : Proto.App_intf.APP) = struct
     match Proto.Node_id.Map.find_opt id t.nodes with
     | Some n when n.alive -> ()
     | Some _ | None -> schedule t ~after (Boot id)
+
+  (* ---------- per-node clocks ---------- *)
+
+  let clock_of t node =
+    match t.clocks with
+    | None -> None
+    | Some tbl -> Hashtbl.find_opt tbl (Proto.Node_id.to_int node)
+
+  (* The node's local reading of the current instant. [t.now] exactly
+     while the node has no clock entry — the knobs-off fast path is one
+     option check. *)
+  let local_now t node =
+    match clock_of t node with None -> t.now | Some ck -> Dsim.Clock.read ck ~global:t.now
+
+  let clock_skew t node =
+    match clock_of t node with None -> 0. | Some ck -> Dsim.Clock.skew ck ~global:t.now
+
+  (* Non-identity clocks only, sorted by node: the explorer mixes these
+     into world fingerprints so two worlds that differ only in clock
+     state never dedup into one (timer interleavings downstream of the
+     skew differ). Empty whenever the layer is off or fully healed. *)
+  let clock_fingerprints t =
+    match t.clocks with
+    | None -> []
+    | Some tbl ->
+        Hashtbl.fold
+          (fun k ck acc ->
+            let fp = Dsim.Clock.fingerprint ck in
+            if fp = 0 then acc else (Proto.Node_id.of_int k, fp) :: acc)
+          tbl []
+        |> List.sort (fun (a, _) (b, _) -> Proto.Node_id.compare a b)
+
+  let note_clock_clamped t node =
+    t.n_clock_clamped <- t.n_clock_clamped + 1;
+    (match t.obs with None -> () | Some o -> Obs.Registry.incr o.o_clock_clamped);
+    Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"engine"
+      "%a timer deadline clamped to now (clock jumped past it)" Proto.Node_id.pp node
+
+  (* Global instant of a node-local deadline, clamped so it never
+     precedes the engine's current instant: a forward step that jumps
+     the local clock over a pending deadline makes the timer fire
+     immediately (counted in [clock_clamped]) instead of crashing the
+     engine with [Vtime]'s negative-delta guard. *)
+  let global_of_deadline t node ck deadline =
+    let g = Dsim.Clock.global_of_local ck deadline in
+    if Dsim.Vtime.(g < t.now) then begin
+      note_clock_clamped t node;
+      t.now
+    end
+    else g
+
+  let ensure_clock t node =
+    let tbl =
+      match t.clocks with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 8 in
+          t.clocks <- Some tbl;
+          tbl
+    in
+    let key = Proto.Node_id.to_int node in
+    match Hashtbl.find_opt tbl key with
+    | Some ck -> ck
+    | None ->
+        let ck = Dsim.Clock.create () in
+        Hashtbl.add tbl key ck;
+        ck
+
+  (* Pending timers carry their node-local deadline; a clock fault
+     moves the global instants those deadlines map to, so rebuild this
+     node's timer entries. Draining and re-pushing in ascending order
+     preserves the FIFO tie-break among untouched events. Clock events
+     are rare, so the O(n log n) rebuild never taxes the hot path. *)
+  let reanchor_timers t node ck =
+    let entries = Dsim.Heap.drain t.queue in
+    List.iter
+      (fun s ->
+        match s.ev with
+        | Timer_fire f when Proto.Node_id.equal f.node node ->
+            Dsim.Heap.push t.queue { s with at = global_of_deadline t node ck f.deadline }
+        | _ -> Dsim.Heap.push t.queue s)
+      entries
+
+  let set_clock_rate t node ~rate =
+    check_endpoint t node;
+    if not (Float.is_finite rate && rate > 0.) then
+      invalid_arg "Sim.set_clock_rate: rate must be positive and finite";
+    let ck = ensure_clock t node in
+    Dsim.Clock.set_rate ck ~global:t.now ~rate;
+    reanchor_timers t node ck;
+    Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a clock rate x%g"
+      Proto.Node_id.pp node rate
+
+  let clock_step t node ~offset =
+    check_endpoint t node;
+    if not (Float.is_finite offset) then invalid_arg "Sim.clock_step: offset not finite";
+    let ck = ensure_clock t node in
+    Dsim.Clock.step ck ~global:t.now ~offset;
+    reanchor_timers t node ck;
+    Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a clock step %+gs"
+      Proto.Node_id.pp node offset
+
+  (* Snap the node back onto the global clock. The entry is removed —
+     an identity clock and no clock are indistinguishable, and keeping
+     the table minimal keeps [clock_fingerprints] clean. Idempotent. *)
+  let heal_clock t node =
+    match t.clocks with
+    | None -> ()
+    | Some tbl -> (
+        let key = Proto.Node_id.to_int node in
+        match Hashtbl.find_opt tbl key with
+        | None -> ()
+        | Some ck ->
+            Dsim.Clock.heal ck ~global:t.now;
+            Hashtbl.remove tbl key;
+            reanchor_timers t node ck;
+            Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine"
+              "%a clock healed" Proto.Node_id.pp node)
 
   (* Start an overload burst at [node]: [rate] synthetic arrivals per
      second converge on its mailbox until [heal_overload]. Creates the
@@ -1108,7 +1258,11 @@ module Make (App : Proto.App_intf.APP) = struct
               match Hashtbl.find_opt ov.ov_live did with Some e -> Some e | None -> acc)
             None !l
         in
-        (match oldest with None -> 0. | Some e -> Dsim.Vtime.diff now e.oe_at)
+        (* Clamped: an observation taken against an instant that
+           precedes the arrival (reordered observation, backwards local
+           reading) must report "just arrived", not a negative age that
+           defeats the sojourn gate. *)
+        (match oldest with None -> 0. | Some e -> Float.max 0. (Dsim.Vtime.diff now e.oe_at))
 
   (* Admission control at the inject boundary: a deterministic token
      bucket, then the CoDel-style sojourn gate — refuse new work while
@@ -1123,7 +1277,9 @@ module Make (App : Proto.App_intf.APP) = struct
         let rate_ok =
           if cfg.admit_rate <= 0. then true
           else begin
-            let dt = Dsim.Vtime.diff t.now ov.ov_refill_at in
+            (* Clamped at the source: a negative elapsed (the refill
+               anchor somehow ahead of now) must not mint tokens. *)
+            let dt = Float.max 0. (Dsim.Vtime.diff t.now ov.ov_refill_at) in
             if dt > 0. then begin
               ov.ov_tokens <-
                 Float.min
@@ -1413,7 +1569,11 @@ module Make (App : Proto.App_intf.APP) = struct
   and make_ctx t node : Proto.Ctx.t =
     {
       self = node;
-      now = t.now;
+      (* node-local: a skewed node's handlers see their own clock, so
+         every ctx-driven timeout comparison (failure-detector
+         suspicion, breaker cooldown, app timestamps) runs in the
+         node's frame of reference *)
+      now = local_now t node;
       rng = t.rng;
       net = t.netmodel;
       fd = t.fd;
@@ -1432,12 +1592,27 @@ module Make (App : Proto.App_intf.APP) = struct
       (fun action ->
         match action with
         | Proto.Action.Send { dst; msg } -> route t ~src:node ~dst msg
-        | Proto.Action.Set_timer { id; after } ->
+        | Proto.Action.Set_timer { id; after } -> (
             let n = Proto.Node_id.Map.find node t.nodes in
             let gen = 1 + Option.value ~default:0 (Smap.find_opt id n.timer_gens) in
             t.nodes <-
               Proto.Node_id.Map.add node { n with timer_gens = Smap.add id gen n.timer_gens } t.nodes;
-            schedule t ~after (Timer_fire { node; id; gen; trace = t.current_trace })
+            (* same guard (and message) [schedule] gives *)
+            if after < 0. then invalid_arg "Sim.schedule: negative delay";
+            match clock_of t node with
+            | None ->
+                let at = Dsim.Vtime.add t.now after in
+                Dsim.Heap.push t.queue
+                  { at; ev = Timer_fire { node; id; gen; deadline = at; trace = t.current_trace } }
+            | Some ck ->
+                (* [after] is a duration on the node's own clock: the
+                   deadline lives in local time and its global fire
+                   instant follows from the clock's current segment — a
+                   fast clock fires early in global time. *)
+                let deadline = Dsim.Vtime.add (Dsim.Clock.read ck ~global:t.now) after in
+                let at = global_of_deadline t node ck deadline in
+                Dsim.Heap.push t.queue
+                  { at; ev = Timer_fire { node; id; gen; deadline; trace = t.current_trace } })
         | Proto.Action.Cancel_timer id ->
             let n = Proto.Node_id.Map.find node t.nodes in
             let gen = 1 + Option.value ~default:0 (Smap.find_opt id n.timer_gens) in
@@ -1650,10 +1825,14 @@ module Make (App : Proto.App_intf.APP) = struct
               (* Passive heartbeat: every arrival is evidence the sender
                  is up, feeding the phi-accrual detector. Pure
                  arithmetic — no RNG, no events — so benign runs are
-                 bit-identical with the detector on or off. *)
+                 bit-identical with the detector on or off. Stamped with
+                 the observer's local reading: a drifting destination
+                 mis-measures heartbeat intervals exactly as a real
+                 skewed box would. *)
               (if t.fd_enabled then
                  let recovered =
-                   Net.Failure_detector.heartbeat t.fd ~observer:de ~peer:se ~now:t.now
+                   Net.Failure_detector.heartbeat t.fd ~observer:de ~peer:se
+                     ~now:(local_now t dst)
                  in
                  if recovered then begin
                    t.n_fd_recoveries <- t.n_fd_recoveries + 1;
@@ -1763,7 +1942,7 @@ module Make (App : Proto.App_intf.APP) = struct
                   ~deliver:(Dsim.Vtime.to_seconds t.now) ~verdict:"drop:dead");
             Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"engine"
               "%a dead, dropping %a" Proto.Node_id.pp dst App.pp_msg msg)
-    | Timer_fire { node; id; gen; trace } -> (
+    | Timer_fire { node; id; gen; deadline = _; trace } -> (
         match Proto.Node_id.Map.find_opt node t.nodes with
         | Some n when n.alive && Smap.find_opt id n.timer_gens = Some gen ->
             (match t.obs with
@@ -1813,9 +1992,13 @@ module Make (App : Proto.App_intf.APP) = struct
                 | Some n when n.alive ->
                     let se = Proto.Node_id.to_int e.re_src
                     and de = Proto.Node_id.to_int e.re_dst in
+                    (* The sender is the observer here: its suspicion
+                       levels and breaker cooldowns are judged on its
+                       own clock. *)
+                    let lnow = local_now t e.re_src in
                     let suspected_dst () =
                       t.fd_enabled
-                      && Net.Failure_detector.suspected t.fd ~observer:se ~peer:de ~now:t.now
+                      && Net.Failure_detector.suspected t.fd ~observer:se ~peer:de ~now:lnow
                     in
                     (* Bounded retransmit queue toward a suspected peer:
                        past the cap, shed instead of growing without
@@ -1844,9 +2027,9 @@ module Make (App : Proto.App_intf.APP) = struct
                       (* The timeout itself is failure evidence; the
                          detector's word upgrades it to an instant trip. *)
                       (if t.breaker_enabled then begin
-                         Net.Circuit_breaker.record_failure t.cb ~src:se ~dst:de ~now:t.now;
+                         Net.Circuit_breaker.record_failure t.cb ~src:se ~dst:de ~now:lnow;
                          if suspected_dst () then
-                           Net.Circuit_breaker.trip t.cb ~src:se ~dst:de ~now:t.now
+                           Net.Circuit_breaker.trip t.cb ~src:se ~dst:de ~now:lnow
                        end);
                       (* Adaptive retry budget: halve it while the
                          breaker refuses the pair or the sender's own
@@ -1855,7 +2038,7 @@ module Make (App : Proto.App_intf.APP) = struct
                       let budget =
                         if
                           t.breaker_enabled
-                          && (not (Net.Circuit_breaker.allow t.cb ~src:se ~dst:de ~now:t.now)
+                          && (not (Net.Circuit_breaker.allow t.cb ~src:se ~dst:de ~now:lnow)
                              || pressure t e.re_src >= 0.5)
                         then Int.max 1 (r.r_cfg.max_retries / 2)
                         else r.r_cfg.max_retries
@@ -1888,7 +2071,7 @@ module Make (App : Proto.App_intf.APP) = struct
                            getting through, or give-up). *)
                         if
                           (not t.breaker_enabled)
-                          || Net.Circuit_breaker.acquire t.cb ~src:se ~dst:de ~now:t.now
+                          || Net.Circuit_breaker.acquire t.cb ~src:se ~dst:de ~now:lnow
                         then begin
                           t.n_rel_retransmits <- t.n_rel_retransmits + 1;
                           (match t.obs with

@@ -65,6 +65,11 @@ module Make (App : Proto.App_intf.APP) : sig
     max_mailbox_depth : int;
         (** high-water mark of any node's mailbox since creation
             (0 until {!set_overload}) *)
+    clock_clamped : int;
+        (** timer deadlines whose global fire instant fell in the past
+            (a forward {!clock_step} jumped the node's clock over them)
+            and were clamped to fire immediately — also published as
+            the ["clock.clamped"] obs counter. 0 while clocks are off. *)
   }
 
   (** Reliable-delivery tuning: retransmissions start after
@@ -324,6 +329,50 @@ module Make (App : Proto.App_intf.APP) : sig
       recovery contract of {!Proto.Durability} merges what the disk
       remembers. Idempotent — restarting a live node, or racing two
       restarts of the same node, is a no-op. *)
+
+  (** {1 Per-node clocks}
+
+      By default every node reads the engine's global virtual clock and
+      the layer is entirely off: no table exists, seeded runs are
+      byte-identical to an engine without it. The first fault call
+      below creates a {!Dsim.Clock} for the node; from then on that
+      node's handlers see local time through [Proto.Ctx.now], its
+      [Set_timer] durations are measured on its own clock (a fast clock
+      fires early in global time), its failure-detector heartbeats and
+      circuit-breaker cooldowns are stamped with its local reading, and
+      pending timers are re-anchored whenever a later fault moves the
+      clock. *)
+
+  val set_clock_rate : t -> Proto.Node_id.t -> rate:float -> unit
+  (** Drift: from now on the node's clock advances [rate] local seconds
+      per global second (continuous at the switch point). [rate = 1.]
+      keeps an explicit synchronized clock entry.
+      @raise Invalid_argument unless [rate] is positive and finite. *)
+
+  val clock_step : t -> Proto.Node_id.t -> offset:float -> unit
+  (** Jump: the node's clock moves [offset] seconds (either sign) at
+      this instant, keeping its rate. A forward step can jump over
+      pending timer deadlines — those fire immediately and are counted
+      in [stats.clock_clamped].
+      @raise Invalid_argument if [offset] is not finite. *)
+
+  val heal_clock : t -> Proto.Node_id.t -> unit
+  (** Snap the node back onto the global clock (rate 1, zero offset)
+      and drop its clock entry; pending timers re-anchor to their local
+      deadlines read as global instants. Idempotent. *)
+
+  val local_now : t -> Proto.Node_id.t -> Dsim.Vtime.t
+  (** The node's local reading of the current instant; exactly {!now}
+      for nodes without a clock entry. *)
+
+  val clock_skew : t -> Proto.Node_id.t -> float
+  (** [local - global] seconds for the node right now; [0.] without a
+      clock entry. *)
+
+  val clock_fingerprints : t -> (Proto.Node_id.t * int) list
+  (** Fingerprints of every non-identity clock, sorted by node — the
+      clock state a dedup-sound explorer world key must include. Empty
+      whenever the layer is off or every clock healed. *)
 
   val inject : t -> ?after:float -> src:Proto.Node_id.t -> dst:Proto.Node_id.t -> App.msg -> unit
   (** Feeds an external message into the system through the emulator —

@@ -508,8 +508,18 @@ let with_overload overload (p : Engine.Chaos.profile) =
   if overload < 0 then invalid_arg "Chaos_exp.with_overload: negative overload count";
   if overload = 0 then p else { p with Engine.Chaos.overload_nodes = overload }
 
-let run ?(factor = 1.) ?(flaps = 0) ?(overload = 0) ~seed app =
-  let profile base = with_overload overload (with_flaps flaps (scale factor base)) in
+(* [with_drift n] skews [n] nodes' local clocks (the profile's default
+   drift band) and throws in one NTP-style step excursion alongside, so
+   a drift soak also crosses a discontinuity. Zero leaves the profile —
+   and hence the plan RNG stream — completely untouched. *)
+let with_drift drift (p : Engine.Chaos.profile) =
+  if drift < 0 then invalid_arg "Chaos_exp.with_drift: negative drift count";
+  if drift = 0 then p else { p with Engine.Chaos.drift_nodes = drift; clock_steps = 1 }
+
+let run ?(factor = 1.) ?(flaps = 0) ?(overload = 0) ?(drift = 0) ~seed app =
+  let profile base =
+    with_drift drift (with_overload overload (with_flaps flaps (scale factor base)))
+  in
   match app with
   | "paxos" -> soak_paxos ~profile:(profile paxos_profile) seed
   | "kvstore" -> soak_kvstore ~profile:(profile kvstore_profile) seed

@@ -5,6 +5,7 @@ module Make (App : Proto.App_intf.APP) = struct
     states : App.state Proto.Node_id.Map.t;
     pending : (Proto.Node_id.t * Proto.Node_id.t * App.msg) list;
     timers : (Proto.Node_id.t * string) list;
+    clocks : (Proto.Node_id.t * int) list;
   }
 
   type step =
@@ -33,13 +34,14 @@ module Make (App : Proto.App_intf.APP) = struct
     | Timer_step { node; id } -> Format.fprintf ppf "timer(%a.%s)" Proto.Node_id.pp node id
     | Generic_step { dst; kind } -> Format.fprintf ppf "generic(%s ->%a)" kind Proto.Node_id.pp dst
 
-  let world_of_view ?(timers = []) (view : (App.state, App.msg) Proto.View.t) =
+  let world_of_view ?(timers = []) ?(clocks = []) (view : (App.state, App.msg) Proto.View.t) =
     {
       states =
         List.fold_left (fun m (id, s) -> Proto.Node_id.Map.add id s m) Proto.Node_id.Map.empty
           view.nodes;
       pending = view.inflight;
       timers;
+      clocks;
     }
 
   (* ---------- Fingerprints ----------
@@ -101,6 +103,10 @@ module Make (App : Proto.App_intf.APP) = struct
     i_sfp : (int * int) Nm.t;
     i_pending : pmsg list;
     i_timers : (Proto.Node_id.t * string) list;
+    i_clocks : (Proto.Node_id.t * int) list;
+        (* clock fingerprints of skewed nodes, fixed for the whole
+           explore — exploration is untimed, but two snapshots that
+           differ only in clock state must not dedup to one world *)
   }
 
   let iworld_of_world (w : world) =
@@ -114,6 +120,7 @@ module Make (App : Proto.App_intf.APP) = struct
             { p_src = src; p_dst = dst; p_msg = msg; p_fp1 = f1; p_fp2 = f2 })
           w.pending;
       i_timers = w.timers;
+      i_clocks = w.clocks;
     }
 
   let view_of_iworld iw : (App.state, App.msg) Proto.View.t =
@@ -143,6 +150,12 @@ module Make (App : Proto.App_intf.APP) = struct
         h1 := mix (mix !h1 i) (Hashtbl.hash id);
         h2 := mix (mix !h2 (i + 1)) (Hashtbl.seeded_hash 0x3ade68b1 id))
       iw.i_timers;
+    List.iter
+      (fun (n, fp) ->
+        let i = Proto.Node_id.to_int n in
+        h1 := mix (mix !h1 (i + 2)) fp;
+        h2 := mix (mix !h2 (i + 3)) (fp lxor 0x5ca1ab1e))
+      iw.i_clocks;
     (!h1, !h2)
 
   (* Runs a handler body under a decision script: choice occurrence [o]
@@ -379,7 +392,7 @@ module Make (App : Proto.App_intf.APP) = struct
     let i_pending =
       match sends_rev with [] -> iw.i_pending | _ -> iw.i_pending @ List.rev sends_rev
     in
-    { i_states; i_sfp; i_pending; i_timers }
+    { iw with i_states; i_sfp; i_pending; i_timers }
 
   (* All successor worlds of [iw], as (step, world) pairs, in exactly
      the old recursive branching order: deliveries (then the optional

@@ -24,6 +24,12 @@ module Make (App : Proto.App_intf.APP) : sig
     states : App.state Proto.Node_id.Map.t;
     pending : (Proto.Node_id.t * Proto.Node_id.t * App.msg) list;
     timers : (Proto.Node_id.t * string) list;
+    clocks : (Proto.Node_id.t * int) list;
+        (** clock fingerprints of nodes whose local clocks are skewed
+            (empty when all clocks track global time). Exploration is
+            untimed, so the clocks never change along a path — but they
+            enter the dedup fingerprint, keeping snapshots that differ
+            only in clock state in separate equivalence classes. *)
   }
 
   (** One step along an explored path, in application terms — concrete
@@ -66,7 +72,10 @@ module Make (App : Proto.App_intf.APP) : sig
   val create_cache : unit -> cache
 
   val world_of_view :
-    ?timers:(Proto.Node_id.t * string) list -> (App.state, App.msg) Proto.View.t -> world
+    ?timers:(Proto.Node_id.t * string) list ->
+    ?clocks:(Proto.Node_id.t * int) list ->
+    (App.state, App.msg) Proto.View.t ->
+    world
 
   val explore :
     ?max_worlds:int ->

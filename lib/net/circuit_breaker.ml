@@ -6,7 +6,7 @@ type state = Closed | Open | Half_open
 
 type pair = {
   mutable failures : int;    (* consecutive failures while closed *)
-  mutable opened_at : float; (* trip time; meaningful when is_open *)
+  mutable opened_at : Dsim.Vtime.t; (* trip time; meaningful when is_open *)
   mutable is_open : bool;
   mutable probes : int;      (* probes handed out this half-open round *)
 }
@@ -36,12 +36,16 @@ let get t ~src ~dst =
   match Hashtbl.find_opt t.pairs (src, dst) with
   | Some p -> p
   | None ->
-      let p = { failures = 0; opened_at = 0.; is_open = false; probes = 0 } in
+      let p = { failures = 0; opened_at = Dsim.Vtime.zero; is_open = false; probes = 0 } in
       Hashtbl.add t.pairs (src, dst) p;
       p
 
+(* Elapsed time since the trip is clamped at zero: a cooldown judged
+   against an instant that precedes the trip (a backwards-stepped local
+   clock, a reordered observation) must keep the pair open, not wrap
+   into a huge negative that half-opens it on float quirks. *)
 let half_open t p ~now =
-  p.is_open && Dsim.Vtime.to_seconds now -. p.opened_at >= t.cooldown
+  p.is_open && Float.max 0. (Dsim.Vtime.diff now p.opened_at) >= t.cooldown
 
 let state t ~src ~dst ~now =
   match Hashtbl.find_opt t.pairs (src, dst) with
@@ -53,7 +57,7 @@ let state t ~src ~dst ~now =
 
 let do_open p ~now =
   p.is_open <- true;
-  p.opened_at <- Dsim.Vtime.to_seconds now;
+  p.opened_at <- now;
   p.probes <- 0;
   p.failures <- 0
 

@@ -205,7 +205,15 @@ module Make (App : Proto.App_intf.APP) = struct
         match neighborhood_view t ~of_node:id with
         | None -> ()
         | Some view ->
-            let world = Ex.world_of_view view in
+            (* Clock fingerprints of the nodes in the snapshot: a world
+               explored while a neighbour's clock was skewed must not
+               share a dedup class with the same states seen in sync. *)
+            let clocks =
+              List.filter
+                (fun (n, _) -> List.mem_assoc n view.Proto.View.nodes)
+                (E.clock_fingerprints t.eng)
+            in
+            let world = Ex.world_of_view ~clocks view in
             let verdict, stats =
               St.decide_with_stats ~max_worlds:t.cfg.max_worlds
                 ~include_drops:t.cfg.include_drops ~generic_node:t.cfg.generic_node

@@ -18,6 +18,7 @@ let world ?(timers = []) states pending : Ex.world =
         Proto.Node_id.Map.empty states;
     pending = List.map (fun (a, b, m) -> (nid a, nid b, m)) pending;
     timers = List.map (fun (i, id) -> (nid i, id)) timers;
+    clocks = [];
   }
 
 let explore ?include_drops ?generic_node ?depth:(d = 3) w =

@@ -238,6 +238,7 @@ let lock_world ?(timers = []) states pending : DL.Ex.world =
         Proto.Node_id.Map.empty states;
     pending = List.map (fun (a, b, m) -> (nid a, nid b, m)) pending;
     timers = List.map (fun (i, id) -> (nid i, id)) timers;
+    clocks = [];
   }
 
 let lock_worlds =

@@ -98,6 +98,7 @@ let world_of_moves moves : Ex.world =
           (nid (abs src mod 3), nid (abs dst mod 3), msg))
         moves;
     timers = [];
+    clocks = [];
   }
 
 let few_moves = QCheck.(list_of_size Gen.(0 -- 4) (triple small_int small_int small_int))
@@ -166,6 +167,7 @@ let prop_explorer_covers_engine =
               Proto.Node_id.Map.empty [ 0; 1; 2 ];
           pending = List.map (fun (s, d, m) -> (nid s, nid d, m)) msgs;
           timers = [];
+          clocks = [];
         }
       in
       (* Collect every explored world's holding-vector by re-walking:
