@@ -25,6 +25,9 @@ let overload_only = Array.exists (String.equal "--overload-only") Sys.argv
 (* Run only the per-node clock section (and emit BENCH_clock.json) *)
 let clock_only = Array.exists (String.equal "--clock-only") Sys.argv
 
+(* Run only the byzantine-mutation section (and emit BENCH_byz.json) *)
+let byz_only = Array.exists (String.equal "--byz-only") Sys.argv
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -1498,6 +1501,144 @@ let clock_bench () =
   clock_emit_json ~ev_base ~ev_inst ~overhead_pct ~sync_dlv ~drift_dlv ~drift_deterministic;
   Printf.printf "  wrote %s\n" clock_json_path
 
+(* BYZ --- What does the byzantine-mutation layer cost a run that never
+   mutates? The admission path runs on every delivered message whether
+   or not a storm is on: [App.validate] (a [Some] for paxos) plus
+   Netem's mutate-rate gate. The paired base is the same paxos app
+   with the validator stripped — byte-identical protocol, [None]
+   admission — so the ratio prices exactly what a byz-free run pays
+   for the feature existing. Same paired-slice protocol as the clock
+   bench; judged against the median ratio. Results go to stdout and
+   BENCH_byz.json. *)
+
+module Byz_papp_base = struct
+  include Obs_papp
+
+  let validate = None
+end
+
+module Byz_pe_base = Engine.Sim.Make (Byz_papp_base)
+
+let byz_topology () =
+  Net.Topology.uniform ~n:5 (Net.Linkprop.v ~latency:0.02 ~bandwidth:1_000_000. ~loss:0.)
+
+let byz_overhead_rep ~duration ~seed =
+  let e_base = Byz_pe_base.create ~seed ~jitter:0. ~topology:(byz_topology ()) () in
+  let e_inst = Obs_pe.create ~seed ~jitter:0. ~topology:(byz_topology ()) () in
+  Byz_pe_base.set_resolver e_base Apps.Paxos.self_resolver;
+  Obs_pe.set_resolver e_inst Apps.Paxos.self_resolver;
+  for i = 0 to 4 do
+    Byz_pe_base.spawn e_base (Proto.Node_id.of_int i);
+    Obs_pe.spawn e_inst (Proto.Node_id.of_int i)
+  done;
+  let wall_base = ref 0. and wall_inst = ref 0. in
+  let timed_base () =
+    let t0 = Unix.gettimeofday () in
+    Byz_pe_base.run_for e_base 1.;
+    wall_base := !wall_base +. (Unix.gettimeofday () -. t0)
+  in
+  let timed_inst () =
+    let t0 = Unix.gettimeofday () in
+    Obs_pe.run_for e_inst 1.;
+    wall_inst := !wall_inst +. (Unix.gettimeofday () -. t0)
+  in
+  for slice = 0 to int_of_float duration - 1 do
+    if slice mod 2 = 0 then begin
+      timed_base ();
+      timed_inst ()
+    end
+    else begin
+      timed_inst ();
+      timed_base ()
+    end
+  done;
+  ( float_of_int (Byz_pe_base.stats e_base).Byz_pe_base.events_processed /. !wall_base,
+    float_of_int (Obs_pe.stats e_inst).Obs_pe.events_processed /. !wall_inst )
+
+let byz_overhead_sweep ~duration ~reps =
+  ignore (byz_overhead_rep ~duration:2. ~seed:7) (* warmup *);
+  let base = ref [] and inst = ref [] and ratios = ref [] in
+  for r = 0 to reps - 1 do
+    let b, i = byz_overhead_rep ~duration ~seed:(7 + r) in
+    base := b :: !base;
+    inst := i :: !inst;
+    ratios := (i /. b) :: !ratios
+  done;
+  let median l =
+    let s = List.sort compare l in
+    List.nth s (List.length s / 2)
+  in
+  (median !base, median !inst, (1. -. median !ratios) *. 100.)
+
+(* Enabled-path sanity (virtual time, no wall clock): the pinned seeded
+   byzantine storm must mutate, bounce some mutants at the validators,
+   keep every safety property, and replay bit-identically. *)
+let byz_storm_sanity () =
+  let module X = Experiments.Chaos_exp in
+  let a = X.run ~seed:42 ~byz:(-1) "paxos" in
+  let b = X.run ~seed:42 ~byz:(-1) "paxos" in
+  let replays =
+    a.X.byz_emitted = b.X.byz_emitted
+    && a.X.byz_rejected = b.X.byz_rejected
+    && a.X.delivered = b.X.delivered
+  in
+  (a.X.byz_emitted, a.X.byz_rejected, a.X.byz_accepted, a.X.violations, replays)
+
+let byz_json_path = "BENCH_byz.json"
+
+let byz_emit_json ~ev_base ~ev_inst ~overhead_pct ~emitted ~rejected ~accepted ~violations
+    ~replays =
+  let oc = open_out byz_json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"byz\",\n";
+  p "  \"fast\": %b,\n" fast;
+  p
+    "  \"disabled_path_overhead\": { \"base_events_per_sec\": %.0f, \
+     \"instrumented_events_per_sec\": %.0f, \"overhead_pct\": %.2f, \"budget_pct\": 5.0 },\n"
+    ev_base ev_inst overhead_pct;
+  p
+    "  \"storm_sanity\": { \"seed\": 42, \"byz_emitted\": %d, \"byz_rejected\": %d, \
+     \"byz_accepted\": %d, \"violations\": %d, \"replays_bit_identical\": %b }\n"
+    emitted rejected accepted violations replays;
+  p "}\n";
+  close_out oc
+
+let byz_bench () =
+  section "BYZ Byzantine mutation: disabled-path overhead and storm sanity";
+  let duration = if fast then 20. else 60. in
+  let reps = if fast then 5 else 9 in
+  let ev_base, ev_inst, overhead_pct = byz_overhead_sweep ~duration ~reps in
+  let emitted, rejected, accepted, violations, replays = byz_storm_sanity () in
+  Metrics.Report.print
+    ~title:
+      (Printf.sprintf "paxos engine throughput, %.0fs virtual, median of %d paired ratios"
+         duration reps)
+    ~header:[ "config"; "events/s"; "vs base" ]
+    [
+      [ "no validator"; Printf.sprintf "%.0f" ev_base; "baseline" ];
+      [ "validator, byz off"; Printf.sprintf "%.0f" ev_inst;
+        Printf.sprintf "%+.1f%%" (-.overhead_pct) ];
+    ];
+  Metrics.Report.print ~title:"seeded byzantine storm (seed 42, global channel at 0.05)"
+    ~header:[ "quantity"; "value"; "note" ]
+    [
+      [ "mutants emitted"; Metrics.Report.fint emitted;
+        (if emitted > 0 then "storm was real" else "** NO MUTANTS **") ];
+      [ "bounced by validators"; Metrics.Report.fint rejected;
+        (if rejected > 0 then "admission exercised" else "** NOTHING BOUNCED **") ];
+      [ "reached handlers"; Metrics.Report.fint accepted; "survived admission" ];
+      [ "safety violations"; Metrics.Report.fint violations;
+        (if violations = 0 then "invariants held" else "** UNSAFE **") ];
+    ];
+  Printf.printf "  disabled-path overhead (validator + rate gate): %.2f%% (budget 5%%)%s\n"
+    overhead_pct
+    (if overhead_pct < 5. then "" else "  ** OVER BUDGET **");
+  Printf.printf "  storm replay: %s\n" (if replays then "bit-identical" else "** DIVERGED **");
+  byz_emit_json ~ev_base ~ev_inst ~overhead_pct ~emitted ~rejected ~accepted ~violations
+    ~replays;
+  Printf.printf "  wrote %s\n" byz_json_path
+
 let () =
   Printf.printf
     "Reproduction benches: Yabandeh et al., Simplifying Distributed System Development (HotOS 2009)\n";
@@ -1522,6 +1663,10 @@ let () =
     clock_bench ();
     exit 0
   end;
+  if byz_only then begin
+    byz_bench ();
+    exit 0
+  end;
   e1 ();
   e23 ();
   e3b ();
@@ -1541,5 +1686,6 @@ let () =
   fd_bench ();
   ov_bench ();
   clock_bench ();
+  byz_bench ();
   micro ();
   print_endline "\nAll experiment tables regenerated. See EXPERIMENTS.md for the paper-vs-measured record."

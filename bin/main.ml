@@ -430,7 +430,7 @@ let explore_cmd =
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
-  let run seed rounds factor flaps overload drift apps show_plans =
+  let run seed rounds factor flaps overload drift byz apps show_plans =
     if factor <= 0. then begin
       Printf.eprintf "intensity must be positive (got %g)\n" factor;
       exit 2
@@ -449,6 +449,10 @@ let chaos_cmd =
     end;
     if drift < 0 then begin
       Printf.eprintf "drift must be non-negative (got %d)\n" drift;
+      exit 2
+    end;
+    if byz < -1 then begin
+      Printf.eprintf "byz must be -1 (global), 0 (off) or a link count (got %d)\n" byz;
       exit 2
     end;
     let apps =
@@ -470,7 +474,7 @@ let chaos_cmd =
         (fun app ->
           List.map
             (fun i ->
-              Experiments.Chaos_exp.run ~factor ~flaps ~overload ~drift ~seed:(seed + i) app)
+              Experiments.Chaos_exp.run ~factor ~flaps ~overload ~drift ~byz ~seed:(seed + i) app)
             (List.init rounds Fun.id))
         apps
     in
@@ -490,6 +494,8 @@ let chaos_cmd =
             Metrics.Report.fint r.Experiments.Chaos_exp.duplicated;
             Metrics.Report.fint r.Experiments.Chaos_exp.corrupted;
             Metrics.Report.fint r.Experiments.Chaos_exp.decode_failures;
+            Printf.sprintf "%d(-%d/+%d)" r.Experiments.Chaos_exp.byz_emitted
+              r.Experiments.Chaos_exp.byz_rejected r.Experiments.Chaos_exp.byz_accepted;
             Metrics.Report.fint r.Experiments.Chaos_exp.sheds;
             (if r.Experiments.Chaos_exp.shed_bounded then
                Metrics.Report.fint r.Experiments.Chaos_exp.max_depth
@@ -515,6 +521,7 @@ let chaos_cmd =
           "dup";
           "corrupt";
           "badwire";
+          "byz";
           "shed";
           "depth";
           "drained";
@@ -578,6 +585,16 @@ let chaos_cmd =
             "Skew N nodes' local clocks per storm (rate drift plus one NTP-style step \
              excursion); all clocks heal before the storm ends.")
   in
+  let byz =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "byz" ] ~docv:"N"
+          ~doc:
+            "Byzantine message mutation: N directed links carry typed, decodes-clean payload \
+             mutations for a window each (-1 mutates the global channel for the whole storm; \
+             0 disables and leaves seeded plans byte-identical).")
+  in
   let apps =
     Arg.(
       value
@@ -593,7 +610,8 @@ let chaos_cmd =
        ~doc:
          "Randomized adversarial soak: seeded storms of crashes, partitions, duplication, \
           corruption and reordering over every application, asserting safety and recovery.")
-    Term.(const run $ seed_arg $ rounds $ factor $ flaps $ overload $ drift $ apps $ show_plans)
+    Term.(
+      const run $ seed_arg $ rounds $ factor $ flaps $ overload $ drift $ byz $ apps $ show_plans)
 
 (* ---------- obs ---------- *)
 

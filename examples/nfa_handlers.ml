@@ -37,6 +37,7 @@ module Edge_cache = struct
 
   let msg_bytes = function Doc _ -> 4096 | Lookup _ -> 64 | Hit | Miss -> 32
   let msg_codec = None
+  let validate = None
   let durable = None
   let degraded = None
   let priority = None

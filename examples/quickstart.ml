@@ -25,6 +25,7 @@ module Work_sharing = struct
   let msg_kind = function Job _ -> "job" | Done -> "done"
   let msg_bytes = function Job _ -> 256 | Done -> 16
   let msg_codec = None
+  let validate = None
   let durable = None
   let degraded = None
   let priority = None

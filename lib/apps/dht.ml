@@ -31,6 +31,7 @@ let msg_codec =
   let node = conv Proto.Node_id.to_int Proto.Node_id.of_int int in
   let query = pair (pair int node) (pair float int) in
   tagged
+    ~cases:[ (0, shape query); (1, shape query) ]
     (function
       | Lookup { key; origin; born; hops } -> (0, encode query ((key, origin), (born, hops)))
       | Found { key; owner; born; hops } -> (1, encode query ((key, owner), (born, hops))))
@@ -131,6 +132,27 @@ end = struct
   let durable = None
   let degraded = None
   let priority = None
+
+  (* Byzantine admission check (see {!Proto.App_intf.APP.validate}).
+     Keys live on the ring, node ids name real nodes, born timestamps
+     are finite simulation times, and no honest route lasts anywhere
+     near [ring_size] hops (greedy progress halves the distance, so
+     [ring_bits] is the nominal ceiling and [max_hops] the safety
+     bound; the admission cap is deliberately looser than both so it
+     never preempts the app's own hop-violation accounting). *)
+  let valid_query ~who key peer born hops =
+    if key < 0 || key >= ring_size then Error "key off the ring"
+    else if Proto.Node_id.to_int peer >= P.population then Error (who ^ " outside population")
+    else if not (Float.is_finite born && born >= 0.) then Error "born not a timestamp"
+    else if hops < 0 || hops > ring_size then Error "hop count off the ring"
+    else Ok ()
+
+  let validate =
+    Some
+      (fun m ->
+        match m with
+        | Lookup { key; origin; born; hops } -> valid_query ~who:"origin" key origin born hops
+        | Found { key; owner; born; hops } -> valid_query ~who:"owner" key owner born hops)
 
   let pp_state ppf st =
     Format.fprintf ppf "{pos=%d done=%d}" st.pos (List.length st.completed)

@@ -109,6 +109,7 @@ end = struct
   let msg_kind = msg_kind
   let pp_msg = pp_msg
   let msg_codec = None
+  let validate = None
 
   let msg_bytes = function
     | Have { blocks } -> 32 + (4 * List.length blocks)

@@ -31,6 +31,7 @@ let pp_msg ppf = function
 let msg_codec =
   let open Wire.Codec in
   tagged
+    ~cases:[ (0, shape (pair (list int) int)); (1, shape (list int)) ]
     (function
       | Push { rumors; round } -> (0, encode (pair (list int) int) (rumors, round))
       | Push_back { rumors } -> (1, encode (list int) rumors))
@@ -44,6 +45,27 @@ let msg_codec =
       | t -> Error (Printf.sprintf "unknown gossip tag %d" t))
 
 let peer_label = "gossip.peer"
+
+(* Byzantine admission check (see {!Proto.App_intf.APP.validate}),
+   shared with the baseline variant. Honest rumor digests come out of
+   [Int_set.elements], so they are strictly sorted, duplicate-free and
+   non-negative (seeded waves use small non-negative ids); rounds count
+   up from 0. A mutated push that duplicates, reorders or negates
+   entries is bounced here before it can pollute the membership digest. *)
+let valid_rumors rumors =
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        if a < b then sorted rest else Error "rumor digest not strictly sorted"
+    | [ _ ] | [] -> Ok ()
+  in
+  match rumors with r :: _ when r < 0 -> Error "negative rumor id" | rs -> sorted rs
+
+let validate =
+  Some
+    (function
+      | Push { rumors; round } ->
+          if round < 0 then Error "negative round" else valid_rumors rumors
+      | Push_back { rumors } -> valid_rumors rumors)
 
 module type PARAMS = sig
   val population : int
@@ -93,6 +115,7 @@ end = struct
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
   let msg_codec = Some msg_codec
+  let validate = validate
   let durable = None
 
   let pp_state ppf st =

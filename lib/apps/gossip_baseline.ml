@@ -68,6 +68,15 @@ end = struct
   let msg_bytes = C.msg_bytes
   let pp_msg = C.pp_msg
   let msg_codec = Some C.msg_codec
+  (* Same admission rules as the choice-exposed variant (shared
+     [C.valid_rumors]), assembled against this module's own message
+     view of the wire protocol. *)
+  let validate =
+    Some
+      (function
+        | C.Push { rumors; round } ->
+            if round < 0 then Error "negative round" else C.valid_rumors rumors
+        | C.Push_back { rumors } -> C.valid_rumors rumors)
   let durable = None
   let degraded = Some (fun st -> st.degraded)
   let priority = None

@@ -60,6 +60,16 @@ let msg_codec =
   let open Wire.Codec in
   let node = conv Proto.Node_id.to_int Proto.Node_id.of_int int in
   tagged
+    ~cases:
+      [
+        (0, shape (pair int node));
+        (1, shape (pair int float));
+        (2, shape (triple int int int));
+        (3, shape (pair (pair int int) (pair node float)));
+        (4, shape (pair (triple int int int) (pair int float)));
+        (5, shape int);
+        (6, shape (pair int bool));
+      ]
     (function
       | Write { key; origin } -> (0, encode (pair int node) (key, origin))
       | Write_done { seq; born } -> (1, encode (pair int float) (seq, born))
@@ -189,6 +199,60 @@ end = struct
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
   let msg_codec = Some msg_codec
+
+  (* Byzantine admission check (see {!Proto.App_intf.APP.validate}).
+     Honest traffic can never trip these: keys are drawn in
+     [0, P.keys), every node id names a real replica, read ids and
+     sequence numbers count up from 0 (the primary's log from 1), and
+     born timestamps are finite simulation times. *)
+  let valid_key key = if key < 0 || key >= P.keys then Error "key outside keyspace" else Ok ()
+
+  let valid_node who origin =
+    if Proto.Node_id.to_int origin >= P.population then
+      Error (who ^ " outside population")
+    else Ok ()
+
+  let valid_born born =
+    if not (Float.is_finite born && born >= 0.) then Error "born not a timestamp" else Ok ()
+
+  let validate =
+    Some
+      (fun m ->
+        let ( let* ) = Result.bind in
+        match m with
+        | Write { key; origin } ->
+            let* () = valid_key key in
+            valid_node "write origin" origin
+        | Write_done { seq; born } ->
+            let* () = if seq < 1 then Error "write seq below 1" else Ok () in
+            valid_born born
+        | Apply { seq; key; value } ->
+            let* () = if seq < 1 then Error "apply seq below 1" else Ok () in
+            let* () = valid_key key in
+            (* The store maps a key to its last writer's sequence
+               number, so an honest apply always carries [value = seq]
+               — a mutation of either field breaks the equality. *)
+            if value <> seq then Error "apply value/seq mismatch" else Ok ()
+        | Read_req { rid; key; origin; born } ->
+            let* () = if rid < 0 then Error "negative read id" else Ok () in
+            let* () = valid_key key in
+            let* () = valid_node "read origin" origin in
+            valid_born born
+        | Read_reply { rid; key; value; applied_seq; born } ->
+            let* () = if rid < 0 then Error "negative read id" else Ok () in
+            let* () = valid_key key in
+            let* () = if value < 0 then Error "negative reply value" else Ok () in
+            let* () = if applied_seq < 0 then Error "negative applied seq" else Ok () in
+            (* A stored value is the sequence number of some applied
+               write, so it can never exceed the replica's applied
+               position. *)
+            let* () =
+              if value > applied_seq then Error "reply value ahead of applied seq" else Ok ()
+            in
+            valid_born born
+        | Sync_req { have } -> if have < 0 then Error "negative sync floor" else Ok ()
+        | Read_reject { rid; retryable = _ } ->
+            if rid < 0 then Error "negative read id" else Ok ())
 
   (* ---------- durability ----------
 
@@ -518,9 +582,11 @@ end = struct
       ~guard:(fun _ ~src:_ m -> match m with Read_reject _ -> true | _ -> false)
       (fun _ctx st ~src:_ m ->
         match m with
-        | Read_reject { rid; _ } when rid > st.last_rid ->
+        | Read_reject { rid; _ } when rid > st.last_rid && rid <= st.next_rid ->
             (* Count the shed and retire the rid; the periodic read
-               timer is the retry loop, so no immediate re-issue. *)
+               timer is the retry loop, so no immediate re-issue. A rid
+               this session never issued ([> next_rid]) is a byzantine
+               forgery and is ignored. *)
             ({ st with last_rid = rid; reads_rejected = st.reads_rejected + 1 }, [])
         | _ -> (st, []))
 
@@ -529,7 +595,16 @@ end = struct
       ~guard:(fun _ ~src:_ m -> match m with Read_reply _ -> true | _ -> false)
       (fun ctx st ~src m ->
         match m with
-        | Read_reply { rid; applied_seq; born; _ } when rid > st.last_rid ->
+        | Read_reply { rid; applied_seq; born; _ }
+          when rid > st.last_rid
+               (* Byzantine hardening, vacuous on honest traffic: this
+                  session issued read ids up to [next_rid], and a
+                  replica's applied position never regresses — a reply
+                  for a never-issued rid, or one claiming the replica
+                  moved backwards from what this session already saw of
+                  it, is a forgery and is ignored. *)
+               && rid <= st.next_rid
+               && applied_seq >= Option.value ~default:0 (List.assoc_opt src st.known_seq) ->
             let st = { st with last_rid = rid } in
             let lat = Dsim.Vtime.to_seconds ctx.now -. born in
             (* Monotonic reads: within one session the log must never

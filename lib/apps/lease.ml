@@ -69,6 +69,7 @@ end = struct
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
   let msg_codec = None
+  let validate = None
   let durable = None
   let degraded = None
   let priority = None

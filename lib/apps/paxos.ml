@@ -64,7 +64,18 @@ let msg_codec =
   let cmd_c = cmd_codec in
   let ballot = pair int int in
   let ballot_cmd = triple int int cmd_c in
+  let promise_c = triple int int (option (pair int cmd_c)) in
+  let decided_c = pair int cmd_c in
   tagged
+    ~cases:
+      [
+        (0, shape cmd_c);
+        (1, shape ballot);
+        (2, shape promise_c);
+        (3, shape ballot_cmd);
+        (4, shape ballot_cmd);
+        (5, shape decided_c);
+      ]
     (function
       | Submit { cmd } -> (0, encode cmd_c cmd)
       | Prepare { inst; bal } -> (1, encode ballot (inst, bal))
@@ -159,6 +170,45 @@ end = struct
   let msg_bytes = msg_bytes
   let pp_msg = pp_msg
   let msg_codec = Some msg_codec
+
+  (* Byzantine admission check (see {!Proto.App_intf.APP.validate}).
+     Every bound below is one an honest replica can never violate:
+     commands are born at a real replica with a non-negative sequence
+     and a finite timestamp; ballots start at [bal_of ~round:0], which
+     is at least 1; instances count up from 0; and a promise only ever
+     relays an acceptance from a strictly lower ballot than the one it
+     promises. *)
+  let valid_cmd c =
+    if c.origin < 0 || c.origin >= P.population then Error "cmd origin outside population"
+    else if c.seq < 0 then Error "negative cmd seq"
+    else if not (Float.is_finite c.born && c.born >= 0.) then Error "cmd born not a timestamp"
+    else Ok ()
+
+  let valid_slot inst bal =
+    if inst < 0 then Error "negative instance"
+    else if bal < 1 then Error "ballot below 1"
+    else Ok ()
+
+  let validate =
+    Some
+      (fun m ->
+        let ( let* ) = Result.bind in
+        match m with
+        | Submit { cmd } -> valid_cmd cmd
+        | Prepare { inst; bal } -> valid_slot inst bal
+        | Promise { inst; bal; accepted } -> (
+            let* () = valid_slot inst bal in
+            match accepted with
+            | None -> Ok ()
+            | Some (b, c) ->
+                if b < 1 || b >= bal then Error "accepted ballot not below promised"
+                else valid_cmd c)
+        | Accept_req { inst; bal; cmd } | Accepted { inst; bal; cmd } ->
+            let* () = valid_slot inst bal in
+            valid_cmd cmd
+        | Decided { inst; cmd } ->
+            let* () = if inst < 0 then Error "negative instance" else Ok () in
+            valid_cmd cmd)
 
   let pp_state ppf st =
     Format.fprintf ppf "{q=%d props=%d dec=%d}" (List.length st.queue)
@@ -463,10 +513,26 @@ end = struct
   let h_decided =
     Proto.Handler.v ~name:"decided"
       ~guard:(fun _ ~src:_ m -> match m with Decided _ -> true | _ -> false)
-      (fun ctx st ~src:_ m ->
+      (fun ctx st ~src m ->
         match m with
         | Decided { inst; cmd } ->
-            ({ (record_decision ctx st inst cmd) with proposals = Int_map.remove inst st.proposals }, [])
+            (* Byzantine hardening, vacuous on honest traffic: instances
+               are partitioned by proposer, so a decision for [inst] is
+               only ever announced by its owner ([inst mod n]), and it
+               can never contradict a value this replica itself accepted
+               for the instance (a single-owner instance keeps one value
+               across ballots). A mutated [Decided] failing either check
+               is ignored — the honest announcement still arrives. *)
+            let from_owner = Proto.Node_id.to_int src = inst mod n in
+            let consistent =
+              match Int_map.find_opt inst st.acceptor with
+              | Some { accepted = Some (_, c); _ } -> c = cmd
+              | _ -> true
+            in
+            if from_owner && consistent then
+              ( { (record_decision ctx st inst cmd) with proposals = Int_map.remove inst st.proposals },
+                [] )
+            else (st, [])
         | _ -> (st, []))
 
   let receive = [ h_submit; h_prepare; h_promise; h_accept_req; h_accepted; h_decided ]

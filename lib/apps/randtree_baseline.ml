@@ -64,6 +64,7 @@ end = struct
   let msg_bytes = C.msg_bytes
   let pp_msg = C.pp_msg
   let msg_codec = Some C.msg_codec
+  let validate = None
   let durable = None
   let degraded = None
   let priority = None

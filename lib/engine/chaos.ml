@@ -20,6 +20,8 @@ type profile = {
   drift_rate : float;  (* max fractional drift, rate in [1-d, 1+d] *)
   clock_steps : int;  (* NTP-style step excursions; 0 = none *)
   clock_step_max : float;  (* max |offset| of each step, seconds *)
+  byz_links : int;  (* byzantine directed links; 0 = mutate globally *)
+  byz_rate : float;  (* per-message mutation probability; 0 = off *)
   storm : float;
   grace : float;
   protect : int list;
@@ -59,6 +61,14 @@ let default_profile =
     drift_rate = 0.2;
     clock_steps = 0;
     clock_step_max = 1.0;
+    byz_links = 0;
+    (* Off by default: a zero rate emits no mutate events and draws
+       nothing from the plan RNG, so pre-byzantine plans stay
+       byte-identical. Soaks that opt in typically use 0.2-0.3 — high
+       for a real adversary, but over a 6s storm that is what it takes
+       to genuinely exercise validators while honest quorums still
+       make progress. *)
+    byz_rate = 0.;
     storm = 6.;
     grace = 8.;
     protect = [];
@@ -74,11 +84,11 @@ let pp_profile ppf p =
   Format.fprintf ppf
     "{crashes=%d%s partitions=%d degrades=%d dup=%.2f corrupt=%.2f reorder=%.2f \
      flap=%dx%.0fs gray=%d@%.2f overload=%d@%.0f/s for %.1fs drift=%d@±%.0f%% \
-     steps=%d@±%.1fs storm=%.1fs grace=%.1fs}"
+     steps=%d@±%.1fs byz=%d@%.2f storm=%.1fs grace=%.1fs}"
     p.crashes mode p.partitions p.degrades p.duplicate_rate p.corrupt_rate p.reorder_rate
     p.flaps p.flap_period p.gray_links p.gray_loss p.overload_nodes p.overload_rate
     p.overload_period p.drift_nodes (100. *. p.drift_rate) p.clock_steps p.clock_step_max
-    p.storm p.grace
+    p.byz_links p.byz_rate p.storm p.grace
 
 (* Fault windows open in the first 60% of the storm and always close by
    95% of it, so the storm ends with every link healed, every victim
@@ -120,6 +130,9 @@ let generate ~seed ~nodes profile =
   if profile.clock_steps < 0 then invalid_arg "Chaos.generate: negative clock step count";
   if not (Float.is_finite profile.clock_step_max && profile.clock_step_max >= 0.) then
     invalid_arg "Chaos.generate: clock step max must be finite and non-negative";
+  if profile.byz_links < 0 then invalid_arg "Chaos.generate: negative byzantine link count";
+  if not (profile.byz_rate >= 0. && profile.byz_rate <= 1.) then
+    invalid_arg "Chaos.generate: byzantine mutate rate outside [0,1]";
   let rng = Dsim.Rng.create seed in
   let storm = profile.storm in
   let events = ref [] in
@@ -277,6 +290,38 @@ let generate ~seed ~nodes profile =
         add opens (Faultplan.Clock_step { node = v; offset });
         add closes (Faultplan.Heal_clock { node = v }))
       victims
+  end;
+  (* Byzantine mutation, drawn after every other fault. Unlike the
+     channel faults above (whose switch-offs are emitted even at zero
+     rate), a zero [byz_rate] emits no events and draws nothing — the
+     byte-identity discipline of the later knobs applies: pre-byzantine
+     plans reproduce exactly. [byz_links = 0] mutates the global
+     channel for the whole storm; a positive count picks that many
+     random directed links, each with its own window, skipping (without
+     extra draws) windows that would re-open a pair still mutating. *)
+  if profile.byz_rate > 0. then begin
+    if profile.byz_links = 0 then begin
+      add 0. (Faultplan.Set_mutate { rate = profile.byz_rate; links = [] });
+      add storm (Faultplan.Heal_mutate { links = [] })
+    end
+    else if nodes > 1 then begin
+      let emitted = ref [] in
+      for _ = 1 to profile.byz_links do
+        let src = Dsim.Rng.int rng nodes in
+        let dst = (src + 1 + Dsim.Rng.int rng (nodes - 1)) mod nodes in
+        let opens, closes = window rng ~storm in
+        let collides =
+          List.exists
+            (fun (s, d, o, c) -> s = src && d = dst && opens <= c && o <= closes)
+            !emitted
+        in
+        if not collides then begin
+          emitted := (src, dst, opens, closes) :: !emitted;
+          add opens (Faultplan.Set_mutate { rate = profile.byz_rate; links = [ (src, dst) ] });
+          add closes (Faultplan.Heal_mutate { links = [ (src, dst) ] })
+        end
+      done
+    end
   end;
   Faultplan.plan !events
 

@@ -60,6 +60,17 @@ type profile = {
           [±clock_step_max] and later heal; 0 (default) disables and
           draws nothing from the plan RNG *)
   clock_step_max : float;  (** maximum |offset| of each step, seconds *)
+  byz_links : int;
+      (** byzantine directed links: when [byz_rate > 0], this many
+          random directed links each get a windowed {!Faultplan.Set_mutate}
+          / [Heal_mutate] pair; 0 (the default) instead mutates the
+          global channel for the whole storm *)
+  byz_rate : float;
+      (** probability each delivered message on a byzantine channel is
+          replaced by a typed, decodes-clean mutation (see
+          {!Wire.Mutator}); 0 (default) disables byzantine mutation
+          entirely, emits no plan events and draws nothing from the
+          plan RNG — pre-byzantine plans stay byte-identical *)
   storm : float;  (** seconds of active chaos *)
   grace : float;  (** seconds allowed for recovery after the storm *)
   protect : int list;
@@ -89,8 +100,9 @@ val generate : seed:int -> nodes:int -> profile -> Faultplan.t
     gray loss outside [0,1], a negative or NaN channel-fault rate
     (duplicate/corrupt/flip/reorder) or overload rate, a non-positive
     overload period, an overload burst asked for at zero rate, a drift
-    rate outside [0,1), or a non-finite or negative clock step max —
-    each with an error naming the offending knob. *)
+    rate outside [0,1), a non-finite or negative clock step max, a
+    negative byzantine link count, or a byzantine mutate rate outside
+    [0,1] — each with an error naming the offending knob. *)
 
 module Soak (App : Proto.App_intf.APP) : sig
   module E : module type of Sim.Make (App)

@@ -21,6 +21,8 @@ type event =
   | Set_clock_rate of { node : int; rate : float }
   | Clock_step of { node : int; offset : float }
   | Heal_clock of { node : int }
+  | Set_mutate of { rate : float; links : (int * int) list }
+  | Heal_mutate of { links : (int * int) list }
 
 type t = { schedule : (float * event) list }
 
@@ -68,6 +70,13 @@ let validate_event = function
       if not (Float.is_finite offset) then
         invalid_arg "Faultplan.plan: clock step offset not finite"
   | Heal_clock _ -> ()
+  | Set_mutate { rate; links } ->
+      check_rate "mutate rate" rate;
+      if List.exists (fun (s, d) -> s = d) links then
+        invalid_arg "Faultplan.plan: mutate link to self"
+  | Heal_mutate { links } ->
+      if List.exists (fun (s, d) -> s = d) links then
+        invalid_arg "Faultplan.plan: mutate link to self"
 
 (* Partitions are identified by their normalized group pair so the
    cross-event check matches a heal to its cut regardless of element
@@ -83,44 +92,58 @@ let partition_key a b =
    bursts get the same window discipline, keyed by target node. Clock
    faults track which nodes are currently skewed: re-skewing a skewed
    node is fine (drift then step is a legitimate excursion), but a
-   [Heal_clock] of a node whose clock was never touched is a typo. *)
+   [Heal_clock] of a node whose clock was never touched is a typo.
+   Mutate windows get the same discipline, keyed by their (sorted) link
+   scope — the empty scope being the global channel. *)
+let mutate_key links = List.sort_uniq compare links
+
 let validate_schedule schedule =
   ignore
     (List.fold_left
-       (fun (opened, bursting, skewed) (_, e) ->
+       (fun (opened, bursting, skewed, mutating) (_, e) ->
          match e with
          | Partition (a, b) ->
              let k = partition_key a b in
              if List.mem k opened then
                invalid_arg "Faultplan.plan: overlapping partition windows";
-             (k :: opened, bursting, skewed)
+             (k :: opened, bursting, skewed, mutating)
          | Flap { a; b; _ } ->
              (* A flap ends healed, but while it runs the pair is cut,
                 so it may not share its groups with an open partition. *)
              if List.mem (partition_key a b) opened then
                invalid_arg "Faultplan.plan: overlapping partition windows";
-             (opened, bursting, skewed)
+             (opened, bursting, skewed, mutating)
          | Heal_partition (a, b) ->
              let k = partition_key a b in
              if not (List.mem k opened) then
                invalid_arg "Faultplan.plan: heal of a partition never opened";
-             (List.filter (fun k' -> k' <> k) opened, bursting, skewed)
+             (List.filter (fun k' -> k' <> k) opened, bursting, skewed, mutating)
          | Overload { node; _ } ->
              if List.mem node bursting then
                invalid_arg "Faultplan.plan: overlapping overload windows";
-             (opened, node :: bursting, skewed)
+             (opened, node :: bursting, skewed, mutating)
          | Heal_overload { node } ->
              if not (List.mem node bursting) then
                invalid_arg "Faultplan.plan: heal of an overload never started";
-             (opened, List.filter (fun n -> n <> node) bursting, skewed)
+             (opened, List.filter (fun n -> n <> node) bursting, skewed, mutating)
          | Set_clock_rate { node; _ } | Clock_step { node; _ } ->
-             (opened, bursting, if List.mem node skewed then skewed else node :: skewed)
+             (opened, bursting, (if List.mem node skewed then skewed else node :: skewed), mutating)
          | Heal_clock { node } ->
              if not (List.mem node skewed) then
                invalid_arg "Faultplan.plan: heal of a clock never skewed";
-             (opened, bursting, List.filter (fun n -> n <> node) skewed)
-         | _ -> (opened, bursting, skewed))
-       ([], [], []) schedule)
+             (opened, bursting, List.filter (fun n -> n <> node) skewed, mutating)
+         | Set_mutate { links; _ } ->
+             let k = mutate_key links in
+             if List.mem k mutating then
+               invalid_arg "Faultplan.plan: overlapping mutate windows";
+             (opened, bursting, skewed, k :: mutating)
+         | Heal_mutate { links } ->
+             let k = mutate_key links in
+             if not (List.mem k mutating) then
+               invalid_arg "Faultplan.plan: heal of a mutate never set";
+             (opened, bursting, skewed, List.filter (fun k' -> k' <> k) mutating)
+         | _ -> (opened, bursting, skewed, mutating))
+       ([], [], [], []) schedule)
 
 let plan events =
   List.iter
@@ -139,6 +162,12 @@ let pp_group ppf g =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
     g
+
+let pp_links ppf links =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+    (fun ppf (s, d) -> Format.fprintf ppf "%d->%d" s d)
+    ppf links
 
 let pp_mode ppf = function
   | Clean -> ()
@@ -172,6 +201,11 @@ let pp_event ppf = function
   | Set_clock_rate { node; rate } -> Format.fprintf ppf "clock_rate(%d, x%g)" node rate
   | Clock_step { node; offset } -> Format.fprintf ppf "clock_step(%d, %+gs)" node offset
   | Heal_clock { node } -> Format.fprintf ppf "heal_clock(%d)" node
+  | Set_mutate { rate; links = [] } -> Format.fprintf ppf "mutate(p=%.3f)" rate
+  | Heal_mutate { links = [] } -> Format.fprintf ppf "heal_mutate()"
+  | Set_mutate { rate; links } ->
+      Format.fprintf ppf "mutate(p=%.3f, %a)" rate pp_links links
+  | Heal_mutate { links } -> Format.fprintf ppf "heal_mutate(%a)" pp_links links
 
 let pp ppf t =
   Format.pp_print_list
@@ -311,6 +345,24 @@ struct
         done
     | Overload { node; rate } -> E.overload eng ~rate (Proto.Node_id.of_int node)
     | Heal_overload { node } -> E.heal_overload eng (Proto.Node_id.of_int node)
+    | Set_mutate { rate; links = [] } ->
+        set_faults eng (fun f -> { f with Net.Netem.mutate_rate = rate })
+    | Heal_mutate { links = [] } ->
+        set_faults eng (fun f -> { f with Net.Netem.mutate_rate = 0. })
+    | Set_mutate { rate; links } ->
+        (* Per-pair byzantine channel: each directed link gets its own
+           fault profile, inheriting whatever the pair currently sees so
+           the mutation rides on top of global duplicate/corrupt/reorder
+           settings instead of erasing them. *)
+        let nem = E.netem eng in
+        List.iter
+          (fun (src, dst) ->
+            let f = Net.Netem.faults_of nem ~src ~dst in
+            Net.Netem.set_pair_faults nem ~src ~dst { f with Net.Netem.mutate_rate = rate })
+          links
+    | Heal_mutate { links } ->
+        let nem = E.netem eng in
+        List.iter (fun (src, dst) -> Net.Netem.clear_pair_faults nem ~src ~dst) links
     | Set_clock_rate { node; rate } -> E.set_clock_rate eng (Proto.Node_id.of_int node) ~rate
     | Clock_step { node; offset } -> E.clock_step eng (Proto.Node_id.of_int node) ~offset
     | Heal_clock { node } -> E.heal_clock eng (Proto.Node_id.of_int node)

@@ -73,6 +73,16 @@ type event =
   | Heal_clock of { node : int }
       (** snap [node]'s local clock back to global time (rate 1, zero
           offset) — the excursion ends with a discontinuity *)
+  | Set_mutate of { rate : float; links : (int * int) list }
+      (** from now on, byzantine-mutate each delivered message with
+          probability [rate] (typed, decodes-clean perturbations via
+          {!Wire.Mutator}). [links = []] applies to the global channel;
+          a non-empty list pins the listed directed pairs, each riding
+          on top of its current effective fault profile *)
+  | Heal_mutate of { links : (int * int) list }
+      (** undo the matching {!Set_mutate}: [links = []] zeroes the
+          global mutate rate; a non-empty list clears the per-pair
+          profiles, restoring whatever the pairs inherited before *)
 
 type t
 (** A finite schedule of timed fault events. *)
@@ -96,7 +106,11 @@ val plan : (float * event) list -> t
     an already-skewed node is allowed — drift-then-step is one
     excursion), and a [Heal_clock] of a node never skewed is rejected.
     A [Set_clock_rate] with a non-positive or non-finite rate, or a
-    [Clock_step] with a non-finite offset, is rejected per event. *)
+    [Clock_step] with a non-finite offset, is rejected per event.
+    Mutate windows are checked per scope (the sorted, deduplicated
+    [links] list; [[]] is the global scope): a second [Set_mutate] of a
+    scope still open, or a [Heal_mutate] of a scope never set, is
+    rejected, as is a mutate event listing a self-link. *)
 
 val events : t -> (float * event) list
 (** The schedule, sorted by time. *)

@@ -25,6 +25,10 @@ module Make (App : Proto.App_intf.APP) = struct
                overload layer's live-set so a message shed while queued
                is skipped when its Deliver fires. -1 = untracked (the
                unbounded default — zero bookkeeping) *)
+        byz : bool;
+            (* the payload is a byzantine mutant (Netem [Mutate] verdict
+               survived the re-decode guarantee); drives the
+               byz_rejected/byz_accepted split at validation time *)
       }
     | Timer_fire of {
         node : Proto.Node_id.t;
@@ -234,6 +238,10 @@ module Make (App : Proto.App_intf.APP) = struct
         (* timer deadlines whose global preimage fell in the past (a
            forward clock step jumped over them) and were clamped to
            fire immediately instead of raising *)
+    byz_emitted : int;
+    byz_discarded : int;
+    byz_rejected : int;
+    byz_accepted : int;
   }
 
   type lookahead = {
@@ -294,6 +302,9 @@ module Make (App : Proto.App_intf.APP) = struct
     o_sheds : (string, Obs.Registry.counter) Hashtbl.t;
     o_mailbox_depth : (int, Obs.Registry.gauge) Hashtbl.t;
     o_clock_clamped : Obs.Registry.counter;
+    o_byz : (string, Obs.Registry.counter) Hashtbl.t;
+        (* keyed by outcome (emitted/discarded/rejected/accepted);
+           created lazily so byz-free runs export no new metrics *)
   }
 
   type pending_reward = {
@@ -389,6 +400,10 @@ module Make (App : Proto.App_intf.APP) = struct
     mutable n_degraded_entries : int;
     mutable n_degraded_exits : int;
     mutable n_clock_clamped : int;
+    mutable n_byz_emitted : int;
+    mutable n_byz_discarded : int;
+    mutable n_byz_rejected : int;
+    mutable n_byz_accepted : int;
     mutable obs : obs option;
     mutable next_trace : int;
     mutable current_trace : int;  (** trace id of the event being processed *)
@@ -465,6 +480,10 @@ module Make (App : Proto.App_intf.APP) = struct
       n_degraded_entries = 0;
       n_degraded_exits = 0;
       n_clock_clamped = 0;
+      n_byz_emitted = 0;
+      n_byz_discarded = 0;
+      n_byz_rejected = 0;
+      n_byz_accepted = 0;
       obs = None;
       next_trace = 0;
       current_trace = 0;
@@ -496,6 +515,7 @@ module Make (App : Proto.App_intf.APP) = struct
               o_sheds = Hashtbl.create 8;
               o_mailbox_depth = Hashtbl.create 16;
               o_clock_clamped = c "clock.clamped";
+              o_byz = Hashtbl.create 4;
             }
 
   let obs_sink t = Option.map (fun o -> o.o_sink) t.obs
@@ -556,6 +576,10 @@ module Make (App : Proto.App_intf.APP) = struct
       chaff_sent = t.n_chaff;
       max_mailbox_depth = (match t.ov with None -> 0 | Some ov -> ov.ov_max_depth);
       clock_clamped = t.n_clock_clamped;
+      byz_emitted = t.n_byz_emitted;
+      byz_discarded = t.n_byz_discarded;
+      byz_rejected = t.n_byz_rejected;
+      byz_accepted = t.n_byz_accepted;
     }
 
   let set_resolver t r = t.mode <- Plain r
@@ -1066,6 +1090,15 @@ module Make (App : Proto.App_intf.APP) = struct
              ~labels:
                [ ("cause", cause); ("src", string_of_int se); ("dst", string_of_int de) ]))
 
+  let note_byz t outcome =
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        Obs.Registry.incr
+          (obs_handle o.o_byz outcome (fun () ->
+               Obs.Registry.counter o.o_sink.Obs.Sink.registry ~name:"engine_byz"
+                 ~labels:[ ("outcome", outcome) ]))
+
   (* Edge-detect the app's self-reported degraded mode across a state
      transition. Counted per incident (enter/exit), not per event spent
      inside the mode; [None] before a first boot counts as healthy. *)
@@ -1312,13 +1345,13 @@ module Make (App : Proto.App_intf.APP) = struct
      ticket, and pays the backlog's service delay — the model that
      makes deep queues cost latency, which a discrete-event delivery
      otherwise would not. *)
-  let push_deliver t ~src ~dst ~sent_at ~trace ~rel ~delay msg =
+  let push_deliver t ?(byz = false) ~src ~dst ~sent_at ~trace ~rel ~delay msg =
     match t.ov with
     | None ->
         Dsim.Heap.push t.queue
           {
             at = Dsim.Vtime.add t.now delay;
-            ev = Deliver { src; dst; msg; sent_at; trace; rel; did = -1 };
+            ev = Deliver { src; dst; msg; sent_at; trace; rel; did = -1; byz };
           }
     | Some ov ->
         let se = Proto.Node_id.to_int src and de = Proto.Node_id.to_int dst in
@@ -1329,7 +1362,7 @@ module Make (App : Proto.App_intf.APP) = struct
           Dsim.Heap.push t.queue
             {
               at = Dsim.Vtime.add t.now (delay +. extra);
-              ev = Deliver { src; dst; msg; sent_at; trace; rel; did };
+              ev = Deliver { src; dst; msg; sent_at; trace; rel; did; byz };
             }
         end
 
@@ -1399,6 +1432,35 @@ module Make (App : Proto.App_intf.APP) = struct
                 t.n_decode_failures <- t.n_decode_failures + 1;
                 dropped ("corrupt: " ^ e)
             | Ok _ -> dropped "corrupt: checksum mismatch"))
+    | Net.Netem.Mutate delay -> (
+        match App.msg_codec with
+        | None ->
+            (* No wire form to mutate — the message sails through clean. *)
+            deliver delay;
+            span "deliver" ~deliver_at:(now_s +. delay)
+        | Some codec -> (
+            let node_ids =
+              List.init (Net.Topology.size (Net.Netem.topology t.netem)) Fun.id
+            in
+            match
+              Wire.Mutator.mutate ~rng:t.rng ~node_ids codec (Wire.Codec.encode codec msg)
+            with
+            | Some (mutant, _bytes) ->
+                (* The mutant decodes cleanly by construction — it is
+                   delivered as a well-formed message and flagged so the
+                   receive side can attribute the validator's verdict. *)
+                t.n_byz_emitted <- t.n_byz_emitted + 1;
+                note_byz t "emitted";
+                push_deliver t ~byz:true ~src ~dst ~sent_at:t.now ~trace ~rel ~delay mutant;
+                span "mutate" ~deliver_at:(now_s +. delay)
+            | None ->
+                (* No candidate survived the re-decode guarantee:
+                   counted, and the original travels unharmed — a
+                   mutation fault never degenerates into loss. *)
+                t.n_byz_discarded <- t.n_byz_discarded + 1;
+                note_byz t "discarded";
+                deliver delay;
+                span "deliver" ~deliver_at:(now_s +. delay)))
 
   (* A send: when reliable delivery covers this message kind, register
      it as pending and arm the first retransmit timer before handing the
@@ -1441,7 +1503,10 @@ module Make (App : Proto.App_intf.APP) = struct
         | Net.Netem.Drop _ -> ()
         | Net.Netem.Deliver delay -> push delay
         | Net.Netem.Duplicate delays -> List.iter push delays
-        | Net.Netem.Corrupt _ -> ())
+        | Net.Netem.Corrupt _ -> ()
+        (* An ack carries no application payload to mutate; it arrives
+           intact. *)
+        | Net.Netem.Mutate delay -> push delay)
 
   let inject t ?(after = 0.) ~src ~dst msg =
     (* same guard (and message) the pre-overload [schedule] path gave *)
@@ -1792,7 +1857,7 @@ module Make (App : Proto.App_intf.APP) = struct
             defer_sends t id ~delay actions;
             Dsim.Trace.logf t.trace t.now Dsim.Trace.Info ~component:"engine" "%a booted"
               Proto.Node_id.pp id)
-    | Deliver { src; dst; msg; sent_at; trace; rel; did } -> (
+    | Deliver { src; dst; msg; sent_at; trace; rel; did; byz } -> (
         let shed_in_queue =
           match t.ov with
           | Some ov when did >= 0 -> not (ov_note_processed t ov did)
@@ -1871,7 +1936,33 @@ module Make (App : Proto.App_intf.APP) = struct
                 Dsim.Trace.logf t.trace t.now Dsim.Trace.Debug ~component:"net"
                   "rel dedup %s %a->%a" kind Proto.Node_id.pp src Proto.Node_id.pp dst
               end
-              else begin
+              else
+              (* Application-level admission: the validator sees every
+                 delivery (it must accept all honest traffic, so clean
+                 runs are unchanged); a rejection is a drop, attributed
+                 to the byzantine layer when the payload was a mutant.
+                 Pure — consumes no randomness either way. *)
+              match
+                match App.validate with Some check -> check msg | None -> Ok ()
+              with
+              | Error reason ->
+                  if byz then begin
+                    t.n_byz_rejected <- t.n_byz_rejected + 1;
+                    note_byz t "rejected"
+                  end;
+                  drop t ~src ~dst ~cause:("invalid: " ^ reason) (fun out -> App.pp_msg out msg);
+                  (match t.obs with
+                  | None -> ()
+                  | Some o ->
+                      obs_drop o ~cause:"invalid" ~se ~de;
+                      Obs.Span.record o.o_sink.Obs.Sink.spans ~trace ~src:se ~dst:de ~kind
+                        ~enqueue:(Dsim.Vtime.to_seconds sent_at)
+                        ~deliver:(Dsim.Vtime.to_seconds t.now) ~verdict:"drop:invalid")
+              | Ok () -> begin
+              if byz then begin
+                t.n_byz_accepted <- t.n_byz_accepted + 1;
+                note_byz t "accepted"
+              end;
               let latency = Dsim.Vtime.diff t.now sent_at in
               let nml = nm_link t ~se ~de in
               Net.Netmodel.observe_link_latency t.netmodel nml t.now latency;

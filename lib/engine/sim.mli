@@ -70,6 +70,21 @@ module Make (App : Proto.App_intf.APP) : sig
             (a forward {!clock_step} jumped the node's clock over them)
             and were clamped to fire immediately — also published as
             the ["clock.clamped"] obs counter. 0 while clocks are off. *)
+    byz_emitted : int;
+        (** byzantine mutants delivered decodes-clean (Netem [Mutate]
+            verdicts whose {!Wire.Mutator} candidate survived the
+            re-decode guarantee) *)
+    byz_discarded : int;
+        (** [Mutate] verdicts where no candidate survived — the
+            original message was delivered unchanged instead *)
+    byz_rejected : int;
+        (** delivered mutants bounced by the app's [validate] hook
+            (surfaced as drops with cause ["invalid:<reason>"]) *)
+    byz_accepted : int;
+        (** delivered mutants the validator let through to a handler —
+            the traffic soak invariants must survive. All four are also
+            published as the ["engine_byz"] obs counter, labelled by
+            outcome, lazily (byz-free runs export no new metrics). *)
   }
 
   (** Reliable-delivery tuning: retransmissions start after

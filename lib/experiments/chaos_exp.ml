@@ -23,6 +23,9 @@ type report = {
   corrupted : int;
   reordered : int;
   decode_failures : int;
+  byz_emitted : int;  (** byzantine mutants delivered (0 unless the profile mutates) *)
+  byz_rejected : int;  (** mutants bounced by the app's validator *)
+  byz_accepted : int;  (** mutants the validator let through to a handler *)
   degraded_entries : int;
   degraded_exits : int;
   retransmits : int;  (** reliable-delivery retransmissions (0 unless enabled) *)
@@ -38,13 +41,14 @@ type report = {
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "%-8s seed=%-4d %s %s %s viol=%d dlv=%d drop=%d dup=%d corr=%d badwire=%d deg=%d/%d \
-     rexmit=%d giveup=%d shed=%d depth<=%d %s %s"
+    "%-8s seed=%-4d %s %s %s viol=%d dlv=%d drop=%d dup=%d corr=%d badwire=%d \
+     byz=%d(-%d/+%d) deg=%d/%d rexmit=%d giveup=%d shed=%d depth<=%d %s %s"
     r.app r.seed
     (if r.violations = 0 then "SAFE  " else "UNSAFE")
     (if r.recovered then "recovered" else "STUCK    ")
     (if r.self_healed then "healed  " else "DEGRADED")
     r.violations r.delivered r.dropped r.duplicated r.corrupted r.decode_failures
+    r.byz_emitted r.byz_rejected r.byz_accepted
     r.degraded_entries r.degraded_exits r.retransmits r.giveups r.sheds r.max_depth
     (if r.shed_bounded then "bounded" else "OVERRUN")
     (if r.overload_recovered then "drained" else "BACKLOGGED")
@@ -115,6 +119,9 @@ let soak_paxos ?(profile = paxos_profile) ?(reliable = false) ?obs seed =
     corrupted = s.Paxos_soak.E.messages_corrupted;
     reordered = s.Paxos_soak.E.messages_reordered;
     decode_failures = s.Paxos_soak.E.decode_failures;
+    byz_emitted = s.Paxos_soak.E.byz_emitted;
+    byz_rejected = s.Paxos_soak.E.byz_rejected;
+    byz_accepted = s.Paxos_soak.E.byz_accepted;
     degraded_entries = s.Paxos_soak.E.degraded_entries;
     degraded_exits = s.Paxos_soak.E.degraded_exits;
     retransmits = s.Paxos_soak.E.rel_retransmits;
@@ -196,6 +203,9 @@ let soak_kvstore ?(profile = kvstore_profile) ?(reliable = false) ?obs seed =
     corrupted = s.Kv_soak.E.messages_corrupted;
     reordered = s.Kv_soak.E.messages_reordered;
     decode_failures = s.Kv_soak.E.decode_failures;
+    byz_emitted = s.Kv_soak.E.byz_emitted;
+    byz_rejected = s.Kv_soak.E.byz_rejected;
+    byz_accepted = s.Kv_soak.E.byz_accepted;
     degraded_entries = s.Kv_soak.E.degraded_entries;
     degraded_exits = s.Kv_soak.E.degraded_exits;
     retransmits = s.Kv_soak.E.rel_retransmits;
@@ -307,6 +317,9 @@ let soak_gossip ?(profile = gossip_profile) seed =
     corrupted = s.Gossip_soak.E.messages_corrupted;
     reordered = s.Gossip_soak.E.messages_reordered;
     decode_failures = s.Gossip_soak.E.decode_failures;
+    byz_emitted = s.Gossip_soak.E.byz_emitted;
+    byz_rejected = s.Gossip_soak.E.byz_rejected;
+    byz_accepted = s.Gossip_soak.E.byz_accepted;
     degraded_entries = s.Gossip_soak.E.degraded_entries;
     degraded_exits = s.Gossip_soak.E.degraded_exits;
     retransmits = s.Gossip_soak.E.rel_retransmits;
@@ -381,6 +394,9 @@ let soak_dht ?(profile = dht_profile) seed =
     corrupted = s.Dht_soak.E.messages_corrupted;
     reordered = s.Dht_soak.E.messages_reordered;
     decode_failures = s.Dht_soak.E.decode_failures;
+    byz_emitted = s.Dht_soak.E.byz_emitted;
+    byz_rejected = s.Dht_soak.E.byz_rejected;
+    byz_accepted = s.Dht_soak.E.byz_accepted;
     degraded_entries = s.Dht_soak.E.degraded_entries;
     degraded_exits = s.Dht_soak.E.degraded_exits;
     retransmits = s.Dht_soak.E.rel_retransmits;
@@ -453,6 +469,9 @@ let soak_randtree ?(profile = randtree_profile) seed =
     corrupted = s.Tree_soak.E.messages_corrupted;
     reordered = s.Tree_soak.E.messages_reordered;
     decode_failures = s.Tree_soak.E.decode_failures;
+    byz_emitted = s.Tree_soak.E.byz_emitted;
+    byz_rejected = s.Tree_soak.E.byz_rejected;
+    byz_accepted = s.Tree_soak.E.byz_accepted;
     degraded_entries = s.Tree_soak.E.degraded_entries;
     degraded_exits = s.Tree_soak.E.degraded_exits;
     retransmits = s.Tree_soak.E.rel_retransmits;
@@ -516,9 +535,26 @@ let with_drift drift (p : Engine.Chaos.profile) =
   if drift < 0 then invalid_arg "Chaos_exp.with_drift: negative drift count";
   if drift = 0 then p else { p with Engine.Chaos.drift_nodes = drift; clock_steps = 1 }
 
-let run ?(factor = 1.) ?(flaps = 0) ?(overload = 0) ?(drift = 0) ~seed app =
+(* [with_byz n] turns on byzantine message mutation: [n] directed links
+   carry typed decodes-clean mutations for a window each (0 leaves the
+   profile — and hence the plan RNG stream — completely untouched; [-1]
+   mutates the global channel for the whole storm). Rates are sized to
+   the exposure: a few windowed links can run hot (25%), while the
+   global channel mutates every message of every pair for the whole
+   storm, so it runs at 5% — enough mutants reach the validators to
+   matter, low enough that compound forgeries (two mutants conspiring
+   on one protocol step, which no unauthenticated protocol survives)
+   stay out of a short soak. *)
+let with_byz byz (p : Engine.Chaos.profile) =
+  if byz < -1 then invalid_arg "Chaos_exp.with_byz: bad byzantine link count";
+  if byz = 0 then p
+  else if byz < 0 then { p with Engine.Chaos.byz_links = 0; byz_rate = 0.05 }
+  else { p with Engine.Chaos.byz_links = byz; byz_rate = 0.25 }
+
+let run ?(factor = 1.) ?(flaps = 0) ?(overload = 0) ?(drift = 0) ?(byz = 0) ~seed app =
   let profile base =
-    with_drift drift (with_overload overload (with_flaps flaps (scale factor base)))
+    with_byz byz
+      (with_drift drift (with_overload overload (with_flaps flaps (scale factor base))))
   in
   match app with
   | "paxos" -> soak_paxos ~profile:(profile paxos_profile) seed

@@ -3,6 +3,7 @@ type verdict =
   | Drop of string
   | Duplicate of float list
   | Corrupt of { delay : float; flip : float }
+  | Mutate of float
 
 type faults = {
   duplicate_rate : float;
@@ -11,6 +12,7 @@ type faults = {
   corrupt_flip : float;
   reorder_rate : float;
   reorder_window : float;
+  mutate_rate : float;
 }
 
 let no_faults =
@@ -21,6 +23,7 @@ let no_faults =
     corrupt_flip = 0.02;
     reorder_rate = 0.;
     reorder_window = 0.;
+    mutate_rate = 0.;
   }
 
 let validate_faults f =
@@ -32,6 +35,7 @@ let validate_faults f =
   rate "corrupt_rate" f.corrupt_rate;
   rate "corrupt_flip" f.corrupt_flip;
   rate "reorder_rate" f.reorder_rate;
+  rate "mutate_rate" f.mutate_rate;
   if f.duplicate_copies < 1 then invalid_arg "Netem: duplicate_copies < 1";
   if f.reorder_window < 0. then invalid_arg "Netem: negative reorder_window"
 
@@ -158,6 +162,11 @@ let judge t ~now ~src ~dst ~bytes =
       in
       Duplicate (delay :: extras)
     end
+    (* The byzantine draw comes after every pre-existing fault so a
+       plan with mutation off consumes exactly the historical RNG
+       stream — and a message already claimed by corruption or
+       duplication is never also mutated. *)
+    else if f.mutate_rate > 0. && Dsim.Rng.uniform t.rng < f.mutate_rate then Mutate delay
     else Deliver delay
   end
 

@@ -19,6 +19,14 @@ type verdict =
           flips). The engine applies the flips to the wire encoding,
           so a corrupted message manifests as a decode failure or a
           checksum drop — never as a clean payload. *)
+  | Mutate of float
+      (** arrives after this many seconds, byzantine-mutated: the
+          engine runs the wire encoding through {!Wire.Mutator} and
+          delivers a typed, decodes-clean perturbation of the payload
+          to the receiving handler (falling back to the clean message
+          when no mutant survives the re-decode guarantee). Unlike
+          [Corrupt], this is the fault the transport checksum {e
+          cannot} catch — it exercises application validators. *)
 
 type faults = {
   duplicate_rate : float;  (** probability a delivered message is duplicated *)
@@ -30,6 +38,10 @@ type faults = {
       (** extra seconds (uniform in [0, window]) a held-back message
           waits — later sends overtake it, inverting delivery order
           beyond what jitter produces *)
+  mutate_rate : float;
+      (** probability a delivered message is byzantine-mutated; drawn
+          after every other fault, so switching it off reproduces the
+          pre-mutation RNG stream exactly *)
 }
 
 val no_faults : faults

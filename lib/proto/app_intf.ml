@@ -35,6 +35,18 @@ module type APP = sig
       genuinely garbled inputs. [None] opts out: corrupted messages
       are then dropped without a decode attempt. *)
 
+  val validate : (msg -> (unit, string) result) option
+  (** Application-level admission check, run on every delivered message
+      before any handler. [Error reason] drops the message (surfaced as
+      a drop with cause ["invalid:<reason>"]); byzantine-mutated
+      deliveries that fail it count as [stats.byz_rejected], ones that
+      pass as [byz_accepted]. The check must be pure, total and cheap
+      (it runs on the delivery hot path), and must accept {e every}
+      message an honest node can produce — it exists to bounce
+      semantically-mutated traffic (out-of-range ballots, foreign key
+      ranges, impossible digests), not to second-guess the protocol.
+      [None] skips the check at zero cost. *)
+
   val fingerprint : (state -> int) option
   (** Cheap structural fingerprint used by the explorer to deduplicate
       visited worlds without rendering states through [pp_state].

@@ -8,7 +8,29 @@ type cursor = { data : string; mutable pos : int }
 
 exception Malformed of string
 
-type 'a t = { enc : sink -> 'a -> unit; dec : cursor -> 'a }
+(* Structural description of the wire format, carried alongside the
+   encode/decode closures so generic tooling (the byzantine mutator)
+   can walk a codec's layout without access to the value type.
+   [Tagged] lists the per-case payload shapes an application declared
+   via [tagged ~cases]; tags absent from the list still decode — their
+   payloads are just opaque to structure-aware consumers. *)
+type shape =
+  | Unit
+  | Bool
+  | Int
+  | Float
+  | String
+  | Bytes
+  | Option of shape
+  | List of shape
+  | Array of shape
+  | Pair of shape * shape
+  | Triple of shape * shape * shape
+  | Tagged of (int * shape) list
+
+type 'a t = { enc : sink -> 'a -> unit; dec : cursor -> 'a; sh : shape }
+
+let shape c = c.sh
 
 let buffer_sink buf =
   { put_char = Buffer.add_char buf; put_string = Buffer.add_string buf }
@@ -44,7 +66,11 @@ let read_char cur =
   c
 
 let read_string cur n =
-  if n < 0 || cur.pos + n > String.length cur.data then
+  (* Compare by subtraction: an adversarial length near [max_int] makes
+     [cur.pos + n] wrap negative and slip past an addition-form bound
+     check, letting [String.sub] raise [Invalid_argument] instead of
+     the [Malformed] that [decode] catches. *)
+  if n < 0 || n > String.length cur.data - cur.pos then
     raise (Malformed "unexpected end of input");
   let s = String.sub cur.data cur.pos n in
   cur.pos <- cur.pos + n;
@@ -72,7 +98,7 @@ let dec_uint cur =
   in
   go 0 0
 
-let unit = { enc = (fun _ () -> ()); dec = (fun _ -> ()) }
+let unit = { enc = (fun _ () -> ()); dec = (fun _ -> ()); sh = Unit }
 
 let bool =
   {
@@ -83,6 +109,7 @@ let bool =
         | '\000' -> false
         | '\001' -> true
         | c -> raise (Malformed (Printf.sprintf "invalid bool byte %d" (Char.code c))));
+    sh = Bool;
   }
 
 (* Zig-zag so negative ints stay short. *)
@@ -93,6 +120,7 @@ let int =
       (fun cur ->
         let u = dec_uint cur in
         (u lsr 1) lxor (-(u land 1)));
+    sh = Int;
   }
 
 let float =
@@ -112,8 +140,12 @@ let float =
             Int64.logor !bits (Int64.shift_left (Int64.of_int (Char.code (read_char cur))) (8 * i))
         done;
         Int64.float_of_bits !bits);
+    sh = Float;
   }
 
+(* [read_string] bounds the claimed length by the remaining input, so a
+   mutated length header can neither allocate beyond the message nor
+   escape [decode] as anything but [Malformed]. *)
 let string =
   {
     enc =
@@ -124,11 +156,13 @@ let string =
       (fun cur ->
         let n = dec_uint cur in
         read_string cur n);
+    sh = String;
   }
 
 let bytes_ =
   { enc = (fun sink b -> string.enc sink (Bytes.to_string b));
-    dec = (fun cur -> Bytes.of_string (string.dec cur)) }
+    dec = (fun cur -> Bytes.of_string (string.dec cur));
+    sh = Bytes }
 
 let option c =
   {
@@ -144,6 +178,7 @@ let option c =
         | '\000' -> None
         | '\001' -> Some (c.dec cur)
         | ch -> raise (Malformed (Printf.sprintf "invalid option byte %d" (Char.code ch))));
+    sh = Option c.sh;
   }
 
 (* Adversarial inputs can claim absurd lengths; since every element
@@ -170,6 +205,7 @@ let list c =
       (fun cur ->
         let n = dec_length cur in
         List.init n (fun _ -> c.dec cur));
+    sh = List c.sh;
   }
 
 let array c =
@@ -182,6 +218,7 @@ let array c =
       (fun cur ->
         let n = dec_length cur in
         Array.init n (fun _ -> c.dec cur));
+    sh = Array c.sh;
   }
 
 let pair a b =
@@ -195,6 +232,7 @@ let pair a b =
         let x = a.dec cur in
         let y = b.dec cur in
         (x, y));
+    sh = Pair (a.sh, b.sh);
   }
 
 let triple a b c =
@@ -210,6 +248,7 @@ let triple a b c =
         let y = b.dec cur in
         let z = c.dec cur in
         (x, y, z));
+    sh = Triple (a.sh, b.sh, c.sh);
   }
 
 let conv to_repr of_repr repr =
@@ -224,9 +263,10 @@ let conv to_repr of_repr repr =
         try of_repr r with
         | Malformed _ as e -> raise e
         | e -> raise (Malformed (Printexc.to_string e)));
+    sh = repr.sh;
   }
 
-let tagged to_case of_case =
+let tagged ?(cases = []) to_case of_case =
   {
     enc =
       (fun sink v ->
@@ -240,4 +280,115 @@ let tagged to_case of_case =
         match of_case tag payload with
         | Ok v -> v
         | Error msg -> raise (Malformed msg));
+    sh = Tagged cases;
   }
+
+(* ---------- generic views ----------
+
+   A [view] is the structure-preserving decoding of a message under its
+   codec's [shape]: the mutator decodes bytes to a view, perturbs typed
+   nodes, and re-encodes — never touching raw bytes blindly. A tagged
+   payload whose tag has no declared shape stays [Raw]. *)
+
+type view =
+  | Vunit
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstring of string
+  | Vbytes of bytes
+  | Voption of view option
+  | Vlist of view list
+  | Varray of view array
+  | Vpair of view * view
+  | Vtriple of view * view * view
+  | Vtagged of int * payload
+
+and payload = Raw of string | Shaped of view
+
+let rec enc_view sh sink v =
+  match (sh, v) with
+  | Unit, Vunit -> ()
+  | Bool, Vbool b -> bool.enc sink b
+  | Int, Vint i -> int.enc sink i
+  | Float, Vfloat f -> float.enc sink f
+  | String, Vstring s -> string.enc sink s
+  | Bytes, Vbytes b -> bytes_.enc sink b
+  | Option s, Voption o -> (
+      match o with
+      | None -> sink.put_char '\000'
+      | Some v ->
+          sink.put_char '\001';
+          enc_view s sink v)
+  | List s, Vlist vs ->
+      enc_uint sink (List.length vs);
+      List.iter (enc_view s sink) vs
+  | Array s, Varray vs ->
+      enc_uint sink (Array.length vs);
+      Array.iter (enc_view s sink) vs
+  | Pair (a, b), Vpair (x, y) ->
+      enc_view a sink x;
+      enc_view b sink y
+  | Triple (a, b, c), Vtriple (x, y, z) ->
+      enc_view a sink x;
+      enc_view b sink y;
+      enc_view c sink z
+  | Tagged cases, Vtagged (tag, p) -> (
+      enc_uint sink tag;
+      match p with
+      | Raw s -> string.enc sink s
+      | Shaped v -> (
+          match List.assoc_opt tag cases with
+          | Some s ->
+              (* Payloads are length-prefixed on the wire; render the
+                 shaped view to bytes first. *)
+              let buf = Buffer.create 32 in
+              enc_view s (buffer_sink buf) v;
+              string.enc sink (Buffer.contents buf)
+          | None -> raise (Malformed "shaped payload for an undeclared tag")))
+  | _ -> raise (Malformed "view does not match shape")
+
+let rec dec_view sh cur =
+  match sh with
+  | Unit -> Vunit
+  | Bool -> Vbool (bool.dec cur)
+  | Int -> Vint (int.dec cur)
+  | Float -> Vfloat (float.dec cur)
+  | String -> Vstring (string.dec cur)
+  | Bytes -> Vbytes (bytes_.dec cur)
+  | Option s -> (
+      match read_char cur with
+      | '\000' -> Voption None
+      | '\001' -> Voption (Some (dec_view s cur))
+      | ch -> raise (Malformed (Printf.sprintf "invalid option byte %d" (Char.code ch))))
+  | List s ->
+      let n = dec_length cur in
+      Vlist (List.init n (fun _ -> dec_view s cur))
+  | Array s ->
+      let n = dec_length cur in
+      Varray (Array.init n (fun _ -> dec_view s cur))
+  | Pair (a, b) ->
+      let x = dec_view a cur in
+      let y = dec_view b cur in
+      Vpair (x, y)
+  | Triple (a, b, c) ->
+      let x = dec_view a cur in
+      let y = dec_view b cur in
+      let z = dec_view c cur in
+      Vtriple (x, y, z)
+  | Tagged cases -> (
+      let tag = dec_uint cur in
+      let payload = string.dec cur in
+      match List.assoc_opt tag cases with
+      | Some s -> (
+          let pcur = { data = payload; pos = 0 } in
+          match dec_view s pcur with
+          | v when pcur.pos = String.length payload -> Vtagged (tag, Shaped v)
+          (* Structure mismatched or didn't consume the whole payload:
+             keep it raw rather than silently dropping bytes — the
+             declared shape is advisory, the codec is the authority. *)
+          | _ -> Vtagged (tag, Raw payload)
+          | exception Malformed _ -> Vtagged (tag, Raw payload))
+      | None -> Vtagged (tag, Raw payload))
+
+let view_codec sh = { enc = (fun sink v -> enc_view sh sink v); dec = dec_view sh; sh }

@@ -9,6 +9,30 @@
 
 type 'a t
 
+(** Structural description of a codec's wire layout, carried alongside
+    the encode/decode closures. Generic tooling (the byzantine
+    {!Mutator}) walks it to mutate encoded messages field-by-field
+    without knowing the value type. [Tagged] lists the per-case payload
+    shapes declared through {!tagged}'s [?cases]; undeclared tags still
+    decode, their payloads just stay opaque to shape-aware consumers. *)
+type shape =
+  | Unit
+  | Bool
+  | Int
+  | Float
+  | String
+  | Bytes
+  | Option of shape
+  | List of shape
+  | Array of shape
+  | Pair of shape * shape
+  | Triple of shape * shape * shape
+  | Tagged of (int * shape) list
+
+val shape : 'a t -> shape
+(** [conv] is structure-transparent: a converted codec reports its
+    representation's shape. *)
+
 exception Malformed of string
 (** Raised by a codec's decoding half on bad wire data; {!decode}
     catches it. Custom {!conv} validators may raise it directly (any
@@ -47,7 +71,45 @@ val conv : ('a -> 'b) -> ('b -> 'a) -> 'b t -> 'a t
 (** [conv to_repr of_repr repr] encodes ['a] through its
     representation ['b]. *)
 
-val tagged : ('a -> int * string) -> (int -> string -> ('a, string) result) -> 'a t
+val tagged :
+  ?cases:(int * shape) list ->
+  ('a -> int * string) ->
+  (int -> string -> ('a, string) result) ->
+  'a t
 (** Low-level escape hatch for sum types: map a value to a
     (tag, payload) pair and back; payloads are produced with [encode]
-    of the per-case codec. *)
+    of the per-case codec. [cases] (default none) declares each tag's
+    payload shape so shape-aware tooling can mutate {e inside}
+    payloads and re-tag values to sibling cases; it never affects
+    encoding or decoding. *)
+
+(** {1 Generic views}
+
+    A {!view} is the structure-preserving decoding of wire bytes under
+    a {!shape}: every int, float, string, collection and tagged case
+    becomes an inspectable node. The byzantine mutator decodes to a
+    view, perturbs typed nodes, and re-encodes. A tagged payload whose
+    tag has no declared shape (or whose declared shape mismatches the
+    actual bytes) stays [Raw]. *)
+
+type view =
+  | Vunit
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstring of string
+  | Vbytes of bytes
+  | Voption of view option
+  | Vlist of view list
+  | Varray of view array
+  | Vpair of view * view
+  | Vtriple of view * view * view
+  | Vtagged of int * payload
+
+and payload = Raw of string | Shaped of view
+
+val view_codec : shape -> view t
+(** Codec over views for the given shape: [decode (view_codec (shape c))]
+    accepts exactly what [decode c] accepts structurally (modulo
+    [conv]-level validation, which views skip), and encoding a view
+    reproduces the wire form byte-for-byte. *)

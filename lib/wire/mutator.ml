@@ -1,0 +1,195 @@
+(* Byzantine message mutation: decode a wire encoding into its generic
+   {!Codec.view}, perturb exactly one typed node, re-encode, and accept
+   the mutant only if the *application's own codec* decodes it cleanly.
+   The engine therefore never delivers garbage — it delivers well-formed
+   protocol messages with adversarial field values, which is what
+   exercises app validators instead of the transport checksum. *)
+
+open Codec
+
+(* ---------- mutation-site census ----------
+
+   A site is a view node a mutation op knows how to perturb. Pairs,
+   triples and unit are pure structure — their children count, they
+   don't. A tagged node is a site only when its shape declares at least
+   two cases (otherwise there is no sibling tag to move to); its shaped
+   payload's fields count independently. *)
+
+let rec count_sites sh v =
+  match (sh, v) with
+  | Bool, Vbool _ | Int, Vint _ | Float, Vfloat _ | String, Vstring _ | Bytes, Vbytes _ -> 1
+  | Option s, Voption o -> 1 + (match o with Some v -> count_sites s v | None -> 0)
+  | List s, Vlist vs -> 1 + List.fold_left (fun acc v -> acc + count_sites s v) 0 vs
+  | Array s, Varray vs -> 1 + Array.fold_left (fun acc v -> acc + count_sites s v) 0 vs
+  | Pair (a, b), Vpair (x, y) -> count_sites a x + count_sites b y
+  | Triple (a, b, c), Vtriple (x, y, z) ->
+      count_sites a x + count_sites b y + count_sites c z
+  | Tagged cases, Vtagged (tag, p) ->
+      (if List.length cases >= 2 then 1 else 0)
+      + (match p with
+        | Shaped v -> (
+            match List.assoc_opt tag cases with Some s -> count_sites s v | None -> 0)
+        | Raw _ -> 0)
+  | _ -> 0
+
+(* ---------- per-node operators ---------- *)
+
+let mutate_int rng ~node_ids i =
+  (* Node-id splicing is one arm of the die: protocol fields holding
+     endpoint indices get steered onto *valid but wrong* nodes, the
+     mutation most likely to decode cleanly yet change meaning. *)
+  let arms = if node_ids = [] then 5 else 6 in
+  match Dsim.Rng.int rng arms with
+  | 0 -> i + 1
+  | 1 -> i - 1
+  | 2 -> 0
+  | 3 -> -i
+  | 4 -> i * 2
+  | _ -> Dsim.Rng.pick rng node_ids
+
+let mutate_float rng f =
+  let f = if Float.is_finite f then f else 0. in
+  match Dsim.Rng.int rng 4 with
+  | 0 -> f +. 1.
+  | 1 -> f *. 2.
+  | 2 -> -.f
+  | _ -> 0.
+
+let mutate_string rng s =
+  let n = String.length s in
+  match Dsim.Rng.int rng 3 with
+  | 0 when n > 0 -> String.sub s 0 (n / 2) (* truncate *)
+  | 1 -> s ^ s (* duplicate *)
+  | _ -> "" (* clear *)
+
+(* Smallest honest inhabitant of a shape, used to grow an empty
+   collection or flip a [None] to [Some]. *)
+let rec default_view = function
+  | Unit -> Vunit
+  | Bool -> Vbool false
+  | Int -> Vint 0
+  | Float -> Vfloat 0.
+  | String -> Vstring ""
+  | Bytes -> Vbytes Bytes.empty
+  | Option _ -> Voption None
+  | List _ -> Vlist []
+  | Array _ -> Varray [||]
+  | Pair (a, b) -> Vpair (default_view a, default_view b)
+  | Triple (a, b, c) -> Vtriple (default_view a, default_view b, default_view c)
+  | Tagged cases -> (
+      match cases with
+      | (t, s) :: _ -> Vtagged (t, Shaped (default_view s))
+      | [] -> Vtagged (0, Raw ""))
+
+let mutate_list rng s vs =
+  let n = List.length vs in
+  if n = 0 then [ default_view s ]
+  else
+    match Dsim.Rng.int rng 3 with
+    | 0 -> (* drop a random element *)
+        let k = Dsim.Rng.int rng n in
+        List.filteri (fun i _ -> i <> k) vs
+    | 1 -> (* duplicate a random element in place *)
+        let k = Dsim.Rng.int rng n in
+        List.concat (List.mapi (fun i v -> if i = k then [ v; v ] else [ v ]) vs)
+    | _ ->
+        (* swap two positions (the same position when [n = 1]: the list
+           survives unchanged and the no-op is caught by the
+           mutant-differs check downstream) *)
+        let i = Dsim.Rng.int rng n and j = Dsim.Rng.int rng n in
+        let arr = Array.of_list vs in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp;
+        Array.to_list arr
+
+(* Re-encode a shaped payload to raw bytes so a re-tagged value keeps
+   its payload verbatim — whether the sibling case accepts those bytes
+   is the re-decode check's job (structurally similar cases usually do,
+   which is exactly the interesting mutation). *)
+let raw_of_payload cases tag = function
+  | Raw s -> s
+  | Shaped v -> (
+      match List.assoc_opt tag cases with
+      | Some s -> encode (view_codec s) v
+      | None -> "")
+
+let mutate_tagged rng cases tag p =
+  match List.filter (fun t -> t <> tag) (List.map fst cases) with
+  | [] -> Vtagged (tag, p)
+  | siblings -> Vtagged (Dsim.Rng.pick rng siblings, Raw (raw_of_payload cases tag p))
+
+(* Walk shape and view in parallel, decrementing [target] at each
+   mutation site; apply the operator where it hits zero. *)
+let apply_at rng ~node_ids sh v ~target =
+  let k = ref target in
+  let hit () =
+    let h = !k = 0 in
+    decr k;
+    h
+  in
+  let rec go sh v =
+    match (sh, v) with
+    | Bool, Vbool b -> if hit () then Vbool (not b) else v
+    | Int, Vint i -> if hit () then Vint (mutate_int rng ~node_ids i) else v
+    | Float, Vfloat f -> if hit () then Vfloat (mutate_float rng f) else v
+    | String, Vstring s -> if hit () then Vstring (mutate_string rng s) else v
+    | Bytes, Vbytes b ->
+        if hit () then Vbytes (Bytes.of_string (mutate_string rng (Bytes.to_string b))) else v
+    | Option s, Voption o ->
+        if hit () then
+          Voption (match o with Some _ -> None | None -> Some (default_view s))
+        else Voption (Option.map (go s) o)
+    | List s, Vlist vs ->
+        if hit () then Vlist (mutate_list rng s vs) else Vlist (List.map (go s) vs)
+    | Array s, Varray vs ->
+        if hit () then Varray (Array.of_list (mutate_list rng s (Array.to_list vs)))
+        else Varray (Array.map (go s) vs)
+    | Pair (a, b), Vpair (x, y) -> Vpair (go a x, go b y)
+    | Triple (a, b, c), Vtriple (x, y, z) -> Vtriple (go a x, go b y, go c z)
+    | Tagged cases, Vtagged (tag, p) ->
+        if List.length cases >= 2 && hit () then mutate_tagged rng cases tag p
+        else
+          Vtagged
+            ( tag,
+              match p with
+              | Shaped pv -> (
+                  match List.assoc_opt tag cases with
+                  | Some s -> Shaped (go s pv)
+                  | None -> p)
+              | Raw _ -> p )
+    | _ -> v
+  in
+  go sh v
+
+(* ---------- entry point ---------- *)
+
+let size_budget original = (2 * String.length original) + 16
+
+let mutate ~rng ?(node_ids = []) ?(attempts = 8) codec bytes =
+  let sh = Codec.shape codec in
+  let vc = view_codec sh in
+  match decode vc bytes with
+  | Error _ -> None (* not our encoding — refuse rather than guess *)
+  | Ok view ->
+      let sites = count_sites sh view in
+      if sites = 0 then None
+      else begin
+        let budget = size_budget bytes in
+        let rec try_once n =
+          if n = 0 then None
+          else begin
+            let target = Dsim.Rng.int rng sites in
+            let mutated = apply_at rng ~node_ids sh view ~target in
+            let bytes' = encode vc mutated in
+            if String.length bytes' > budget || String.equal bytes' bytes then try_once (n - 1)
+            else
+              (* The guarantee: a mutant is only emitted if the real
+                 codec — conv validation included — decodes it. *)
+              match decode codec bytes' with
+              | Ok v -> Some (v, bytes')
+              | Error _ -> try_once (n - 1)
+          end
+        in
+        try_once attempts
+      end

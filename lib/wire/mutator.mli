@@ -1,0 +1,39 @@
+(** Byzantine message mutation: typed, decodes-clean perturbation of
+    wire encodings.
+
+    Where the corruption fault flips raw bits (and is therefore caught
+    by the modelled transport checksum before any handler runs), the
+    mutator walks the codec's {!Codec.shape} and perturbs {e fields}:
+    ints are nudged, negated, zeroed, doubled or spliced with a node
+    id; floats are perturbed finitely; bools flip; strings truncate,
+    duplicate or clear; list/array elements are dropped, duplicated or
+    swapped; options toggle; tagged values are re-tagged to a sibling
+    case with their payload carried verbatim.
+
+    The contract that makes this a {e byzantine} fault rather than a
+    fuzzer: every emitted mutant re-decodes cleanly through the same
+    codec ([conv]-level validation included) and re-encodes within a
+    bounded size budget. Candidates that fail either check are
+    discarded and retried; after [attempts] failures the caller gets
+    [None] and should deliver the original message unchanged (the
+    engine counts this as [byz_discarded]). *)
+
+val size_budget : string -> int
+(** Max bytes an emitted mutant may occupy: twice the original
+    encoding plus a small constant — a mutation may grow a message
+    (duplicated elements, doubled strings) but never blow it up. *)
+
+val mutate :
+  rng:Dsim.Rng.t ->
+  ?node_ids:int list ->
+  ?attempts:int ->
+  'a Codec.t ->
+  string ->
+  ('a * string) option
+(** [mutate ~rng codec bytes] perturbs one typed field of [bytes]
+    (which must be a valid encoding under [codec]) and returns the
+    decoded mutant together with its wire form, or [None] if no
+    candidate survived the re-decode and size checks within [attempts]
+    tries (default 8). [node_ids] (default none) enables the node-id
+    splicing arm for int fields. Draws from [rng] only — deterministic
+    under a seeded stream. *)

@@ -11,6 +11,7 @@ let equal_state (a : state) b = a = b
 let msg_kind = function Grant -> "grant" | Release -> "release" | Flip -> "flip"
 let msg_bytes _ = 16
 let msg_codec = None
+let validate = None
 let durable = None
 let degraded = None
 let priority = None

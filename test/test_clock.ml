@@ -88,6 +88,7 @@ module Beat = struct
   let msg_kind Ping = "ping"
   let msg_bytes Ping = 32
   let msg_codec = None
+  let validate = None
   let fingerprint = None
   let durable = None
   let degraded = None

@@ -16,6 +16,7 @@ module Toy = struct
   let msg_kind = function Ping _ -> "ping" | Pong _ -> "pong" | Kick -> "kick"
   let msg_bytes = function Ping _ | Pong _ -> 64 | Kick -> 16
   let msg_codec = None
+  let validate = None
   let fingerprint = None
   let durable = None
   let degraded = None
@@ -361,6 +362,7 @@ module Nfa = struct
   let msg_kind Datum = "datum"
   let msg_bytes Datum = 32
   let msg_codec = None
+  let validate = None
   let fingerprint = None
   let durable = None
   let degraded = None

@@ -355,6 +355,50 @@ let test_randtree_differential () =
   DR.check_verdict "randtree/generic" ~generic_node:true ~depth:2 w;
   DR.check_steering "randtree/steer" ~depth:2 w
 
+(* ---------- byzantine mutants in the explorer ---------- *)
+
+(* A decodes-clean mutant of a pending message is a different protocol
+   value, and the dedup fingerprint must treat it as one: a world
+   carrying honest + mutant copies of a message explores strictly more
+   than a world carrying honest twins (whose two deliveries alias), and
+   exploring the mutated world stays invariant in [domains]. *)
+let mutant_of m =
+  let codec = Option.get PApp.msg_codec in
+  let rng = Dsim.Rng.create 13 in
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "mutator never changed the message"
+    else
+      match Wire.Mutator.mutate ~rng ~node_ids:[ 0; 1; 2 ] codec (Wire.Codec.encode codec m) with
+      | Some (m', _) when m' <> m -> m'
+      | Some _ | None -> go (tries - 1)
+  in
+  go 100
+
+let test_mutant_worlds_never_alias () =
+  let w = paxos_world ~seed:3 in
+  match w.DP.Ex.pending with
+  | [] -> Alcotest.fail "frozen world has no pending messages"
+  | (src, dst, m) :: rest ->
+      let m' = mutant_of m in
+      let twins = { w with DP.Ex.pending = (src, dst, m) :: (src, dst, m) :: rest } in
+      let mixed = { w with DP.Ex.pending = (src, dst, m) :: (src, dst, m') :: rest } in
+      let r_twins = DP.Ex.explore ~depth:1 twins in
+      let r_mixed = DP.Ex.explore ~depth:1 mixed in
+      (* Delivering either honest twin reaches the same world; the
+         mutant's delivery (and the residual pending lists) must not. *)
+      checki "mutant adds one distinct successor" (r_twins.DP.Ex.worlds_explored + 1)
+        r_mixed.DP.Ex.worlds_explored;
+      checki "honest twins alias, mutant does not" (r_mixed.DP.Ex.worlds_deduped + 1)
+        r_twins.DP.Ex.worlds_deduped
+
+let test_mutant_domains_determinism () =
+  let w = paxos_world ~seed:3 in
+  match w.DP.Ex.pending with
+  | [] -> Alcotest.fail "frozen world has no pending messages"
+  | (src, dst, m) :: rest ->
+      let mixed = { w with DP.Ex.pending = (src, dst, mutant_of m) :: (src, dst, m) :: rest } in
+      DP.check_domains "paxos-mutant/domains" ~include_drops:true ~depth:3 mixed
+
 (* ---------- domains and cache invariance ---------- *)
 
 let test_domains_determinism () =
@@ -392,6 +436,8 @@ let () =
         ] );
       ( "invariance",
         [
+          Alcotest.test_case "mutant worlds never alias" `Quick test_mutant_worlds_never_alias;
+          Alcotest.test_case "mutant domains determinism" `Quick test_mutant_domains_determinism;
           Alcotest.test_case "domains determinism" `Quick test_domains_determinism;
           Alcotest.test_case "domains iterative" `Quick test_domains_iterative;
           Alcotest.test_case "cache reuse" `Quick test_cache_reuse;

@@ -130,6 +130,7 @@ module Toy = struct
   let msg_kind = function Ping _ -> "ping" | Pong _ -> "pong"
   let msg_bytes _ = 64
   let msg_codec = None
+  let validate = None
   let fingerprint = None
   let durable = None
   let degraded = None

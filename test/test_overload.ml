@@ -21,6 +21,7 @@ module Prio_app = struct
   let msg_kind = function Lo _ -> "lo" | Hi _ -> "hi"
   let msg_bytes _ = 64
   let msg_codec = None
+  let validate = None
   let durable = None
   let degraded = None
   let priority = Some (function Lo _ -> 0 | Hi _ -> 10)

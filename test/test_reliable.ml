@@ -26,6 +26,7 @@ module Count_app = struct
   let msg_kind = function Ping _ -> "ping" | Pong _ -> "pong"
   let msg_bytes _ = 32
   let msg_codec = None
+  let validate = None
   let durable = None
   let degraded = None
   let priority = None

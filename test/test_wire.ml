@@ -102,6 +102,29 @@ let test_malformed () =
   | Error e -> checkb "trailing bytes reported" true (String.length e > 0)
   | Ok _ -> Alcotest.fail "trailing bytes accepted"
 
+(* Adversarial length prefixes: a count or byte-length far beyond the
+   buffer (or negative, via zig-zag) must produce a clean error without
+   allocating for the claimed size — a crafted 2-byte message must not
+   reserve gigabytes. *)
+let test_adversarial_length_prefixes () =
+  let reject name codec prefix =
+    match C.decode codec prefix with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (name ^ " accepted an adversarial length")
+  in
+  let huge = C.encode C.int 1_000_000_000 in
+  let negative = C.encode C.int (-7) in
+  List.iter
+    (fun (name, prefix) ->
+      reject ("string " ^ name) C.string prefix;
+      reject ("bytes " ^ name) C.bytes_ prefix;
+      reject ("int list " ^ name) (C.list C.int) prefix;
+      reject ("int array " ^ name) (C.array C.int) prefix;
+      reject ("string list " ^ name) (C.list C.string) prefix)
+    [ ("huge", huge); ("negative", negative); ("huge+junk", huge ^ "xyz") ];
+  (* A plausible count whose elements then run out must also error. *)
+  reject "truncated elements" (C.list C.string) (C.encode C.int 3 ^ C.encode C.string "a")
+
 let test_size_matches_encode () =
   let codec = C.list (C.pair C.string C.float) in
   let v = [ ("alpha", 1.5); ("", -2.) ] in
@@ -188,6 +211,7 @@ let () =
           Alcotest.test_case "conv" `Quick test_conv;
           Alcotest.test_case "tagged sums" `Quick test_tagged_sum_type;
           Alcotest.test_case "malformed" `Quick test_malformed;
+          Alcotest.test_case "adversarial lengths" `Quick test_adversarial_length_prefixes;
           Alcotest.test_case "size" `Quick test_size_matches_encode;
         ] );
       ("apps", [ Alcotest.test_case "dissem state codec" `Quick test_dissem_state_codec ]);
